@@ -1,0 +1,41 @@
+//! # drqos-analysis
+//!
+//! The analytic side of the paper: builds the elastic-QoS Markov chain from
+//! parameters measured by `drqos-core`'s simulation, solves it with
+//! `drqos-markov`, and compares the prediction against the simulated and
+//! ideal averages.
+//!
+//! * [`model`] — [`model::ElasticQosModel`], the paper's Section 3.2 chain.
+//! * [`ideal`] — the `BW·E / (N·avg_hops)` reference line of Figure 2.
+//! * [`pipeline`] — [`pipeline::analyze`], one experiment point end to end.
+//! * [`report`] — plain-text table rendering for the experiment binaries.
+//!
+//! # Example
+//!
+//! ```
+//! use drqos_analysis::pipeline::analyze;
+//! use drqos_core::experiment::ExperimentConfig;
+//! use drqos_sim::rng::Rng;
+//! use drqos_topology::waxman;
+//!
+//! let graph = waxman::paper_waxman(30)
+//!     .generate(&mut Rng::seed_from_u64(7))
+//!     .unwrap();
+//! let mut config = ExperimentConfig::paper_default(40, 100);
+//! config.churn_events = 200;
+//! let point = analyze(graph, &config);
+//! // Simulated, analytic, and ideal averages all live in the QoS range.
+//! assert!(point.report.avg_bandwidth_sim >= 100.0);
+//! assert!(point.ideal_avg <= 500.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ideal;
+pub mod model;
+pub mod pipeline;
+pub mod report;
+
+pub use model::{ElasticQosModel, EventRates, ModelError};
+pub use pipeline::{analyze, ExperimentAnalysis};

@@ -1,0 +1,270 @@
+//! Plain-text table rendering for the experiment binaries.
+//!
+//! The bench binaries print the same rows/series the paper's tables and
+//! figures report; this tiny formatter keeps their output aligned and
+//! consistent without pulling in a table crate.
+
+use std::fmt::Write as _;
+
+/// A simple fixed-width text table.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(header: impl IntoIterator<Item = S>) -> Self {
+        Self {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width does not match the header.
+    pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) -> &mut Self {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(
+            row.len(),
+            self.header.len(),
+            "row width must match header width"
+        );
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let write_row = |out: &mut String, cells: &[String]| {
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let _ = write!(out, "{cell:>width$}", width = widths[i]);
+            }
+            out.push('\n');
+        };
+        write_row(&mut out, &self.header);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1));
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            write_row(&mut out, row);
+        }
+        out
+    }
+}
+
+/// Formats a float with the given number of decimals, rendering NaN as
+/// `"n/a"` (used when a model could not be solved for a data point).
+pub fn fmt_f64(v: f64, decimals: usize) -> String {
+    if v.is_nan() {
+        "n/a".to_string()
+    } else {
+        format!("{v:.decimals$}")
+    }
+}
+
+/// A terminal line chart: multiple y-series over a shared x-axis, each
+/// drawn with its own glyph — enough to eyeball the *shape* of a figure
+/// (who is above whom, where curves bend) straight from a bench run.
+#[derive(Debug, Clone)]
+pub struct AsciiChart {
+    height: usize,
+    series: Vec<(char, Vec<f64>)>,
+    y_min: Option<f64>,
+    y_max: Option<f64>,
+}
+
+impl AsciiChart {
+    /// Creates a chart `height` rows tall.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `height < 2`.
+    pub fn new(height: usize) -> Self {
+        assert!(height >= 2, "chart needs at least two rows");
+        Self {
+            height,
+            series: Vec::new(),
+            y_min: None,
+            y_max: None,
+        }
+    }
+
+    /// Fixes the y-axis range instead of auto-scaling.
+    pub fn y_range(mut self, min: f64, max: f64) -> Self {
+        assert!(min < max, "y range requires min < max");
+        self.y_min = Some(min);
+        self.y_max = Some(max);
+        self
+    }
+
+    /// Adds a series drawn with `glyph`. NaN points are skipped.
+    pub fn series(mut self, glyph: char, values: &[f64]) -> Self {
+        self.series.push((glyph, values.to_vec()));
+        self
+    }
+
+    /// Renders the chart (empty string when no finite data).
+    pub fn render(&self) -> String {
+        let finite: Vec<f64> = self
+            .series
+            .iter()
+            .flat_map(|(_, v)| v.iter().copied())
+            .filter(|v| v.is_finite())
+            .collect();
+        if finite.is_empty() {
+            return String::new();
+        }
+        let lo = self
+            .y_min
+            .unwrap_or_else(|| finite.iter().copied().fold(f64::INFINITY, f64::min));
+        let hi = self
+            .y_max
+            .unwrap_or_else(|| finite.iter().copied().fold(f64::NEG_INFINITY, f64::max));
+        let span = (hi - lo).max(f64::MIN_POSITIVE);
+        let width = self.series.iter().map(|(_, v)| v.len()).max().unwrap_or(0);
+        let mut grid = vec![vec![' '; width * 2]; self.height];
+        for (glyph, values) in &self.series {
+            for (x, &v) in values.iter().enumerate() {
+                if !v.is_finite() {
+                    continue;
+                }
+                let frac = ((v - lo) / span).clamp(0.0, 1.0);
+                let row = ((1.0 - frac) * (self.height - 1) as f64).round() as usize;
+                grid[row][x * 2] = *glyph;
+            }
+        }
+        let mut out = String::new();
+        for (i, row) in grid.iter().enumerate() {
+            let label = if i == 0 {
+                format!("{hi:>8.0} |")
+            } else if i == self.height - 1 {
+                format!("{lo:>8.0} |")
+            } else {
+                "         |".to_string()
+            };
+            out.push_str(&label);
+            out.push_str(&row.iter().collect::<String>());
+            out.push('\n');
+        }
+        out.push_str("         +");
+        out.push_str(&"-".repeat(width * 2));
+        out.push('\n');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new(["n", "value"]);
+        t.row(["1", "10.0"]);
+        t.row(["100", "2.5"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("n"));
+        assert!(lines[1].starts_with('-'));
+        assert!(lines[2].ends_with("10.0"));
+        // All data lines equal width.
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    fn tracks_length() {
+        let mut t = TextTable::new(["a"]);
+        assert!(t.is_empty());
+        t.row(["x"]);
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn wrong_width_panics() {
+        TextTable::new(["a", "b"]).row(["only one"]);
+    }
+
+    #[test]
+    fn fmt_f64_handles_nan() {
+        assert_eq!(fmt_f64(1.23456, 2), "1.23");
+        assert_eq!(fmt_f64(f64::NAN, 2), "n/a");
+        assert_eq!(fmt_f64(0.0, 0), "0");
+    }
+
+    #[test]
+    fn chart_renders_extremes_on_first_and_last_rows() {
+        let chart = AsciiChart::new(5).series('*', &[0.0, 10.0]);
+        let s = chart.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 6); // 5 rows + axis
+        assert!(lines[0].contains('*'), "max on top row: {s}");
+        assert!(lines[4].contains('*'), "min on bottom row: {s}");
+        assert!(lines[5].starts_with("         +"));
+    }
+
+    #[test]
+    fn chart_fixed_range_clamps() {
+        let chart = AsciiChart::new(4)
+            .y_range(0.0, 100.0)
+            .series('x', &[500.0, -3.0]);
+        let s = chart.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[0].contains('x'));
+        assert!(lines[3].contains('x'));
+        assert!(lines[0].contains("100"));
+        assert!(lines[3].contains('0'));
+    }
+
+    #[test]
+    fn chart_skips_nan_and_handles_empty() {
+        let chart = AsciiChart::new(3).series('o', &[f64::NAN]);
+        assert_eq!(chart.render(), "");
+        let chart = AsciiChart::new(3).series('o', &[1.0, f64::NAN, 2.0]);
+        let s = chart.render();
+        assert_eq!(s.matches('o').count(), 2);
+    }
+
+    #[test]
+    fn chart_multiple_series_share_axes() {
+        let s = AsciiChart::new(4)
+            .series('a', &[1.0, 2.0])
+            .series('b', &[3.0, 4.0])
+            .render();
+        assert!(s.contains('a') && s.contains('b'));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two rows")]
+    fn chart_too_short_panics() {
+        AsciiChart::new(1);
+    }
+}

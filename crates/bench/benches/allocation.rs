@@ -1,0 +1,75 @@
+//! Micro-benchmarks for admission and elastic re-distribution under load —
+//! the per-event cost of the paper's retreat/re-allocate dynamics.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use drqos_core::network::{Network, NetworkConfig};
+use drqos_core::qos::ElasticQos;
+use drqos_core::workload::Workload;
+use drqos_sim::rng::Rng;
+use drqos_topology::waxman;
+
+/// A network pre-loaded with `n` connections.
+fn loaded_network(n: usize, seed: u64) -> (Network, Rng) {
+    let graph = waxman::paper_waxman(100)
+        .generate(&mut Rng::seed_from_u64(seed))
+        .unwrap();
+    let mut net = Network::new(graph, NetworkConfig::default());
+    let workload = Workload::new(ElasticQos::paper_video(50));
+    let mut rng = Rng::seed_from_u64(seed ^ 0xABCD);
+    let nodes = net.graph().node_count();
+    let mut established = 0;
+    while established < n {
+        let req = workload.request(&mut rng, nodes);
+        if net.establish(req.src, req.dst, req.qos).is_ok() {
+            established += 1;
+        }
+    }
+    (net, rng)
+}
+
+fn bench_establish_release(c: &mut Criterion) {
+    let mut group = c.benchmark_group("allocation/establish_release");
+    group.sample_size(20);
+    for &load in &[500usize, 2_000] {
+        group.bench_function(format!("at_{load}_connections"), |b| {
+            b.iter_batched(
+                || loaded_network(load, 5),
+                |(mut net, mut rng)| {
+                    let workload = Workload::new(ElasticQos::paper_video(50));
+                    let nodes = net.graph().node_count();
+                    // One arrival + one departure: a full churn step.
+                    let req = workload.request(&mut rng, nodes);
+                    let id = net.establish(req.src, req.dst, req.qos);
+                    if let Ok(id) = id {
+                        net.release(id).unwrap();
+                    }
+                    net
+                },
+                BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_failover(c: &mut Criterion) {
+    let mut group = c.benchmark_group("allocation/failover");
+    group.sample_size(20);
+    group.bench_function("fail_and_repair_at_1000", |b| {
+        b.iter_batched(
+            || loaded_network(1_000, 6),
+            |(mut net, mut rng)| {
+                let up: Vec<_> = net.up_links().collect();
+                let link = up[rng.range_usize(up.len())];
+                net.fail_link(link).unwrap();
+                net.repair_link(link).unwrap();
+                net
+            },
+            BatchSize::LargeInput,
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_establish_release, bench_failover);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! End-to-end churn throughput: how fast the full simulation loop
+//! (arrival/termination events, retreat, re-distribution, measurement)
+//! runs at a paper-scale load.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use drqos_core::experiment::{run_churn, ExperimentConfig};
+use drqos_sim::rng::Rng;
+use drqos_topology::waxman;
+
+fn bench_churn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("churn/end_to_end");
+    group.sample_size(10);
+    for &(nchan, events) in &[(200usize, 200usize), (1_000, 200)] {
+        group.bench_function(format!("{nchan}conn_{events}events"), |b| {
+            b.iter(|| {
+                let graph = waxman::paper_waxman(100)
+                    .generate(&mut Rng::seed_from_u64(9))
+                    .unwrap();
+                let mut config = ExperimentConfig::paper_default(nchan, 50);
+                config.churn_events = events;
+                run_churn(graph, &config)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_churn_with_failures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("churn/with_failures");
+    group.sample_size(10);
+    group.bench_function("500conn_200events_gamma2x", |b| {
+        b.iter(|| {
+            let graph = waxman::paper_waxman(100)
+                .generate(&mut Rng::seed_from_u64(10))
+                .unwrap();
+            let mut config = ExperimentConfig::paper_default(500, 50);
+            config.churn_events = 200;
+            config.gamma = 0.002;
+            config.mean_repair = 500.0;
+            run_churn(graph, &config)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_churn, bench_churn_with_failures);
+criterion_main!(benches);

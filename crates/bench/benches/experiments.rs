@@ -1,0 +1,73 @@
+//! Scaled-down versions of every paper experiment, run under Criterion so
+//! `cargo bench` exercises (and times) the exact code paths behind each
+//! table and figure. The rows are printed once per bench so the series
+//! shape is visible in the bench log; the full-size regenerators are the
+//! `fig2`/`table1`/`fig3`/`fig4`/`ablation` binaries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use drqos_bench::{ablation, fig2, fig3, fig4, table1};
+use std::sync::Once;
+
+static PRINT_ONCE: Once = Once::new();
+
+fn print_preview() {
+    PRINT_ONCE.call_once(|| {
+        println!("\n--- scaled-down experiment previews (full size: bin targets) ---");
+        for r in fig2(&[200, 800, 1_600], 400, 1) {
+            println!(
+                "fig2   nchan={:5} sim={:6.1} model={:6.1} ideal={:6.1}",
+                r.nchan, r.sim, r.analytic, r.ideal
+            );
+        }
+        for r in table1(&[800], 400, 1) {
+            println!(
+                "table1 nchan={:5} random5={:6.1} random9={:6.1} tier5={:6.1} tier9={:6.1}",
+                r.nchan, r.random5, r.random9, r.tier5, r.tier9
+            );
+        }
+        for r in fig3(&[100, 200], 800, 400, 1) {
+            println!(
+                "fig3   nodes={:4} edges={:5} sim={:6.1} model={:6.1}",
+                r.nodes, r.edges, r.sim, r.analytic
+            );
+        }
+        for r in fig4(&[1e-6, 1e-3], 400, 1) {
+            println!(
+                "fig4   gamma={:8.0e} sim2000={:6.1} sim3000={:6.1}",
+                r.gamma, r.sim2000, r.sim3000
+            );
+        }
+        for r in ablation(&[800], 400, 1) {
+            println!(
+                "ablate nchan={:5} elastic={:6.1} rigid={:6.1} max-utility={:6.1}",
+                r.nchan, r.elastic_avg, r.rigid_avg, r.max_utility_avg
+            );
+        }
+        println!("--- end previews ---\n");
+    });
+}
+
+fn bench_experiments(c: &mut Criterion) {
+    print_preview();
+    let mut group = c.benchmark_group("experiments/scaled");
+    group.sample_size(10);
+    group.bench_function("fig2_point_800conn", |b| {
+        b.iter(|| fig2(&[800], 300, 2));
+    });
+    group.bench_function("table1_point_800conn", |b| {
+        b.iter(|| table1(&[800], 300, 2));
+    });
+    group.bench_function("fig3_point_200nodes", |b| {
+        b.iter(|| fig3(&[200], 800, 300, 2));
+    });
+    group.bench_function("fig4_point_gamma1e-3", |b| {
+        b.iter(|| fig4(&[1e-3], 300, 2));
+    });
+    group.bench_function("ablation_point_800conn", |b| {
+        b.iter(|| ablation(&[800], 300, 2));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_experiments);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Micro-benchmarks for the CTMC solvers — the SHARPE-replacement layer.
+//! GTH is the default; the direct LU solve and power iteration are the
+//! alternatives it is compared against.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use drqos_markov::ctmc::{Ctmc, CtmcBuilder};
+use drqos_markov::steady_state;
+use drqos_markov::transient;
+
+/// A dense pseudo-random irreducible chain with `n` states.
+fn dense_chain(n: usize) -> Ctmc {
+    let mut builder = CtmcBuilder::new(n);
+    let mut x = 0x9E3779B97F4A7C15u64;
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let r = ((x >> 33) as f64) / (u32::MAX as f64) * 2.0 + 0.001;
+                builder = builder.rate(i, j, r).unwrap();
+            }
+        }
+    }
+    builder.build().unwrap()
+}
+
+fn bench_steady_state(c: &mut Criterion) {
+    let mut group = c.benchmark_group("markov/steady_state");
+    for &n in &[5usize, 9, 32] {
+        let chain = dense_chain(n);
+        group.bench_function(format!("gth_{n}"), |b| {
+            b.iter(|| steady_state::gth(&chain).unwrap());
+        });
+        group.bench_function(format!("linear_{n}"), |b| {
+            b.iter(|| steady_state::linear(&chain).unwrap());
+        });
+        group.bench_function(format!("power_{n}"), |b| {
+            b.iter(|| steady_state::power(&chain, 1e-10, 1_000_000).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_transient(c: &mut Criterion) {
+    let mut group = c.benchmark_group("markov/transient");
+    let chain = dense_chain(9);
+    let initial = {
+        let mut v = vec![0.0; 9];
+        v[0] = 1.0;
+        v
+    };
+    for &t in &[1.0f64, 100.0] {
+        group.bench_function(format!("uniformization_t{t}"), |b| {
+            b.iter(|| transient::transient(&chain, &initial, t, 1e-9).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_hitting(c: &mut Criterion) {
+    let mut group = c.benchmark_group("markov/hitting");
+    for &n in &[9usize, 32] {
+        let chain = dense_chain(n);
+        group.bench_function(format!("mean_hitting_times_{n}"), |b| {
+            b.iter(|| drqos_markov::hitting::mean_hitting_times(&chain, &[n - 1]).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_steady_state, bench_transient, bench_hitting);
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! Micro-benchmarks for route selection: bounded-flooding emulation vs.
+//! the plain shortest-path baseline vs. Suurballe disjoint pairs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use drqos_core::qos::Bandwidth;
+use drqos_core::routing::{self, BackupDisjointness, RouterKind};
+use drqos_sim::rng::Rng;
+use drqos_topology::disjoint::suurballe;
+use drqos_topology::graph::{Graph, LinkId, NodeId};
+use drqos_topology::paths::{bfs_path, k_shortest_paths, pass_all};
+use drqos_topology::waxman;
+
+fn graph() -> Graph {
+    waxman::paper_waxman(100)
+        .generate(&mut Rng::seed_from_u64(11))
+        .unwrap()
+}
+
+fn endpoints(g: &Graph, rng: &mut Rng) -> (NodeId, NodeId) {
+    let n = g.node_count();
+    let a = rng.range_usize(n);
+    let mut b = rng.range_usize(n - 1);
+    if b >= a {
+        b += 1;
+    }
+    (NodeId(a), NodeId(b))
+}
+
+fn bench_single_path(c: &mut Criterion) {
+    let g = graph();
+    let mut group = c.benchmark_group("routing/single_path");
+    group.bench_function("bfs", |b| {
+        let mut rng = Rng::seed_from_u64(1);
+        b.iter(|| {
+            let (s, d) = endpoints(&g, &mut rng);
+            bfs_path(&g, s, d, &pass_all)
+        });
+    });
+    group.bench_function("flood_with_allowance", |b| {
+        let mut rng = Rng::seed_from_u64(1);
+        let allowance = |l: LinkId| Bandwidth::kbps(1000 + l.index() as u64);
+        b.iter(|| {
+            let (s, d) = endpoints(&g, &mut rng);
+            routing::flood_path(&g, s, d, g.node_count(), &pass_all, &allowance)
+        });
+    });
+    group.finish();
+}
+
+fn bench_pairs(c: &mut Criterion) {
+    let g = graph();
+    let allowance = |_: LinkId| Bandwidth::kbps(1000);
+    let mut group = c.benchmark_group("routing/disjoint_pair");
+    group.bench_function("two_phase_flooding", |b| {
+        let mut rng = Rng::seed_from_u64(2);
+        b.iter(|| {
+            let (s, d) = endpoints(&g, &mut rng);
+            let kind = RouterKind::default();
+            let p = routing::route_primary(kind, &g, s, d, &pass_all, &allowance)?;
+            routing::route_backup(
+                kind,
+                &g,
+                &p,
+                BackupDisjointness::MaximallyDisjoint,
+                &pass_all,
+                &allowance,
+            )
+        });
+    });
+    group.bench_function("suurballe", |b| {
+        let mut rng = Rng::seed_from_u64(2);
+        b.iter(|| {
+            let (s, d) = endpoints(&g, &mut rng);
+            suurballe(&g, s, d, &pass_all)
+        });
+    });
+    group.finish();
+}
+
+fn bench_k_shortest(c: &mut Criterion) {
+    let g = graph();
+    let mut group = c.benchmark_group("routing/k_shortest");
+    group.sample_size(20);
+    group.bench_function("yen_k4", |b| {
+        let mut rng = Rng::seed_from_u64(3);
+        b.iter(|| {
+            let (s, d) = endpoints(&g, &mut rng);
+            k_shortest_paths(&g, s, d, 4, &pass_all)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_path, bench_pairs, bench_k_shortest);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Micro-benchmarks for topology generation and metrics — the substrate
+//! every experiment builds on.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use drqos_sim::rng::Rng;
+use drqos_topology::{metrics, transit_stub::TransitStubConfig, waxman};
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("topology/generate");
+    group.bench_function("waxman_100", |b| {
+        let mut rng = Rng::seed_from_u64(1);
+        b.iter(|| waxman::paper_waxman(100).generate(&mut rng).unwrap());
+    });
+    group.bench_function("waxman_500_scaled", |b| {
+        let mut rng = Rng::seed_from_u64(1);
+        b.iter(|| waxman::paper_waxman_scaled(500).generate(&mut rng).unwrap());
+    });
+    group.bench_function("transit_stub_100", |b| {
+        let mut rng = Rng::seed_from_u64(1);
+        b.iter(|| TransitStubConfig::paper_default().generate(&mut rng).unwrap());
+    });
+    group.finish();
+}
+
+fn bench_metrics(c: &mut Criterion) {
+    let mut group = c.benchmark_group("topology/metrics");
+    let graph = waxman::paper_waxman(100)
+        .generate(&mut Rng::seed_from_u64(2))
+        .unwrap();
+    group.bench_function("summarize_100", |b| {
+        b.iter(|| metrics::summarize(&graph));
+    });
+    group.bench_function("diameter_100", |b| {
+        b.iter(|| metrics::diameter(&graph));
+    });
+    group.finish();
+}
+
+fn bench_calibration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("topology/calibrate");
+    group.sample_size(10);
+    group.bench_function("calibrate_beta_354_edges", |b| {
+        b.iter_batched(
+            || Rng::seed_from_u64(3),
+            |mut rng| waxman::calibrate_beta(100, 0.33, 354, 2, &mut rng).unwrap(),
+            BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_generation, bench_metrics, bench_calibration);
+criterion_main!(benches);

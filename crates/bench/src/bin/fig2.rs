@@ -1,0 +1,60 @@
+//! Regenerates the paper's **Figure 2**: average bandwidth of a
+//! DR-connection as the number of DR-connections grows (100-node random
+//! network, λ = μ = 0.001, γ = 0, 9-state Markov chain, Δ = 50 Kbps).
+//!
+//! Series: simulation (solid line in the paper), the Markov model (dashed,
+//! × marks), and the ideal average `BW·E/(N·avg_hops)` (upper dotted).
+//!
+//! Run with `cargo run --release -p drqos-bench --bin fig2`.
+
+use drqos_analysis::report::{fmt_f64, AsciiChart, TextTable};
+use drqos_bench::{csv, fig2};
+
+fn main() {
+    let points: Vec<usize> = (1..=20).map(|i| i * 250).collect();
+    let rows = fig2(&points, 2_000, 2001);
+    let mut table = TextTable::new([
+        "DR-connections",
+        "active",
+        "simulation (Kbps)",
+        "Markov model (Kbps)",
+        "ideal (Kbps)",
+    ]);
+    for r in &rows {
+        table.row([
+            r.nchan.to_string(),
+            r.active.to_string(),
+            fmt_f64(r.sim, 1),
+            fmt_f64(r.analytic, 1),
+            fmt_f64(r.ideal, 1),
+        ]);
+    }
+    println!("Figure 2 — average bandwidth vs. number of DR-connections");
+    println!("(100-node Waxman network, 354-edge calibration, Δ = 50 Kbps)\n");
+    print!("{}", table.render());
+
+    let chart = AsciiChart::new(14)
+        .y_range(100.0, 520.0)
+        .series('s', &rows.iter().map(|r| r.sim).collect::<Vec<_>>())
+        .series('x', &rows.iter().map(|r| r.analytic).collect::<Vec<_>>())
+        .series('.', &rows.iter().map(|r| r.ideal).collect::<Vec<_>>());
+    println!("\ns = simulation, x = Markov model, . = ideal   (x-axis: 250..5000)");
+    print!("{}", chart.render());
+
+    csv::export(
+        "fig2",
+        &["nchan", "active", "simulation_kbps", "model_kbps", "ideal_kbps"],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.nchan.to_string(),
+                    r.active.to_string(),
+                    csv::cell(r.sim),
+                    csv::cell(r.analytic),
+                    csv::cell(r.ideal),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+}

@@ -1,0 +1,54 @@
+//! Regenerates the paper's **Figure 3**: average bandwidth as the number
+//! of nodes varies from 100 to 500 with a fixed load of 3000
+//! DR-connections (Waxman parameters unchanged → edge count grows with the
+//! network, plotted as the paper's upper dotted line).
+//!
+//! Run with `cargo run --release -p drqos-bench --bin fig3`.
+
+use drqos_analysis::report::{fmt_f64, AsciiChart, TextTable};
+use drqos_bench::{csv, fig3};
+
+fn main() {
+    let nodes = [100, 200, 300, 400, 500];
+    let rows = fig3(&nodes, 3_000, 2_000, 2001);
+    let mut table = TextTable::new([
+        "nodes",
+        "edges",
+        "simulation (Kbps)",
+        "Markov model (Kbps)",
+    ]);
+    for r in &rows {
+        table.row([
+            r.nodes.to_string(),
+            r.edges.to_string(),
+            fmt_f64(r.sim, 1),
+            fmt_f64(r.analytic, 1),
+        ]);
+    }
+    println!("Figure 3 — average bandwidth vs. number of nodes");
+    println!("(3000 DR-connections, Waxman model at constant density)\n");
+    print!("{}", table.render());
+
+    let chart = AsciiChart::new(10)
+        .y_range(100.0, 520.0)
+        .series('s', &rows.iter().map(|r| r.sim).collect::<Vec<_>>())
+        .series('x', &rows.iter().map(|r| r.analytic).collect::<Vec<_>>());
+    println!("\ns = simulation, x = Markov model   (x-axis: 100..500 nodes)");
+    print!("{}", chart.render());
+
+    csv::export(
+        "fig3",
+        &["nodes", "edges", "simulation_kbps", "model_kbps"],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.nodes.to_string(),
+                    r.edges.to_string(),
+                    csv::cell(r.sim),
+                    csv::cell(r.analytic),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+}

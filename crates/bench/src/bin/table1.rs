@@ -1,0 +1,42 @@
+//! Regenerates the paper's **Table 1**: average bandwidth of the Markov
+//! chains with different numbers of states (5-state Δ = 100 Kbps vs.
+//! 9-state Δ = 50 Kbps), on the Random (Waxman) and Tier (transit-stub)
+//! networks.
+//!
+//! The paper's observation to reproduce: the increment size does not
+//! change the average bandwidth, and the Tier network accepts far fewer
+//! connections than the attempt count in the left column.
+//!
+//! Run with `cargo run --release -p drqos-bench --bin table1`.
+
+use drqos_analysis::report::{fmt_f64, TextTable};
+use drqos_bench::table1;
+
+fn main() {
+    let points = [1_000, 2_000, 3_000, 4_000, 5_000];
+    let rows = table1(&points, 2_000, 2001);
+    let mut table = TextTable::new([
+        "No. of channels",
+        "Random 5-state",
+        "Random 9-state",
+        "Tier 5-state",
+        "Tier 9-state",
+        "Tier active",
+    ]);
+    for r in &rows {
+        table.row([
+            r.nchan.to_string(),
+            fmt_f64(r.random5, 1),
+            fmt_f64(r.random9, 1),
+            fmt_f64(r.tier5, 1),
+            fmt_f64(r.tier9, 1),
+            r.tier_active.to_string(),
+        ]);
+    }
+    println!("Table 1 — average bandwidth (Kbps) of Markov chains with");
+    println!("different numbers of states, Random vs. Tier networks\n");
+    print!("{}", table.render());
+    println!("\nNote: the left column counts attempted set-ups; on the Tier");
+    println!("network most are rejected (see the 'Tier active' column),");
+    println!("matching the paper's remark under Table 1.");
+}

@@ -1,0 +1,21 @@
+//! # drqos-bench
+//!
+//! Experiment harnesses that regenerate every table and figure of the
+//! paper's evaluation (Section 4), shared between the runnable binaries
+//! (`fig2`, `table1`, `fig3`, `fig4`, `ablation`) and the Criterion
+//! benches (which run scaled-down versions).
+//!
+//! Each harness returns plain data rows; the binaries render them with
+//! [`drqos_analysis::report::TextTable`]. EXPERIMENTS.md records the
+//! paper-vs-measured comparison for each of them.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod csv;
+pub mod experiments;
+
+pub use experiments::{
+    ablation, dependability, fig2, fig3, fig4, table1, AblationRow, DependabilityRow, Fig2Row,
+    Fig3Row, Fig4Row, Table1Row,
+};

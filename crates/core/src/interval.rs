@@ -1,0 +1,331 @@
+//! Interval (k-out-of-M) QoS — the paper's *other* elastic model
+//! (Section 2.2).
+//!
+//! Where the range model adapts at channel-establishment time, interval
+//! QoS adapts at *run time*: "QoS is expressed in the form of k-out-of-M
+//! within a fixed time interval, meaning that at least k but less than or
+//! equal to M packets should arrive within a fixed time interval. The link
+//! manager can selectively ignore a packet as long as it can satisfy the
+//! minimum k-out-of-M requirement."
+//!
+//! [`DropController`] is that link-manager decision procedure over a
+//! sliding window of the last `M` packets: [`DropController::may_drop`]
+//! answers whether dropping the next packet still leaves the contract
+//! satisfiable, and the controller tracks the actual outcome so the
+//! guarantee holds continuously (every window of `M` consecutive packets
+//! delivers at least `k`).
+
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Errors constructing an interval QoS contract.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum IntervalQosError {
+    /// `k` was zero (a contract that guarantees nothing).
+    ZeroK,
+    /// `k > M` (an unsatisfiable contract).
+    KExceedsM {
+        /// The minimum required.
+        k: usize,
+        /// The window size.
+        m: usize,
+    },
+}
+
+impl fmt::Display for IntervalQosError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IntervalQosError::ZeroK => write!(f, "k must be at least 1"),
+            IntervalQosError::KExceedsM { k, m } => {
+                write!(f, "k ({k}) must not exceed M ({m})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IntervalQosError {}
+
+/// A k-out-of-M interval QoS contract.
+///
+/// # Examples
+///
+/// ```
+/// use drqos_core::interval::IntervalQos;
+///
+/// // A voice codec tolerating 2 losses in every 10 packets.
+/// let qos = IntervalQos::new(8, 10)?;
+/// assert_eq!(qos.max_drops(), 2);
+/// # Ok::<(), drqos_core::interval::IntervalQosError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct IntervalQos {
+    k: usize,
+    m: usize,
+}
+
+impl IntervalQos {
+    /// Creates a contract requiring at least `k` of every `m` consecutive
+    /// packets to be delivered.
+    ///
+    /// # Errors
+    ///
+    /// * [`IntervalQosError::ZeroK`] if `k == 0`.
+    /// * [`IntervalQosError::KExceedsM`] if `k > m`.
+    pub fn new(k: usize, m: usize) -> Result<Self, IntervalQosError> {
+        if k == 0 {
+            return Err(IntervalQosError::ZeroK);
+        }
+        if k > m {
+            return Err(IntervalQosError::KExceedsM { k, m });
+        }
+        Ok(Self { k, m })
+    }
+
+    /// The minimum deliveries per window.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The window size `M`.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// The largest number of drops any window may contain (`M − k`).
+    pub fn max_drops(&self) -> usize {
+        self.m - self.k
+    }
+
+    /// The guaranteed long-run delivery ratio (`k / M`).
+    pub fn min_delivery_ratio(&self) -> f64 {
+        self.k as f64 / self.m as f64
+    }
+}
+
+/// The outcome recorded for one packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PacketOutcome {
+    /// The packet was forwarded.
+    Delivered,
+    /// The packet was dropped (skipped) by the link manager.
+    Dropped,
+}
+
+/// A sliding-window enforcement engine for one channel's [`IntervalQos`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DropController {
+    qos: IntervalQos,
+    /// Outcomes of the most recent `< M` packets (front = oldest).
+    window: VecDeque<PacketOutcome>,
+    drops_in_window: usize,
+    delivered_total: u64,
+    dropped_total: u64,
+}
+
+impl DropController {
+    /// Creates a controller for the given contract.
+    pub fn new(qos: IntervalQos) -> Self {
+        Self {
+            qos,
+            window: VecDeque::with_capacity(qos.m()),
+            drops_in_window: 0,
+            delivered_total: 0,
+            dropped_total: 0,
+        }
+    }
+
+    /// The contract being enforced.
+    pub fn qos(&self) -> &IntervalQos {
+        &self.qos
+    }
+
+    /// Whether the *next* packet may be dropped without ever violating the
+    /// k-out-of-M guarantee (i.e. the window that would end at the next
+    /// packet still contains at most `M − k` drops).
+    pub fn may_drop(&self) -> bool {
+        let drops = if self.window.len() == self.qos.m() {
+            // The oldest outcome falls out of the window.
+            let expiring = matches!(self.window.front(), Some(PacketOutcome::Dropped));
+            self.drops_in_window - usize::from(expiring)
+        } else {
+            self.drops_in_window
+        };
+        drops < self.qos.max_drops()
+    }
+
+    /// Records that the next packet was dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dropping would violate the contract (callers must consult
+    /// [`DropController::may_drop`] first); the guarantee is the whole
+    /// point of the mechanism.
+    pub fn record_drop(&mut self) {
+        assert!(self.may_drop(), "drop would violate the k-out-of-M contract");
+        self.push(PacketOutcome::Dropped);
+        self.dropped_total += 1;
+    }
+
+    /// Records that the next packet was delivered.
+    pub fn record_delivery(&mut self) {
+        self.push(PacketOutcome::Delivered);
+        self.delivered_total += 1;
+    }
+
+    /// Convenience: drops the packet if permitted, else delivers it.
+    /// Returns the outcome.
+    pub fn offer_drop(&mut self) -> PacketOutcome {
+        if self.may_drop() {
+            self.record_drop();
+            PacketOutcome::Dropped
+        } else {
+            self.record_delivery();
+            PacketOutcome::Delivered
+        }
+    }
+
+    fn push(&mut self, outcome: PacketOutcome) {
+        if self.window.len() == self.qos.m() {
+            if let Some(PacketOutcome::Dropped) = self.window.pop_front() {
+                self.drops_in_window -= 1;
+            }
+        }
+        if outcome == PacketOutcome::Dropped {
+            self.drops_in_window += 1;
+        }
+        self.window.push_back(outcome);
+    }
+
+    /// Total packets delivered so far.
+    pub fn delivered_total(&self) -> u64 {
+        self.delivered_total
+    }
+
+    /// Total packets dropped so far.
+    pub fn dropped_total(&self) -> u64 {
+        self.dropped_total
+    }
+
+    /// Delivered fraction over the whole history (1.0 before any packet).
+    pub fn delivery_ratio(&self) -> f64 {
+        let total = self.delivered_total + self.dropped_total;
+        if total == 0 {
+            1.0
+        } else {
+            self.delivered_total as f64 / total as f64
+        }
+    }
+
+    /// Drops inside the current window (diagnostics).
+    pub fn drops_in_window(&self) -> usize {
+        self.drops_in_window
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contract_validation() {
+        assert_eq!(IntervalQos::new(0, 5), Err(IntervalQosError::ZeroK));
+        assert_eq!(
+            IntervalQos::new(6, 5),
+            Err(IntervalQosError::KExceedsM { k: 6, m: 5 })
+        );
+        let q = IntervalQos::new(3, 5).unwrap();
+        assert_eq!(q.k(), 3);
+        assert_eq!(q.m(), 5);
+        assert_eq!(q.max_drops(), 2);
+        assert!((q.min_delivery_ratio() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_must_deliver_when_k_equals_m() {
+        let mut ctl = DropController::new(IntervalQos::new(5, 5).unwrap());
+        for _ in 0..100 {
+            assert!(!ctl.may_drop());
+            assert_eq!(ctl.offer_drop(), PacketOutcome::Delivered);
+        }
+        assert_eq!(ctl.dropped_total(), 0);
+    }
+
+    #[test]
+    fn drops_allowed_up_to_budget() {
+        let mut ctl = DropController::new(IntervalQos::new(3, 5).unwrap());
+        assert!(ctl.may_drop());
+        ctl.record_drop();
+        assert!(ctl.may_drop());
+        ctl.record_drop();
+        // Two drops in the (incomplete) window: a third would break 3-of-5.
+        assert!(!ctl.may_drop());
+    }
+
+    #[test]
+    #[should_panic(expected = "violate the k-out-of-M")]
+    fn forced_drop_panics() {
+        let mut ctl = DropController::new(IntervalQos::new(5, 5).unwrap());
+        ctl.record_drop();
+    }
+
+    #[test]
+    fn budget_replenishes_as_window_slides() {
+        let mut ctl = DropController::new(IntervalQos::new(4, 5).unwrap());
+        ctl.record_drop(); // drop #1
+        assert!(!ctl.may_drop());
+        for _ in 0..4 {
+            ctl.record_delivery();
+        }
+        // The drop is about to fall out of the 5-packet window.
+        assert!(ctl.may_drop());
+        ctl.record_drop();
+        assert_eq!(ctl.dropped_total(), 2);
+    }
+
+    #[test]
+    fn greedy_dropping_respects_contract_in_every_window() {
+        // Drop as aggressively as allowed for a long run, then verify every
+        // window of M consecutive outcomes delivered at least k.
+        let qos = IntervalQos::new(7, 10).unwrap();
+        let mut ctl = DropController::new(qos);
+        let mut outcomes = Vec::new();
+        for _ in 0..1000 {
+            outcomes.push(ctl.offer_drop());
+        }
+        for w in outcomes.windows(qos.m()) {
+            let delivered = w
+                .iter()
+                .filter(|o| matches!(o, PacketOutcome::Delivered))
+                .count();
+            assert!(delivered >= qos.k(), "a window fell to {delivered} deliveries");
+        }
+        // Greedy dropping should actually use the whole budget in the limit.
+        let ratio = ctl.delivery_ratio();
+        assert!(
+            (ratio - qos.min_delivery_ratio()).abs() < 0.02,
+            "greedy controller wasted budget: {ratio}"
+        );
+    }
+
+    #[test]
+    fn delivery_ratio_tracks_history() {
+        let mut ctl = DropController::new(IntervalQos::new(1, 2).unwrap());
+        assert_eq!(ctl.delivery_ratio(), 1.0);
+        ctl.record_delivery();
+        ctl.record_drop();
+        assert_eq!(ctl.delivery_ratio(), 0.5);
+        assert_eq!(ctl.delivered_total(), 1);
+        assert_eq!(ctl.dropped_total(), 1);
+        assert_eq!(ctl.drops_in_window(), 1);
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(IntervalQosError::ZeroK.to_string().contains("at least 1"));
+        assert!(IntervalQosError::KExceedsM { k: 9, m: 5 }
+            .to_string()
+            .contains("9"));
+    }
+}

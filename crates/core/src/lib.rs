@@ -1,0 +1,79 @@
+//! # drqos-core
+//!
+//! Dependable real-time communication with elastic QoS — a from-scratch
+//! implementation of the system analyzed in:
+//!
+//! > Jong Kim and Kang G. Shin, *Performance Evaluation of Dependable
+//! > Real-Time Communication with Elastic QoS*, Proc. IEEE/IFIP DSN 2001.
+//!
+//! Each **DR-connection** owns a primary channel and a link-disjoint backup
+//! channel (the passive backup-channel scheme). Bandwidth reserved for
+//! backups — and any other spare capacity — is lent at run time to primary
+//! channels whose QoS is **elastic**: a `[B_min, B_max]` range walked in
+//! increments of `Δ`. Arrivals, terminations, and failures trigger the
+//! retreat/re-distribution dynamics whose steady state the paper models
+//! with a Markov chain.
+//!
+//! ## Module map
+//!
+//! * [`qos`] — [`qos::Bandwidth`], the elastic range [`qos::ElasticQos`],
+//!   and the adaptation policies.
+//! * [`channel`] — [`channel::DrConnection`] (primary + backup + level).
+//! * [`link_state`] — per-link accounting with multiplexed backup
+//!   reservations.
+//! * [`routing`] — bounded-flooding emulation, shortest-path baseline,
+//!   Suurballe pair router.
+//! * [`network`] — [`network::Network`], the manager: admission, retreat &
+//!   re-distribution, failure handling.
+//! * [`interval`] — the run-time k-out-of-M interval QoS model
+//!   (Section 2.2's second elastic model).
+//! * [`snapshot`] — frozen per-link/per-connection views for reporting.
+//! * [`workload`] — request generation.
+//! * [`measure`] — estimation of the Markov-model parameters
+//!   (`P_f`, `P_s`, `A`, `B`, `T`).
+//! * [`experiment`] — the churn harness reproducing the paper's
+//!   "detailed simulations".
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use drqos_core::network::{Network, NetworkConfig};
+//! use drqos_core::qos::ElasticQos;
+//! use drqos_topology::{regular, NodeId};
+//!
+//! let graph = regular::torus(4, 4)?;
+//! let mut net = Network::new(graph, NetworkConfig::default());
+//! let qos = ElasticQos::paper_video(50); // 100–500 Kbps, Δ = 50
+//! let id = net.establish(NodeId(0), NodeId(10), qos)?;
+//! let conn = net.connection(id).expect("just established");
+//! assert!(conn.has_backup());
+//! // Alone in the network, the channel enjoys its maximum QoS.
+//! assert_eq!(conn.bandwidth().as_kbps(), 500);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod channel;
+pub mod error;
+pub mod experiment;
+pub mod interval;
+pub mod link_state;
+pub mod measure;
+pub mod network;
+pub mod qos;
+pub mod routing;
+pub mod snapshot;
+pub mod workload;
+
+pub use channel::{ConnectionId, DrConnection};
+pub use error::{AdmissionError, NetworkError, QosError};
+pub use interval::{DropController, IntervalQos};
+pub use experiment::{run_churn, ExperimentConfig, ExperimentReport};
+pub use measure::{MeasuredParams, ParameterEstimator};
+pub use network::{EstablishPlan, FailureReport, Network, NetworkConfig};
+pub use qos::{AdaptationPolicy, Bandwidth, ElasticQos};
+pub use routing::{BackupDisjointness, RouterKind};
+pub use snapshot::NetworkSnapshot;
+pub use workload::{PairSampler, Request, Workload};

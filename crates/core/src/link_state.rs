@@ -1,0 +1,397 @@
+//! Per-link bandwidth accounting, including multiplexed backup
+//! reservations.
+//!
+//! Every link tracks three kinds of committed bandwidth:
+//!
+//! 1. **Primary minima** — the guaranteed `B_min` of each primary channel
+//!    crossing the link. Inviolable.
+//! 2. **Extras** — elastic increments above the minimum currently lent to
+//!    primaries. Reclaimable at any time (channels *retreat*).
+//! 3. **Backup reservation** — bandwidth set aside for backup channels.
+//!    Backups are *multiplexed* (overbooked): two backups share reservation
+//!    unless a single link failure could activate both. The reservation on
+//!    link `ℓ` is therefore
+//!    `max over links f of Σ { B_min(c) : backup(c) ∋ ℓ and primary(c) ∋ f }`
+//!    — the worst single-failure activation burst this link must absorb.
+//!
+//! Invariant maintained by [`crate::network::Network`]:
+//! `primary_min_sum + extra_sum ≤ capacity` at all times, and
+//! `primary_min_sum + extra_sum + backup_reservation ≤ capacity` in
+//! failure-free operation. (After a failover consumes reservation, the
+//! reservation for the *remaining* backups may transiently overbook the
+//! link until connections re-route — the known soft spot of backup
+//! multiplexing, surfaced via [`LinkUsage::is_overbooked`].)
+
+use crate::channel::ConnectionId;
+use crate::qos::Bandwidth;
+use drqos_topology::LinkId;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Bandwidth bookkeeping for one link.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkUsage {
+    capacity: Bandwidth,
+    up: bool,
+    primaries: BTreeSet<ConnectionId>,
+    primary_min_sum: Bandwidth,
+    extra_sum: Bandwidth,
+    backups: BTreeSet<ConnectionId>,
+    /// For each potential failed link `f`, the total minimum bandwidth of
+    /// backups on this link whose primary crosses `f`.
+    conflict: BTreeMap<LinkId, Bandwidth>,
+    reservation: Bandwidth,
+}
+
+impl LinkUsage {
+    /// Creates accounting for a link with the given capacity, initially up
+    /// and empty.
+    pub fn new(capacity: Bandwidth) -> Self {
+        Self {
+            capacity,
+            up: true,
+            primaries: BTreeSet::new(),
+            primary_min_sum: Bandwidth::ZERO,
+            extra_sum: Bandwidth::ZERO,
+            backups: BTreeSet::new(),
+            conflict: BTreeMap::new(),
+            reservation: Bandwidth::ZERO,
+        }
+    }
+
+    /// The link's capacity.
+    pub fn capacity(&self) -> Bandwidth {
+        self.capacity
+    }
+
+    /// Whether the link is operational.
+    pub fn is_up(&self) -> bool {
+        self.up
+    }
+
+    pub(crate) fn set_up(&mut self, up: bool) {
+        self.up = up;
+    }
+
+    /// Primary channels crossing this link.
+    pub fn primaries(&self) -> impl Iterator<Item = ConnectionId> + '_ {
+        self.primaries.iter().copied()
+    }
+
+    /// Backup channels registered on this link.
+    pub fn backups(&self) -> impl Iterator<Item = ConnectionId> + '_ {
+        self.backups.iter().copied()
+    }
+
+    /// Number of primary channels on the link.
+    pub fn primary_count(&self) -> usize {
+        self.primaries.len()
+    }
+
+    /// Sum of the minimum reservations of primaries on the link.
+    pub fn primary_min_sum(&self) -> Bandwidth {
+        self.primary_min_sum
+    }
+
+    /// Sum of elastic extras currently lent to primaries on the link.
+    pub fn extra_sum(&self) -> Bandwidth {
+        self.extra_sum
+    }
+
+    /// The multiplexed backup reservation.
+    pub fn backup_reservation(&self) -> Bandwidth {
+        self.reservation
+    }
+
+    /// Hard commitments: minima + backup reservation (extras excluded, as
+    /// they are reclaimable on demand).
+    pub fn hard_committed(&self) -> Bandwidth {
+        self.primary_min_sum + self.reservation
+    }
+
+    /// Everything currently accounted: minima + extras + reservation.
+    pub fn committed(&self) -> Bandwidth {
+        self.primary_min_sum + self.extra_sum + self.reservation
+    }
+
+    /// Bandwidth available for a further elastic increment.
+    pub fn headroom(&self) -> Bandwidth {
+        self.capacity.saturating_sub(self.committed())
+    }
+
+    /// Whether hard commitments exceed capacity (transient multi-failure
+    /// overbooking; see the module docs).
+    pub fn is_overbooked(&self) -> bool {
+        self.hard_committed() > self.capacity
+    }
+
+    /// Whether a new primary needing `min` could be admitted, counting
+    /// extras as reclaimable.
+    pub fn can_admit_primary(&self, min: Bandwidth) -> bool {
+        self.up && self.hard_committed() + min <= self.capacity
+    }
+
+    /// The reservation this link would need if a backup with the given
+    /// `min` and primary-path links were added.
+    pub fn reservation_if_backup_added(&self, min: Bandwidth, primary_links: &[LinkId]) -> Bandwidth {
+        primary_links
+            .iter()
+            .map(|f| self.conflict.get(f).copied().unwrap_or(Bandwidth::ZERO) + min)
+            .chain(std::iter::once(self.reservation))
+            .max()
+            .unwrap_or(self.reservation)
+    }
+
+    /// Whether a backup with the given `min` and primary links could be
+    /// registered without exceeding capacity (extras reclaimable).
+    pub fn can_admit_backup(&self, min: Bandwidth, primary_links: &[LinkId]) -> bool {
+        self.up
+            && self.primary_min_sum + self.reservation_if_backup_added(min, primary_links)
+                <= self.capacity
+    }
+
+    // ----- mutations (crate-internal; driven by the network manager) -----
+
+    pub(crate) fn add_primary(&mut self, id: ConnectionId, min: Bandwidth) {
+        let inserted = self.primaries.insert(id);
+        assert!(inserted, "{id} already a primary on this link");
+        self.primary_min_sum += min;
+    }
+
+    pub(crate) fn remove_primary(&mut self, id: ConnectionId, min: Bandwidth) {
+        let removed = self.primaries.remove(&id);
+        assert!(removed, "{id} was not a primary on this link");
+        self.primary_min_sum -= min;
+    }
+
+    pub(crate) fn add_extra(&mut self, amount: Bandwidth) {
+        self.extra_sum += amount;
+    }
+
+    pub(crate) fn remove_extra(&mut self, amount: Bandwidth) {
+        self.extra_sum -= amount;
+    }
+
+    pub(crate) fn add_backup(&mut self, id: ConnectionId, min: Bandwidth, primary_links: &[LinkId]) {
+        let inserted = self.backups.insert(id);
+        assert!(inserted, "{id} already a backup on this link");
+        for &f in primary_links {
+            let entry = self.conflict.entry(f).or_insert(Bandwidth::ZERO);
+            *entry += min;
+            if *entry > self.reservation {
+                self.reservation = *entry;
+            }
+        }
+    }
+
+    pub(crate) fn remove_backup(
+        &mut self,
+        id: ConnectionId,
+        min: Bandwidth,
+        primary_links: &[LinkId],
+    ) {
+        let removed = self.backups.remove(&id);
+        assert!(removed, "{id} was not a backup on this link");
+        for &f in primary_links {
+            let entry = self
+                .conflict
+                .get_mut(&f)
+                .expect("conflict entry exists for registered backup");
+            *entry -= min;
+            if *entry == Bandwidth::ZERO {
+                self.conflict.remove(&f);
+            }
+        }
+        self.reservation = self
+            .conflict
+            .values()
+            .copied()
+            .max()
+            .unwrap_or(Bandwidth::ZERO);
+    }
+
+    /// Test/debug helper: recomputes the reservation from the conflict map
+    /// and asserts the cache is consistent.
+    pub fn debug_validate(&self) {
+        let recomputed = self
+            .conflict
+            .values()
+            .copied()
+            .max()
+            .unwrap_or(Bandwidth::ZERO);
+        assert_eq!(
+            recomputed, self.reservation,
+            "cached backup reservation out of sync"
+        );
+        assert!(
+            self.primary_min_sum + self.extra_sum <= self.capacity,
+            "allocated bandwidth exceeds capacity"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(v: u64) -> Bandwidth {
+        Bandwidth::kbps(v)
+    }
+
+    fn cid(v: u64) -> ConnectionId {
+        ConnectionId(v)
+    }
+
+    fn lid(v: usize) -> LinkId {
+        LinkId(v)
+    }
+
+    #[test]
+    fn fresh_link_is_empty() {
+        let l = LinkUsage::new(k(10_000));
+        assert!(l.is_up());
+        assert_eq!(l.capacity(), k(10_000));
+        assert_eq!(l.committed(), Bandwidth::ZERO);
+        assert_eq!(l.headroom(), k(10_000));
+        assert_eq!(l.primary_count(), 0);
+        assert!(!l.is_overbooked());
+        l.debug_validate();
+    }
+
+    #[test]
+    fn primary_accounting() {
+        let mut l = LinkUsage::new(k(1_000));
+        l.add_primary(cid(1), k(100));
+        l.add_primary(cid(2), k(100));
+        assert_eq!(l.primary_min_sum(), k(200));
+        assert_eq!(l.primaries().collect::<Vec<_>>(), vec![cid(1), cid(2)]);
+        l.remove_primary(cid(1), k(100));
+        assert_eq!(l.primary_min_sum(), k(100));
+        l.debug_validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "already a primary")]
+    fn duplicate_primary_panics() {
+        let mut l = LinkUsage::new(k(1_000));
+        l.add_primary(cid(1), k(100));
+        l.add_primary(cid(1), k(100));
+    }
+
+    #[test]
+    #[should_panic(expected = "was not a primary")]
+    fn removing_absent_primary_panics() {
+        let mut l = LinkUsage::new(k(1_000));
+        l.remove_primary(cid(1), k(100));
+    }
+
+    #[test]
+    fn extras_add_and_remove() {
+        let mut l = LinkUsage::new(k(1_000));
+        l.add_primary(cid(1), k(100));
+        l.add_extra(k(50));
+        l.add_extra(k(50));
+        assert_eq!(l.extra_sum(), k(100));
+        assert_eq!(l.committed(), k(200));
+        assert_eq!(l.headroom(), k(800));
+        l.remove_extra(k(100));
+        assert_eq!(l.extra_sum(), Bandwidth::ZERO);
+    }
+
+    #[test]
+    fn admission_counts_extras_as_reclaimable() {
+        let mut l = LinkUsage::new(k(300));
+        l.add_primary(cid(1), k(100));
+        l.add_extra(k(200)); // link fully used, but extras can retreat
+        assert!(l.can_admit_primary(k(200)));
+        assert!(!l.can_admit_primary(k(201)));
+    }
+
+    #[test]
+    fn backup_multiplexing_shares_reservation() {
+        // Two backups whose primaries are link-disjoint share reservation.
+        let mut l = LinkUsage::new(k(1_000));
+        l.add_backup(cid(1), k(100), &[lid(10), lid(11)]);
+        assert_eq!(l.backup_reservation(), k(100));
+        l.add_backup(cid(2), k(100), &[lid(20), lid(21)]);
+        // Disjoint primaries: still 100, not 200.
+        assert_eq!(l.backup_reservation(), k(100));
+        l.debug_validate();
+    }
+
+    #[test]
+    fn backup_conflict_adds_reservation() {
+        // Two backups whose primaries share link 10 must both survive a
+        // failure of link 10 → reservation is the sum.
+        let mut l = LinkUsage::new(k(1_000));
+        l.add_backup(cid(1), k(100), &[lid(10), lid(11)]);
+        l.add_backup(cid(2), k(150), &[lid(10)]);
+        assert_eq!(l.backup_reservation(), k(250));
+        l.debug_validate();
+    }
+
+    #[test]
+    fn backup_removal_restores_reservation() {
+        let mut l = LinkUsage::new(k(1_000));
+        l.add_backup(cid(1), k(100), &[lid(10)]);
+        l.add_backup(cid(2), k(150), &[lid(10)]);
+        l.remove_backup(cid(2), k(150), &[lid(10)]);
+        assert_eq!(l.backup_reservation(), k(100));
+        l.remove_backup(cid(1), k(100), &[lid(10)]);
+        assert_eq!(l.backup_reservation(), Bandwidth::ZERO);
+        assert!(l.conflict.is_empty());
+        l.debug_validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "was not a backup")]
+    fn removing_absent_backup_panics() {
+        let mut l = LinkUsage::new(k(1_000));
+        l.remove_backup(cid(9), k(100), &[lid(1)]);
+    }
+
+    #[test]
+    fn prospective_reservation() {
+        let mut l = LinkUsage::new(k(1_000));
+        l.add_backup(cid(1), k(100), &[lid(10)]);
+        // Joining with a conflicting primary raises the worst case.
+        assert_eq!(l.reservation_if_backup_added(k(50), &[lid(10)]), k(150));
+        // Joining with a disjoint primary leaves the max unchanged.
+        assert_eq!(l.reservation_if_backup_added(k(50), &[lid(20)]), k(100));
+        // Empty link: reservation equals the newcomer's own share... via max.
+        let fresh = LinkUsage::new(k(1_000));
+        assert_eq!(fresh.reservation_if_backup_added(k(50), &[lid(3)]), k(50));
+    }
+
+    #[test]
+    fn can_admit_backup_respects_capacity() {
+        let mut l = LinkUsage::new(k(300));
+        l.add_primary(cid(1), k(100));
+        l.add_backup(cid(2), k(100), &[lid(10)]);
+        // A conflicting backup of 100 would need reservation 200 → total 300: fits.
+        assert!(l.can_admit_backup(k(100), &[lid(10)]));
+        // 150 would need 250 → total 350: rejected.
+        assert!(!l.can_admit_backup(k(150), &[lid(10)]));
+        // A disjoint backup of 100 shares the existing reservation: fits.
+        assert!(l.can_admit_backup(k(100), &[lid(99)]));
+    }
+
+    #[test]
+    fn down_link_admits_nothing() {
+        let mut l = LinkUsage::new(k(1_000));
+        l.set_up(false);
+        assert!(!l.is_up());
+        assert!(!l.can_admit_primary(k(1)));
+        assert!(!l.can_admit_backup(k(1), &[lid(0)]));
+    }
+
+    #[test]
+    fn overbooked_detection() {
+        let mut l = LinkUsage::new(k(150));
+        l.add_primary(cid(1), k(100));
+        assert!(!l.is_overbooked());
+        l.add_backup(cid(2), k(100), &[lid(10)]);
+        // Hard committed 200 > capacity 150 — the manager never creates
+        // this in failure-free operation, but activation bursts can.
+        assert!(l.is_overbooked());
+    }
+}

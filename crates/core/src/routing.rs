@@ -1,0 +1,491 @@
+//! Route selection for DR-connections.
+//!
+//! The paper's network floods connection requests within a bounded region;
+//! the destination confirms the first-arriving copy (fewest hops, best
+//! bandwidth allowance on ties) as the primary route and a later,
+//! link-disjoint copy as the backup route (Section 3.1).
+//!
+//! Simulating per-message flood traffic would add nothing to the paper's
+//! evaluation (which measures bandwidth, not signalling), so
+//! [`flood_path`] emulates the *outcome* of bounded flooding: a
+//! fewest-hops search that maximizes the bottleneck bandwidth allowance
+//! among equal-hop routes, truncated at the flooding bound. Two
+//! alternatives are provided for comparison benches:
+//!
+//! * [`RouterKind::Shortest`] — plain BFS, no allowance tie-break (a
+//!   cheaper, less informed baseline);
+//! * [`RouterKind::SuurballePair`] — jointly optimal link-disjoint pair via
+//!   Suurballe's algorithm, falling back to two-phase search when the
+//!   backup's multiplexed reservation does not fit on the optimal pair.
+
+use crate::qos::Bandwidth;
+use drqos_topology::graph::{Graph, LinkId, NodeId};
+use drqos_topology::paths::{bfs_path, LinkFilter, Path};
+use std::collections::HashSet;
+
+/// The route-selection strategy of a network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouterKind {
+    /// Emulated bounded flooding (the paper's scheme). `hop_slack` is how
+    /// many hops beyond the primary's length the flood region extends; a
+    /// backup is only found if a disjoint route exists within
+    /// `primary_hops + hop_slack`.
+    BoundedFlooding {
+        /// Extra hops allowed for the backup beyond the primary's length.
+        hop_slack: usize,
+    },
+    /// Fewest-hops primary, fewest-hops disjoint backup, no bandwidth
+    /// tie-break and no flooding bound.
+    Shortest,
+    /// Minimum-total-hops link-disjoint pair (Suurballe), with two-phase
+    /// fallback when backup reservations do not fit on the optimal pair.
+    SuurballePair,
+}
+
+impl Default for RouterKind {
+    fn default() -> Self {
+        RouterKind::BoundedFlooding { hop_slack: 2 }
+    }
+}
+
+/// How strictly a backup must avoid its primary's links.
+///
+/// The paper's dependability QoS asks for a backup "which may be totally
+/// link-disjoint or *maximally* link-disjoint from its corresponding
+/// primary channel, if there does not exist any link-disjoint backup path
+/// between the source and destination" (footnote 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum BackupDisjointness {
+    /// Reject the connection when no fully link-disjoint backup exists.
+    Strict,
+    /// Fall back to the feasible backup sharing the fewest links with the
+    /// primary (a backup identical to the primary is still rejected — it
+    /// would add no dependability at all).
+    #[default]
+    MaximallyDisjoint,
+}
+
+/// Fewest-hops path from `src` to `dst` using only links accepted by
+/// `filter`, maximizing the minimum `allowance` along the path among
+/// equal-hop candidates, and discarding paths longer than `hop_bound`.
+///
+/// This reproduces what bounded flooding converges to: the first request
+/// copy to arrive took a fewest-hops route, and among simultaneous arrivals
+/// the destination keeps the copy with the best bandwidth allowance.
+///
+/// Returns `None` if `dst` is unreachable within the bound.
+///
+/// # Panics
+///
+/// Panics if `src` or `dst` is not a node of `graph`.
+pub fn flood_path(
+    graph: &Graph,
+    src: NodeId,
+    dst: NodeId,
+    hop_bound: usize,
+    filter: &LinkFilter,
+    allowance: &dyn Fn(LinkId) -> Bandwidth,
+) -> Option<Path> {
+    assert!(graph.contains_node(src) && graph.contains_node(dst));
+    if src == dst {
+        return Path::from_nodes(graph, vec![src]).ok();
+    }
+    let n = graph.node_count();
+    // Per node: (hop level discovered, best bottleneck, parent).
+    let mut hops = vec![usize::MAX; n];
+    let mut bottleneck = vec![Bandwidth::ZERO; n];
+    let mut parent = vec![NodeId(usize::MAX); n];
+    hops[src.0] = 0;
+    bottleneck[src.0] = Bandwidth::kbps(u64::MAX);
+    let mut frontier = vec![src];
+    for level in 0..hop_bound {
+        if frontier.is_empty() {
+            break;
+        }
+        let mut next: Vec<NodeId> = Vec::new();
+        for &u in &frontier {
+            for &(v, l) in graph.neighbors(u) {
+                if !filter(l) {
+                    continue;
+                }
+                let cand = bottleneck[u.0].min(allowance(l));
+                if hops[v.0] == usize::MAX {
+                    hops[v.0] = level + 1;
+                    bottleneck[v.0] = cand;
+                    parent[v.0] = u;
+                    next.push(v);
+                } else if hops[v.0] == level + 1 && cand > bottleneck[v.0] {
+                    // Same-layer improvement: a simultaneous request copy
+                    // with a better allowance.
+                    bottleneck[v.0] = cand;
+                    parent[v.0] = u;
+                }
+            }
+        }
+        if hops[dst.0] != usize::MAX {
+            // Finish updating this layer (done above), then reconstruct.
+            break;
+        }
+        frontier = next;
+    }
+    if hops[dst.0] == usize::MAX {
+        return None;
+    }
+    let mut nodes = vec![dst];
+    let mut cur = dst;
+    while cur != src {
+        cur = parent[cur.0];
+        nodes.push(cur);
+    }
+    nodes.reverse();
+    Path::from_nodes(graph, nodes).ok()
+}
+
+/// Routes a primary channel according to `kind`.
+///
+/// `filter` encodes per-link admission feasibility and `allowance` the
+/// spare bandwidth used for flooding tie-breaks.
+pub fn route_primary(
+    kind: RouterKind,
+    graph: &Graph,
+    src: NodeId,
+    dst: NodeId,
+    filter: &LinkFilter,
+    allowance: &dyn Fn(LinkId) -> Bandwidth,
+) -> Option<Path> {
+    match kind {
+        RouterKind::BoundedFlooding { .. } => {
+            flood_path(graph, src, dst, graph.node_count(), filter, allowance)
+        }
+        RouterKind::Shortest | RouterKind::SuurballePair => bfs_path(graph, src, dst, filter),
+    }
+}
+
+/// Routes a backup channel, link-disjoint from `primary`, according to
+/// `kind`.
+///
+/// `filter` must already encode backup-specific feasibility (multiplexed
+/// reservation headroom); this function additionally excludes the primary's
+/// links and, for bounded flooding, enforces the flooding bound.
+pub fn route_backup(
+    kind: RouterKind,
+    graph: &Graph,
+    primary: &Path,
+    disjointness: BackupDisjointness,
+    filter: &LinkFilter,
+    allowance: &dyn Fn(LinkId) -> Bandwidth,
+) -> Option<Path> {
+    let primary_links: HashSet<LinkId> = primary.links().iter().copied().collect();
+    let disjoint_filter = |l: LinkId| !primary_links.contains(&l) && filter(l);
+    let (src, dst) = (primary.source(), primary.destination());
+    let strict = match kind {
+        RouterKind::BoundedFlooding { hop_slack } => {
+            let bound = primary.hop_count().saturating_add(hop_slack);
+            flood_path(graph, src, dst, bound, &disjoint_filter, allowance)
+        }
+        RouterKind::Shortest | RouterKind::SuurballePair => {
+            bfs_path(graph, src, dst, &disjoint_filter)
+        }
+    };
+    if strict.is_some() || disjointness == BackupDisjointness::Strict {
+        return strict;
+    }
+    // Maximally-disjoint fallback: minimize (shared links, then hops) with
+    // a lexicographic weight. Any feasible link may be used.
+    const SHARE_PENALTY: f64 = 65_536.0; // far above any hop count
+    let weight = |l: LinkId| {
+        if primary_links.contains(&l) {
+            1.0 + SHARE_PENALTY
+        } else {
+            1.0
+        }
+    };
+    let candidate = drqos_topology::paths::dijkstra_path(graph, src, dst, &weight, filter)?;
+    // A backup that *is* the primary protects nothing.
+    if candidate.links().iter().all(|l| primary_links.contains(l))
+    {
+        return None;
+    }
+    Some(candidate)
+}
+
+/// Number of links `backup` shares with `primary`.
+pub fn shared_links(primary: &Path, backup: &Path) -> usize {
+    let primary_links: HashSet<LinkId> = primary.links().iter().copied().collect();
+    backup
+        .links()
+        .iter()
+        .filter(|l| primary_links.contains(l))
+        .count()
+}
+
+/// For [`RouterKind::SuurballePair`]: the jointly optimal link-disjoint
+/// pair under the *primary* feasibility filter. The caller must still
+/// verify the second path against backup feasibility and fall back to
+/// [`route_backup`] if it does not fit.
+pub fn route_pair(
+    graph: &Graph,
+    src: NodeId,
+    dst: NodeId,
+    filter: &LinkFilter,
+) -> Option<(Path, Path)> {
+    drqos_topology::disjoint::suurballe(graph, src, dst, filter)
+        .map(|pair| (pair.first, pair.second))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drqos_topology::paths::pass_all;
+    use drqos_topology::regular;
+
+    fn no_allowance_bias(_: LinkId) -> Bandwidth {
+        Bandwidth::kbps(1_000)
+    }
+
+    /// 0-1-2-3 line plus 0-4-3 detour (2 hops).
+    fn diamond() -> Graph {
+        let mut g = Graph::with_nodes(5);
+        for (a, b) in [(0, 1), (1, 2), (2, 3), (0, 4), (4, 3)] {
+            g.add_link(NodeId(a), NodeId(b)).unwrap();
+        }
+        g
+    }
+
+    #[test]
+    fn flood_finds_fewest_hops() {
+        let g = diamond();
+        let p = flood_path(
+            &g,
+            NodeId(0),
+            NodeId(3),
+            10,
+            &pass_all,
+            &no_allowance_bias,
+        )
+        .unwrap();
+        assert_eq!(p.hop_count(), 2);
+    }
+
+    #[test]
+    fn flood_breaks_ties_by_allowance() {
+        // Two 2-hop routes 0-1-3 and 0-2-3; make the second fatter.
+        let mut g = Graph::with_nodes(4);
+        let l01 = g.add_link(NodeId(0), NodeId(1)).unwrap();
+        g.add_link(NodeId(1), NodeId(3)).unwrap();
+        g.add_link(NodeId(0), NodeId(2)).unwrap();
+        g.add_link(NodeId(2), NodeId(3)).unwrap();
+        let allowance = |l: LinkId| {
+            if l == l01 {
+                Bandwidth::kbps(10)
+            } else {
+                Bandwidth::kbps(100)
+            }
+        };
+        let p = flood_path(&g, NodeId(0), NodeId(3), 10, &pass_all, &allowance).unwrap();
+        assert_eq!(p.nodes()[1], NodeId(2), "should avoid the thin link");
+    }
+
+    #[test]
+    fn flood_respects_hop_bound() {
+        let g = regular::grid(1, 5).unwrap(); // line 0-1-2-3-4
+        assert!(flood_path(&g, NodeId(0), NodeId(4), 3, &pass_all, &no_allowance_bias).is_none());
+        assert!(flood_path(&g, NodeId(0), NodeId(4), 4, &pass_all, &no_allowance_bias).is_some());
+    }
+
+    #[test]
+    fn flood_respects_filter() {
+        let g = diamond();
+        let l04 = g.link_between(NodeId(0), NodeId(4)).unwrap();
+        let p = flood_path(
+            &g,
+            NodeId(0),
+            NodeId(3),
+            10,
+            &|l| l != l04,
+            &no_allowance_bias,
+        )
+        .unwrap();
+        assert_eq!(p.hop_count(), 3);
+    }
+
+    #[test]
+    fn flood_src_equals_dst() {
+        let g = diamond();
+        let p = flood_path(
+            &g,
+            NodeId(1),
+            NodeId(1),
+            10,
+            &pass_all,
+            &no_allowance_bias,
+        )
+        .unwrap();
+        assert_eq!(p.hop_count(), 0);
+    }
+
+    #[test]
+    fn backup_is_disjoint() {
+        let g = regular::ring(6).unwrap();
+        for kind in [
+            RouterKind::default(),
+            RouterKind::Shortest,
+            RouterKind::SuurballePair,
+        ] {
+            let p = route_primary(
+                kind,
+                &g,
+                NodeId(0),
+                NodeId(3),
+                &pass_all,
+                &no_allowance_bias,
+            )
+            .unwrap();
+            let b = route_backup(
+                kind,
+                &g,
+                &p,
+                BackupDisjointness::Strict,
+                &pass_all,
+                &no_allowance_bias,
+            )
+            .unwrap();
+            assert!(p.is_link_disjoint(&b), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn flooding_hop_slack_limits_backup() {
+        // Primary on the diamond is 2 hops; the only disjoint route is 3
+        // hops, needing slack ≥ 1.
+        let g = diamond();
+        let kind0 = RouterKind::BoundedFlooding { hop_slack: 0 };
+        let kind1 = RouterKind::BoundedFlooding { hop_slack: 1 };
+        let p = route_primary(
+            kind0,
+            &g,
+            NodeId(0),
+            NodeId(3),
+            &pass_all,
+            &no_allowance_bias,
+        )
+        .unwrap();
+        assert_eq!(p.hop_count(), 2);
+        assert!(route_backup(
+            kind0,
+            &g,
+            &p,
+            BackupDisjointness::Strict,
+            &pass_all,
+            &no_allowance_bias
+        )
+        .is_none());
+        assert!(route_backup(
+            kind1,
+            &g,
+            &p,
+            BackupDisjointness::Strict,
+            &pass_all,
+            &no_allowance_bias
+        )
+        .is_some());
+    }
+
+    #[test]
+    fn maximal_fallback_minimizes_overlap() {
+        // A "lollipop": leaf 0 — 1, then a 1-2-3-4-1 cycle. Every path
+        // from 0 must use link 0-1, so no strict backup exists for 0→3,
+        // but a maximally-disjoint one shares only that first link.
+        let mut g = Graph::with_nodes(5);
+        for (a, b) in [(0, 1), (1, 2), (2, 3), (3, 4), (4, 1)] {
+            g.add_link(NodeId(a), NodeId(b)).unwrap();
+        }
+        let kind = RouterKind::default();
+        let p = route_primary(
+            kind,
+            &g,
+            NodeId(0),
+            NodeId(3),
+            &pass_all,
+            &no_allowance_bias,
+        )
+        .unwrap();
+        assert!(route_backup(
+            kind,
+            &g,
+            &p,
+            BackupDisjointness::Strict,
+            &pass_all,
+            &no_allowance_bias
+        )
+        .is_none());
+        let b = route_backup(
+            kind,
+            &g,
+            &p,
+            BackupDisjointness::MaximallyDisjoint,
+            &pass_all,
+            &no_allowance_bias,
+        )
+        .unwrap();
+        assert_eq!(shared_links(&p, &b), 1, "only the leaf link is shared");
+        assert_ne!(p, b);
+    }
+
+    #[test]
+    fn maximal_fallback_rejects_identical_backup() {
+        // On a line the only path is the primary itself.
+        let g = regular::grid(1, 3).unwrap();
+        let kind = RouterKind::default();
+        let p = route_primary(
+            kind,
+            &g,
+            NodeId(0),
+            NodeId(2),
+            &pass_all,
+            &no_allowance_bias,
+        )
+        .unwrap();
+        assert!(route_backup(
+            kind,
+            &g,
+            &p,
+            BackupDisjointness::MaximallyDisjoint,
+            &pass_all,
+            &no_allowance_bias
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn shared_links_counts() {
+        let g = diamond();
+        let a = Path::from_nodes(&g, vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]).unwrap();
+        let b = Path::from_nodes(&g, vec![NodeId(0), NodeId(4), NodeId(3)]).unwrap();
+        let c = Path::from_nodes(&g, vec![NodeId(0), NodeId(1), NodeId(2)]).unwrap();
+        assert_eq!(shared_links(&a, &b), 0);
+        assert_eq!(shared_links(&a, &c), 2);
+    }
+
+    #[test]
+    fn route_pair_on_ring() {
+        let g = regular::ring(6).unwrap();
+        let (a, b) = route_pair(&g, NodeId(0), NodeId(3), &pass_all).unwrap();
+        assert!(a.is_link_disjoint(&b));
+        assert_eq!(a.hop_count() + b.hop_count(), 6);
+    }
+
+    #[test]
+    fn route_pair_none_on_line() {
+        let g = regular::grid(1, 3).unwrap();
+        assert!(route_pair(&g, NodeId(0), NodeId(2), &pass_all).is_none());
+    }
+
+    #[test]
+    fn default_router_is_flooding_with_slack_2() {
+        assert_eq!(
+            RouterKind::default(),
+            RouterKind::BoundedFlooding { hop_slack: 2 }
+        );
+    }
+}

@@ -1,0 +1,215 @@
+//! Discrete-time Markov chains (DTMCs).
+//!
+//! Used for the embedded jump chain of a CTMC and as an independent
+//! cross-check of the continuous-time solvers.
+
+use crate::ctmc::Ctmc;
+use crate::error::MarkovError;
+use crate::linalg::{self, Matrix};
+
+/// A discrete-time Markov chain with a row-stochastic transition matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dtmc {
+    p: Matrix,
+}
+
+impl Dtmc {
+    /// Creates a DTMC from a transition matrix.
+    ///
+    /// # Errors
+    ///
+    /// * [`MarkovError::DimensionMismatch`] if the matrix is not square.
+    /// * [`MarkovError::InvalidRate`] if any entry is negative or
+    ///   non-finite.
+    /// * [`MarkovError::NotStochastic`] if a row does not sum to 1 (within
+    ///   `1e-9`).
+    pub fn new(p: Matrix) -> Result<Self, MarkovError> {
+        if p.rows() != p.cols() {
+            return Err(MarkovError::DimensionMismatch {
+                expected: p.rows(),
+                actual: p.cols(),
+            });
+        }
+        for i in 0..p.rows() {
+            let mut sum = 0.0;
+            for j in 0..p.cols() {
+                let v = p[(i, j)];
+                if !v.is_finite() || v < 0.0 {
+                    return Err(MarkovError::InvalidRate {
+                        from: i,
+                        to: j,
+                        value: v,
+                    });
+                }
+                sum += v;
+            }
+            if (sum - 1.0).abs() > 1e-9 {
+                return Err(MarkovError::NotStochastic { row: i, sum });
+            }
+        }
+        Ok(Self { p })
+    }
+
+    /// The embedded jump chain of a CTMC: `P[i][j] = q(i,j) / Σ_k q(i,k)`.
+    /// Absorbing CTMC states (zero total rate) become self-loops.
+    pub fn embedded(ctmc: &Ctmc) -> Self {
+        let n = ctmc.n_states();
+        let mut p = Matrix::zeros(n, n);
+        for i in 0..n {
+            let total = ctmc.total_rate(i);
+            if total == 0.0 {
+                p[(i, i)] = 1.0;
+            } else {
+                for j in 0..n {
+                    if i != j {
+                        p[(i, j)] = ctmc.rate(i, j) / total;
+                    }
+                }
+            }
+        }
+        Self { p }
+    }
+
+    /// Number of states.
+    pub fn n_states(&self) -> usize {
+        self.p.rows()
+    }
+
+    /// The transition probability `i → j`.
+    pub fn prob(&self, i: usize, j: usize) -> f64 {
+        self.p[(i, j)]
+    }
+
+    /// One step of the chain: `π' = π P`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MarkovError::DimensionMismatch`] on a wrong-length vector.
+    pub fn step(&self, pi: &[f64]) -> Result<Vec<f64>, MarkovError> {
+        self.p.vec_mul(pi)
+    }
+
+    /// Stationary distribution by power iteration.
+    ///
+    /// For periodic chains, iterates on the lazy chain `(P + I)/2`, which
+    /// has the same stationary vector and always converges when the chain
+    /// is irreducible.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MarkovError::NoConvergence`] if `tol` is not reached in
+    /// `max_iter` steps.
+    pub fn steady_state(&self, tol: f64, max_iter: usize) -> Result<Vec<f64>, MarkovError> {
+        let n = self.n_states();
+        let mut pi = vec![1.0 / n as f64; n];
+        let mut residual = f64::INFINITY;
+        for _ in 0..max_iter {
+            let stepped = self.step(&pi)?;
+            let next: Vec<f64> = stepped
+                .iter()
+                .zip(&pi)
+                .map(|(s, p)| 0.5 * (s + p))
+                .collect();
+            residual = linalg::max_abs_diff(&next, &pi);
+            pi = next;
+            if residual < tol {
+                linalg::normalize_l1(&mut pi)?;
+                return Ok(pi);
+            }
+        }
+        Err(MarkovError::NoConvergence {
+            iterations: max_iter,
+            residual,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctmc::CtmcBuilder;
+
+    fn flip_flop(p01: f64, p10: f64) -> Dtmc {
+        Dtmc::new(Matrix::from_rows(&[
+            vec![1.0 - p01, p01],
+            vec![p10, 1.0 - p10],
+        ]))
+        .unwrap()
+    }
+
+    #[test]
+    fn validates_rows() {
+        let bad = Matrix::from_rows(&[vec![0.5, 0.4], vec![0.5, 0.5]]);
+        assert!(matches!(
+            Dtmc::new(bad),
+            Err(MarkovError::NotStochastic { row: 0, .. })
+        ));
+        let neg = Matrix::from_rows(&[vec![1.5, -0.5], vec![0.5, 0.5]]);
+        assert!(matches!(Dtmc::new(neg), Err(MarkovError::InvalidRate { .. })));
+        let rect = Matrix::zeros(2, 3);
+        assert!(Dtmc::new(rect).is_err());
+    }
+
+    #[test]
+    fn step_moves_mass() {
+        let d = flip_flop(1.0, 1.0);
+        assert_eq!(d.step(&[1.0, 0.0]).unwrap(), vec![0.0, 1.0]);
+    }
+
+    #[test]
+    fn steady_state_flip_flop() {
+        let d = flip_flop(0.3, 0.1);
+        let pi = d.steady_state(1e-13, 1_000_000).unwrap();
+        // π0·0.3 = π1·0.1 → π = (0.25, 0.75).
+        assert!((pi[0] - 0.25).abs() < 1e-8);
+        assert!((pi[1] - 0.75).abs() < 1e-8);
+    }
+
+    #[test]
+    fn periodic_chain_converges_via_lazy_iteration() {
+        let d = flip_flop(1.0, 1.0); // period 2
+        let pi = d.steady_state(1e-12, 100_000).unwrap();
+        assert!((pi[0] - 0.5).abs() < 1e-8);
+    }
+
+    #[test]
+    fn embedded_chain_of_ctmc() {
+        let c = CtmcBuilder::new(3)
+            .rate(0, 1, 1.0)
+            .unwrap()
+            .rate(0, 2, 3.0)
+            .unwrap()
+            .rate(1, 0, 5.0)
+            .unwrap()
+            .rate(2, 0, 5.0)
+            .unwrap()
+            .build()
+            .unwrap();
+        let d = Dtmc::embedded(&c);
+        assert!((d.prob(0, 1) - 0.25).abs() < 1e-12);
+        assert!((d.prob(0, 2) - 0.75).abs() < 1e-12);
+        assert_eq!(d.prob(1, 0), 1.0);
+    }
+
+    #[test]
+    fn embedded_absorbing_state_self_loops() {
+        let c = CtmcBuilder::new(2)
+            .rate(0, 1, 1.0)
+            .unwrap()
+            .build()
+            .unwrap();
+        let d = Dtmc::embedded(&c);
+        assert_eq!(d.prob(1, 1), 1.0);
+    }
+
+    #[test]
+    fn no_convergence_error() {
+        // Start (uniform) is far from the stationary vector (0.25, 0.75),
+        // so two lazy iterations cannot reach the impossible tolerance.
+        let d = flip_flop(0.3, 0.1);
+        assert!(matches!(
+            d.steady_state(1e-30, 2),
+            Err(MarkovError::NoConvergence { .. })
+        ));
+    }
+}

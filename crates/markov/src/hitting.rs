@@ -1,0 +1,235 @@
+//! Mean first-passage (hitting) times for CTMCs.
+//!
+//! For the elastic-QoS chain this answers planning questions the
+//! steady-state view cannot: *how long, on average, until a channel that
+//! just retreated to its minimum climbs back to full quality?*
+//!
+//! For a target set `T`, the expected hitting times `h_i` solve
+//!
+//! ```text
+//! h_i = 0                          for i ∈ T
+//! Σ_j q_ij (h_j − h_i) = −1        for i ∉ T
+//! ```
+//!
+//! States that cannot reach `T` get `h_i = ∞`.
+
+use crate::ctmc::Ctmc;
+use crate::error::MarkovError;
+use crate::linalg::Matrix;
+
+/// Computes the expected time to first reach any state in `targets`,
+/// from every state.
+///
+/// Returns a vector indexed by state: `0.0` for targets, `f64::INFINITY`
+/// for states that cannot reach the target set.
+///
+/// # Errors
+///
+/// * [`MarkovError::Empty`] if `targets` is empty.
+/// * [`MarkovError::InvalidState`] if a target index is out of range.
+/// * [`MarkovError::Singular`] if the restricted system is numerically
+///   singular (should not occur for valid chains).
+pub fn mean_hitting_times(ctmc: &Ctmc, targets: &[usize]) -> Result<Vec<f64>, MarkovError> {
+    let n = ctmc.n_states();
+    if targets.is_empty() {
+        return Err(MarkovError::Empty);
+    }
+    let mut is_target = vec![false; n];
+    for &t in targets {
+        if t >= n {
+            return Err(MarkovError::InvalidState(t));
+        }
+        is_target[t] = true;
+    }
+    // Which states can reach the target set? Reverse reachability.
+    let mut can_reach = is_target.clone();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for i in 0..n {
+            if can_reach[i] {
+                continue;
+            }
+            if (0..n).any(|j| ctmc.rate(i, j) > 0.0 && can_reach[j]) {
+                can_reach[i] = true;
+                changed = true;
+            }
+        }
+    }
+    let mut result = vec![f64::INFINITY; n];
+    for &t in targets {
+        result[t] = 0.0;
+    }
+    // A non-target state has a *finite* mean only if every positive-rate
+    // path from it stays within states that themselves reach the targets
+    // with probability one: any positive-rate escape towards a state with
+    // infinite mean makes the expectation infinite. Compute the largest
+    // self-consistent finite set by iterating to a fixed point.
+    let mut finite: Vec<usize> = (0..n)
+        .filter(|&i| !is_target[i] && can_reach[i])
+        .collect();
+    loop {
+        let mut allowed = is_target.clone();
+        for &i in &finite {
+            allowed[i] = true;
+        }
+        let before = finite.len();
+        finite.retain(|&i| (0..n).all(|j| ctmc.rate(i, j) == 0.0 || allowed[j]));
+        if finite.len() == before {
+            break;
+        }
+    }
+    if finite.is_empty() {
+        return Ok(result);
+    }
+    // Solve A·h = −1 over the finite set, where A is the generator
+    // restricted to those states (rates into targets contribute h = 0).
+    let m = finite.len();
+    let mut index = vec![usize::MAX; n];
+    for (k, &i) in finite.iter().enumerate() {
+        index[i] = k;
+    }
+    let mut a = Matrix::zeros(m, m);
+    let b = vec![-1.0; m];
+    for (k, &i) in finite.iter().enumerate() {
+        a[(k, k)] = -ctmc.total_rate(i);
+        for j in 0..n {
+            if j != i && ctmc.rate(i, j) > 0.0 && !is_target[j] {
+                let l = index[j];
+                debug_assert_ne!(l, usize::MAX, "finite set is closed");
+                a[(k, l)] += ctmc.rate(i, j);
+            }
+        }
+    }
+    let h = a.solve(&b)?;
+    for (k, &i) in finite.iter().enumerate() {
+        result[i] = h[k];
+    }
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctmc::CtmcBuilder;
+
+    #[test]
+    fn single_exponential_step() {
+        // 0 → 1 at rate 2: mean hitting time of {1} from 0 is 1/2.
+        let c = CtmcBuilder::new(2)
+            .rate(0, 1, 2.0)
+            .unwrap()
+            .build()
+            .unwrap();
+        let h = mean_hitting_times(&c, &[1]).unwrap();
+        assert!((h[0] - 0.5).abs() < 1e-12);
+        assert_eq!(h[1], 0.0);
+    }
+
+    #[test]
+    fn birth_chain_sums_stage_means() {
+        // 0 → 1 → 2 with rates 1 and 4: h_0 = 1 + 1/4.
+        let c = CtmcBuilder::new(3)
+            .rate(0, 1, 1.0)
+            .unwrap()
+            .rate(1, 2, 4.0)
+            .unwrap()
+            .build()
+            .unwrap();
+        let h = mean_hitting_times(&c, &[2]).unwrap();
+        assert!((h[0] - 1.25).abs() < 1e-12);
+        assert!((h[1] - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unreachable_target_is_infinite() {
+        // 1 has no outgoing rate; target {0} unreachable from 1.
+        let c = CtmcBuilder::new(2)
+            .rate(0, 1, 1.0)
+            .unwrap()
+            .build()
+            .unwrap();
+        let h = mean_hitting_times(&c, &[0]).unwrap();
+        assert_eq!(h[0], 0.0);
+        assert!(h[1].is_infinite());
+    }
+
+    #[test]
+    fn escape_route_makes_mean_infinite() {
+        // 0 → 1 (target) at rate 1, but also 0 → 2 (absorbing dead end).
+        // With probability 1/2 the chain never reaches 1: mean is ∞.
+        let c = CtmcBuilder::new(3)
+            .rate(0, 1, 1.0)
+            .unwrap()
+            .rate(0, 2, 1.0)
+            .unwrap()
+            .build()
+            .unwrap();
+        let h = mean_hitting_times(&c, &[1]).unwrap();
+        assert!(h[0].is_infinite());
+        assert!(h[2].is_infinite());
+    }
+
+    #[test]
+    fn two_state_round_trip() {
+        // 0 ↔ 1 with rates a=3 (0→1), b=1 (1→0): h_{0→1} = 1/3.
+        let c = CtmcBuilder::new(2)
+            .rate(0, 1, 3.0)
+            .unwrap()
+            .rate(1, 0, 1.0)
+            .unwrap()
+            .build()
+            .unwrap();
+        let h = mean_hitting_times(&c, &[1]).unwrap();
+        assert!((h[0] - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn detour_chain_matches_first_step_analysis() {
+        // 0 → 1 at rate 1; 1 → 2 at rate 1; 1 → 0 at rate 1. Target {2}.
+        // First-step: h1 = 1/2 + (1/2)h0; h0 = 1 + h1 → h0 = 1 + 1/2 + h0/2
+        // → h0 = 3, h1 = 2.
+        let c = CtmcBuilder::new(3)
+            .rate(0, 1, 1.0)
+            .unwrap()
+            .rate(1, 2, 1.0)
+            .unwrap()
+            .rate(1, 0, 1.0)
+            .unwrap()
+            .build()
+            .unwrap();
+        let h = mean_hitting_times(&c, &[2]).unwrap();
+        assert!((h[0] - 3.0).abs() < 1e-12, "{h:?}");
+        assert!((h[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn input_validation() {
+        let c = CtmcBuilder::new(2)
+            .rate(0, 1, 1.0)
+            .unwrap()
+            .build()
+            .unwrap();
+        assert_eq!(mean_hitting_times(&c, &[]), Err(MarkovError::Empty));
+        assert_eq!(
+            mean_hitting_times(&c, &[5]),
+            Err(MarkovError::InvalidState(5))
+        );
+    }
+
+    #[test]
+    fn multiple_targets_take_nearest() {
+        // 0 → 1 → 2, targets {1, 2}: from 0 the chain stops at 1.
+        let c = CtmcBuilder::new(3)
+            .rate(0, 1, 2.0)
+            .unwrap()
+            .rate(1, 2, 1.0)
+            .unwrap()
+            .build()
+            .unwrap();
+        let h = mean_hitting_times(&c, &[1, 2]).unwrap();
+        assert!((h[0] - 0.5).abs() < 1e-12);
+        assert_eq!(h[1], 0.0);
+        assert_eq!(h[2], 0.0);
+    }
+}

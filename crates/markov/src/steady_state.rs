@@ -1,0 +1,466 @@
+//! Steady-state (stationary) solvers for CTMCs.
+//!
+//! The paper solves its Markov model with the SHARPE package; this module is
+//! the in-repo replacement. Three independent algorithms are provided and
+//! cross-checked in the tests:
+//!
+//! * [`gth`] — Grassmann–Taksar–Heyman elimination. Subtraction-free, hence
+//!   numerically robust even for stiff chains; the default.
+//! * [`power`] — power iteration on the uniformized chain.
+//! * [`linear`] — direct LU solve of `πQ = 0, Σπ = 1`.
+//!
+//! [`solve`] is the front door: it handles chains with transient states by
+//! restricting to the unique closed recurrent class (a situation that
+//! arises with *measured* transition probabilities — e.g. at light load a
+//! channel is never observed below the top bandwidth level).
+
+use crate::ctmc::Ctmc;
+use crate::error::MarkovError;
+use crate::linalg::{self, Matrix};
+
+/// A stationary distribution together with convenience accessors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SteadyState {
+    probs: Vec<f64>,
+}
+
+impl SteadyState {
+    /// Wraps a probability vector (internal; produced by the solvers).
+    fn new(probs: Vec<f64>) -> Self {
+        Self { probs }
+    }
+
+    /// The stationary probabilities, indexed by state.
+    pub fn probs(&self) -> &[f64] {
+        &self.probs
+    }
+
+    /// The probability of `state`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is out of range.
+    pub fn prob(&self, state: usize) -> f64 {
+        self.probs[state]
+    }
+
+    /// The expectation of a state-indexed quantity:
+    /// `Σ_i π_i · value(i)`.
+    ///
+    /// This is how the paper derives the *average bandwidth reserved* from
+    /// the stationary distribution of bandwidth levels.
+    pub fn expectation(&self, value: impl Fn(usize) -> f64) -> f64 {
+        self.probs
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| p * value(i))
+            .sum()
+    }
+
+    /// Number of states.
+    pub fn len(&self) -> usize {
+        self.probs.len()
+    }
+
+    /// Whether the distribution is over zero states (never true for a
+    /// solver-produced value).
+    pub fn is_empty(&self) -> bool {
+        self.probs.is_empty()
+    }
+}
+
+/// GTH (Grassmann–Taksar–Heyman) elimination.
+///
+/// # Errors
+///
+/// Returns [`MarkovError::NotIrreducible`] if the chain is not irreducible
+/// (use [`solve`] for chains with transient states).
+pub fn gth(ctmc: &Ctmc) -> Result<SteadyState, MarkovError> {
+    if !ctmc.is_irreducible() {
+        return Err(MarkovError::NotIrreducible);
+    }
+    let n = ctmc.n_states();
+    if n == 1 {
+        return Ok(SteadyState::new(vec![1.0]));
+    }
+    // Work on a dense copy of the off-diagonal rates.
+    let mut q = vec![0.0; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                q[i * n + j] = ctmc.rate(i, j);
+            }
+        }
+    }
+    // Elimination from the last state down to state 1, remembering each
+    // eliminated row's outflow sum for the back substitution.
+    let mut row_sums = vec![0.0; n];
+    for k in (1..n).rev() {
+        let s: f64 = (0..k).map(|j| q[k * n + j]).sum();
+        debug_assert!(s > 0.0, "irreducible chain keeps positive row sums");
+        row_sums[k] = s;
+        for j in 0..k {
+            q[k * n + j] /= s;
+        }
+        for i in 0..k {
+            let qik = q[i * n + k];
+            if qik == 0.0 {
+                continue;
+            }
+            for j in 0..k {
+                if i != j {
+                    q[i * n + j] += qik * q[k * n + j];
+                }
+            }
+        }
+    }
+    // Back substitution: π_k = (Σ_{i<k} π_i q_ik) / S_k.
+    let mut pi = vec![0.0; n];
+    pi[0] = 1.0;
+    for k in 1..n {
+        pi[k] = (0..k).map(|i| pi[i] * q[i * n + k]).sum::<f64>() / row_sums[k];
+    }
+    linalg::normalize_l1(&mut pi)?;
+    Ok(SteadyState::new(pi))
+}
+
+/// Power iteration on the uniformized DTMC.
+///
+/// # Errors
+///
+/// * [`MarkovError::NotIrreducible`] if the chain is not irreducible.
+/// * [`MarkovError::NoConvergence`] if the residual stays above `tol`
+///   after `max_iter` sweeps.
+pub fn power(ctmc: &Ctmc, tol: f64, max_iter: usize) -> Result<SteadyState, MarkovError> {
+    if !ctmc.is_irreducible() {
+        return Err(MarkovError::NotIrreducible);
+    }
+    let n = ctmc.n_states();
+    if n == 1 {
+        return Ok(SteadyState::new(vec![1.0]));
+    }
+    let p = ctmc.uniformized();
+    let mut pi = vec![1.0 / n as f64; n];
+    let mut residual = f64::INFINITY;
+    for _ in 0..max_iter {
+        let next = p.vec_mul(&pi)?;
+        residual = linalg::max_abs_diff(&next, &pi);
+        pi = next;
+        if residual < tol {
+            linalg::normalize_l1(&mut pi)?;
+            return Ok(SteadyState::new(pi));
+        }
+    }
+    Err(MarkovError::NoConvergence {
+        iterations: max_iter,
+        residual,
+    })
+}
+
+/// Direct solve of the stationary equations `πQ = 0`, `Σ π = 1` by LU.
+///
+/// # Errors
+///
+/// * [`MarkovError::NotIrreducible`] if the chain is not irreducible.
+/// * [`MarkovError::Singular`] if elimination breaks down numerically.
+pub fn linear(ctmc: &Ctmc) -> Result<SteadyState, MarkovError> {
+    if !ctmc.is_irreducible() {
+        return Err(MarkovError::NotIrreducible);
+    }
+    let n = ctmc.n_states();
+    if n == 1 {
+        return Ok(SteadyState::new(vec![1.0]));
+    }
+    // Solve Qᵀ π = 0 with the last equation replaced by Σ π = 1.
+    let q = ctmc.generator();
+    let mut a = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..n {
+            a[(i, j)] = q[(j, i)];
+        }
+    }
+    for j in 0..n {
+        a[(n - 1, j)] = 1.0;
+    }
+    let mut b = vec![0.0; n];
+    b[n - 1] = 1.0;
+    let mut pi = a.solve(&b)?;
+    // Numerical noise can leave tiny negatives; clamp and renormalize.
+    for x in pi.iter_mut() {
+        if *x < 0.0 {
+            *x = 0.0;
+        }
+    }
+    linalg::normalize_l1(&mut pi)?;
+    Ok(SteadyState::new(pi))
+}
+
+/// Gauss–Seidel iteration for the stationary equations.
+///
+/// # Errors
+///
+/// * [`MarkovError::NotIrreducible`] if the chain is not irreducible.
+/// * [`MarkovError::NoConvergence`] if `tol` is not reached in `max_iter`
+///   sweeps.
+pub fn gauss_seidel(ctmc: &Ctmc, tol: f64, max_iter: usize) -> Result<SteadyState, MarkovError> {
+    if !ctmc.is_irreducible() {
+        return Err(MarkovError::NotIrreducible);
+    }
+    let n = ctmc.n_states();
+    if n == 1 {
+        return Ok(SteadyState::new(vec![1.0]));
+    }
+    // π_j · q_jj = −Σ_{i≠j} π_i q_ij, swept in place.
+    let q = ctmc.generator();
+    let mut pi = vec![1.0 / n as f64; n];
+    let mut residual = f64::INFINITY;
+    for _ in 0..max_iter {
+        residual = 0.0;
+        for j in 0..n {
+            let denom = q[(j, j)];
+            if denom == 0.0 {
+                return Err(MarkovError::Singular);
+            }
+            let num: f64 = (0..n)
+                .filter(|&i| i != j)
+                .map(|i| pi[i] * q[(i, j)])
+                .sum();
+            let new = -num / denom;
+            residual = residual.max((new - pi[j]).abs());
+            pi[j] = new;
+        }
+        if residual < tol {
+            linalg::normalize_l1(&mut pi)?;
+            return Ok(SteadyState::new(pi));
+        }
+    }
+    Err(MarkovError::NoConvergence {
+        iterations: max_iter,
+        residual,
+    })
+}
+
+/// The general entry point: solves chains that may contain transient
+/// states by restricting to the unique closed recurrent class (GTH on the
+/// restriction; transient states get probability zero).
+///
+/// # Errors
+///
+/// Returns [`MarkovError::NotIrreducible`] if the chain has multiple closed
+/// recurrent classes.
+pub fn solve(ctmc: &Ctmc) -> Result<SteadyState, MarkovError> {
+    if ctmc.is_irreducible() {
+        return gth(ctmc);
+    }
+    let class = ctmc.recurrent_class()?;
+    let restricted = ctmc.restrict(&class)?;
+    let sub = gth(&restricted)?;
+    let mut pi = vec![0.0; ctmc.n_states()];
+    for (sub_idx, &state) in class.iter().enumerate() {
+        pi[state] = sub.prob(sub_idx);
+    }
+    Ok(SteadyState::new(pi))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctmc::CtmcBuilder;
+
+    fn two_state() -> Ctmc {
+        // π = (1/4, 3/4): rate(0→1)=3, rate(1→0)=1 → π0·3 = π1·1.
+        CtmcBuilder::new(2)
+            .rate(0, 1, 3.0)
+            .unwrap()
+            .rate(1, 0, 1.0)
+            .unwrap()
+            .build()
+            .unwrap()
+    }
+
+    fn cyclic3() -> Ctmc {
+        // Unidirectional cycle with distinct rates; π_i ∝ 1/rate_i.
+        CtmcBuilder::new(3)
+            .rate(0, 1, 1.0)
+            .unwrap()
+            .rate(1, 2, 2.0)
+            .unwrap()
+            .rate(2, 0, 4.0)
+            .unwrap()
+            .build()
+            .unwrap()
+    }
+
+    fn assert_close(a: &[f64], b: &[f64], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!((x - y).abs() < tol, "{a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn gth_two_state() {
+        let ss = gth(&two_state()).unwrap();
+        assert_close(ss.probs(), &[0.25, 0.75], 1e-12);
+    }
+
+    #[test]
+    fn gth_cyclic() {
+        let ss = gth(&cyclic3()).unwrap();
+        // π ∝ (1/1, 1/2, 1/4) = (4, 2, 1)/7.
+        assert_close(ss.probs(), &[4.0 / 7.0, 2.0 / 7.0, 1.0 / 7.0], 1e-12);
+    }
+
+    #[test]
+    fn all_solvers_agree() {
+        for chain in [two_state(), cyclic3()] {
+            let g = gth(&chain).unwrap();
+            let p = power(&chain, 1e-12, 100_000).unwrap();
+            let l = linear(&chain).unwrap();
+            let s = gauss_seidel(&chain, 1e-13, 100_000).unwrap();
+            assert_close(g.probs(), p.probs(), 1e-8);
+            assert_close(g.probs(), l.probs(), 1e-10);
+            assert_close(g.probs(), s.probs(), 1e-8);
+        }
+    }
+
+    #[test]
+    fn solvers_agree_on_random_dense_chain() {
+        // Pseudo-random (but deterministic) dense 8-state chain.
+        let n = 8;
+        let mut builder = CtmcBuilder::new(n);
+        let mut x = 123456789u64;
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    let r = ((x >> 33) as f64) / (u32::MAX as f64) * 3.0 + 0.01;
+                    builder = builder.rate(i, j, r).unwrap();
+                }
+            }
+        }
+        let chain = builder.build().unwrap();
+        let g = gth(&chain).unwrap();
+        let l = linear(&chain).unwrap();
+        let p = power(&chain, 1e-13, 1_000_000).unwrap();
+        assert_close(g.probs(), l.probs(), 1e-9);
+        assert_close(g.probs(), p.probs(), 1e-8);
+        assert!((g.probs().iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stiff_chain_gth_stays_accurate() {
+        // Rates differing by 8 orders of magnitude.
+        let chain = CtmcBuilder::new(3)
+            .rate(0, 1, 1e-8)
+            .unwrap()
+            .rate(1, 2, 1.0)
+            .unwrap()
+            .rate(2, 0, 1e4)
+            .unwrap()
+            .rate(1, 0, 2.0)
+            .unwrap()
+            .build()
+            .unwrap();
+        let g = gth(&chain).unwrap();
+        let l = linear(&chain).unwrap();
+        for (a, b) in g.probs().iter().zip(l.probs()) {
+            let rel = (a - b).abs() / b.max(1e-300);
+            assert!(rel < 1e-6, "{:?} vs {:?}", g.probs(), l.probs());
+        }
+    }
+
+    #[test]
+    fn single_state_chain() {
+        let c = CtmcBuilder::new(1).build().unwrap();
+        for solver in [gth(&c), linear(&c), power(&c, 1e-9, 10), solve(&c)] {
+            assert_eq!(solver.unwrap().probs(), &[1.0]);
+        }
+    }
+
+    #[test]
+    fn reducible_chain_rejected_by_strict_solvers() {
+        let c = CtmcBuilder::new(2)
+            .rate(0, 1, 1.0)
+            .unwrap()
+            .build()
+            .unwrap();
+        assert_eq!(gth(&c), Err(MarkovError::NotIrreducible));
+        assert_eq!(linear(&c), Err(MarkovError::NotIrreducible));
+        assert_eq!(power(&c, 1e-9, 10), Err(MarkovError::NotIrreducible));
+        assert_eq!(gauss_seidel(&c, 1e-9, 10), Err(MarkovError::NotIrreducible));
+    }
+
+    #[test]
+    fn solve_handles_transient_states() {
+        // 0 → 1 ↔ 2 (0 transient).
+        let c = CtmcBuilder::new(3)
+            .rate(0, 1, 5.0)
+            .unwrap()
+            .rate(1, 2, 1.0)
+            .unwrap()
+            .rate(2, 1, 3.0)
+            .unwrap()
+            .build()
+            .unwrap();
+        let ss = solve(&c).unwrap();
+        assert_eq!(ss.prob(0), 0.0);
+        assert_close(&[ss.prob(1), ss.prob(2)], &[0.75, 0.25], 1e-12);
+    }
+
+    #[test]
+    fn solve_rejects_two_absorbing_classes() {
+        let c = CtmcBuilder::new(3)
+            .rate(0, 1, 1.0)
+            .unwrap()
+            .rate(0, 2, 1.0)
+            .unwrap()
+            .build()
+            .unwrap();
+        assert_eq!(solve(&c), Err(MarkovError::NotIrreducible));
+    }
+
+    #[test]
+    fn power_no_convergence_reported() {
+        let c = two_state();
+        assert!(matches!(
+            power(&c, 1e-30, 3),
+            Err(MarkovError::NoConvergence { iterations: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn expectation_weights_states() {
+        let ss = gth(&two_state()).unwrap();
+        // E[i] = 0·0.25 + 1·0.75.
+        assert!((ss.expectation(|i| i as f64) - 0.75).abs() < 1e-12);
+        assert_eq!(ss.len(), 2);
+        assert!(!ss.is_empty());
+    }
+
+    #[test]
+    fn detailed_balance_birth_death() {
+        // Birth-death chains satisfy detailed balance; check GTH against it.
+        let chain = CtmcBuilder::new(4)
+            .rate(0, 1, 2.0)
+            .unwrap()
+            .rate(1, 2, 2.0)
+            .unwrap()
+            .rate(2, 3, 2.0)
+            .unwrap()
+            .rate(1, 0, 1.0)
+            .unwrap()
+            .rate(2, 1, 1.0)
+            .unwrap()
+            .rate(3, 2, 1.0)
+            .unwrap()
+            .build()
+            .unwrap();
+        let ss = gth(&chain).unwrap();
+        for i in 0..3 {
+            let lhs = ss.prob(i) * 2.0;
+            let rhs = ss.prob(i + 1) * 1.0;
+            assert!((lhs - rhs).abs() < 1e-12);
+        }
+    }
+}

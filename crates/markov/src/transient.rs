@@ -1,0 +1,199 @@
+//! Transient CTMC solution by uniformization (Jensen's method).
+//!
+//! Not required for the paper's steady-state results, but listed in its
+//! "can be expanded" conclusion and useful in the examples: it predicts the
+//! bandwidth-level distribution of a channel a finite time after a
+//! disturbance (e.g. a failure burst).
+
+use crate::ctmc::Ctmc;
+use crate::error::MarkovError;
+use crate::linalg;
+
+/// Computes the state distribution at time `t`, starting from `initial`.
+///
+/// Uses uniformization: `π(t) = Σ_k e^{-Λt} (Λt)^k / k! · π₀ Pᵏ`, truncated
+/// once the accumulated Poisson mass exceeds `1 − tol`. Long horizons
+/// (`Λt > 200`) are split recursively to avoid floating-point underflow of
+/// the leading Poisson term.
+///
+/// # Errors
+///
+/// * [`MarkovError::DimensionMismatch`] if `initial` has the wrong length.
+/// * [`MarkovError::InvalidRate`] if `t` is negative or non-finite, or
+///   `tol` is not in `(0, 1)`.
+/// * [`MarkovError::Singular`] if `initial` does not sum to a positive
+///   value.
+pub fn transient(
+    ctmc: &Ctmc,
+    initial: &[f64],
+    t: f64,
+    tol: f64,
+) -> Result<Vec<f64>, MarkovError> {
+    let n = ctmc.n_states();
+    if initial.len() != n {
+        return Err(MarkovError::DimensionMismatch {
+            expected: n,
+            actual: initial.len(),
+        });
+    }
+    if !t.is_finite() || t < 0.0 {
+        return Err(MarkovError::InvalidRate {
+            from: 0,
+            to: 0,
+            value: t,
+        });
+    }
+    if !(tol > 0.0 && tol < 1.0) {
+        return Err(MarkovError::InvalidRate {
+            from: 0,
+            to: 0,
+            value: tol,
+        });
+    }
+    let mut pi: Vec<f64> = initial.to_vec();
+    linalg::normalize_l1(&mut pi)?;
+    if t == 0.0 {
+        return Ok(pi);
+    }
+    let lambda = ctmc.uniformization_rate();
+    // Split long horizons so e^{-Λt} stays representable.
+    let chunks = (lambda * t / 200.0).ceil().max(1.0) as usize;
+    let dt = t / chunks as f64;
+    let p = ctmc.uniformized();
+    for _ in 0..chunks {
+        pi = transient_step(&p, &pi, lambda * dt, tol / chunks as f64)?;
+    }
+    Ok(pi)
+}
+
+/// One uniformization step for Poisson parameter `a = Λ·dt ≤ ~200`.
+fn transient_step(
+    p: &linalg::Matrix,
+    initial: &[f64],
+    a: f64,
+    tol: f64,
+) -> Result<Vec<f64>, MarkovError> {
+    let mut weight = (-a).exp(); // Poisson(a, 0)
+    let mut cumulative = weight;
+    let mut power_vec: Vec<f64> = initial.to_vec(); // π₀ Pᵏ
+    let mut result: Vec<f64> = power_vec.iter().map(|x| x * weight).collect();
+    let mut k = 0usize;
+    // Hard cap well beyond the Poisson tail for a ≤ 200.
+    let max_terms = (a as usize + 1) * 4 + 200;
+    while cumulative < 1.0 - tol && k < max_terms {
+        k += 1;
+        power_vec = p.vec_mul(&power_vec)?;
+        weight *= a / k as f64;
+        cumulative += weight;
+        for (r, x) in result.iter_mut().zip(&power_vec) {
+            *r += weight * x;
+        }
+    }
+    let mut out = result;
+    for x in out.iter_mut() {
+        *x = x.max(0.0);
+    }
+    linalg::normalize_l1(&mut out)?;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctmc::CtmcBuilder;
+    use crate::steady_state;
+
+    fn two_state() -> Ctmc {
+        CtmcBuilder::new(2)
+            .rate(0, 1, 3.0)
+            .unwrap()
+            .rate(1, 0, 1.0)
+            .unwrap()
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn t_zero_returns_initial() {
+        let c = two_state();
+        let pi = transient(&c, &[1.0, 0.0], 0.0, 1e-10).unwrap();
+        assert_eq!(pi, vec![1.0, 0.0]);
+    }
+
+    #[test]
+    fn initial_is_normalized() {
+        let c = two_state();
+        let pi = transient(&c, &[2.0, 2.0], 0.0, 1e-10).unwrap();
+        assert_eq!(pi, vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn converges_to_steady_state() {
+        let c = two_state();
+        let pi = transient(&c, &[1.0, 0.0], 100.0, 1e-12).unwrap();
+        let ss = steady_state::gth(&c).unwrap();
+        for (a, b) in pi.iter().zip(ss.probs()) {
+            assert!((a - b).abs() < 1e-9, "{pi:?} vs {:?}", ss.probs());
+        }
+    }
+
+    #[test]
+    fn matches_closed_form_two_state() {
+        // For a two-state chain with rates a (0→1) and b (1→0), starting in
+        // state 0: π₀(t) = b/(a+b) + a/(a+b)·e^{−(a+b)t}.
+        let (a, b) = (3.0, 1.0);
+        let c = two_state();
+        for t in [0.1, 0.5, 1.0, 2.0] {
+            let pi = transient(&c, &[1.0, 0.0], t, 1e-13).unwrap();
+            let expect0 = b / (a + b) + a / (a + b) * (-(a + b) * t).exp();
+            assert!(
+                (pi[0] - expect0).abs() < 1e-9,
+                "t={t}: got {} expected {expect0}",
+                pi[0]
+            );
+        }
+    }
+
+    #[test]
+    fn long_horizon_is_stable() {
+        // Λt ≈ 3·10⁴: must split internally without under/overflow.
+        let c = two_state();
+        let pi = transient(&c, &[1.0, 0.0], 1e4, 1e-9).unwrap();
+        assert!((pi.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!((pi[0] - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn distribution_stays_normalized_along_the_way() {
+        let c = two_state();
+        for t in [0.01, 0.3, 2.5, 40.0] {
+            let pi = transient(&c, &[0.0, 1.0], t, 1e-12).unwrap();
+            assert!((pi.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            assert!(pi.iter().all(|&x| x >= 0.0));
+        }
+    }
+
+    #[test]
+    fn rejects_bad_arguments() {
+        let c = two_state();
+        assert!(transient(&c, &[1.0], 1.0, 1e-9).is_err());
+        assert!(transient(&c, &[1.0, 0.0], -1.0, 1e-9).is_err());
+        assert!(transient(&c, &[1.0, 0.0], f64::NAN, 1e-9).is_err());
+        assert!(transient(&c, &[1.0, 0.0], 1.0, 0.0).is_err());
+        assert!(transient(&c, &[1.0, 0.0], 1.0, 1.5).is_err());
+        assert!(transient(&c, &[0.0, 0.0], 1.0, 1e-9).is_err());
+    }
+
+    #[test]
+    fn absorbing_chain_accumulates_in_absorbing_state() {
+        // 0 → 1 absorbing.
+        let c = CtmcBuilder::new(2)
+            .rate(0, 1, 1.0)
+            .unwrap()
+            .build()
+            .unwrap();
+        let pi = transient(&c, &[1.0, 0.0], 5.0, 1e-12).unwrap();
+        // π₁(t) = 1 − e^{−t}.
+        assert!((pi[1] - (1.0 - (-5.0f64).exp())).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,472 @@
+//! Online statistics for simulation output analysis.
+//!
+//! * [`Welford`] — numerically stable running mean/variance of i.i.d.
+//!   samples, with a normal-approximation confidence interval.
+//! * [`TimeWeighted`] — the time-weighted average of a piecewise-constant
+//!   signal (e.g. "bandwidth currently reserved"), the estimator the paper's
+//!   simulation uses for average bandwidth.
+//! * [`Histogram`] — fixed-width binning for distribution shape checks.
+//! * [`Counter`] — a labelled tally of discrete outcomes.
+
+use crate::time::SimTime;
+
+/// Welford's online algorithm for mean and variance.
+///
+/// # Examples
+///
+/// ```
+/// use drqos_sim::stats::Welford;
+///
+/// let mut w = Welford::new();
+/// for x in [1.0, 2.0, 3.0, 4.0] {
+///     w.push(x);
+/// }
+/// assert_eq!(w.mean(), 2.5);
+/// assert!((w.variance() - 5.0 / 3.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Welford {
+    count: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Welford {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one sample.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of samples so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean (0 for an empty accumulator).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance (0 with fewer than two samples).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Standard error of the mean.
+    pub fn std_error(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.std_dev() / (self.count as f64).sqrt()
+        }
+    }
+
+    /// Half-width of the ~95% confidence interval for the mean.
+    ///
+    /// Uses the normal approximation (`1.96 · SE`), which is adequate for the
+    /// sample sizes the experiments produce (thousands of events).
+    pub fn ci95_half_width(&self) -> f64 {
+        1.96 * self.std_error()
+    }
+
+    /// Merges another accumulator into this one (parallel Welford).
+    pub fn merge(&mut self, other: &Welford) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+    }
+}
+
+/// Time-weighted average of a piecewise-constant signal.
+///
+/// Feed it the signal's value whenever the value *changes*; the accumulator
+/// integrates value·dt between updates.
+///
+/// # Examples
+///
+/// ```
+/// use drqos_sim::stats::TimeWeighted;
+/// use drqos_sim::time::SimTime;
+///
+/// let mut tw = TimeWeighted::new(SimTime::ZERO, 0.0);
+/// tw.update(SimTime::new(1.0), 10.0); // signal was 0 on [0,1)
+/// tw.update(SimTime::new(3.0), 0.0);  // signal was 10 on [1,3)
+/// assert_eq!(tw.mean_until(SimTime::new(3.0)), 20.0 / 3.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimeWeighted {
+    start: SimTime,
+    last_time: SimTime,
+    last_value: f64,
+    integral: f64,
+}
+
+impl TimeWeighted {
+    /// Starts integrating at `start` with initial signal `value`.
+    pub fn new(start: SimTime, value: f64) -> Self {
+        Self {
+            start,
+            last_time: start,
+            last_value: value,
+            integral: 0.0,
+        }
+    }
+
+    /// Records that the signal changed to `value` at time `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `now` precedes the previous update.
+    pub fn update(&mut self, now: SimTime, value: f64) {
+        assert!(
+            now >= self.last_time,
+            "TimeWeighted updates must be in time order"
+        );
+        self.integral += self.last_value * (now - self.last_time);
+        self.last_time = now;
+        self.last_value = value;
+    }
+
+    /// The integral of the signal from start until `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `now` precedes the last update.
+    pub fn integral_until(&self, now: SimTime) -> f64 {
+        assert!(now >= self.last_time, "cannot integrate into the past");
+        self.integral + self.last_value * (now - self.last_time)
+    }
+
+    /// The time-weighted mean over `[start, now]`, or the current value if
+    /// no time has elapsed.
+    pub fn mean_until(&self, now: SimTime) -> f64 {
+        let elapsed = now - self.start;
+        if elapsed <= 0.0 {
+            self.last_value
+        } else {
+            self.integral_until(now) / elapsed
+        }
+    }
+
+    /// The most recently recorded signal value.
+    pub fn current(&self) -> f64 {
+        self.last_value
+    }
+
+    /// Resets the integration window to begin at `now` with the current value.
+    pub fn reset(&mut self, now: SimTime) {
+        self.start = now;
+        self.last_time = now;
+        self.integral = 0.0;
+    }
+}
+
+/// A fixed-width histogram over `[lo, hi)` with out-of-range tails.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    count: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` equal-width bins over `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0` or `lo >= hi`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(lo < hi, "histogram requires lo < hi");
+        Self {
+            lo,
+            hi,
+            bins: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+            count: 0,
+        }
+    }
+
+    /// Records one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let w = (self.hi - self.lo) / self.bins.len() as f64;
+            let idx = (((x - self.lo) / w) as usize).min(self.bins.len() - 1);
+            self.bins[idx] += 1;
+        }
+    }
+
+    /// Count in bin `i`.
+    pub fn bin(&self, i: usize) -> u64 {
+        self.bins[i]
+    }
+
+    /// All bin counts.
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Observations below `lo`.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations at or above `hi`.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The fraction of in-range observations in bin `i`.
+    pub fn fraction(&self, i: usize) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.bins[i] as f64 / self.count as f64
+        }
+    }
+}
+
+/// A small labelled tally of discrete outcomes (accepted / rejected / ...).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Counter {
+    entries: Vec<(String, u64)>,
+}
+
+impl Counter {
+    /// Creates an empty counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Increments `label` by one.
+    pub fn bump(&mut self, label: &str) {
+        self.add(label, 1);
+    }
+
+    /// Increments `label` by `n`.
+    pub fn add(&mut self, label: &str, n: u64) {
+        if let Some(e) = self.entries.iter_mut().find(|(l, _)| l == label) {
+            e.1 += n;
+        } else {
+            self.entries.push((label.to_string(), n));
+        }
+    }
+
+    /// The current count for `label` (zero if never bumped).
+    pub fn get(&self, label: &str) -> u64 {
+        self.entries
+            .iter()
+            .find(|(l, _)| l == label)
+            .map_or(0, |(_, n)| *n)
+    }
+
+    /// Iterates over `(label, count)` pairs in first-seen order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.entries.iter().map(|(l, n)| (l.as_str(), *n))
+    }
+
+    /// Sum of all counts.
+    pub fn total(&self) -> u64 {
+        self.entries.iter().map(|(_, n)| n).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_empty() {
+        let w = Welford::new();
+        assert_eq!(w.count(), 0);
+        assert_eq!(w.mean(), 0.0);
+        assert_eq!(w.variance(), 0.0);
+        assert_eq!(w.std_error(), 0.0);
+    }
+
+    #[test]
+    fn welford_known_values() {
+        let mut w = Welford::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            w.push(x);
+        }
+        assert_eq!(w.mean(), 5.0);
+        assert!((w.variance() - 32.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn welford_single_sample() {
+        let mut w = Welford::new();
+        w.push(42.0);
+        assert_eq!(w.mean(), 42.0);
+        assert_eq!(w.variance(), 0.0);
+    }
+
+    #[test]
+    fn welford_merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut all = Welford::new();
+        for &x in &xs {
+            all.push(x);
+        }
+        let mut a = Welford::new();
+        let mut b = Welford::new();
+        for &x in &xs[..37] {
+            a.push(x);
+        }
+        for &x in &xs[37..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert!((a.mean() - all.mean()).abs() < 1e-10);
+        assert!((a.variance() - all.variance()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn welford_merge_with_empty() {
+        let mut a = Welford::new();
+        a.push(1.0);
+        let before = a.clone();
+        a.merge(&Welford::new());
+        assert_eq!(a, before);
+
+        let mut empty = Welford::new();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+    }
+
+    #[test]
+    fn ci_shrinks_with_samples() {
+        let mut w = Welford::new();
+        for i in 0..100 {
+            w.push((i % 10) as f64);
+        }
+        let wide = w.ci95_half_width();
+        for i in 0..10_000 {
+            w.push((i % 10) as f64);
+        }
+        assert!(w.ci95_half_width() < wide);
+    }
+
+    #[test]
+    fn time_weighted_constant_signal() {
+        let mut tw = TimeWeighted::new(SimTime::ZERO, 5.0);
+        tw.update(SimTime::new(10.0), 5.0);
+        assert_eq!(tw.mean_until(SimTime::new(10.0)), 5.0);
+    }
+
+    #[test]
+    fn time_weighted_step_signal() {
+        let mut tw = TimeWeighted::new(SimTime::ZERO, 0.0);
+        tw.update(SimTime::new(2.0), 6.0);
+        // 0 on [0,2), 6 on [2,4) → mean = 12/4 = 3
+        assert_eq!(tw.mean_until(SimTime::new(4.0)), 3.0);
+    }
+
+    #[test]
+    fn time_weighted_zero_elapsed_returns_current() {
+        let tw = TimeWeighted::new(SimTime::new(1.0), 9.0);
+        assert_eq!(tw.mean_until(SimTime::new(1.0)), 9.0);
+    }
+
+    #[test]
+    fn time_weighted_reset_starts_fresh() {
+        let mut tw = TimeWeighted::new(SimTime::ZERO, 100.0);
+        tw.update(SimTime::new(5.0), 1.0);
+        tw.reset(SimTime::new(5.0));
+        assert_eq!(tw.mean_until(SimTime::new(10.0)), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "time order")]
+    fn time_weighted_rejects_backwards_update() {
+        let mut tw = TimeWeighted::new(SimTime::new(5.0), 0.0);
+        tw.update(SimTime::new(1.0), 1.0);
+    }
+
+    #[test]
+    fn histogram_bins_correctly() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        for x in [0.5, 1.5, 2.5, 9.9, -1.0, 10.0] {
+            h.push(x);
+        }
+        assert_eq!(h.bin(0), 2); // 0.5, 1.5
+        assert_eq!(h.bin(1), 1); // 2.5
+        assert_eq!(h.bin(4), 1); // 9.9
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.count(), 6);
+    }
+
+    #[test]
+    fn histogram_fraction() {
+        let mut h = Histogram::new(0.0, 1.0, 2);
+        h.push(0.25);
+        h.push(0.75);
+        h.push(0.80);
+        assert!((h.fraction(1) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn histogram_zero_bins_panics() {
+        Histogram::new(0.0, 1.0, 0);
+    }
+
+    #[test]
+    fn counter_tallies() {
+        let mut c = Counter::new();
+        c.bump("accepted");
+        c.bump("accepted");
+        c.add("rejected", 3);
+        assert_eq!(c.get("accepted"), 2);
+        assert_eq!(c.get("rejected"), 3);
+        assert_eq!(c.get("never"), 0);
+        assert_eq!(c.total(), 5);
+        let labels: Vec<&str> = c.iter().map(|(l, _)| l).collect();
+        assert_eq!(labels, vec!["accepted", "rejected"]);
+    }
+}

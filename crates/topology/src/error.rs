@@ -1,0 +1,64 @@
+//! Error types for topology construction and algorithms.
+
+use std::fmt;
+
+/// Errors produced by graph construction and topology generators.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TopologyError {
+    /// An endpoint referred to a node that does not exist.
+    UnknownNode(usize),
+    /// A link's two endpoints were the same node.
+    SelfLoop(usize),
+    /// A link between the two nodes already exists.
+    DuplicateLink(usize, usize),
+    /// A generator or algorithm parameter was out of range.
+    InvalidParameter(String),
+    /// An operation that requires a connected graph was given a
+    /// disconnected one.
+    Disconnected,
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::UnknownNode(n) => write!(f, "unknown node index {n}"),
+            TopologyError::SelfLoop(n) => write!(f, "self-loop at node {n} is not allowed"),
+            TopologyError::DuplicateLink(a, b) => {
+                write!(f, "link between nodes {a} and {b} already exists")
+            }
+            TopologyError::InvalidParameter(what) => write!(f, "invalid parameter: {what}"),
+            TopologyError::Disconnected => write!(f, "graph is not connected"),
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            TopologyError::UnknownNode(3).to_string(),
+            "unknown node index 3"
+        );
+        assert_eq!(
+            TopologyError::SelfLoop(1).to_string(),
+            "self-loop at node 1 is not allowed"
+        );
+        assert_eq!(
+            TopologyError::DuplicateLink(1, 2).to_string(),
+            "link between nodes 1 and 2 already exists"
+        );
+        assert!(TopologyError::InvalidParameter("x".into())
+            .to_string()
+            .contains("x"));
+        assert_eq!(
+            TopologyError::Disconnected.to_string(),
+            "graph is not connected"
+        );
+    }
+}

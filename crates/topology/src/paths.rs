@@ -1,0 +1,477 @@
+//! Paths and shortest-path algorithms.
+//!
+//! Provides the [`Path`] type (a validated walk through the graph) plus
+//! breadth-first and Dijkstra searches with per-link feasibility filters —
+//! the building blocks of the route-selection schemes in `drqos-core`.
+
+use crate::error::TopologyError;
+use crate::graph::{Graph, LinkId, NodeId};
+use std::cmp::Ordering;
+use std::collections::hash_map::Entry;
+use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
+
+/// A simple path through a graph: a node sequence plus the links between
+/// consecutive nodes.
+///
+/// Invariants (enforced by [`Path::from_nodes`]):
+/// * at least one node;
+/// * consecutive nodes are adjacent in the graph;
+/// * no repeated nodes (simple path).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Path {
+    nodes: Vec<NodeId>,
+    links: Vec<LinkId>,
+}
+
+impl Path {
+    /// Builds a path from a node sequence, validating adjacency against `graph`.
+    ///
+    /// # Errors
+    ///
+    /// * [`TopologyError::InvalidParameter`] if the sequence is empty,
+    ///   repeats a node, or two consecutive nodes are not adjacent.
+    pub fn from_nodes(graph: &Graph, nodes: Vec<NodeId>) -> Result<Self, TopologyError> {
+        if nodes.is_empty() {
+            return Err(TopologyError::InvalidParameter(
+                "path must contain at least one node".into(),
+            ));
+        }
+        let distinct: HashSet<NodeId> = nodes.iter().copied().collect();
+        if distinct.len() != nodes.len() {
+            return Err(TopologyError::InvalidParameter(
+                "path must not repeat nodes".into(),
+            ));
+        }
+        let mut links = Vec::with_capacity(nodes.len().saturating_sub(1));
+        for w in nodes.windows(2) {
+            let link = graph.link_between(w[0], w[1]).ok_or_else(|| {
+                TopologyError::InvalidParameter(format!("{} and {} are not adjacent", w[0], w[1]))
+            })?;
+            links.push(link);
+        }
+        Ok(Self { nodes, links })
+    }
+
+    /// The node sequence, source first.
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// The links traversed, in order.
+    pub fn links(&self) -> &[LinkId] {
+        &self.links
+    }
+
+    /// The source node.
+    pub fn source(&self) -> NodeId {
+        self.nodes[0]
+    }
+
+    /// The destination node.
+    pub fn destination(&self) -> NodeId {
+        *self.nodes.last().expect("path is non-empty")
+    }
+
+    /// Number of links (hops).
+    pub fn hop_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Whether this path traverses `link`.
+    pub fn crosses(&self, link: LinkId) -> bool {
+        self.links.contains(&link)
+    }
+
+    /// Whether this path and `other` share at least one link.
+    pub fn shares_link_with(&self, other: &Path) -> bool {
+        if self.links.len() > other.links.len() {
+            return other.shares_link_with(self);
+        }
+        let mine: HashSet<LinkId> = self.links.iter().copied().collect();
+        other.links.iter().any(|l| mine.contains(l))
+    }
+
+    /// Whether this path and `other` have no link in common.
+    pub fn is_link_disjoint(&self, other: &Path) -> bool {
+        !self.shares_link_with(other)
+    }
+}
+
+/// A per-link admission filter used by the searches: return `false` to make
+/// a link impassable (down, or without enough spare bandwidth).
+pub type LinkFilter<'a> = dyn Fn(LinkId) -> bool + 'a;
+
+/// Breadth-first (fewest-hops) shortest path from `src` to `dst`, traversing
+/// only links accepted by `filter`.
+///
+/// Returns `None` if `dst` is unreachable. With equal hop counts the path
+/// found follows adjacency-list order, which is deterministic for a given
+/// graph construction order.
+///
+/// # Panics
+///
+/// Panics if `src` or `dst` are not nodes of `graph`.
+pub fn bfs_path(graph: &Graph, src: NodeId, dst: NodeId, filter: &LinkFilter) -> Option<Path> {
+    assert!(graph.contains_node(src) && graph.contains_node(dst));
+    if src == dst {
+        return Path::from_nodes(graph, vec![src]).ok();
+    }
+    let mut prev: HashMap<NodeId, NodeId> = HashMap::new();
+    let mut queue = VecDeque::new();
+    queue.push_back(src);
+    prev.insert(src, src);
+    while let Some(u) = queue.pop_front() {
+        for &(v, l) in graph.neighbors(u) {
+            if !filter(l) {
+                continue;
+            }
+            if let Entry::Vacant(e) = prev.entry(v) {
+                e.insert(u);
+                if v == dst {
+                    return Some(reconstruct(graph, &prev, src, dst));
+                }
+                queue.push_back(v);
+            }
+        }
+    }
+    None
+}
+
+fn reconstruct(graph: &Graph, prev: &HashMap<NodeId, NodeId>, src: NodeId, dst: NodeId) -> Path {
+    let mut nodes = vec![dst];
+    let mut cur = dst;
+    while cur != src {
+        cur = prev[&cur];
+        nodes.push(cur);
+    }
+    nodes.reverse();
+    Path::from_nodes(graph, nodes).expect("BFS reconstruction yields a valid simple path")
+}
+
+#[derive(Debug, PartialEq)]
+struct HeapItem {
+    cost: f64,
+    node: NodeId,
+}
+
+impl Eq for HeapItem {}
+
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap by cost; tie-break on node id for determinism.
+        other
+            .cost
+            .total_cmp(&self.cost)
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+/// Dijkstra shortest path with a per-link weight function and feasibility
+/// filter.
+///
+/// `weight` must return a non-negative, finite cost for each link; links
+/// rejected by `filter` are skipped entirely. Returns `None` if `dst` is
+/// unreachable.
+///
+/// # Panics
+///
+/// Panics if `src`/`dst` are invalid, or if `weight` returns a negative or
+/// non-finite cost (checked per traversed link).
+pub fn dijkstra_path(
+    graph: &Graph,
+    src: NodeId,
+    dst: NodeId,
+    weight: &dyn Fn(LinkId) -> f64,
+    filter: &LinkFilter,
+) -> Option<Path> {
+    assert!(graph.contains_node(src) && graph.contains_node(dst));
+    if src == dst {
+        return Path::from_nodes(graph, vec![src]).ok();
+    }
+    let n = graph.node_count();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut prev: Vec<Option<NodeId>> = vec![None; n];
+    let mut heap = BinaryHeap::new();
+    dist[src.0] = 0.0;
+    heap.push(HeapItem {
+        cost: 0.0,
+        node: src,
+    });
+    while let Some(HeapItem { cost, node: u }) = heap.pop() {
+        if cost > dist[u.0] {
+            continue;
+        }
+        if u == dst {
+            break;
+        }
+        for &(v, l) in graph.neighbors(u) {
+            if !filter(l) {
+                continue;
+            }
+            let w = weight(l);
+            assert!(
+                w.is_finite() && w >= 0.0,
+                "link weight must be finite and non-negative, got {w} for {l}"
+            );
+            let next = cost + w;
+            if next < dist[v.0] {
+                dist[v.0] = next;
+                prev[v.0] = Some(u);
+                heap.push(HeapItem { cost: next, node: v });
+            }
+        }
+    }
+    if dist[dst.0].is_infinite() {
+        return None;
+    }
+    let mut nodes = vec![dst];
+    let mut cur = dst;
+    while let Some(p) = prev[cur.0] {
+        nodes.push(p);
+        cur = p;
+        if cur == src {
+            break;
+        }
+    }
+    nodes.reverse();
+    Path::from_nodes(graph, nodes).ok()
+}
+
+/// Yen's algorithm: the `k` shortest loop-free paths by hop count.
+///
+/// Paths are returned in non-decreasing hop order; fewer than `k` paths are
+/// returned if the graph does not contain that many. Useful for modelling
+/// the "destination waits for more request copies over different routes"
+/// step of the bounded-flooding protocol.
+pub fn k_shortest_paths(
+    graph: &Graph,
+    src: NodeId,
+    dst: NodeId,
+    k: usize,
+    filter: &LinkFilter,
+) -> Vec<Path> {
+    let mut found: Vec<Path> = Vec::new();
+    let Some(first) = bfs_path(graph, src, dst, filter) else {
+        return found;
+    };
+    found.push(first);
+    let mut candidates: Vec<Path> = Vec::new();
+    while found.len() < k {
+        let last = found.last().expect("found is non-empty").clone();
+        for i in 0..last.hop_count() {
+            let spur_node = last.nodes()[i];
+            let root_nodes = &last.nodes()[..=i];
+            let root_links: HashSet<LinkId> = last.links()[..i].iter().copied().collect();
+            // Links removed: any link that a previously found path with the
+            // same root takes out of the spur node.
+            let mut banned_links: HashSet<LinkId> = HashSet::new();
+            for p in &found {
+                if p.nodes().len() > i && p.nodes()[..=i] == *root_nodes {
+                    if let Some(&l) = p.links().get(i) {
+                        banned_links.insert(l);
+                    }
+                }
+            }
+            // Nodes in the root (except the spur node) must not be revisited.
+            let banned_nodes: HashSet<NodeId> =
+                root_nodes[..i].iter().copied().collect();
+            let spur_filter = |l: LinkId| {
+                if banned_links.contains(&l) || root_links.contains(&l) || !filter(l) {
+                    return false;
+                }
+                let link = graph.link(l);
+                !banned_nodes.contains(&link.a()) && !banned_nodes.contains(&link.b())
+            };
+            if let Some(spur) = bfs_path(graph, spur_node, dst, &spur_filter) {
+                let mut nodes: Vec<NodeId> = root_nodes.to_vec();
+                nodes.extend_from_slice(&spur.nodes()[1..]);
+                if let Ok(total) = Path::from_nodes(graph, nodes) {
+                    if !found.contains(&total) && !candidates.contains(&total) {
+                        candidates.push(total);
+                    }
+                }
+            }
+        }
+        if candidates.is_empty() {
+            break;
+        }
+        // Take the shortest candidate (stable for determinism).
+        let best = candidates
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, p)| p.hop_count())
+            .map(|(i, _)| i)
+            .expect("candidates is non-empty");
+        found.push(candidates.swap_remove(best));
+    }
+    found
+}
+
+/// Accept-everything link filter.
+pub fn pass_all(_: LinkId) -> bool {
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regular;
+
+    /// 0-1-2-3 line plus a 0-4-3 detour.
+    fn diamond() -> Graph {
+        let mut g = Graph::with_nodes(5);
+        for (a, b) in [(0, 1), (1, 2), (2, 3), (0, 4), (4, 3)] {
+            g.add_link(NodeId(a), NodeId(b)).unwrap();
+        }
+        g
+    }
+
+    #[test]
+    fn path_from_nodes_validates_adjacency() {
+        let g = diamond();
+        assert!(Path::from_nodes(&g, vec![NodeId(0), NodeId(2)]).is_err());
+        let p = Path::from_nodes(&g, vec![NodeId(0), NodeId(1), NodeId(2)]).unwrap();
+        assert_eq!(p.hop_count(), 2);
+        assert_eq!(p.source(), NodeId(0));
+        assert_eq!(p.destination(), NodeId(2));
+    }
+
+    #[test]
+    fn path_rejects_empty_and_repeats() {
+        let g = diamond();
+        assert!(Path::from_nodes(&g, vec![]).is_err());
+        assert!(Path::from_nodes(&g, vec![NodeId(0), NodeId(1), NodeId(0)]).is_err());
+    }
+
+    #[test]
+    fn singleton_path_is_valid() {
+        let g = diamond();
+        let p = Path::from_nodes(&g, vec![NodeId(2)]).unwrap();
+        assert_eq!(p.hop_count(), 0);
+        assert_eq!(p.source(), p.destination());
+    }
+
+    #[test]
+    fn bfs_finds_fewest_hops() {
+        let g = diamond();
+        let p = bfs_path(&g, NodeId(0), NodeId(3), &pass_all).unwrap();
+        assert_eq!(p.hop_count(), 2); // 0-4-3
+        assert_eq!(p.nodes(), &[NodeId(0), NodeId(4), NodeId(3)]);
+    }
+
+    #[test]
+    fn bfs_respects_filter() {
+        let g = diamond();
+        let l04 = g.link_between(NodeId(0), NodeId(4)).unwrap();
+        let p = bfs_path(&g, NodeId(0), NodeId(3), &|l| l != l04).unwrap();
+        assert_eq!(p.hop_count(), 3); // forced onto 0-1-2-3
+    }
+
+    #[test]
+    fn bfs_unreachable_is_none() {
+        let mut g = diamond();
+        let iso = g.add_node();
+        assert!(bfs_path(&g, NodeId(0), iso, &pass_all).is_none());
+    }
+
+    #[test]
+    fn bfs_src_equals_dst() {
+        let g = diamond();
+        let p = bfs_path(&g, NodeId(1), NodeId(1), &pass_all).unwrap();
+        assert_eq!(p.hop_count(), 0);
+    }
+
+    #[test]
+    fn dijkstra_unit_weights_matches_bfs_length() {
+        let g = regular::grid(4, 4).unwrap();
+        let src = NodeId(0);
+        let dst = NodeId(15);
+        let b = bfs_path(&g, src, dst, &pass_all).unwrap();
+        let d = dijkstra_path(&g, src, dst, &|_| 1.0, &pass_all).unwrap();
+        assert_eq!(b.hop_count(), d.hop_count());
+    }
+
+    #[test]
+    fn dijkstra_prefers_cheap_detour() {
+        let g = diamond();
+        let l04 = g.link_between(NodeId(0), NodeId(4)).unwrap();
+        // Make the 2-hop detour expensive.
+        let w = |l: LinkId| if l == l04 { 10.0 } else { 1.0 };
+        let p = dijkstra_path(&g, NodeId(0), NodeId(3), &w, &pass_all).unwrap();
+        assert_eq!(p.hop_count(), 3);
+    }
+
+    #[test]
+    fn dijkstra_unreachable_is_none() {
+        let mut g = diamond();
+        let iso = g.add_node();
+        assert!(dijkstra_path(&g, NodeId(0), iso, &|_| 1.0, &pass_all).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn dijkstra_rejects_negative_weight() {
+        let g = diamond();
+        dijkstra_path(&g, NodeId(0), NodeId(3), &|_| -1.0, &pass_all);
+    }
+
+    #[test]
+    fn shares_link_detection() {
+        let g = diamond();
+        let a = Path::from_nodes(&g, vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]).unwrap();
+        let b = Path::from_nodes(&g, vec![NodeId(0), NodeId(4), NodeId(3)]).unwrap();
+        let c = Path::from_nodes(&g, vec![NodeId(1), NodeId(2)]).unwrap();
+        assert!(a.is_link_disjoint(&b));
+        assert!(a.shares_link_with(&c));
+        assert!(!b.shares_link_with(&c));
+    }
+
+    #[test]
+    fn crosses_detects_membership() {
+        let g = diamond();
+        let p = Path::from_nodes(&g, vec![NodeId(0), NodeId(1)]).unwrap();
+        let l01 = g.link_between(NodeId(0), NodeId(1)).unwrap();
+        let l12 = g.link_between(NodeId(1), NodeId(2)).unwrap();
+        assert!(p.crosses(l01));
+        assert!(!p.crosses(l12));
+    }
+
+    #[test]
+    fn k_shortest_finds_both_diamond_routes() {
+        let g = diamond();
+        let ps = k_shortest_paths(&g, NodeId(0), NodeId(3), 5, &pass_all);
+        assert_eq!(ps.len(), 2);
+        assert_eq!(ps[0].hop_count(), 2);
+        assert_eq!(ps[1].hop_count(), 3);
+    }
+
+    #[test]
+    fn k_shortest_orders_by_hops() {
+        let g = regular::grid(3, 3).unwrap();
+        let ps = k_shortest_paths(&g, NodeId(0), NodeId(8), 6, &pass_all);
+        assert!(!ps.is_empty());
+        for w in ps.windows(2) {
+            assert!(w[0].hop_count() <= w[1].hop_count());
+        }
+        // All distinct.
+        for i in 0..ps.len() {
+            for j in i + 1..ps.len() {
+                assert_ne!(ps[i], ps[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn k_shortest_unreachable_empty() {
+        let mut g = diamond();
+        let iso = g.add_node();
+        assert!(k_shortest_paths(&g, NodeId(0), iso, 3, &pass_all).is_empty());
+    }
+}

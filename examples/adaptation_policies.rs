@@ -1,0 +1,75 @@
+//! Compares the two elastic-QoS adaptation policies on the same workload:
+//!
+//! * **max-utility** — extra bandwidth goes to the highest-utility channel
+//!   until it saturates ("allows a channel to monopolize all the extra
+//!   resources even when its utility is slightly higher");
+//! * **coefficient** — extras are divided in proportion to each channel's
+//!   coefficient (weighted max–min fairness).
+//!
+//! Run with `cargo run -p drqos-examples --bin adaptation_policies`.
+
+use drqos_core::network::{Network, NetworkConfig};
+use drqos_core::qos::{AdaptationPolicy, Bandwidth, ElasticQos};
+use drqos_topology::{regular, NodeId};
+
+fn run(policy: AdaptationPolicy) -> Result<Vec<(f64, u64)>, Box<dyn std::error::Error>> {
+    // A ring with room for one premium climb but not two.
+    let graph = regular::ring(8)?;
+    let mut net = Network::new(
+        graph,
+        NetworkConfig {
+            capacity: Bandwidth::kbps(900),
+            policy,
+            ..NetworkConfig::default()
+        },
+    );
+    let base = ElasticQos::paper_video(100);
+    // Three channels on the same route with utilities 1.0, 1.0, 1.2.
+    let ids = [
+        net.establish(NodeId(0), NodeId(4), base.with_utility(1.0)?)?,
+        net.establish(NodeId(0), NodeId(4), base.with_utility(1.0)?)?,
+        net.establish(NodeId(0), NodeId(4), base.with_utility(1.2)?)?,
+    ];
+    net.validate();
+    Ok(ids
+        .iter()
+        .map(|&id| {
+            let c = net.connection(id).expect("established above");
+            (c.qos().utility(), c.bandwidth().as_kbps())
+        })
+        .collect())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    for policy in [AdaptationPolicy::MaxUtility, AdaptationPolicy::Coefficient] {
+        println!("{policy:?}:");
+        let mut premium_kbps = 0;
+        let mut standard_total = 0;
+        for (utility, kbps) in run(policy)? {
+            println!("  utility {utility:>3.1} → {kbps:>3} Kbps");
+            if utility > 1.0 {
+                premium_kbps = kbps;
+            } else {
+                standard_total += kbps;
+            }
+        }
+        match policy {
+            AdaptationPolicy::MaxUtility => {
+                assert!(
+                    premium_kbps > standard_total / 2,
+                    "the premium channel should monopolize the extras"
+                );
+                println!("  → the slightly-higher-utility channel takes everything\n");
+            }
+            AdaptationPolicy::Coefficient => {
+                println!("  → extras divided in proportion to the coefficients\n");
+            }
+        }
+    }
+    println!(
+        "The paper's experiments use equal utilities under the coefficient\n\
+         scheme — 'the utilities of all connections are the same for fair\n\
+         distribution of resources' (Section 4)."
+    );
+    Ok(())
+}

@@ -1,0 +1,64 @@
+//! Failure recovery walkthrough: a link dies, backup channels activate,
+//! elastic channels retreat to cover the activation burst, and the lost
+//! backups are re-established after repair.
+//!
+//! Run with `cargo run -p drqos-examples --bin failure_recovery`.
+
+use drqos_core::network::{Network, NetworkConfig};
+use drqos_core::qos::{Bandwidth, ElasticQos};
+use drqos_examples::print_connections;
+use drqos_topology::{regular, NodeId};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A 5×5 torus with deliberately tight 1.5 Mbps links so that backup
+    // activation visibly squeezes the elastic extras.
+    let graph = regular::torus(5, 5)?;
+    let mut net = Network::new(
+        graph,
+        NetworkConfig {
+            capacity: Bandwidth::kbps(1_500),
+            ..NetworkConfig::default()
+        },
+    );
+    let qos = ElasticQos::paper_video(100);
+
+    println!("Establishing DR-connections (each with a link-disjoint backup):");
+    let victims = [
+        net.establish(NodeId(0), NodeId(12), qos)?,
+        net.establish(NodeId(1), NodeId(13), qos)?,
+        net.establish(NodeId(6), NodeId(18), qos)?,
+        net.establish(NodeId(5), NodeId(17), qos)?,
+    ];
+    print_connections(&net);
+
+    // Kill the first link of the first connection's primary channel.
+    let failed = net
+        .connection(victims[0])
+        .expect("just established")
+        .primary()
+        .links()[0];
+    println!("\n!! link {failed} fails");
+    let report = net.fail_link(failed)?;
+    println!(
+        "   activated backups: {:?}\n   dropped: {:?}\n   lost backups: {:?}\n   retreated: {:?}",
+        report.activated, report.dropped, report.lost_backup, report.retreated
+    );
+    print_connections(&net);
+    for id in &report.activated {
+        let c = net.connection(*id).expect("activated connections survive");
+        assert_eq!(c.failovers(), 1);
+    }
+
+    println!("\n.. link {failed} repaired");
+    let regained = net.repair_link(failed)?;
+    println!("   backups re-established for: {regained:?}");
+    print_connections(&net);
+
+    println!(
+        "\nService continued at ≥ minimum QoS throughout — the dependability\n\
+         guarantee of the backup-channel scheme, funded by bandwidth that\n\
+         elastic channels were enjoying a moment earlier."
+    );
+    net.validate();
+    Ok(())
+}

@@ -1,0 +1,43 @@
+//! Shared helpers for the `drqos` example binaries.
+//!
+//! The examples are small, self-contained programs that exercise the
+//! public API on the scenarios the paper's introduction motivates (video
+//! services, failure recovery, capacity planning). Run any of them with
+//! `cargo run -p drqos-examples --bin <name>`.
+
+use drqos_core::network::Network;
+
+/// Prints a one-line summary of each active connection.
+pub fn print_connections(net: &Network) {
+    for conn in net.connections() {
+        let backup = match conn.backup() {
+            Some(b) => format!("backup via {} hops", b.hop_count()),
+            None => "no backup".to_string(),
+        };
+        println!(
+            "  {}: {} over {} hops ({}, level {}/{})",
+            conn.id(),
+            conn.bandwidth(),
+            conn.primary().hop_count(),
+            backup,
+            conn.level(),
+            conn.qos().max_level(),
+        );
+    }
+}
+
+/// Prints aggregate utilization figures.
+pub fn print_utilization(net: &Network) {
+    let (mut used, mut reserved, mut capacity) = (0u64, 0u64, 0u64);
+    for link in net.graph().links() {
+        let u = net.link_usage(link.id());
+        used += (u.primary_min_sum() + u.extra_sum()).as_kbps();
+        reserved += u.backup_reservation().as_kbps();
+        capacity += u.capacity().as_kbps();
+    }
+    println!(
+        "  carried {used} Kbps + {reserved} Kbps backup reservation over {capacity} Kbps capacity \
+         ({:.1}% utilized)",
+        100.0 * (used + reserved) as f64 / capacity.max(1) as f64
+    );
+}

@@ -1,0 +1,57 @@
+//! End-to-end reproduction of the paper's method on one load point:
+//! simulate churn, measure `P_f`, `P_s`, `A`, `B`, `T`, build the Markov
+//! chain, solve it, and compare the analytic average bandwidth against the
+//! simulation and the ideal reference.
+//!
+//! Run with `cargo run --release -p drqos-examples --bin markov_analysis`.
+
+use drqos_analysis::pipeline::analyze;
+use drqos_core::experiment::ExperimentConfig;
+use drqos_sim::rng::Rng;
+use drqos_topology::{metrics, waxman};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let graph = waxman::paper_waxman(100).generate(&mut Rng::seed_from_u64(2001))?;
+    let summary = metrics::summarize(&graph);
+    println!(
+        "Topology: {} nodes, {} edges, E/N = {:.2}, diameter {:?}",
+        summary.nodes, summary.edges, summary.edges as f64 / summary.nodes as f64,
+        summary.diameter
+    );
+
+    let mut config = ExperimentConfig::paper_default(3_000, 50);
+    config.churn_events = 2_000;
+    println!(
+        "Workload: {} connection attempts, then {} churn events at λ = μ = {}",
+        config.target_connections, config.churn_events, config.lambda
+    );
+
+    let point = analyze(graph, &config);
+    let params = point.report.params.as_ref().expect("churn recorded arrivals");
+
+    println!("\nMeasured parameters (paper Section 3.3):");
+    println!("  P_f (directly chained)   = {:.4}", params.pf);
+    println!("  P_s (indirectly chained) = {:.4}", params.ps);
+    println!("  A (arrival/failure retreat matrix, {0}×{0}):", params.n_states);
+    for row in &params.a {
+        let cells: Vec<String> = row.iter().map(|p| format!("{p:.3}")).collect();
+        println!("    [{}]", cells.join(", "));
+    }
+    println!("  level occupancy: {:?}",
+        params.occupancy.iter().map(|p| (p * 1000.0).round() / 1000.0).collect::<Vec<_>>());
+
+    println!("\nAverage bandwidth per primary channel:");
+    println!("  simulation : {:>6.1} Kbps", point.report.avg_bandwidth_sim);
+    match point.analytic_avg {
+        Some(v) => println!("  Markov model: {v:>6.1} Kbps"),
+        None => println!("  Markov model:    n/a (degenerate measurement)"),
+    }
+    println!("  ideal      : {:>6.1} Kbps", point.ideal_avg);
+    if let Some(err) = point.model_error() {
+        println!(
+            "\nModel-vs-simulation gap: {err:.1} Kbps ({:.1}% of the simulated value)",
+            100.0 * err / point.report.avg_bandwidth_sim
+        );
+    }
+    Ok(())
+}

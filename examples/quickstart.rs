@@ -1,0 +1,48 @@
+//! Quickstart: establish dependable real-time connections with elastic QoS
+//! on a small network, watch them share bandwidth, and release one.
+//!
+//! Run with `cargo run -p drqos-examples --bin quickstart`.
+
+use drqos_core::network::{Network, NetworkConfig};
+use drqos_core::qos::{Bandwidth, ElasticQos};
+use drqos_examples::{print_connections, print_utilization};
+use drqos_topology::{regular, NodeId};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A 4×4 torus with 2 Mbps links: every node pair has link-disjoint
+    // routes, so every connection gets a backup channel.
+    let graph = regular::torus(4, 4)?;
+    let mut net = Network::new(
+        graph,
+        NetworkConfig {
+            capacity: Bandwidth::mbps(2),
+            ..NetworkConfig::default()
+        },
+    );
+
+    // The paper's video service: at least 100 Kbps for recognizable
+    // images, up to 500 Kbps for high quality, adapted in 50 Kbps steps.
+    let video = ElasticQos::new(
+        Bandwidth::kbps(100),
+        Bandwidth::kbps(500),
+        Bandwidth::kbps(50),
+        1.0,
+    )?;
+
+    println!("Establishing three DR-connections...");
+    let a = net.establish(NodeId(0), NodeId(10), video)?;
+    let b = net.establish(NodeId(1), NodeId(11), video)?;
+    let c = net.establish(NodeId(5), NodeId(15), video)?;
+    print_connections(&net);
+    print_utilization(&net);
+
+    println!("\nReleasing {b} — survivors may grow into the freed bandwidth:");
+    net.release(b)?;
+    print_connections(&net);
+
+    let avg = net.average_bandwidth().expect("two connections remain");
+    println!("\nAverage bandwidth per channel: {avg:.0} Kbps");
+    assert!(net.connection(a).is_some() && net.connection(c).is_some());
+    net.validate();
+    Ok(())
+}

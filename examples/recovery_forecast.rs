@@ -1,0 +1,98 @@
+//! Forecasting QoS recovery with the transient Markov solution — the
+//! extension the paper's conclusion sketches ("the proposed analysis model
+//! can be expanded").
+//!
+//! After a disturbance (say, a failure burst forced every channel to its
+//! minimum), how long until clients see their quality back? We measure the
+//! model parameters once, then answer with uniformization instead of
+//! re-simulating each horizon.
+//!
+//! Run with `cargo run --release -p drqos-examples --bin recovery_forecast`.
+
+use drqos_analysis::model::{ElasticQosModel, EventRates};
+use drqos_core::experiment::{run_churn, ExperimentConfig};
+use drqos_core::snapshot::NetworkSnapshot;
+use drqos_sim::rng::Rng;
+use drqos_topology::waxman;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let graph = waxman::paper_waxman(100).generate(&mut Rng::seed_from_u64(99))?;
+    let mut config = ExperimentConfig::paper_default(2_000, 50);
+    config.churn_events = 2_000;
+    // Inject failures during measurement so the failure matrix F reflects
+    // real activations (the recovery forecast itself assumes no *further*
+    // failures — γ = 0 in the model rates below).
+    config.gamma = 0.0005;
+    config.mean_repair = 500.0;
+    println!("Measuring model parameters at 2000 DR-connections (with failures)...");
+    let (report, net) = run_churn(graph, &config);
+    let params = report.params.expect("churn recorded arrivals");
+
+    let snapshot = NetworkSnapshot::capture(&net);
+    println!(
+        "  network: {:.0}% mean utilization, {:.0}% of channels hold a backup",
+        100.0 * snapshot.mean_utilization(),
+        100.0 * snapshot.backup_coverage()
+    );
+
+    let rates = EventRates::paper_default(0.0);
+    let model = ElasticQosModel::new(config.qos, &params, rates)?;
+    let stationary = model.average_bandwidth()?;
+    println!("  stationary average bandwidth: {stationary:.0} Kbps\n");
+
+    // Scenario 1: the distribution right after a typical link failure —
+    // the stationary distribution pushed through the measured failure
+    // matrix F (how a real failure re-shuffles levels).
+    let n = config.qos.num_levels();
+    let pi = {
+        let ss = model.steady_state()?;
+        let mut full = vec![0.0; n];
+        for (idx, &state) in model.active_states().iter().enumerate() {
+            full[state] = ss.prob(idx);
+        }
+        full
+    };
+    let mut post_failure = vec![0.0; n];
+    for (i, &mass) in pi.iter().enumerate() {
+        for (j, slot) in post_failure.iter_mut().enumerate() {
+            *slot += mass * params.f[i][j];
+        }
+    }
+    println!("Recovery forecast after a typical link failure:");
+    println!("{:>12} {:>22} {:>12}", "time (s)", "expected bandwidth", "recovered");
+    let bw0 = model.transient_average_bandwidth(&post_failure, 0.0)?;
+    for t in [0.0, 250.0, 500.0, 1_000.0, 2_000.0, 5_000.0, 20_000.0] {
+        let bw = model.transient_average_bandwidth(&post_failure, t)?;
+        let recovered = (bw - bw0) / (stationary - bw0).max(1e-9);
+        println!("{t:>12.0} {bw:>17.0} Kbps {:>11.0}%", 100.0 * recovered.min(1.0));
+    }
+    println!(
+        "(a single failure barely dents the ensemble — the measured F matrix\n\
+         is nearly diagonal, which is exactly why the paper's Figure 4 is flat)"
+    );
+
+    // Scenario 2: the pessimistic planner's question — a channel wedged at
+    // the lowest level the chain ever visits.
+    let floor = model.active_states().first().copied().unwrap_or(0);
+    let floor_bw = config.qos.level_bandwidth(floor);
+    // Mean first-passage times give the planner a single number per
+    // quality tier.
+    println!("\nWorst case: expected time for a channel wedged at {floor_bw} to first");
+    println!("reach each quality tier (slow on purpose — such a channel sits on a");
+    println!("genuinely saturated bottleneck and only climbs as churn frees it):");
+    for (level, label) in [(2, "200 Kbps"), (4, "300 Kbps"), (8, "500 Kbps (max)")] {
+        match model.mean_passage_time(floor, level) {
+            Ok(t) if t.is_finite() => println!("  {label:>15}: {t:>8.0} s"),
+            _ => println!("  {label:>15}:      n/a (level not visited in measurement)"),
+        }
+    }
+
+    println!(
+        "\nThe recovery time constant is set by the event rates (λ = μ = {}),\n\
+         not by the failure itself: elastic channels climb back one increment\n\
+         at a time as terminations and indirectly-chained arrivals free\n\
+         bandwidth — exactly the upward transitions of the paper's chain.",
+        rates.lambda
+    );
+    Ok(())
+}

@@ -1,0 +1,56 @@
+//! Shared fixtures for the drqos cross-crate integration tests.
+
+use drqos_core::experiment::ExperimentConfig;
+use drqos_core::network::{Network, NetworkConfig};
+use drqos_core::qos::{Bandwidth, ElasticQos};
+use drqos_core::workload::Workload;
+use drqos_sim::rng::Rng;
+use drqos_topology::graph::Graph;
+use drqos_topology::waxman;
+
+/// A paper-style Waxman graph scaled down for test speed.
+pub fn small_paper_graph(nodes: usize, seed: u64) -> Graph {
+    waxman::paper_waxman(nodes)
+        .generate(&mut Rng::seed_from_u64(seed))
+        .expect("calibrated parameters are valid")
+}
+
+/// A default-configured network over a small paper graph.
+pub fn small_network(nodes: usize, seed: u64) -> Network {
+    Network::new(small_paper_graph(nodes, seed), NetworkConfig::default())
+}
+
+/// Loads `n` connections (retrying rejected requests) and returns the
+/// network together with the RNG used, for continued churn.
+pub fn loaded_network(nodes: usize, n: usize, seed: u64) -> (Network, Rng) {
+    let mut net = small_network(nodes, seed);
+    let mut rng = Rng::seed_from_u64(seed ^ 0x5EED);
+    let workload = Workload::new(ElasticQos::paper_video(50));
+    let mut established = 0;
+    let mut attempts = 0;
+    while established < n && attempts < n * 20 {
+        attempts += 1;
+        let req = workload.request(&mut rng, net.graph().node_count());
+        if net.establish(req.src, req.dst, req.qos).is_ok() {
+            established += 1;
+        }
+    }
+    assert!(established > 0, "fixture failed to load any connections");
+    (net, rng)
+}
+
+/// A quick experiment configuration for integration tests.
+pub fn quick_experiment(target: usize, churn: usize, seed: u64) -> ExperimentConfig {
+    let mut config = ExperimentConfig::paper_default(target, 50);
+    config.churn_events = churn;
+    config.seed = seed;
+    config
+}
+
+/// A tight-capacity config useful for forcing contention.
+pub fn tight_network_config(kbps: u64) -> NetworkConfig {
+    NetworkConfig {
+        capacity: Bandwidth::kbps(kbps),
+        ..NetworkConfig::default()
+    }
+}

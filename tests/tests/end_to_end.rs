@@ -1,0 +1,95 @@
+//! End-to-end integration: the full simulate → measure → model pipeline
+//! across all five crates.
+
+use drqos_analysis::model::{ElasticQosModel, EventRates};
+use drqos_analysis::pipeline::analyze;
+use drqos_core::experiment::run_churn;
+use drqos_core::qos::ElasticQos;
+use drqos_tests::{quick_experiment, small_paper_graph};
+
+#[test]
+fn pipeline_produces_model_within_qos_range() {
+    let point = analyze(small_paper_graph(60, 1), &quick_experiment(300, 800, 1));
+    let sim = point.report.avg_bandwidth_sim;
+    assert!((100.0 - 1e-6..=500.0 + 1e-6).contains(&sim), "sim {sim}");
+    let model = point.analytic_avg.expect("enough churn for a model");
+    assert!((100.0..=500.0).contains(&model), "model {model}");
+    assert!((100.0..=500.0).contains(&point.ideal_avg));
+    point.network.validate();
+}
+
+#[test]
+fn model_tracks_simulation_at_moderate_load() {
+    // The paper's headline: the Markov model "accurately represents the
+    // behavior of DR-connections with elastic QoS".
+    let point = analyze(small_paper_graph(80, 2), &quick_experiment(600, 1_500, 2));
+    let sim = point.report.avg_bandwidth_sim;
+    let model = point.analytic_avg.expect("model solved");
+    let rel = (model - sim).abs() / sim;
+    assert!(
+        rel < 0.30,
+        "model {model:.1} vs simulation {sim:.1} ({:.0}% off)",
+        rel * 100.0
+    );
+}
+
+#[test]
+fn network_invariants_survive_heavy_mixed_churn() {
+    let mut config = quick_experiment(400, 1_200, 3);
+    config.gamma = 0.0008; // close to λ: plenty of failures
+    config.mean_repair = 300.0;
+    let (report, net) = run_churn(small_paper_graph(60, 3), &config);
+    assert!(report.failures > 0);
+    net.validate();
+}
+
+#[test]
+fn measured_params_feed_model_directly() {
+    let (report, _) = run_churn(small_paper_graph(60, 4), &quick_experiment(400, 800, 4));
+    let params = report.params.expect("arrivals recorded");
+    assert!(params.is_consistent());
+    let model = ElasticQosModel::new(
+        ElasticQos::paper_video(50),
+        &params,
+        EventRates::paper_default(0.0),
+    )
+    .expect("consistent params build");
+    let avg = model.average_bandwidth().expect("solvable chain");
+    assert!((100.0..=500.0).contains(&avg));
+    // The steady-state distribution over active states sums to one.
+    if let Ok(ss) = model.steady_state() {
+        let total: f64 = ss.probs().iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn rejected_and_accepted_requests_balance() {
+    let (report, net) = run_churn(small_paper_graph(40, 5), &quick_experiment(800, 400, 5));
+    assert_eq!(
+        report.attempted,
+        report.accepted + report.rejected_primary + report.rejected_backup
+    );
+    // Active = accepted − released − dropped; at minimum it is bounded.
+    assert!(report.active_end as u64 <= report.accepted);
+    assert_eq!(net.len(), report.active_end);
+}
+
+#[test]
+fn five_state_and_nine_state_models_agree() {
+    // Table 1's claim as an integration property: the increment size does
+    // not change the average bandwidth materially.
+    let run = |inc: u64, seed: u64| {
+        let mut config = quick_experiment(500, 1_200, seed);
+        config.qos = ElasticQos::paper_video(inc);
+        analyze(small_paper_graph(80, 6), &config)
+    };
+    let five = run(100, 6).analytic_avg;
+    let nine = run(50, 6).analytic_avg;
+    if let (Some(a), Some(b)) = (five, nine) {
+        assert!(
+            (a - b).abs() < 80.0,
+            "5-state {a:.1} vs 9-state {b:.1} diverge too much"
+        );
+    }
+}

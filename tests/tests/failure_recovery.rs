@@ -1,0 +1,113 @@
+//! Integration tests for the failure/recovery path: backup activation,
+//! multiplexing safety, drops, and repair across the full stack.
+
+use drqos_core::channel::ConnectionId;
+use drqos_core::qos::Bandwidth;
+use drqos_tests::loaded_network;
+use std::collections::BTreeSet;
+
+#[test]
+fn single_failure_never_strands_backed_up_connections() {
+    let (mut net, _) = loaded_network(50, 120, 10);
+    net.validate();
+    let with_backup: BTreeSet<ConnectionId> = net
+        .connections()
+        .filter(|c| c.has_backup() && c.backup_fully_disjoint())
+        .map(|c| c.id())
+        .collect();
+    // Fail one link; every fully-backed-up connection must survive.
+    let link = net.up_links().next().expect("links exist");
+    let report = net.fail_link(link).expect("link is up");
+    for id in &with_backup {
+        assert!(
+            net.connection(*id).is_some(),
+            "{id} had a disjoint backup but vanished"
+        );
+    }
+    for id in &report.dropped {
+        assert!(!with_backup.contains(id), "{id} dropped despite disjoint backup");
+    }
+    net.validate();
+}
+
+#[test]
+fn activation_burst_fits_in_reserved_bandwidth() {
+    // The multiplexed reservation must cover the worst single-failure
+    // activation burst: after any single failure, no link's *allocated*
+    // bandwidth (minima + extras) may exceed capacity.
+    let (mut net, mut rng) = loaded_network(50, 150, 11);
+    let up: Vec<_> = net.up_links().collect();
+    let link = up[rng.range_usize(up.len())];
+    net.fail_link(link).expect("link is up");
+    for l in net.graph().links() {
+        let u = net.link_usage(l.id());
+        assert!(
+            u.primary_min_sum() + u.extra_sum() <= u.capacity(),
+            "allocation burst exceeded capacity on {}",
+            l.id()
+        );
+    }
+    net.validate();
+}
+
+#[test]
+fn repeated_fail_repair_cycles_preserve_invariants() {
+    let (mut net, mut rng) = loaded_network(40, 80, 12);
+    for _ in 0..12 {
+        let up: Vec<_> = net.up_links().collect();
+        if up.is_empty() {
+            break;
+        }
+        let link = up[rng.range_usize(up.len())];
+        net.fail_link(link).expect("link is up");
+        net.validate();
+        net.repair_link(link).expect("link is down");
+        net.validate();
+    }
+}
+
+#[test]
+fn concurrent_failures_then_repairs() {
+    let (mut net, mut rng) = loaded_network(40, 60, 13);
+    let mut down = Vec::new();
+    for _ in 0..4 {
+        let up: Vec<_> = net.up_links().collect();
+        let link = up[rng.range_usize(up.len())];
+        net.fail_link(link).expect("link is up");
+        down.push(link);
+        net.validate();
+    }
+    for link in down {
+        net.repair_link(link).expect("still down");
+        net.validate();
+    }
+    // After full repair, connections may regain backups.
+    let backed = net.connections().filter(|c| c.has_backup()).count();
+    assert!(backed > 0);
+}
+
+#[test]
+fn failover_retains_minimum_bandwidth() {
+    let (mut net, _) = loaded_network(50, 100, 14);
+    let link = net.up_links().next().expect("links exist");
+    let report = net.fail_link(link).expect("link is up");
+    for id in &report.activated {
+        let c = net.connection(*id).expect("activated connections survive");
+        assert!(c.bandwidth() >= Bandwidth::kbps(100));
+        assert_eq!(c.failovers(), 1);
+        // The new primary must avoid the dead link.
+        assert!(!c.primary().crosses(link));
+    }
+}
+
+#[test]
+fn drops_are_counted_once() {
+    let (mut net, _) = loaded_network(40, 80, 15);
+    let before = net.dropped_total();
+    let mut dropped_reports = 0;
+    let links: Vec<_> = net.up_links().take(6).collect();
+    for link in links {
+        dropped_reports += net.fail_link(link).expect("link is up").dropped.len() as u64;
+    }
+    assert_eq!(net.dropped_total() - before, dropped_reports);
+}

@@ -1,0 +1,136 @@
+//! Each qualitative claim of the paper's evaluation, checked at reduced
+//! scale on every `cargo test` run. The full-size regenerators live in
+//! `drqos-bench` (binaries `fig2`, `table1`, `fig3`, `fig4`).
+
+use drqos_analysis::pipeline::analyze;
+use drqos_core::experiment::run_churn;
+use drqos_core::qos::ElasticQos;
+use drqos_sim::rng::Rng;
+use drqos_tests::{quick_experiment, small_paper_graph};
+use drqos_topology::transit_stub::TransitStubConfig;
+use drqos_topology::waxman;
+
+/// Figure 2's shape: bandwidth starts at the maximum, decays monotonically
+/// (modulo noise) towards the minimum as load grows, and the analytic
+/// model stays close to the simulation.
+#[test]
+fn fig2_bandwidth_decays_with_load_and_model_tracks() {
+    let loads = [50usize, 400, 1_200];
+    let mut sims = Vec::new();
+    for &load in &loads {
+        let point = analyze(small_paper_graph(60, 21), &quick_experiment(load, 900, 21));
+        let sim = point.report.avg_bandwidth_sim;
+        if let Some(model) = point.analytic_avg {
+            assert!(
+                (model - sim).abs() / sim < 0.35,
+                "load {load}: model {model:.0} vs sim {sim:.0}"
+            );
+            // Both under (or at) the ideal reference.
+            assert!(model <= point.ideal_avg + 30.0);
+        }
+        sims.push(sim);
+    }
+    assert!(sims[0] > sims[2], "no decay across the sweep: {sims:?}");
+    assert!(sims[0] > 450.0, "light load should be near the maximum");
+}
+
+/// Table 1's first claim: the increment size (5 vs 9 states) does not
+/// change the average bandwidth.
+#[test]
+fn table1_increment_size_immaterial() {
+    let run = |inc: u64| {
+        let mut config = quick_experiment(500, 1_000, 22);
+        config.qos = ElasticQos::paper_video(inc);
+        analyze(small_paper_graph(60, 22), &config)
+            .report
+            .avg_bandwidth_sim
+    };
+    let five = run(100);
+    let nine = run(50);
+    assert!(
+        (five - nine).abs() < 60.0,
+        "Δ=100 gives {five:.0}, Δ=50 gives {nine:.0}"
+    );
+}
+
+/// Table 1's second claim: the tiered (transit-stub) network rejects most
+/// connections for lack of bandwidth in the core.
+#[test]
+fn table1_tier_network_saturates_early() {
+    let tier = TransitStubConfig::paper_default()
+        .generate(&mut Rng::seed_from_u64(23))
+        .unwrap()
+        .graph;
+    let (tier_report, _) = run_churn(tier, &quick_experiment(2_000, 300, 23));
+    let (random_report, _) = run_churn(
+        small_paper_graph(100, 23),
+        &quick_experiment(2_000, 300, 23),
+    );
+    assert!(
+        tier_report.accepted < random_report.accepted / 2,
+        "tier accepted {} vs random {}",
+        tier_report.accepted,
+        random_report.accepted
+    );
+}
+
+/// Figure 3's shape: with load fixed, growing the network raises the
+/// average bandwidth back towards the maximum, and the edge count grows
+/// with the node count.
+#[test]
+fn fig3_more_nodes_means_more_bandwidth() {
+    let run = |nodes: usize| {
+        let graph = waxman::paper_waxman_scaled(nodes)
+            .generate(&mut Rng::seed_from_u64(24))
+            .unwrap();
+        let edges = graph.link_count();
+        let a = analyze(graph, &quick_experiment(800, 600, 24));
+        (a.report.avg_bandwidth_sim, edges)
+    };
+    let (bw_small, edges_small) = run(40);
+    let (bw_large, edges_large) = run(120);
+    assert!(edges_large > edges_small);
+    assert!(
+        bw_large > bw_small,
+        "more resources should raise bandwidth: {bw_small:.0} vs {bw_large:.0}"
+    );
+}
+
+/// Figure 4's claim: realistic failure rates (γ ≪ λ) have no visible
+/// effect on the average bandwidth.
+#[test]
+fn fig4_small_failure_rates_invisible() {
+    let run = |gamma: f64| {
+        let mut config = quick_experiment(500, 900, 25);
+        config.gamma = gamma;
+        analyze(small_paper_graph(60, 25), &config)
+            .report
+            .avg_bandwidth_sim
+    };
+    let calm = run(0.0);
+    let stormy = run(1e-6);
+    assert!(
+        (calm - stormy).abs() < 40.0,
+        "γ=1e-6 moved the average: {calm:.1} vs {stormy:.1}"
+    );
+}
+
+/// Section 1's motivation: elastic QoS yields far more bandwidth per
+/// channel than the rigid single-value scheme on the same workload.
+#[test]
+fn elastic_beats_rigid_baseline() {
+    let run = |qos: ElasticQos| {
+        let mut config = quick_experiment(300, 600, 26);
+        config.qos = qos;
+        analyze(small_paper_graph(60, 26), &config)
+            .report
+            .avg_bandwidth_sim
+    };
+    let elastic = run(ElasticQos::paper_video(50));
+    let rigid = run(ElasticQos::rigid(drqos_core::qos::Bandwidth::kbps(100)).unwrap());
+    assert!((rigid - 100.0).abs() < 1e-6, "rigid is pinned to 100");
+    assert!(
+        elastic > 1.5 * rigid,
+        "elastic {elastic:.0} should dominate rigid {rigid:.0}"
+    );
+}
