@@ -183,9 +183,9 @@ impl ElasticQosModel {
                 }
             }
         }
-        let occupancy_avg = params.occupancy_mean_level().map(|mean_level| {
-            qos.min().as_kbps_f64() + mean_level * qos.increment().as_kbps_f64()
-        });
+        let occupancy_avg = params
+            .occupancy_mean_level()
+            .map(|mean_level| qos.min().as_kbps_f64() + mean_level * qos.increment().as_kbps_f64());
         Ok(Self {
             qos,
             chain: builder.build()?,
@@ -276,11 +276,7 @@ impl ElasticQosModel {
                 }
             }
         }
-        Ok(ss.expectation(|ai| {
-            self.qos
-                .level_bandwidth(self.active[ai])
-                .as_kbps_f64()
-        }))
+        Ok(ss.expectation(|ai| self.qos.level_bandwidth(self.active[ai]).as_kbps_f64()))
     }
 
     /// Transient solution (uniformization): the distribution over all `N`
@@ -315,8 +311,7 @@ impl ElasticQosModel {
         if sub_mass <= 0.0 {
             return Err(ModelError::Solve(MarkovError::Singular));
         }
-        let evolved =
-            drqos_markov::transient::transient(&self.chain, &sub_initial, t, 1e-10)?;
+        let evolved = drqos_markov::transient::transient(&self.chain, &sub_initial, t, 1e-10)?;
         let mut out = initial.to_vec();
         for (&state, _) in self.active.iter().zip(&evolved) {
             out[state] = 0.0;
@@ -363,11 +358,7 @@ impl ElasticQosModel {
     /// # Errors
     ///
     /// See [`ElasticQosModel::transient_levels`].
-    pub fn transient_average_bandwidth(
-        &self,
-        initial: &[f64],
-        t: f64,
-    ) -> Result<f64, ModelError> {
+    pub fn transient_average_bandwidth(&self, initial: &[f64], t: f64) -> Result<f64, ModelError> {
         let dist = self.transient_levels(initial, t)?;
         Ok(dist
             .iter()
@@ -421,8 +412,7 @@ mod tests {
     #[test]
     fn builds_and_solves() {
         let params = synthetic_params(5, 0.3, 0.1);
-        let model =
-            ElasticQosModel::new(qos5(), &params, EventRates::paper_default(0.0)).unwrap();
+        let model = ElasticQosModel::new(qos5(), &params, EventRates::paper_default(0.0)).unwrap();
         let avg = model.average_bandwidth().unwrap();
         assert!(
             (100.0..=500.0).contains(&avg),
@@ -458,7 +448,10 @@ mod tests {
             .unwrap()
             .average_bandwidth()
             .unwrap();
-        assert!(stormy < calm, "γ should depress bandwidth: {stormy} vs {calm}");
+        assert!(
+            stormy < calm,
+            "γ should depress bandwidth: {stormy} vs {calm}"
+        );
     }
 
     #[test]
@@ -483,7 +476,10 @@ mod tests {
         let qos9 = ElasticQos::paper_video(50);
         assert!(matches!(
             ElasticQosModel::new(qos9, &params, EventRates::paper_default(0.0)),
-            Err(ModelError::StateMismatch { qos: 9, measured: 5 })
+            Err(ModelError::StateMismatch {
+                qos: 9,
+                measured: 5
+            })
         ));
     }
 
@@ -515,8 +511,7 @@ mod tests {
     fn rigid_qos_single_state() {
         let qos = ElasticQos::rigid(Bandwidth::kbps(100)).unwrap();
         let params = synthetic_params(1, 0.3, 0.1);
-        let model =
-            ElasticQosModel::new(qos, &params, EventRates::paper_default(0.0)).unwrap();
+        let model = ElasticQosModel::new(qos, &params, EventRates::paper_default(0.0)).unwrap();
         assert_eq!(model.average_bandwidth().unwrap(), 100.0);
     }
 
@@ -548,8 +543,7 @@ mod tests {
     #[test]
     fn transient_recovers_toward_steady_state() {
         let params = synthetic_params(5, 0.3, 0.2);
-        let model =
-            ElasticQosModel::new(qos5(), &params, EventRates::paper_default(0.0)).unwrap();
+        let model = ElasticQosModel::new(qos5(), &params, EventRates::paper_default(0.0)).unwrap();
         // All mass on level 0 (just retreated).
         let mut initial = vec![0.0; 5];
         initial[0] = 1.0;
@@ -572,8 +566,7 @@ mod tests {
     #[test]
     fn mean_passage_time_is_positive_and_monotone() {
         let params = synthetic_params(5, 0.3, 0.2);
-        let model =
-            ElasticQosModel::new(qos5(), &params, EventRates::paper_default(0.0)).unwrap();
+        let model = ElasticQosModel::new(qos5(), &params, EventRates::paper_default(0.0)).unwrap();
         let t1 = model.mean_passage_time(0, 1).unwrap();
         let t4 = model.mean_passage_time(0, 4).unwrap();
         assert!(t1 > 0.0);
@@ -584,8 +577,7 @@ mod tests {
     #[test]
     fn mean_passage_time_validates_levels() {
         let params = synthetic_params(5, 0.3, 0.2);
-        let model =
-            ElasticQosModel::new(qos5(), &params, EventRates::paper_default(0.0)).unwrap();
+        let model = ElasticQosModel::new(qos5(), &params, EventRates::paper_default(0.0)).unwrap();
         assert!(model.mean_passage_time(9, 0).is_err());
         assert!(model.mean_passage_time(0, 9).is_err());
     }
@@ -593,8 +585,7 @@ mod tests {
     #[test]
     fn transient_validates_inputs() {
         let params = synthetic_params(5, 0.3, 0.2);
-        let model =
-            ElasticQosModel::new(qos5(), &params, EventRates::paper_default(0.0)).unwrap();
+        let model = ElasticQosModel::new(qos5(), &params, EventRates::paper_default(0.0)).unwrap();
         assert!(model.transient_levels(&[1.0; 3], 1.0).is_err());
         assert!(model.transient_levels(&[0.2; 5], -1.0).is_err());
     }
@@ -618,11 +609,18 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert!(ModelError::InconsistentParams.to_string().contains("inconsistent"));
-        assert!(ModelError::StateMismatch { qos: 2, measured: 3 }
+        assert!(ModelError::InconsistentParams
             .to_string()
-            .contains("2 levels"));
+            .contains("inconsistent"));
+        assert!(ModelError::StateMismatch {
+            qos: 2,
+            measured: 3
+        }
+        .to_string()
+        .contains("2 levels"));
         assert!(ModelError::InvalidRate(-1.0).to_string().contains("-1"));
-        assert!(ModelError::Solve(MarkovError::Empty).to_string().contains("solve"));
+        assert!(ModelError::Solve(MarkovError::Empty)
+            .to_string()
+            .contains("solve"));
     }
 }

@@ -1,7 +1,8 @@
 //! Micro-benchmarks for admission and elastic re-distribution under load —
 //! the per-event cost of the paper's retreat/re-allocate dynamics.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use drqos_bench::microbench::{BatchSize, Criterion};
+use drqos_bench::{criterion_group, criterion_main};
 use drqos_core::network::{Network, NetworkConfig};
 use drqos_core::qos::ElasticQos;
 use drqos_core::workload::Workload;

@@ -2,7 +2,8 @@
 //! (arrival/termination events, retreat, re-distribution, measurement)
 //! runs at a paper-scale load.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use drqos_bench::microbench::Criterion;
+use drqos_bench::{criterion_group, criterion_main};
 use drqos_core::experiment::{run_churn, ExperimentConfig};
 use drqos_sim::rng::Rng;
 use drqos_topology::waxman;

@@ -4,8 +4,9 @@
 //! shape is visible in the bench log; the full-size regenerators are the
 //! `fig2`/`table1`/`fig3`/`fig4`/`ablation` binaries.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use drqos_bench::microbench::Criterion;
 use drqos_bench::{ablation, fig2, fig3, fig4, table1};
+use drqos_bench::{criterion_group, criterion_main};
 use std::sync::Once;
 
 static PRINT_ONCE: Once = Once::new();
@@ -13,31 +14,31 @@ static PRINT_ONCE: Once = Once::new();
 fn print_preview() {
     PRINT_ONCE.call_once(|| {
         println!("\n--- scaled-down experiment previews (full size: bin targets) ---");
-        for r in fig2(&[200, 800, 1_600], 400, 1) {
+        for r in fig2(&[200, 800, 1_600], 400, 1).into_rows() {
             println!(
                 "fig2   nchan={:5} sim={:6.1} model={:6.1} ideal={:6.1}",
                 r.nchan, r.sim, r.analytic, r.ideal
             );
         }
-        for r in table1(&[800], 400, 1) {
+        for r in table1(&[800], 400, 1).into_rows() {
             println!(
                 "table1 nchan={:5} random5={:6.1} random9={:6.1} tier5={:6.1} tier9={:6.1}",
                 r.nchan, r.random5, r.random9, r.tier5, r.tier9
             );
         }
-        for r in fig3(&[100, 200], 800, 400, 1) {
+        for r in fig3(&[100, 200], 800, 400, 1).into_rows() {
             println!(
                 "fig3   nodes={:4} edges={:5} sim={:6.1} model={:6.1}",
                 r.nodes, r.edges, r.sim, r.analytic
             );
         }
-        for r in fig4(&[1e-6, 1e-3], 400, 1) {
+        for r in fig4(&[1e-6, 1e-3], 400, 1).into_rows() {
             println!(
                 "fig4   gamma={:8.0e} sim2000={:6.1} sim3000={:6.1}",
                 r.gamma, r.sim2000, r.sim3000
             );
         }
-        for r in ablation(&[800], 400, 1) {
+        for r in ablation(&[800], 400, 1).into_rows() {
             println!(
                 "ablate nchan={:5} elastic={:6.1} rigid={:6.1} max-utility={:6.1}",
                 r.nchan, r.elastic_avg, r.rigid_avg, r.max_utility_avg

@@ -2,7 +2,8 @@
 //! GTH is the default; the direct LU solve and power iteration are the
 //! alternatives it is compared against.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use drqos_bench::microbench::Criterion;
+use drqos_bench::{criterion_group, criterion_main};
 use drqos_markov::ctmc::{Ctmc, CtmcBuilder};
 use drqos_markov::steady_state;
 use drqos_markov::transient;
@@ -14,7 +15,9 @@ fn dense_chain(n: usize) -> Ctmc {
     for i in 0..n {
         for j in 0..n {
             if i != j {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let r = ((x >> 33) as f64) / (u32::MAX as f64) * 2.0 + 0.001;
                 builder = builder.rate(i, j, r).unwrap();
             }

@@ -1,7 +1,8 @@
 //! Micro-benchmarks for route selection: bounded-flooding emulation vs.
 //! the plain shortest-path baseline vs. Suurballe disjoint pairs.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use drqos_bench::microbench::Criterion;
+use drqos_bench::{criterion_group, criterion_main};
 use drqos_core::qos::Bandwidth;
 use drqos_core::routing::{self, BackupDisjointness, RouterKind};
 use drqos_sim::rng::Rng;

@@ -1,7 +1,8 @@
 //! Micro-benchmarks for topology generation and metrics — the substrate
 //! every experiment builds on.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use drqos_bench::microbench::{BatchSize, Criterion};
+use drqos_bench::{criterion_group, criterion_main};
 use drqos_sim::rng::Rng;
 use drqos_topology::{metrics, transit_stub::TransitStubConfig, waxman};
 
@@ -17,7 +18,11 @@ fn bench_generation(c: &mut Criterion) {
     });
     group.bench_function("transit_stub_100", |b| {
         let mut rng = Rng::seed_from_u64(1);
-        b.iter(|| TransitStubConfig::paper_default().generate(&mut rng).unwrap());
+        b.iter(|| {
+            TransitStubConfig::paper_default()
+                .generate(&mut rng)
+                .unwrap()
+        });
     });
     group.finish();
 }

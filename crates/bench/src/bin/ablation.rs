@@ -3,13 +3,15 @@
 //! improves), and how the two adaptation policies compare.
 //!
 //! Run with `cargo run --release -p drqos-bench --bin ablation`.
+//! Set `DRQOS_THREADS=n` to bound the sweep's worker count.
 
 use drqos_analysis::report::{fmt_f64, TextTable};
-use drqos_bench::{ablation, dependability};
+use drqos_bench::runner::export_sweep;
+use drqos_bench::{ablation, csv, dependability};
 
 fn main() {
     let points = [500, 1_500, 3_000, 5_000];
-    let rows = ablation(&points, 1_500, 2001);
+    let result = ablation(&points, 1_500, 2001);
     let mut table = TextTable::new([
         "DR-connections",
         "elastic avg (Kbps)",
@@ -18,7 +20,7 @@ fn main() {
         "rigid accepted",
         "max-utility avg (Kbps)",
     ]);
-    for r in &rows {
+    for r in result.rows() {
         table.row([
             r.nchan.to_string(),
             fmt_f64(r.elastic_avg, 1),
@@ -35,10 +37,33 @@ fn main() {
     println!("elastic channels exploit idle and backup bandwidth, which is");
     println!("the paper's motivating claim (Section 1).");
 
+    export_sweep(
+        "ablation",
+        &[
+            "nchan",
+            "elastic_avg",
+            "elastic_accepted",
+            "rigid_avg",
+            "rigid_accepted",
+            "max_utility_avg",
+        ],
+        &result,
+        |r| {
+            vec![
+                r.nchan.to_string(),
+                csv::cell(r.elastic_avg),
+                r.elastic_accepted.to_string(),
+                csv::cell(r.rigid_avg),
+                r.rigid_accepted.to_string(),
+                csv::cell(r.max_utility_avg),
+            ]
+        },
+    );
+
     // Second ablation: the dependability payoff of backup channels under a
     // failure storm (γ = 2λ, slow repairs), including the multi-backup
     // extension of the Han–Shin scheme.
-    let rows = dependability(&[0, 1, 2], 2_000, 1_500, 2001);
+    let result = dependability(&[0, 1, 2], 2_000, 1_500, 2001);
     let mut table = TextTable::new([
         "backups/connection",
         "accepted",
@@ -47,7 +72,7 @@ fn main() {
         "failures",
         "avg bandwidth (Kbps)",
     ]);
-    for r in &rows {
+    for r in result.rows() {
         table.row([
             r.backup_count.to_string(),
             r.accepted.to_string(),
@@ -63,4 +88,27 @@ fn main() {
     println!("load collapses; with backups connections ride out the storm. A second");
     println!("backup covers the window while the first is being rebuilt, at the");
     println!("price of extra reservations (lower average bandwidth).");
+
+    export_sweep(
+        "dependability",
+        &[
+            "backup_count",
+            "accepted",
+            "dropped",
+            "carried_end",
+            "failures",
+            "avg_bandwidth_kbps",
+        ],
+        &result,
+        |r| {
+            vec![
+                r.backup_count.to_string(),
+                r.accepted.to_string(),
+                r.dropped.to_string(),
+                r.active_end.to_string(),
+                r.failures.to_string(),
+                csv::cell(r.avg_bandwidth),
+            ]
+        },
+    );
 }

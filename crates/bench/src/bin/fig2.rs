@@ -6,13 +6,15 @@
 //! × marks), and the ideal average `BW·E/(N·avg_hops)` (upper dotted).
 //!
 //! Run with `cargo run --release -p drqos-bench --bin fig2`.
+//! Set `DRQOS_THREADS=n` to bound the sweep's worker count.
 
 use drqos_analysis::report::{fmt_f64, AsciiChart, TextTable};
+use drqos_bench::runner::export_sweep;
 use drqos_bench::{csv, fig2};
 
 fn main() {
     let points: Vec<usize> = (1..=20).map(|i| i * 250).collect();
-    let rows = fig2(&points, 2_000, 2001);
+    let result = fig2(&points, 2_000, 2001);
     let mut table = TextTable::new([
         "DR-connections",
         "active",
@@ -20,7 +22,7 @@ fn main() {
         "Markov model (Kbps)",
         "ideal (Kbps)",
     ]);
-    for r in &rows {
+    for r in result.rows() {
         table.row([
             r.nchan.to_string(),
             r.active.to_string(),
@@ -35,26 +37,30 @@ fn main() {
 
     let chart = AsciiChart::new(14)
         .y_range(100.0, 520.0)
-        .series('s', &rows.iter().map(|r| r.sim).collect::<Vec<_>>())
-        .series('x', &rows.iter().map(|r| r.analytic).collect::<Vec<_>>())
-        .series('.', &rows.iter().map(|r| r.ideal).collect::<Vec<_>>());
+        .series('s', &result.rows().map(|r| r.sim).collect::<Vec<_>>())
+        .series('x', &result.rows().map(|r| r.analytic).collect::<Vec<_>>())
+        .series('.', &result.rows().map(|r| r.ideal).collect::<Vec<_>>());
     println!("\ns = simulation, x = Markov model, . = ideal   (x-axis: 250..5000)");
     print!("{}", chart.render());
 
-    csv::export(
+    export_sweep(
         "fig2",
-        &["nchan", "active", "simulation_kbps", "model_kbps", "ideal_kbps"],
-        &rows
-            .iter()
-            .map(|r| {
-                vec![
-                    r.nchan.to_string(),
-                    r.active.to_string(),
-                    csv::cell(r.sim),
-                    csv::cell(r.analytic),
-                    csv::cell(r.ideal),
-                ]
-            })
-            .collect::<Vec<_>>(),
+        &[
+            "nchan",
+            "active",
+            "simulation_kbps",
+            "model_kbps",
+            "ideal_kbps",
+        ],
+        &result,
+        |r| {
+            vec![
+                r.nchan.to_string(),
+                r.active.to_string(),
+                csv::cell(r.sim),
+                csv::cell(r.analytic),
+                csv::cell(r.ideal),
+            ]
+        },
     );
 }

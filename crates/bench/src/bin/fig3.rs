@@ -4,20 +4,17 @@
 //! network, plotted as the paper's upper dotted line).
 //!
 //! Run with `cargo run --release -p drqos-bench --bin fig3`.
+//! Set `DRQOS_THREADS=n` to bound the sweep's worker count.
 
 use drqos_analysis::report::{fmt_f64, AsciiChart, TextTable};
+use drqos_bench::runner::export_sweep;
 use drqos_bench::{csv, fig3};
 
 fn main() {
     let nodes = [100, 200, 300, 400, 500];
-    let rows = fig3(&nodes, 3_000, 2_000, 2001);
-    let mut table = TextTable::new([
-        "nodes",
-        "edges",
-        "simulation (Kbps)",
-        "Markov model (Kbps)",
-    ]);
-    for r in &rows {
+    let result = fig3(&nodes, 3_000, 2_000, 2001);
+    let mut table = TextTable::new(["nodes", "edges", "simulation (Kbps)", "Markov model (Kbps)"]);
+    for r in result.rows() {
         table.row([
             r.nodes.to_string(),
             r.edges.to_string(),
@@ -31,24 +28,22 @@ fn main() {
 
     let chart = AsciiChart::new(10)
         .y_range(100.0, 520.0)
-        .series('s', &rows.iter().map(|r| r.sim).collect::<Vec<_>>())
-        .series('x', &rows.iter().map(|r| r.analytic).collect::<Vec<_>>());
+        .series('s', &result.rows().map(|r| r.sim).collect::<Vec<_>>())
+        .series('x', &result.rows().map(|r| r.analytic).collect::<Vec<_>>());
     println!("\ns = simulation, x = Markov model   (x-axis: 100..500 nodes)");
     print!("{}", chart.render());
 
-    csv::export(
+    export_sweep(
         "fig3",
         &["nodes", "edges", "simulation_kbps", "model_kbps"],
-        &rows
-            .iter()
-            .map(|r| {
-                vec![
-                    r.nodes.to_string(),
-                    r.edges.to_string(),
-                    csv::cell(r.sim),
-                    csv::cell(r.analytic),
-                ]
-            })
-            .collect::<Vec<_>>(),
+        &result,
+        |r| {
+            vec![
+                r.nodes.to_string(),
+                r.edges.to_string(),
+                csv::cell(r.sim),
+                csv::cell(r.analytic),
+            ]
+        },
     );
 }

@@ -7,13 +7,15 @@
 //! the DR-connection request arrival and termination rates."
 //!
 //! Run with `cargo run --release -p drqos-bench --bin fig4`.
+//! Set `DRQOS_THREADS=n` to bound the sweep's worker count.
 
 use drqos_analysis::report::{fmt_f64, AsciiChart, TextTable};
+use drqos_bench::runner::export_sweep;
 use drqos_bench::{csv, fig4};
 
 fn main() {
     let gammas = [1e-7, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2];
-    let rows = fig4(&gammas, 2_000, 2001);
+    let result = fig4(&gammas, 2_000, 2001);
     let mut table = TextTable::new([
         "failure rate",
         "sim 2000ch",
@@ -21,7 +23,7 @@ fn main() {
         "sim 3000ch",
         "model 3000ch",
     ]);
-    for r in &rows {
+    for r in result.rows() {
         table.row([
             format!("{:.0e}", r.gamma),
             fmt_f64(r.sim2000, 1),
@@ -36,26 +38,24 @@ fn main() {
 
     let chart = AsciiChart::new(10)
         .y_range(100.0, 520.0)
-        .series('2', &rows.iter().map(|r| r.sim2000).collect::<Vec<_>>())
-        .series('3', &rows.iter().map(|r| r.sim3000).collect::<Vec<_>>());
+        .series('2', &result.rows().map(|r| r.sim2000).collect::<Vec<_>>())
+        .series('3', &result.rows().map(|r| r.sim3000).collect::<Vec<_>>());
     println!("\n2 = 2000 channels, 3 = 3000 channels   (x-axis: γ = 1e-7..1e-2, log)");
     print!("{}", chart.render());
     println!("Flat lines = the paper's conclusion: γ ≪ λ has no visible effect.");
 
-    csv::export(
+    export_sweep(
         "fig4",
         &["gamma", "sim2000", "model2000", "sim3000", "model3000"],
-        &rows
-            .iter()
-            .map(|r| {
-                vec![
-                    format!("{:e}", r.gamma),
-                    csv::cell(r.sim2000),
-                    csv::cell(r.analytic2000),
-                    csv::cell(r.sim3000),
-                    csv::cell(r.analytic3000),
-                ]
-            })
-            .collect::<Vec<_>>(),
+        &result,
+        |r| {
+            vec![
+                format!("{:e}", r.gamma),
+                csv::cell(r.sim2000),
+                csv::cell(r.analytic2000),
+                csv::cell(r.sim3000),
+                csv::cell(r.analytic3000),
+            ]
+        },
     );
 }

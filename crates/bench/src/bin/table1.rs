@@ -8,13 +8,15 @@
 //! connections than the attempt count in the left column.
 //!
 //! Run with `cargo run --release -p drqos-bench --bin table1`.
+//! Set `DRQOS_THREADS=n` to bound the sweep's worker count.
 
 use drqos_analysis::report::{fmt_f64, TextTable};
-use drqos_bench::table1;
+use drqos_bench::runner::export_sweep;
+use drqos_bench::{csv, table1};
 
 fn main() {
     let points = [1_000, 2_000, 3_000, 4_000, 5_000];
-    let rows = table1(&points, 2_000, 2001);
+    let result = table1(&points, 2_000, 2001);
     let mut table = TextTable::new([
         "No. of channels",
         "Random 5-state",
@@ -23,7 +25,7 @@ fn main() {
         "Tier 9-state",
         "Tier active",
     ]);
-    for r in &rows {
+    for r in result.rows() {
         table.row([
             r.nchan.to_string(),
             fmt_f64(r.random5, 1),
@@ -39,4 +41,27 @@ fn main() {
     println!("\nNote: the left column counts attempted set-ups; on the Tier");
     println!("network most are rejected (see the 'Tier active' column),");
     println!("matching the paper's remark under Table 1.");
+
+    export_sweep(
+        "table1",
+        &[
+            "nchan",
+            "random5",
+            "random9",
+            "tier5",
+            "tier9",
+            "tier_active",
+        ],
+        &result,
+        |r| {
+            vec![
+                r.nchan.to_string(),
+                csv::cell(r.random5),
+                csv::cell(r.random9),
+                csv::cell(r.tier5),
+                csv::cell(r.tier9),
+                r.tier_active.to_string(),
+            ]
+        },
+    );
 }

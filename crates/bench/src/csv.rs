@@ -27,23 +27,28 @@ pub fn cell(v: f64) -> String {
 ///
 /// # Errors
 ///
-/// Returns any I/O error from directory creation or writing.
-///
-/// # Panics
-///
-/// Panics if a row's width differs from the header's.
-pub fn write_csv(
-    path: &Path,
-    header: &[&str],
-    rows: &[Vec<String>],
-) -> io::Result<()> {
+/// Returns any I/O error from directory creation or writing, and
+/// `InvalidInput` when a row's width differs from the header's (a malformed
+/// table must not be half-written to disk).
+pub fn write_csv(path: &Path, header: &[&str], rows: &[Vec<String>]) -> io::Result<()> {
+    for (i, row) in rows.iter().enumerate() {
+        if row.len() != header.len() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "CSV row width mismatch at row {i}: {} cells vs {} header columns",
+                    row.len(),
+                    header.len()
+                ),
+            ));
+        }
+    }
     if let Some(parent) = path.parent() {
         fs::create_dir_all(parent)?;
     }
     let mut file = fs::File::create(path)?;
     writeln!(file, "{}", header.join(","))?;
     for row in rows {
-        assert_eq!(row.len(), header.len(), "CSV row width mismatch");
         writeln!(file, "{}", row.join(","))?;
     }
     Ok(())
@@ -79,16 +84,33 @@ mod tests {
     }
 
     #[test]
+    fn creates_missing_parent_directories() {
+        let dir = std::env::temp_dir().join("drqos_csv_mkdir/nested/deep");
+        std::fs::remove_dir_all(std::env::temp_dir().join("drqos_csv_mkdir")).ok();
+        let path = dir.join("t.csv");
+        write_csv(&path, &["x"], &[vec!["1".into()]]).unwrap();
+        assert!(path.exists());
+        std::fs::remove_dir_all(std::env::temp_dir().join("drqos_csv_mkdir")).ok();
+    }
+
+    #[test]
     fn cell_formats_nan_as_empty() {
         assert_eq!(cell(f64::NAN), "");
         assert_eq!(cell(1.5), "1.5");
     }
 
     #[test]
-    #[should_panic(expected = "width mismatch")]
-    fn row_width_checked() {
+    fn row_width_mismatch_is_an_error_not_a_panic() {
         let dir = std::env::temp_dir().join("drqos_csv_test2");
         let path = dir.join("t.csv");
-        let _ = write_csv(&path, &["a", "b"], &[vec!["1".into()]]);
+        let err = write_csv(&path, &["a", "b"], &[vec!["1".into()]])
+            .expect_err("short row must be rejected");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        assert!(
+            err.to_string().contains("row 0"),
+            "error names the row: {err}"
+        );
+        assert!(!path.exists(), "nothing may be written on invalid input");
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -4,7 +4,18 @@
 //! 100–500 Kbps, λ = μ = 0.001, equal utilities, random (Waxman) networks
 //! calibrated to the paper's 100-node/354-edge statistics, and a
 //! transit-stub ("Tier") alternative for Table 1.
+//!
+//! Each experiment is a sweep over independent points and runs through
+//! [`crate::runner::sweep`], which fans the points across worker threads
+//! (`DRQOS_THREADS`) and returns rows in input order with per-point
+//! timing/counters attached. Per-point seeds come from
+//! [`crate::runner::derive_seed`] — a split-mix hash of `(base seed,
+//! point index)` — and sub-runs within a point (Table 1's four networks,
+//! Figure 4's two load levels, the ablation's three variants) derive
+//! further with a distinct salt each, so no two simulated streams share a
+//! seed.
 
+use crate::runner::{derive_seed, sweep, PointObs, Sweep};
 use drqos_analysis::pipeline::{analyze, ExperimentAnalysis};
 use drqos_core::experiment::ExperimentConfig;
 use drqos_core::network::NetworkConfig;
@@ -58,17 +69,16 @@ pub struct Fig2Row {
 
 /// Runs Figure 2: a sweep over the offered number of DR-connections on the
 /// 100-node random network, 9-state chain (Δ = 50 Kbps), γ = 0.
-pub fn fig2(points: &[usize], churn_events: usize, seed: u64) -> Vec<Fig2Row> {
-    points
-        .iter()
-        .map(|&nchan| {
-            let mut config = ExperimentConfig::paper_default(nchan, 50);
-            config.churn_events = churn_events;
-            config.seed = seed ^ nchan as u64;
-            let a = analyze(paper_graph(100, seed), &config);
-            fig2_row(nchan, &a)
-        })
-        .collect()
+pub fn fig2(points: &[usize], churn_events: usize, seed: u64) -> Sweep<Fig2Row> {
+    sweep(seed, points, |&nchan, point_seed| {
+        let mut config = ExperimentConfig::paper_default(nchan, 50);
+        config.churn_events = churn_events;
+        config.seed = point_seed;
+        let a = analyze(paper_graph(100, seed), &config);
+        let mut obs = PointObs::default();
+        obs.absorb(&config, &a.report);
+        (fig2_row(nchan, &a), obs)
+    })
 }
 
 fn fig2_row(nchan: usize, a: &ExperimentAnalysis) -> Fig2Row {
@@ -103,30 +113,31 @@ pub struct Table1Row {
 }
 
 /// Runs Table 1 for the given load points.
-pub fn table1(points: &[usize], churn_events: usize, seed: u64) -> Vec<Table1Row> {
-    points
-        .iter()
-        .map(|&nchan| {
-            let run = |graph: Graph, increment: u64| {
-                let mut config = ExperimentConfig::paper_default(nchan, increment);
-                config.churn_events = churn_events;
-                config.seed = seed ^ (nchan as u64) ^ increment;
-                analyze(graph, &config)
-            };
-            let r5 = run(paper_graph(100, seed), 100);
-            let r9 = run(paper_graph(100, seed), 50);
-            let t5 = run(tier_graph(seed), 100);
-            let t9 = run(tier_graph(seed), 50);
-            Table1Row {
-                nchan,
-                random5: r5.analytic_avg.unwrap_or(f64::NAN),
-                random9: r9.analytic_avg.unwrap_or(f64::NAN),
-                tier5: t5.analytic_avg.unwrap_or(f64::NAN),
-                tier9: t9.analytic_avg.unwrap_or(f64::NAN),
-                tier_active: t9.report.active_end,
-            }
-        })
-        .collect()
+pub fn table1(points: &[usize], churn_events: usize, seed: u64) -> Sweep<Table1Row> {
+    sweep(seed, points, |&nchan, point_seed| {
+        let mut obs = PointObs::default();
+        let mut run = |graph: Graph, increment: u64, salt: u64| {
+            let mut config = ExperimentConfig::paper_default(nchan, increment);
+            config.churn_events = churn_events;
+            config.seed = derive_seed(point_seed, salt);
+            let a = analyze(graph, &config);
+            obs.absorb(&config, &a.report);
+            a
+        };
+        let r5 = run(paper_graph(100, seed), 100, 0);
+        let r9 = run(paper_graph(100, seed), 50, 1);
+        let t5 = run(tier_graph(seed), 100, 2);
+        let t9 = run(tier_graph(seed), 50, 3);
+        let row = Table1Row {
+            nchan,
+            random5: r5.analytic_avg.unwrap_or(f64::NAN),
+            random9: r9.analytic_avg.unwrap_or(f64::NAN),
+            tier5: t5.analytic_avg.unwrap_or(f64::NAN),
+            tier9: t9.analytic_avg.unwrap_or(f64::NAN),
+            tier_active: t9.report.active_end,
+        };
+        (row, obs)
+    })
 }
 
 // ------------------------------------------------------------- Figure 3 --
@@ -146,22 +157,22 @@ pub struct Fig3Row {
 }
 
 /// Runs Figure 3: network size sweep at fixed offered load.
-pub fn fig3(node_counts: &[usize], nchan: usize, churn_events: usize, seed: u64) -> Vec<Fig3Row> {
-    node_counts
-        .iter()
-        .map(|&nodes| {
-            let mut config = ExperimentConfig::paper_default(nchan, 50);
-            config.churn_events = churn_events;
-            config.seed = seed ^ nodes as u64;
-            let a = analyze(paper_graph_scaled(nodes, seed), &config);
-            Fig3Row {
-                nodes,
-                edges: a.edges,
-                sim: a.report.avg_bandwidth_sim,
-                analytic: a.analytic_avg.unwrap_or(f64::NAN),
-            }
-        })
-        .collect()
+pub fn fig3(node_counts: &[usize], nchan: usize, churn_events: usize, seed: u64) -> Sweep<Fig3Row> {
+    sweep(seed, node_counts, |&nodes, point_seed| {
+        let mut config = ExperimentConfig::paper_default(nchan, 50);
+        config.churn_events = churn_events;
+        config.seed = point_seed;
+        let a = analyze(paper_graph_scaled(nodes, seed), &config);
+        let mut obs = PointObs::default();
+        obs.absorb(&config, &a.report);
+        let row = Fig3Row {
+            nodes,
+            edges: a.edges,
+            sim: a.report.avg_bandwidth_sim,
+            analytic: a.analytic_avg.unwrap_or(f64::NAN),
+        };
+        (row, obs)
+    })
 }
 
 // ------------------------------------------------------------- Figure 4 --
@@ -183,28 +194,29 @@ pub struct Fig4Row {
 
 /// Runs Figure 4: failure-rate sweep at 2000 and 3000 connections,
 /// 9-state chain.
-pub fn fig4(gammas: &[f64], churn_events: usize, seed: u64) -> Vec<Fig4Row> {
-    gammas
-        .iter()
-        .map(|&gamma| {
-            let run = |nchan: usize| {
-                let mut config = ExperimentConfig::paper_default(nchan, 50);
-                config.churn_events = churn_events;
-                config.gamma = gamma;
-                config.seed = seed ^ nchan as u64 ^ gamma.to_bits();
-                analyze(paper_graph(100, seed), &config)
-            };
-            let a2 = run(2000);
-            let a3 = run(3000);
-            Fig4Row {
-                gamma,
-                sim2000: a2.report.avg_bandwidth_sim,
-                analytic2000: a2.analytic_avg.unwrap_or(f64::NAN),
-                sim3000: a3.report.avg_bandwidth_sim,
-                analytic3000: a3.analytic_avg.unwrap_or(f64::NAN),
-            }
-        })
-        .collect()
+pub fn fig4(gammas: &[f64], churn_events: usize, seed: u64) -> Sweep<Fig4Row> {
+    sweep(seed, gammas, |&gamma, point_seed| {
+        let mut obs = PointObs::default();
+        let mut run = |nchan: usize| {
+            let mut config = ExperimentConfig::paper_default(nchan, 50);
+            config.churn_events = churn_events;
+            config.gamma = gamma;
+            config.seed = derive_seed(point_seed, nchan as u64);
+            let a = analyze(paper_graph(100, seed), &config);
+            obs.absorb(&config, &a.report);
+            a
+        };
+        let a2 = run(2000);
+        let a3 = run(3000);
+        let row = Fig4Row {
+            gamma,
+            sim2000: a2.report.avg_bandwidth_sim,
+            analytic2000: a2.analytic_avg.unwrap_or(f64::NAN),
+            sim3000: a3.report.avg_bandwidth_sim,
+            analytic3000: a3.analytic_avg.unwrap_or(f64::NAN),
+        };
+        (row, obs)
+    })
 }
 
 // ------------------------------------------------------------- ablation --
@@ -229,37 +241,43 @@ pub struct AblationRow {
 
 /// Runs the ablation: elastic (coefficient), rigid, and max-utility
 /// variants at each load point.
-pub fn ablation(points: &[usize], churn_events: usize, seed: u64) -> Vec<AblationRow> {
-    points
-        .iter()
-        .map(|&nchan| {
-            let run = |qos: ElasticQos, policy: AdaptationPolicy| {
-                let mut config = ExperimentConfig::paper_default(nchan, 50);
-                config.qos = qos;
-                config.network = NetworkConfig {
-                    policy,
-                    ..NetworkConfig::default()
-                };
-                config.churn_events = churn_events;
-                config.seed = seed ^ nchan as u64;
-                analyze(paper_graph(100, seed), &config)
+pub fn ablation(points: &[usize], churn_events: usize, seed: u64) -> Sweep<AblationRow> {
+    sweep(seed, points, |&nchan, point_seed| {
+        let mut obs = PointObs::default();
+        let mut run = |qos: ElasticQos, policy: AdaptationPolicy, salt: u64| {
+            let mut config = ExperimentConfig::paper_default(nchan, 50);
+            config.qos = qos;
+            config.network = NetworkConfig {
+                policy,
+                ..NetworkConfig::default()
             };
-            let elastic = run(ElasticQos::paper_video(50), AdaptationPolicy::Coefficient);
-            let rigid = run(
-                ElasticQos::rigid(Bandwidth::kbps(100)).expect("non-zero"),
-                AdaptationPolicy::Coefficient,
-            );
-            let max_utility = run(ElasticQos::paper_video(50), AdaptationPolicy::MaxUtility);
-            AblationRow {
-                nchan,
-                elastic_avg: elastic.report.avg_bandwidth_sim,
-                elastic_accepted: elastic.report.accepted,
-                rigid_avg: rigid.report.avg_bandwidth_sim,
-                rigid_accepted: rigid.report.accepted,
-                max_utility_avg: max_utility.report.avg_bandwidth_sim,
-            }
-        })
-        .collect()
+            config.churn_events = churn_events;
+            config.seed = derive_seed(point_seed, salt);
+            let a = analyze(paper_graph(100, seed), &config);
+            obs.absorb(&config, &a.report);
+            a
+        };
+        let elastic = run(
+            ElasticQos::paper_video(50),
+            AdaptationPolicy::Coefficient,
+            0,
+        );
+        let rigid = run(
+            ElasticQos::rigid(Bandwidth::kbps(100)).expect("non-zero"),
+            AdaptationPolicy::Coefficient,
+            1,
+        );
+        let max_utility = run(ElasticQos::paper_video(50), AdaptationPolicy::MaxUtility, 2);
+        let row = AblationRow {
+            nchan,
+            elastic_avg: elastic.report.avg_bandwidth_sim,
+            elastic_accepted: elastic.report.accepted,
+            rigid_avg: rigid.report.avg_bandwidth_sim,
+            rigid_accepted: rigid.report.accepted,
+            max_utility_avg: max_utility.report.avg_bandwidth_sim,
+        };
+        (row, obs)
+    })
 }
 
 // -------------------------------------------------- dependability sweep --
@@ -298,36 +316,40 @@ impl DependabilityRow {
 /// configured with different per-connection backup counts — the
 /// dependability payoff the passive backup scheme exists for, extended to
 /// the Han–Shin "one or more backups" case.
+///
+/// Per-point seeds come from the split-mix derivation, so the
+/// `backup_count = 0` row no longer reuses the graph seed verbatim (the
+/// old `seed ^ count` scheme did exactly that at count 0).
 pub fn dependability(
     backup_counts: &[usize],
     nchan: usize,
     churn_events: usize,
     seed: u64,
-) -> Vec<DependabilityRow> {
-    backup_counts
-        .iter()
-        .map(|&count| {
-            let mut config = ExperimentConfig::paper_default(nchan, 50);
-            config.churn_events = churn_events;
-            config.gamma = 2.0 * config.lambda; // storm: failures outpace arrivals
-            config.mean_repair = 5_000.0; // slow repair crews
-            config.network = NetworkConfig {
-                backup_count: count,
-                require_backup: count > 0,
-                ..NetworkConfig::default()
-            };
-            config.seed = seed ^ count as u64;
-            let (report, _) = drqos_core::experiment::run_churn(paper_graph(100, seed), &config);
-            DependabilityRow {
-                backup_count: count,
-                accepted: report.accepted,
-                dropped: report.dropped,
-                failures: report.failures,
-                avg_bandwidth: report.avg_bandwidth_sim,
-                active_end: report.active_end,
-            }
-        })
-        .collect()
+) -> Sweep<DependabilityRow> {
+    sweep(seed, backup_counts, |&count, point_seed| {
+        let mut config = ExperimentConfig::paper_default(nchan, 50);
+        config.churn_events = churn_events;
+        config.gamma = 2.0 * config.lambda; // storm: failures outpace arrivals
+        config.mean_repair = 5_000.0; // slow repair crews
+        config.network = NetworkConfig {
+            backup_count: count,
+            require_backup: count > 0,
+            ..NetworkConfig::default()
+        };
+        config.seed = point_seed;
+        let (report, _) = drqos_core::experiment::run_churn(paper_graph(100, seed), &config);
+        let mut obs = PointObs::default();
+        obs.absorb(&config, &report);
+        let row = DependabilityRow {
+            backup_count: count,
+            accepted: report.accepted,
+            dropped: report.dropped,
+            failures: report.failures,
+            avg_bandwidth: report.avg_bandwidth_sim,
+            active_end: report.active_end,
+        };
+        (row, obs)
+    })
 }
 
 #[cfg(test)]
@@ -338,7 +360,7 @@ mod tests {
 
     #[test]
     fn fig2_shape_holds_at_small_scale() {
-        let rows = fig2(&[50, 600], 300, 7);
+        let rows = fig2(&[50, 600], 300, 7).into_rows();
         assert_eq!(rows.len(), 2);
         assert!(rows[0].sim > rows[1].sim, "load must depress bandwidth");
         // Channel-time weighting can carry ~1e-10 float noise past the rails.
@@ -346,8 +368,18 @@ mod tests {
     }
 
     #[test]
+    fn fig2_records_observability() {
+        let result = fig2(&[50], 100, 7);
+        let rec = &result.records[0];
+        assert!(rec.obs.events > 0, "events must be counted");
+        assert!(rec.obs.attempted > 0);
+        assert!(rec.wall > std::time::Duration::ZERO);
+        assert_eq!(result.total_events(), rec.obs.events);
+    }
+
+    #[test]
     fn table1_increment_size_is_immaterial() {
-        let rows = table1(&[400], 300, 7);
+        let rows = table1(&[400], 300, 7).into_rows();
         let r = &rows[0];
         // The paper: "no difference in the average bandwidth even though
         // they have a different number of states" — allow a loose band at
@@ -365,13 +397,13 @@ mod tests {
 
     #[test]
     fn fig3_edges_grow_with_nodes() {
-        let rows = fig3(&[50, 150], 200, 100, 7);
+        let rows = fig3(&[50, 150], 200, 100, 7).into_rows();
         assert!(rows[1].edges > rows[0].edges);
     }
 
     #[test]
     fn fig4_failure_rate_has_no_visible_effect() {
-        let rows = fig4(&[1e-7, 1e-4], 300, 7);
+        let rows = fig4(&[1e-7, 1e-4], 300, 7).into_rows();
         let spread = (rows[0].sim2000 - rows[1].sim2000).abs();
         assert!(
             spread < 60.0,
@@ -381,7 +413,7 @@ mod tests {
 
     #[test]
     fn dependability_backups_preserve_carried_load() {
-        let rows = dependability(&[0, 1], 300, 300, 7);
+        let rows = dependability(&[0, 1], 300, 300, 7).into_rows();
         assert_eq!(rows.len(), 2);
         assert!(rows[0].failures > 0, "storm must produce failures");
         // Without backups the population collapses under the storm; with
@@ -397,7 +429,7 @@ mod tests {
 
     #[test]
     fn ablation_elastic_beats_rigid_bandwidth() {
-        let rows = ablation(&[100], 200, 7);
+        let rows = ablation(&[100], 200, 7).into_rows();
         let r = &rows[0];
         assert!(
             r.elastic_avg > r.rigid_avg,

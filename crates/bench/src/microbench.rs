@@ -1,0 +1,215 @@
+//! A dependency-free micro-benchmark harness.
+//!
+//! The container this workspace builds in has no access to crates.io, so
+//! Criterion cannot be used. This module provides the small slice of
+//! Criterion's API the benches need — `Criterion::benchmark_group`,
+//! `bench_function`, `iter`, `iter_batched`, `sample_size` — backed by
+//! plain `std::time::Instant` timing. Results (median / mean ns per
+//! iteration) are printed to stdout.
+//!
+//! It is intentionally minimal: no statistical outlier analysis, no
+//! warm-up calibration beyond a fixed fraction, no plotting. For the
+//! comparisons the benches make (algorithm A vs. algorithm B on the same
+//! machine in the same process) median-of-N is adequate.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Mirrors `criterion::BatchSize`; only the variants the benches use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration setup output.
+    SmallInput,
+    /// Large per-iteration setup output (e.g. a loaded network).
+    LargeInput,
+}
+
+/// Entry point handed to each bench function (mirrors `criterion::Criterion`).
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related measurements.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        let name = name.into();
+        println!("\n== {name} ==");
+        BenchmarkGroup {
+            name,
+            sample_size: 50,
+        }
+    }
+}
+
+/// A named collection of measurements sharing a sample size.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    /// Sets how many timed samples to collect per bench (minimum 5).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(5);
+        self
+    }
+
+    /// Runs one measurement. The closure receives a [`Bencher`] and must
+    /// call [`Bencher::iter`] or [`Bencher::iter_batched`].
+    pub fn bench_function<S, F>(&mut self, id: S, mut f: F) -> &mut Self
+    where
+        S: Into<String>,
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        report(&self.name, &id, &b.samples);
+        self
+    }
+
+    /// Ends the group (retained for Criterion API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Collects timing samples for one measurement.
+#[derive(Debug)]
+pub struct Bencher {
+    sample_size: usize,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly; one sample per call.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        // Warm-up: a few untimed runs to populate caches / branch state.
+        for _ in 0..(self.sample_size / 10).clamp(1, 5) {
+            black_box(routine());
+        }
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    /// Times `routine` on fresh input from `setup`; setup time is excluded.
+    pub fn iter_batched<I, R, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> R,
+    {
+        black_box(routine(setup()));
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn report(group: &str, id: &str, samples: &[Duration]) {
+    if samples.is_empty() {
+        println!("{group}/{id}: no samples recorded");
+        return;
+    }
+    let mut nanos: Vec<u128> = samples.iter().map(Duration::as_nanos).collect();
+    nanos.sort_unstable();
+    let median = nanos[nanos.len() / 2];
+    let mean = nanos.iter().sum::<u128>() / nanos.len() as u128;
+    println!(
+        "{group}/{id}: median {} mean {} ({} samples)",
+        fmt_ns(median),
+        fmt_ns(mean),
+        nanos.len()
+    );
+}
+
+fn fmt_ns(ns: u128) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Mirrors `criterion::criterion_group!`: bundles bench functions into one
+/// runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::microbench::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Mirrors `criterion::criterion_main!`: generates `main` from the groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_records_samples_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("microbench/self_test");
+        group.sample_size(5);
+        let mut calls = 0u64;
+        group.bench_function("counting", |b| {
+            b.iter(|| {
+                calls += 1;
+                calls
+            });
+        });
+        group.finish();
+        assert!(calls >= 5, "routine must run at least sample_size times");
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_sample() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("microbench/self_test_batched");
+        group.sample_size(5);
+        let mut setups = 0u64;
+        group.bench_function("batched", |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    vec![1u8; 16]
+                },
+                |v| v.len(),
+                BatchSize::SmallInput,
+            );
+        });
+        group.finish();
+        assert_eq!(setups, 6, "one warm-up + five timed setups");
+    }
+
+    #[test]
+    fn fmt_ns_scales_units() {
+        assert_eq!(fmt_ns(950), "950 ns");
+        assert_eq!(fmt_ns(1_500), "1.500 µs");
+        assert_eq!(fmt_ns(2_500_000), "2.500 ms");
+        assert_eq!(fmt_ns(3_000_000_000), "3.000 s");
+    }
+}

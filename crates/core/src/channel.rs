@@ -14,7 +14,6 @@ use std::fmt;
 
 /// Identifier of a DR-connection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ConnectionId(pub u64);
 
 impl fmt::Display for ConnectionId {
@@ -25,7 +24,6 @@ impl fmt::Display for ConnectionId {
 
 /// The role of a channel within its DR-connection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum ChannelRole {
     /// Carries traffic; holds the elastic reservation.
     Primary,

@@ -30,7 +30,10 @@ impl fmt::Display for QosError {
                 write!(f, "increment must be positive for an elastic range")
             }
             QosError::IncrementDoesNotDivideRange => {
-                write!(f, "bandwidth range is not an integral multiple of the increment")
+                write!(
+                    f,
+                    "bandwidth range is not an integral multiple of the increment"
+                )
             }
             QosError::InvalidUtility(u) => {
                 write!(f, "utility must be finite and positive, got {u}")
@@ -113,21 +116,33 @@ mod tests {
         assert!(QosError::IncrementDoesNotDivideRange
             .to_string()
             .contains("integral multiple"));
-        assert!(QosError::InvalidUtility(f64::NAN).to_string().contains("utility"));
+        assert!(QosError::InvalidUtility(f64::NAN)
+            .to_string()
+            .contains("utility"));
     }
 
     #[test]
     fn admission_error_display() {
-        assert!(AdmissionError::UnknownNode(NodeId(3)).to_string().contains("n3"));
-        assert!(AdmissionError::SameEndpoints(NodeId(1)).to_string().contains("n1"));
-        assert!(AdmissionError::NoPrimaryRoute.to_string().contains("primary"));
+        assert!(AdmissionError::UnknownNode(NodeId(3))
+            .to_string()
+            .contains("n3"));
+        assert!(AdmissionError::SameEndpoints(NodeId(1))
+            .to_string()
+            .contains("n1"));
+        assert!(AdmissionError::NoPrimaryRoute
+            .to_string()
+            .contains("primary"));
         assert!(AdmissionError::NoBackupRoute.to_string().contains("backup"));
     }
 
     #[test]
     fn network_error_display() {
-        assert!(NetworkError::UnknownConnection(7).to_string().contains("c7"));
-        assert!(NetworkError::UnknownLink(LinkId(2)).to_string().contains("l2"));
+        assert!(NetworkError::UnknownConnection(7)
+            .to_string()
+            .contains("c7"));
+        assert!(NetworkError::UnknownLink(LinkId(2))
+            .to_string()
+            .contains("l2"));
         assert!(NetworkError::LinkStateUnchanged(LinkId(2))
             .to_string()
             .contains("already"));

@@ -156,9 +156,8 @@ pub fn run_churn(graph: Graph, config: &ExperimentConfig) -> (ExperimentReport, 
         SimTime::ZERO + termination_dist.sample(&mut rng),
         Event::Termination,
     );
-    let failure_dist = (config.gamma > 0.0).then(|| {
-        Exponential::new(config.gamma).expect("γ > 0 checked")
-    });
+    let failure_dist =
+        (config.gamma > 0.0).then(|| Exponential::new(config.gamma).expect("γ > 0 checked"));
     if let Some(fd) = &failure_dist {
         sim.schedule(SimTime::ZERO + fd.sample(&mut rng), Event::Failure);
     }
@@ -169,10 +168,8 @@ pub fn run_churn(graph: Graph, config: &ExperimentConfig) -> (ExperimentReport, 
     // channel-time: ∫ total_bandwidth dt / ∫ channel_count dt. (Weighting
     // by wall time instead would let empty-network stretches drag the
     // average below B_min at light load.)
-    let mut total_bw_tracker = TimeWeighted::new(
-        SimTime::ZERO,
-        net.total_primary_bandwidth().as_kbps_f64(),
-    );
+    let mut total_bw_tracker =
+        TimeWeighted::new(SimTime::ZERO, net.total_primary_bandwidth().as_kbps_f64());
     let mut count_tracker = TimeWeighted::new(SimTime::ZERO, net.len() as f64);
     let mut churn_done = 0usize;
     while churn_done < config.churn_events {
@@ -231,10 +228,8 @@ pub fn run_churn(graph: Graph, config: &ExperimentConfig) -> (ExperimentReport, 
                     // losers and miss the gainers, biasing the model's
                     // failure term downward (see
                     // `ParameterEstimator::record_failure`).
-                    let all_before: Vec<(ConnectionId, usize)> = net
-                        .connections()
-                        .map(|c| (c.id(), c.level()))
-                        .collect();
+                    let all_before: Vec<(ConnectionId, usize)> =
+                        net.connections().map(|c| (c.id(), c.level())).collect();
                     let existing = all_before.len();
                     net.fail_link(link).expect("link verified up");
                     let affected_t = transitions_after(&net, &all_before);

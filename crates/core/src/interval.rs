@@ -59,7 +59,6 @@ impl std::error::Error for IntervalQosError {}
 /// # Ok::<(), drqos_core::interval::IntervalQosError>(())
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct IntervalQos {
     k: usize,
     m: usize,
@@ -163,7 +162,10 @@ impl DropController {
     /// [`DropController::may_drop`] first); the guarantee is the whole
     /// point of the mechanism.
     pub fn record_drop(&mut self) {
-        assert!(self.may_drop(), "drop would violate the k-out-of-M contract");
+        assert!(
+            self.may_drop(),
+            "drop would violate the k-out-of-M contract"
+        );
         self.push(PacketOutcome::Dropped);
         self.dropped_total += 1;
     }
@@ -299,7 +301,10 @@ mod tests {
                 .iter()
                 .filter(|o| matches!(o, PacketOutcome::Delivered))
                 .count();
-            assert!(delivered >= qos.k(), "a window fell to {delivered} deliveries");
+            assert!(
+                delivered >= qos.k(),
+                "a window fell to {delivered} deliveries"
+            );
         }
         // Greedy dropping should actually use the whole budget in the limit.
         let ratio = ctl.delivery_ratio();

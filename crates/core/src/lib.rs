@@ -69,8 +69,8 @@ pub mod workload;
 
 pub use channel::{ConnectionId, DrConnection};
 pub use error::{AdmissionError, NetworkError, QosError};
-pub use interval::{DropController, IntervalQos};
 pub use experiment::{run_churn, ExperimentConfig, ExperimentReport};
+pub use interval::{DropController, IntervalQos};
 pub use measure::{MeasuredParams, ParameterEstimator};
 pub use network::{EstablishPlan, FailureReport, Network, NetworkConfig};
 pub use qos::{AdaptationPolicy, Bandwidth, ElasticQos};

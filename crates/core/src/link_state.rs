@@ -132,7 +132,11 @@ impl LinkUsage {
 
     /// The reservation this link would need if a backup with the given
     /// `min` and primary-path links were added.
-    pub fn reservation_if_backup_added(&self, min: Bandwidth, primary_links: &[LinkId]) -> Bandwidth {
+    pub fn reservation_if_backup_added(
+        &self,
+        min: Bandwidth,
+        primary_links: &[LinkId],
+    ) -> Bandwidth {
         primary_links
             .iter()
             .map(|f| self.conflict.get(f).copied().unwrap_or(Bandwidth::ZERO) + min)
@@ -171,7 +175,12 @@ impl LinkUsage {
         self.extra_sum -= amount;
     }
 
-    pub(crate) fn add_backup(&mut self, id: ConnectionId, min: Bandwidth, primary_links: &[LinkId]) {
+    pub(crate) fn add_backup(
+        &mut self,
+        id: ConnectionId,
+        min: Bandwidth,
+        primary_links: &[LinkId],
+    ) {
         let inserted = self.backups.insert(id);
         assert!(inserted, "{id} already a backup on this link");
         for &f in primary_links {

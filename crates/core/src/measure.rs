@@ -164,10 +164,7 @@ impl ParameterEstimator {
     /// # Errors
     ///
     /// Returns [`EstimateError::LevelOutOfRange`] on a bad level index.
-    pub fn record_termination(
-        &mut self,
-        direct: &[LevelTransition],
-    ) -> Result<(), EstimateError> {
+    pub fn record_termination(&mut self, direct: &[LevelTransition]) -> Result<(), EstimateError> {
         self.check(direct)?;
         self.termination_events += 1;
         for &(i, j) in direct {
@@ -324,7 +321,10 @@ impl MeasuredParams {
             && square(&self.t)
             && square(&self.f)
             && self.occupancy.len() == self.n_states
-            && self.occupancy.iter().all(|&p| (0.0..=1.0 + 1e-9).contains(&p))
+            && self
+                .occupancy
+                .iter()
+                .all(|&p| (0.0..=1.0 + 1e-9).contains(&p))
             && (occ_sum == 0.0 || (occ_sum - 1.0).abs() < 1e-9)
     }
 

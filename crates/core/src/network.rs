@@ -25,9 +25,10 @@ use crate::channel::{ConnectionId, DrConnection};
 use crate::error::{AdmissionError, NetworkError};
 use crate::link_state::LinkUsage;
 use crate::qos::{AdaptationPolicy, Bandwidth, ElasticQos};
-use crate::routing::{self, BackupDisjointness, RouterKind};
+use crate::routing::{self, BackupDisjointness, RouteScratch, RouterKind};
 use drqos_topology::graph::{Graph, LinkId, NodeId};
 use drqos_topology::paths::Path;
+use std::cell::RefCell;
 use std::cmp::Ordering;
 use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
 
@@ -141,6 +142,14 @@ pub struct Network {
     next_id: u64,
     total_bandwidth: Bandwidth,
     dropped_total: u64,
+    /// Bumped on every link-liveness change (fail/repair); cached route
+    /// search state from an older epoch is invalid and must be dropped.
+    topology_epoch: u64,
+    /// Reusable route-search buffers (see [`RouteScratch`]): admission
+    /// planning allocates nothing per attempt. Interior mutability because
+    /// planning takes `&self`. `scratch_epoch` records which topology
+    /// epoch the buffers were last validated against.
+    scratch: RefCell<(u64, RouteScratch)>,
 }
 
 impl Network {
@@ -157,7 +166,29 @@ impl Network {
             next_id: 0,
             total_bandwidth: Bandwidth::ZERO,
             dropped_total: 0,
+            topology_epoch: 0,
+            scratch: RefCell::new((0, RouteScratch::new())),
         }
+    }
+
+    /// The current topology epoch: incremented by every
+    /// [`Network::fail_link`], [`Network::repair_link`], and
+    /// [`Network::fail_node`] call. Anything caching route-search state
+    /// against this network must revalidate when the epoch moves.
+    pub fn topology_epoch(&self) -> u64 {
+        self.topology_epoch
+    }
+
+    /// Runs `f` with the network's route-search scratch, invalidating it
+    /// first if the topology epoch moved since its last use.
+    fn with_scratch<T>(&self, f: impl FnOnce(&mut RouteScratch) -> T) -> T {
+        let mut guard = self.scratch.borrow_mut();
+        let (seen_epoch, scratch) = &mut *guard;
+        if *seen_epoch != self.topology_epoch {
+            scratch.invalidate();
+            *seen_epoch = self.topology_epoch;
+        }
+        f(scratch)
     }
 
     /// The underlying topology.
@@ -279,24 +310,30 @@ impl Network {
                 } else {
                     // No disjoint pair: fall back to a single shortest path
                     // (the backup search below will fail if one is required).
-                    routing::route_primary(
-                        self.config.router,
-                        &self.graph,
-                        src,
-                        dst,
-                        &primary_filter,
-                        &primary_allowance,
-                    )
+                    self.with_scratch(|scratch| {
+                        routing::route_primary_with(
+                            scratch,
+                            self.config.router,
+                            &self.graph,
+                            src,
+                            dst,
+                            &primary_filter,
+                            &primary_allowance,
+                        )
+                    })
                 }
             }
-            _ => routing::route_primary(
-                self.config.router,
-                &self.graph,
-                src,
-                dst,
-                &primary_filter,
-                &primary_allowance,
-            ),
+            _ => self.with_scratch(|scratch| {
+                routing::route_primary_with(
+                    scratch,
+                    self.config.router,
+                    &self.graph,
+                    src,
+                    dst,
+                    &primary_filter,
+                    &primary_allowance,
+                )
+            }),
         };
         let Some(primary) = primary else {
             return Err(AdmissionError::NoPrimaryRoute);
@@ -345,14 +382,17 @@ impl Network {
                     + u.reservation_if_backup_added(min, &conflict_set(&primary_links, l)),
             )
         };
-        routing::route_backup(
-            self.config.router,
-            &self.graph,
-            primary,
-            self.config.disjointness,
-            &backup_filter,
-            &backup_allowance,
-        )
+        self.with_scratch(|scratch| {
+            routing::route_backup_with(
+                scratch,
+                self.config.router,
+                &self.graph,
+                primary,
+                self.config.disjointness,
+                &backup_filter,
+                &backup_allowance,
+            )
+        })
     }
 
     /// Whether `backup` fits (reservation-wise) on every link for a
@@ -443,7 +483,11 @@ impl Network {
         }
         for b in conn.backups() {
             for &l in b.links() {
-                self.links[l.index()].remove_backup(id, min, &conflict_set(conn.primary().links(), l));
+                self.links[l.index()].remove_backup(
+                    id,
+                    min,
+                    &conflict_set(conn.primary().links(), l),
+                );
             }
         }
         self.total_bandwidth -= conn.bandwidth();
@@ -476,6 +520,7 @@ impl Network {
             return Err(NetworkError::LinkStateUnchanged(link));
         }
         self.links[link.index()].set_up(false);
+        self.topology_epoch += 1;
 
         let victims: Vec<ConnectionId> = self.links[link.index()].primaries().collect();
         let backup_losers: Vec<ConnectionId> = self.links[link.index()]
@@ -495,9 +540,10 @@ impl Network {
         let mut dropped = Vec::new();
         for id in victims {
             // The first backup whose links are all up is activated.
-            let usable_idx = self.connections[&id].backups().iter().position(|b| {
-                b.links().iter().all(|&l| self.links[l.index()].is_up())
-            });
+            let usable_idx = self.connections[&id]
+                .backups()
+                .iter()
+                .position(|b| b.links().iter().all(|&l| self.links[l.index()].is_up()));
             self.retreat(id);
             // Tear down the old primary's reservations.
             let (min, primary_links) = {
@@ -515,10 +561,7 @@ impl Network {
                 let (new_links, survivors) = {
                     let conn = self.connections.get_mut(&id).expect("victim exists");
                     conn.activate_backup(idx);
-                    (
-                        conn.primary().links().to_vec(),
-                        conn.backups().to_vec(),
-                    )
+                    (conn.primary().links().to_vec(), conn.backups().to_vec())
                 };
                 for &l in &new_links {
                     self.links[l.index()].add_primary(id, min);
@@ -528,11 +571,7 @@ impl Network {
                 for b in survivors {
                     if b.links().iter().all(|&l| self.links[l.index()].is_up()) {
                         for &l in b.links() {
-                            self.links[l.index()].add_backup(
-                                id,
-                                min,
-                                &conflict_set(&new_links, l),
-                            );
+                            self.links[l.index()].add_backup(id, min, &conflict_set(&new_links, l));
                         }
                         keep.push(b);
                     }
@@ -621,12 +660,7 @@ impl Network {
     /// Panics if `node` is not a node of the graph.
     pub fn fail_node(&mut self, node: NodeId) -> Vec<FailureReport> {
         assert!(self.graph.contains_node(node), "unknown node {node}");
-        let adjacent: Vec<LinkId> = self
-            .graph
-            .neighbors(node)
-            .iter()
-            .map(|&(_, l)| l)
-            .collect();
+        let adjacent: Vec<LinkId> = self.graph.neighbors(node).iter().map(|&(_, l)| l).collect();
         let mut reports = Vec::new();
         for l in adjacent {
             if self.links[l.index()].is_up() {
@@ -651,6 +685,7 @@ impl Network {
             return Err(NetworkError::LinkStateUnchanged(link));
         }
         self.links[link.index()].set_up(true);
+        self.topology_epoch += 1;
         let mut regained = Vec::new();
         if self.config.reestablish_backups {
             let target = self.config.backup_count;
@@ -750,7 +785,10 @@ impl Network {
 
     /// Drops `id` to its minimum level, returning extras to its links.
     fn retreat(&mut self, id: ConnectionId) {
-        let conn = self.connections.get_mut(&id).expect("retreat of unknown id");
+        let conn = self
+            .connections
+            .get_mut(&id)
+            .expect("retreat of unknown id");
         let extra = conn.extra();
         if extra == Bandwidth::ZERO {
             return;
@@ -849,9 +887,7 @@ impl Network {
                 // Highest utility first; level is irrelevant (monopolize).
                 AdaptationPolicy::MaxUtility => -conn.qos().utility(),
                 // Progressive filling: lowest weighted level first.
-                AdaptationPolicy::Coefficient => {
-                    (conn.level() as f64 + 1.0) / conn.qos().utility()
-                }
+                AdaptationPolicy::Coefficient => (conn.level() as f64 + 1.0) / conn.qos().utility(),
             }
         };
         let policy = self.config.policy;
@@ -888,10 +924,8 @@ impl Network {
     pub fn validate(&self) {
         let mut min_sums = vec![Bandwidth::ZERO; self.links.len()];
         let mut extra_sums = vec![Bandwidth::ZERO; self.links.len()];
-        let mut primary_sets: Vec<BTreeSet<ConnectionId>> =
-            vec![BTreeSet::new(); self.links.len()];
-        let mut backup_sets: Vec<BTreeSet<ConnectionId>> =
-            vec![BTreeSet::new(); self.links.len()];
+        let mut primary_sets: Vec<BTreeSet<ConnectionId>> = vec![BTreeSet::new(); self.links.len()];
+        let mut backup_sets: Vec<BTreeSet<ConnectionId>> = vec![BTreeSet::new(); self.links.len()];
         let mut total = Bandwidth::ZERO;
         for conn in self.connections.values() {
             total += conn.bandwidth();
@@ -1003,6 +1037,26 @@ mod tests {
         assert!(after >= before);
         assert_eq!(after, Bandwidth::kbps(500));
         assert_eq!(net.len(), 1);
+    }
+
+    #[test]
+    fn topology_epoch_tracks_liveness_changes() {
+        let mut net = small_net(10_000);
+        assert_eq!(net.topology_epoch(), 0);
+        let l = net.graph().links().next().unwrap().id();
+        net.fail_link(l).unwrap();
+        assert_eq!(net.topology_epoch(), 1);
+        // No-op mutations (already-down link) leave the epoch alone.
+        assert!(net.fail_link(l).is_err());
+        assert_eq!(net.topology_epoch(), 1);
+        net.repair_link(l).unwrap();
+        assert_eq!(net.topology_epoch(), 2);
+        // Admission planning still works against the refreshed scratch.
+        net.establish(NodeId(0), NodeId(1), qos()).unwrap();
+        net.validate();
+        // fail_node bumps once per adjacent up link (ring: degree 2).
+        net.fail_node(NodeId(3));
+        assert_eq!(net.topology_epoch(), 4);
     }
 
     #[test]
@@ -1367,7 +1421,10 @@ mod tests {
         let mut net = Network::new(g, NetworkConfig::default());
         let q = ElasticQos::rigid(Bandwidth::kbps(100)).unwrap();
         let id = net.establish(NodeId(0), NodeId(3), q).unwrap();
-        assert_eq!(net.connection(id).unwrap().bandwidth(), Bandwidth::kbps(100));
+        assert_eq!(
+            net.connection(id).unwrap().bandwidth(),
+            Bandwidth::kbps(100)
+        );
         net.validate();
     }
 

@@ -28,7 +28,6 @@ use std::ops::{Add, AddAssign, Sub, SubAssign};
 /// assert_eq!(channel.to_string(), "500 Kbps");
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Bandwidth(u64);
 
 impl Bandwidth {
@@ -138,7 +137,6 @@ impl fmt::Display for Bandwidth {
 /// # Ok::<(), drqos_core::error::QosError>(())
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ElasticQos {
     min: Bandwidth,
     max: Bandwidth,
@@ -298,7 +296,6 @@ impl ElasticQos {
 
 /// How extra resources are divided among elastic channels (Section 2.2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum AdaptationPolicy {
     /// The max-utility scheme (Han, 1998): extra increments go to the
     /// channel with the highest utility until it is saturated, "allowing a

@@ -20,7 +20,7 @@
 
 use crate::qos::Bandwidth;
 use drqos_topology::graph::{Graph, LinkId, NodeId};
-use drqos_topology::paths::{bfs_path, LinkFilter, Path};
+use drqos_topology::paths::{bfs_path_with, BfsScratch, LinkFilter, Path};
 use std::collections::HashSet;
 
 /// The route-selection strategy of a network.
@@ -65,6 +65,73 @@ pub enum BackupDisjointness {
     MaximallyDisjoint,
 }
 
+/// Reusable buffers for [`flood_path_with`].
+///
+/// A flood search needs four per-node tables plus two frontier vectors;
+/// allocating them on every admission attempt dominated the cost of short
+/// searches. The tables are generation-stamped (`stamp[v] == gen` marks
+/// the entry as belonging to the current search), so beginning a search is
+/// O(1). [`FloodScratch::invalidate`] drops everything; callers caching a
+/// scratch across topology changes must call it when the link set changes
+/// (the `Network` topology epoch automates this).
+#[derive(Debug, Clone, Default)]
+pub struct FloodScratch {
+    gen: u64,
+    stamp: Vec<u64>,
+    hops: Vec<usize>,
+    bottleneck: Vec<Bandwidth>,
+    parent: Vec<NodeId>,
+    frontier: Vec<NodeId>,
+    next: Vec<NodeId>,
+}
+
+impl FloodScratch {
+    /// An empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drops all cached search state (call after any topology change).
+    pub fn invalidate(&mut self) {
+        self.gen = 0;
+        self.stamp.clear();
+        self.hops.clear();
+        self.bottleneck.clear();
+        self.parent.clear();
+        self.frontier.clear();
+        self.next.clear();
+    }
+
+    /// Prepares the buffers for a fresh search over `n` nodes.
+    fn begin(&mut self, n: usize) {
+        if self.stamp.len() < n {
+            self.stamp.resize(n, 0);
+            self.hops.resize(n, usize::MAX);
+            self.bottleneck.resize(n, Bandwidth::ZERO);
+            self.parent.resize(n, NodeId(usize::MAX));
+        }
+        self.gen = self.gen.wrapping_add(1);
+        if self.gen == 0 {
+            // Generation wrapped: stale stamps could alias. Reset them all.
+            self.stamp.iter_mut().for_each(|s| *s = 0);
+            self.gen = 1;
+        }
+        self.frontier.clear();
+        self.next.clear();
+    }
+
+    fn discovered(&self, v: NodeId) -> bool {
+        self.stamp[v.0] == self.gen
+    }
+
+    fn discover(&mut self, v: NodeId, level: usize, cand: Bandwidth, from: NodeId) {
+        self.stamp[v.0] = self.gen;
+        self.hops[v.0] = level;
+        self.bottleneck[v.0] = cand;
+        self.parent[v.0] = from;
+    }
+}
+
 /// Fewest-hops path from `src` to `dst` using only links accepted by
 /// `filter`, maximizing the minimum `allowance` along the path among
 /// equal-hop candidates, and discarding paths longer than `hop_bound`.
@@ -86,59 +153,111 @@ pub fn flood_path(
     filter: &LinkFilter,
     allowance: &dyn Fn(LinkId) -> Bandwidth,
 ) -> Option<Path> {
+    flood_path_with(
+        &mut FloodScratch::new(),
+        graph,
+        src,
+        dst,
+        hop_bound,
+        filter,
+        allowance,
+    )
+}
+
+/// [`flood_path`] reusing caller-owned buffers — the allocation-free
+/// variant for hot admission paths. Identical results to [`flood_path`].
+///
+/// # Panics
+///
+/// Panics if `src` or `dst` is not a node of `graph`.
+pub fn flood_path_with(
+    scratch: &mut FloodScratch,
+    graph: &Graph,
+    src: NodeId,
+    dst: NodeId,
+    hop_bound: usize,
+    filter: &LinkFilter,
+    allowance: &dyn Fn(LinkId) -> Bandwidth,
+) -> Option<Path> {
     assert!(graph.contains_node(src) && graph.contains_node(dst));
     if src == dst {
         return Path::from_nodes(graph, vec![src]).ok();
     }
-    let n = graph.node_count();
-    // Per node: (hop level discovered, best bottleneck, parent).
-    let mut hops = vec![usize::MAX; n];
-    let mut bottleneck = vec![Bandwidth::ZERO; n];
-    let mut parent = vec![NodeId(usize::MAX); n];
-    hops[src.0] = 0;
-    bottleneck[src.0] = Bandwidth::kbps(u64::MAX);
-    let mut frontier = vec![src];
+    scratch.begin(graph.node_count());
+    scratch.discover(src, 0, Bandwidth::kbps(u64::MAX), src);
+    let mut frontier = std::mem::take(&mut scratch.frontier);
+    let mut next = std::mem::take(&mut scratch.next);
+    frontier.push(src);
     for level in 0..hop_bound {
         if frontier.is_empty() {
             break;
         }
-        let mut next: Vec<NodeId> = Vec::new();
+        next.clear();
         for &u in &frontier {
             for &(v, l) in graph.neighbors(u) {
                 if !filter(l) {
                     continue;
                 }
-                let cand = bottleneck[u.0].min(allowance(l));
-                if hops[v.0] == usize::MAX {
-                    hops[v.0] = level + 1;
-                    bottleneck[v.0] = cand;
-                    parent[v.0] = u;
+                let cand = scratch.bottleneck[u.0].min(allowance(l));
+                if !scratch.discovered(v) {
+                    scratch.discover(v, level + 1, cand, u);
                     next.push(v);
-                } else if hops[v.0] == level + 1 && cand > bottleneck[v.0] {
+                } else if scratch.hops[v.0] == level + 1 && cand > scratch.bottleneck[v.0] {
                     // Same-layer improvement: a simultaneous request copy
                     // with a better allowance.
-                    bottleneck[v.0] = cand;
-                    parent[v.0] = u;
+                    scratch.bottleneck[v.0] = cand;
+                    scratch.parent[v.0] = u;
                 }
             }
         }
-        if hops[dst.0] != usize::MAX {
+        if scratch.discovered(dst) {
             // Finish updating this layer (done above), then reconstruct.
             break;
         }
-        frontier = next;
+        std::mem::swap(&mut frontier, &mut next);
     }
-    if hops[dst.0] == usize::MAX {
-        return None;
+    let found = scratch.discovered(dst);
+    let path = if found {
+        let mut nodes = vec![dst];
+        let mut cur = dst;
+        while cur != src {
+            cur = scratch.parent[cur.0];
+            nodes.push(cur);
+        }
+        nodes.reverse();
+        Path::from_nodes(graph, nodes).ok()
+    } else {
+        None
+    };
+    // Hand the frontier buffers back for the next search.
+    scratch.frontier = frontier;
+    scratch.next = next;
+    path
+}
+
+/// Reusable route-search state for one network: flood and BFS buffers
+/// behind a single handle, so the admission path allocates nothing per
+/// attempt. `Network` owns one and invalidates it through its topology
+/// epoch whenever the link set changes.
+#[derive(Debug, Clone, Default)]
+pub struct RouteScratch {
+    /// Buffers for [`flood_path_with`].
+    pub flood: FloodScratch,
+    /// Buffers for [`drqos_topology::paths::bfs_path_with`].
+    pub bfs: BfsScratch,
+}
+
+impl RouteScratch {
+    /// An empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
     }
-    let mut nodes = vec![dst];
-    let mut cur = dst;
-    while cur != src {
-        cur = parent[cur.0];
-        nodes.push(cur);
+
+    /// Drops all cached search state (call after any topology change).
+    pub fn invalidate(&mut self) {
+        self.flood.invalidate();
+        self.bfs.invalidate();
     }
-    nodes.reverse();
-    Path::from_nodes(graph, nodes).ok()
 }
 
 /// Routes a primary channel according to `kind`.
@@ -153,11 +272,40 @@ pub fn route_primary(
     filter: &LinkFilter,
     allowance: &dyn Fn(LinkId) -> Bandwidth,
 ) -> Option<Path> {
+    route_primary_with(
+        &mut RouteScratch::new(),
+        kind,
+        graph,
+        src,
+        dst,
+        filter,
+        allowance,
+    )
+}
+
+/// [`route_primary`] reusing caller-owned search buffers.
+pub fn route_primary_with(
+    scratch: &mut RouteScratch,
+    kind: RouterKind,
+    graph: &Graph,
+    src: NodeId,
+    dst: NodeId,
+    filter: &LinkFilter,
+    allowance: &dyn Fn(LinkId) -> Bandwidth,
+) -> Option<Path> {
     match kind {
-        RouterKind::BoundedFlooding { .. } => {
-            flood_path(graph, src, dst, graph.node_count(), filter, allowance)
+        RouterKind::BoundedFlooding { .. } => flood_path_with(
+            &mut scratch.flood,
+            graph,
+            src,
+            dst,
+            graph.node_count(),
+            filter,
+            allowance,
+        ),
+        RouterKind::Shortest | RouterKind::SuurballePair => {
+            bfs_path_with(&mut scratch.bfs, graph, src, dst, filter)
         }
-        RouterKind::Shortest | RouterKind::SuurballePair => bfs_path(graph, src, dst, filter),
     }
 }
 
@@ -175,16 +323,45 @@ pub fn route_backup(
     filter: &LinkFilter,
     allowance: &dyn Fn(LinkId) -> Bandwidth,
 ) -> Option<Path> {
+    route_backup_with(
+        &mut RouteScratch::new(),
+        kind,
+        graph,
+        primary,
+        disjointness,
+        filter,
+        allowance,
+    )
+}
+
+/// [`route_backup`] reusing caller-owned search buffers.
+pub fn route_backup_with(
+    scratch: &mut RouteScratch,
+    kind: RouterKind,
+    graph: &Graph,
+    primary: &Path,
+    disjointness: BackupDisjointness,
+    filter: &LinkFilter,
+    allowance: &dyn Fn(LinkId) -> Bandwidth,
+) -> Option<Path> {
     let primary_links: HashSet<LinkId> = primary.links().iter().copied().collect();
     let disjoint_filter = |l: LinkId| !primary_links.contains(&l) && filter(l);
     let (src, dst) = (primary.source(), primary.destination());
     let strict = match kind {
         RouterKind::BoundedFlooding { hop_slack } => {
             let bound = primary.hop_count().saturating_add(hop_slack);
-            flood_path(graph, src, dst, bound, &disjoint_filter, allowance)
+            flood_path_with(
+                &mut scratch.flood,
+                graph,
+                src,
+                dst,
+                bound,
+                &disjoint_filter,
+                allowance,
+            )
         }
         RouterKind::Shortest | RouterKind::SuurballePair => {
-            bfs_path(graph, src, dst, &disjoint_filter)
+            bfs_path_with(&mut scratch.bfs, graph, src, dst, &disjoint_filter)
         }
     };
     if strict.is_some() || disjointness == BackupDisjointness::Strict {
@@ -202,8 +379,7 @@ pub fn route_backup(
     };
     let candidate = drqos_topology::paths::dijkstra_path(graph, src, dst, &weight, filter)?;
     // A backup that *is* the primary protects nothing.
-    if candidate.links().iter().all(|l| primary_links.contains(l))
-    {
+    if candidate.links().iter().all(|l| primary_links.contains(l)) {
         return None;
     }
     Some(candidate)
@@ -255,15 +431,7 @@ mod tests {
     #[test]
     fn flood_finds_fewest_hops() {
         let g = diamond();
-        let p = flood_path(
-            &g,
-            NodeId(0),
-            NodeId(3),
-            10,
-            &pass_all,
-            &no_allowance_bias,
-        )
-        .unwrap();
+        let p = flood_path(&g, NodeId(0), NodeId(3), 10, &pass_all, &no_allowance_bias).unwrap();
         assert_eq!(p.hop_count(), 2);
     }
 
@@ -312,15 +480,7 @@ mod tests {
     #[test]
     fn flood_src_equals_dst() {
         let g = diamond();
-        let p = flood_path(
-            &g,
-            NodeId(1),
-            NodeId(1),
-            10,
-            &pass_all,
-            &no_allowance_bias,
-        )
-        .unwrap();
+        let p = flood_path(&g, NodeId(1), NodeId(1), 10, &pass_all, &no_allowance_bias).unwrap();
         assert_eq!(p.hop_count(), 0);
     }
 
@@ -479,6 +639,86 @@ mod tests {
     fn route_pair_none_on_line() {
         let g = regular::grid(1, 3).unwrap();
         assert!(route_pair(&g, NodeId(0), NodeId(2), &pass_all).is_none());
+    }
+
+    #[test]
+    fn flood_scratch_reuse_matches_fresh_searches() {
+        let g = regular::torus(4, 4).unwrap();
+        let mut scratch = FloodScratch::new();
+        for (s, d, bound) in [
+            (0, 15, 16),
+            (3, 12, 16),
+            (5, 5, 16),
+            (0, 10, 2),
+            (15, 0, 16),
+        ] {
+            let reused = flood_path_with(
+                &mut scratch,
+                &g,
+                NodeId(s),
+                NodeId(d),
+                bound,
+                &pass_all,
+                &no_allowance_bias,
+            );
+            let fresh = flood_path(
+                &g,
+                NodeId(s),
+                NodeId(d),
+                bound,
+                &pass_all,
+                &no_allowance_bias,
+            );
+            assert_eq!(reused, fresh, "{s}->{d} bound {bound}");
+        }
+        // Invalidation keeps the scratch usable.
+        scratch.invalidate();
+        let p = flood_path_with(
+            &mut scratch,
+            &g,
+            NodeId(0),
+            NodeId(15),
+            16,
+            &pass_all,
+            &no_allowance_bias,
+        )
+        .unwrap();
+        assert_eq!(p.hop_count(), 2, "torus corner-to-corner is 2 hops");
+    }
+
+    #[test]
+    fn route_scratch_backup_matches_fresh() {
+        let g = regular::ring(6).unwrap();
+        let mut scratch = RouteScratch::new();
+        let kind = RouterKind::default();
+        let p = route_primary_with(
+            &mut scratch,
+            kind,
+            &g,
+            NodeId(0),
+            NodeId(3),
+            &pass_all,
+            &no_allowance_bias,
+        )
+        .unwrap();
+        let b_scratch = route_backup_with(
+            &mut scratch,
+            kind,
+            &g,
+            &p,
+            BackupDisjointness::Strict,
+            &pass_all,
+            &no_allowance_bias,
+        );
+        let b_fresh = route_backup(
+            kind,
+            &g,
+            &p,
+            BackupDisjointness::Strict,
+            &pass_all,
+            &no_allowance_bias,
+        );
+        assert_eq!(b_scratch, b_fresh);
     }
 
     #[test]

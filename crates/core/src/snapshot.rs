@@ -12,7 +12,6 @@ use drqos_topology::LinkId;
 
 /// One link's frozen accounting.
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct LinkRow {
     /// The link.
     pub link: LinkId,
@@ -40,7 +39,6 @@ impl LinkRow {
 
 /// One connection's frozen state.
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ConnectionRow {
     /// The connection.
     pub id: ConnectionId,
@@ -62,7 +60,6 @@ pub struct ConnectionRow {
 
 /// A frozen view of the whole network.
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct NetworkSnapshot {
     /// Per-link rows, indexed by link id.
     pub links: Vec<LinkRow>,

@@ -131,9 +131,7 @@ impl Ctmc {
     /// the uniformized DTMC has self-loops in every state (hence is
     /// aperiodic and power iteration converges).
     pub fn uniformization_rate(&self) -> f64 {
-        let max = (0..self.n)
-            .map(|i| self.total_rate(i))
-            .fold(0.0, f64::max);
+        let max = (0..self.n).map(|i| self.total_rate(i)).fold(0.0, f64::max);
         if max == 0.0 {
             1.0
         } else {
@@ -208,9 +206,8 @@ impl Ctmc {
         // non-member. With n ≤ a few dozen, the O(n²·n) approach below is
         // plenty: compute pairwise reachability, group into SCCs, test
         // closedness.
-        let mut reach: Vec<Vec<bool>> = (0..self.n)
-            .map(|i| self.reachable_from(i, false))
-            .collect();
+        let mut reach: Vec<Vec<bool>> =
+            (0..self.n).map(|i| self.reachable_from(i, false)).collect();
         for i in 0..self.n {
             reach[i][i] = true;
         }

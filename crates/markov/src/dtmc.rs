@@ -145,7 +145,10 @@ mod tests {
             Err(MarkovError::NotStochastic { row: 0, .. })
         ));
         let neg = Matrix::from_rows(&[vec![1.5, -0.5], vec![0.5, 0.5]]);
-        assert!(matches!(Dtmc::new(neg), Err(MarkovError::InvalidRate { .. })));
+        assert!(matches!(
+            Dtmc::new(neg),
+            Err(MarkovError::InvalidRate { .. })
+        ));
         let rect = Matrix::zeros(2, 3);
         assert!(Dtmc::new(rect).is_err());
     }

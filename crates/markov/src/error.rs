@@ -82,19 +82,31 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(MarkovError::InvalidRate { from: 0, to: 1, value: -1.0 }
-            .to_string()
-            .contains("0 -> 1"));
+        assert!(MarkovError::InvalidRate {
+            from: 0,
+            to: 1,
+            value: -1.0
+        }
+        .to_string()
+        .contains("0 -> 1"));
         assert!(MarkovError::InvalidState(9).to_string().contains('9'));
         assert_eq!(MarkovError::Empty.to_string(), "chain has no states");
-        assert!(MarkovError::NotIrreducible.to_string().contains("irreducible"));
-        assert!(MarkovError::NoConvergence { iterations: 5, residual: 0.1 }
+        assert!(MarkovError::NotIrreducible
             .to_string()
-            .contains("5 iterations"));
+            .contains("irreducible"));
+        assert!(MarkovError::NoConvergence {
+            iterations: 5,
+            residual: 0.1
+        }
+        .to_string()
+        .contains("5 iterations"));
         assert!(MarkovError::Singular.to_string().contains("singular"));
-        assert!(MarkovError::DimensionMismatch { expected: 3, actual: 4 }
-            .to_string()
-            .contains("expected 3"));
+        assert!(MarkovError::DimensionMismatch {
+            expected: 3,
+            actual: 4
+        }
+        .to_string()
+        .contains("expected 3"));
         assert!(MarkovError::NotStochastic { row: 2, sum: 0.5 }
             .to_string()
             .contains("row 2"));

@@ -65,9 +65,7 @@ pub fn mean_hitting_times(ctmc: &Ctmc, targets: &[usize]) -> Result<Vec<f64>, Ma
     // with probability one: any positive-rate escape towards a state with
     // infinite mean makes the expectation infinite. Compute the largest
     // self-consistent finite set by iterating to a fixed point.
-    let mut finite: Vec<usize> = (0..n)
-        .filter(|&i| !is_target[i] && can_reach[i])
-        .collect();
+    let mut finite: Vec<usize> = (0..n).filter(|&i| !is_target[i] && can_reach[i]).collect();
     loop {
         let mut allowed = is_target.clone();
         for &i in &finite {

@@ -24,7 +24,6 @@ use std::ops::{Index, IndexMut};
 /// # Ok::<(), drqos_markov::error::MarkovError>(())
 /// ```
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Matrix {
     rows: usize,
     cols: usize,
@@ -98,11 +97,7 @@ impl Matrix {
             });
         }
         Ok((0..self.rows)
-            .map(|i| {
-                (0..self.cols)
-                    .map(|j| self[(i, j)] * x[j])
-                    .sum::<f64>()
-            })
+            .map(|i| (0..self.cols).map(|j| self[(i, j)] * x[j]).sum::<f64>())
             .collect())
     }
 
@@ -120,11 +115,7 @@ impl Matrix {
             });
         }
         Ok((0..self.cols)
-            .map(|j| {
-                (0..self.rows)
-                    .map(|i| x[i] * self[(i, j)])
-                    .sum::<f64>()
-            })
+            .map(|j| (0..self.rows).map(|i| x[i] * self[(i, j)]).sum::<f64>())
             .collect())
     }
 
@@ -213,14 +204,20 @@ impl Index<(usize, usize)> for Matrix {
     type Output = f64;
 
     fn index(&self, (i, j): (usize, usize)) -> &f64 {
-        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of range");
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of range"
+        );
         &self.data[i * self.cols + j]
     }
 }
 
 impl IndexMut<(usize, usize)> for Matrix {
     fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
-        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of range");
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of range"
+        );
         &mut self.data[i * self.cols + j]
     }
 }
@@ -320,7 +317,10 @@ mod tests {
         let m = Matrix::zeros(2, 3);
         assert!(matches!(
             m.mul_vec(&[1.0]),
-            Err(MarkovError::DimensionMismatch { expected: 3, actual: 1 })
+            Err(MarkovError::DimensionMismatch {
+                expected: 3,
+                actual: 1
+            })
         ));
         assert!(m.vec_mul(&[1.0]).is_err());
     }

@@ -221,10 +221,7 @@ pub fn gauss_seidel(ctmc: &Ctmc, tol: f64, max_iter: usize) -> Result<SteadyStat
             if denom == 0.0 {
                 return Err(MarkovError::Singular);
             }
-            let num: f64 = (0..n)
-                .filter(|&i| i != j)
-                .map(|i| pi[i] * q[(i, j)])
-                .sum();
+            let num: f64 = (0..n).filter(|&i| i != j).map(|i| pi[i] * q[(i, j)]).sum();
             let new = -num / denom;
             residual = residual.max((new - pi[j]).abs());
             pi[j] = new;

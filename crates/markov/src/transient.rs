@@ -23,12 +23,7 @@ use crate::linalg;
 ///   `tol` is not in `(0, 1)`.
 /// * [`MarkovError::Singular`] if `initial` does not sum to a positive
 ///   value.
-pub fn transient(
-    ctmc: &Ctmc,
-    initial: &[f64],
-    t: f64,
-    tol: f64,
-) -> Result<Vec<f64>, MarkovError> {
+pub fn transient(ctmc: &Ctmc, initial: &[f64], t: f64, tol: f64) -> Result<Vec<f64>, MarkovError> {
     let n = ctmc.n_states();
     if initial.len() != n {
         return Err(MarkovError::DimensionMismatch {

@@ -81,7 +81,10 @@ impl Rng {
     /// Panics if the state is all zeros, which is the one invalid xoshiro
     /// state (the generator would emit zeros forever).
     pub fn from_state(s: [u64; 4]) -> Self {
-        assert!(s.iter().any(|&w| w != 0), "xoshiro256++ state must be non-zero");
+        assert!(
+            s.iter().any(|&w| w != 0),
+            "xoshiro256++ state must be non-zero"
+        );
         Self { s }
     }
 
@@ -93,10 +96,7 @@ impl Rng {
     /// Returns the next 64-bit output.
     pub fn next_u64(&mut self) -> u64 {
         let s = &mut self.s;
-        let result = s[0]
-            .wrapping_add(s[3])
-            .rotate_left(23)
-            .wrapping_add(s[0]);
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
         let t = s[1] << 17;
         s[2] ^= s[0];
         s[3] ^= s[1];

@@ -344,6 +344,28 @@ mod tests {
         assert_eq!(w.variance(), 0.0);
     }
 
+    /// Pins the count < 2 behaviour: a naive `m2 / (count - 1)` underflows
+    /// the unsigned count (or yields NaN) for 0 or 1 samples. All three
+    /// spread statistics must be exactly 0.0 — finite, not NaN — so CSV
+    /// exports and assertions downstream never see poisoned values.
+    #[test]
+    fn welford_spread_is_zero_below_two_samples() {
+        let mut w = Welford::new();
+        for expected_count in [0u64, 1] {
+            assert_eq!(w.count(), expected_count);
+            assert_eq!(w.variance(), 0.0, "count {expected_count}");
+            assert_eq!(w.std_dev(), 0.0, "count {expected_count}");
+            assert_eq!(w.ci95_half_width(), 0.0, "count {expected_count}");
+            assert!(w.variance().is_finite() && w.ci95_half_width().is_finite());
+            w.push(42.0);
+        }
+        // Past the guard, spread becomes meaningful: samples are now
+        // {42, 42, 44}, whose unbiased variance is 8/3 / 2 = 4/3.
+        w.push(44.0);
+        assert!((w.variance() - 4.0 / 3.0).abs() < 1e-12);
+        assert!(w.ci95_half_width() > 0.0);
+    }
+
     #[test]
     fn welford_merge_equals_sequential() {
         let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();

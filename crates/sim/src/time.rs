@@ -23,7 +23,6 @@ use std::ops::{Add, Sub};
 /// assert_eq!(t.as_secs(), 5.0);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SimTime(f64);
 
 impl SimTime {

@@ -80,7 +80,10 @@ fn dijkstra_arcs(
             if next < dist[to.0] {
                 dist[to.0] = next;
                 parent[to.0] = Some((from, to, link));
-                heap.push(Item { cost: next, node: to });
+                heap.push(Item {
+                    cost: next,
+                    node: to,
+                });
             }
         }
     }
@@ -96,7 +99,12 @@ fn dijkstra_arcs(
 /// # Panics
 ///
 /// Panics if `src` or `dst` is not a node of `graph`.
-pub fn suurballe(graph: &Graph, src: NodeId, dst: NodeId, filter: &LinkFilter) -> Option<DisjointPair> {
+pub fn suurballe(
+    graph: &Graph,
+    src: NodeId,
+    dst: NodeId,
+    filter: &LinkFilter,
+) -> Option<DisjointPair> {
     assert!(graph.contains_node(src) && graph.contains_node(dst));
     if src == dst {
         return None;
@@ -127,8 +135,7 @@ pub fn suurballe(graph: &Graph, src: NodeId, dst: NodeId, filter: &LinkFilter) -
         p1_arcs.reverse();
     }
     let p1_links: HashSet<LinkId> = p1_arcs.iter().map(|&(_, _, l)| l).collect();
-    let p1_forward: HashSet<(NodeId, NodeId)> =
-        p1_arcs.iter().map(|&(a, b, _)| (a, b)).collect();
+    let p1_forward: HashSet<(NodeId, NodeId)> = p1_arcs.iter().map(|&(a, b, _)| (a, b)).collect();
 
     // Pass 2: shortest path in the residual graph — forward arcs of P1
     // removed, all other arcs kept. Unit costs suffice: with the reverse

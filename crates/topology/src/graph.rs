@@ -12,7 +12,6 @@ use std::fmt;
 
 /// Identifier of a node (index into the graph's node table).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct NodeId(pub usize);
 
 impl NodeId {
@@ -30,7 +29,6 @@ impl fmt::Display for NodeId {
 
 /// Identifier of an undirected link (index into the graph's link table).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct LinkId(pub usize);
 
 impl LinkId {
@@ -48,7 +46,6 @@ impl fmt::Display for LinkId {
 
 /// An undirected link between two distinct nodes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Link {
     id: LinkId,
     a: NodeId,
@@ -117,11 +114,6 @@ impl Link {
 /// # Ok::<(), drqos_topology::error::TopologyError>(())
 /// ```
 #[derive(Debug, Clone, Default, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
-#[cfg_attr(
-    feature = "serde",
-    serde(from = "serde_impl::GraphRepr", into = "serde_impl::GraphRepr")
-)]
 pub struct Graph {
     positions: Vec<Option<(f64, f64)>>,
     links: Vec<Link>,
@@ -129,48 +121,6 @@ pub struct Graph {
     /// Fast lookup of the link between an (ordered) node pair (derived
     /// state; rebuilt on deserialization).
     pair_index: HashMap<(NodeId, NodeId), LinkId>,
-}
-
-#[cfg(feature = "serde")]
-mod serde_impl {
-    use super::{Graph, NodeId};
-
-    /// Canonical wire format: positions + link endpoint pairs. Adjacency
-    /// and the pair index are derived state, rebuilt on the way in.
-    #[derive(serde::Serialize, serde::Deserialize)]
-    pub struct GraphRepr {
-        positions: Vec<Option<(f64, f64)>>,
-        links: Vec<(usize, usize)>,
-    }
-
-    impl From<Graph> for GraphRepr {
-        fn from(g: Graph) -> Self {
-            Self {
-                links: g
-                    .links()
-                    .map(|l| (l.a().index(), l.b().index()))
-                    .collect(),
-                positions: g.positions,
-            }
-        }
-    }
-
-    impl From<GraphRepr> for Graph {
-        fn from(repr: GraphRepr) -> Self {
-            let mut g = Graph::new();
-            for pos in repr.positions {
-                match pos {
-                    Some((x, y)) => g.add_node_at(x, y),
-                    None => g.add_node(),
-                };
-            }
-            for (a, b) in repr.links {
-                g.add_link(NodeId(a), NodeId(b))
-                    .expect("serialized graph contains valid links");
-            }
-            g
-        }
-    }
 }
 
 impl Graph {
@@ -439,18 +389,5 @@ mod tests {
     fn display_ids() {
         assert_eq!(NodeId(4).to_string(), "n4");
         assert_eq!(LinkId(9).to_string(), "l9");
-    }
-
-    /// Run with `cargo test -p drqos-topology --features serde`.
-    #[cfg(feature = "serde")]
-    #[test]
-    fn serde_round_trip_rebuilds_indices() {
-        let (g, [a, b, _], [ab, ..]) = triangle();
-        let json = serde_json::to_string(&g).unwrap();
-        let back: Graph = serde_json::from_str(&json).unwrap();
-        assert_eq!(back, g);
-        // The derived pair index must work after deserialization.
-        assert_eq!(back.link_between(a, b), Some(ab));
-        assert_eq!(back.degree(a), 2);
     }
 }

@@ -7,8 +7,7 @@
 use crate::error::TopologyError;
 use crate::graph::{Graph, LinkId, NodeId};
 use std::cmp::Ordering;
-use std::collections::hash_map::Entry;
-use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
+use std::collections::{BinaryHeap, HashSet, VecDeque};
 
 /// A simple path through a graph: a node sequence plus the links between
 /// consecutive nodes.
@@ -18,7 +17,6 @@ use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
 /// * consecutive nodes are adjacent in the graph;
 /// * no repeated nodes (simple path).
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Path {
     nodes: Vec<NodeId>,
     links: Vec<LinkId>,
@@ -102,6 +100,63 @@ impl Path {
 /// a link impassable (down, or without enough spare bandwidth).
 pub type LinkFilter<'a> = dyn Fn(LinkId) -> bool + 'a;
 
+/// Reusable breadth-first search buffers.
+///
+/// A BFS over an `n`-node graph needs a predecessor table and a queue;
+/// allocating them per call dominates the cost of short searches on the
+/// admission path. A scratch is generation-stamped: `stamp[v] == gen`
+/// marks `prev[v]` as belonging to the current search, so starting a new
+/// search is O(1) — just bump the generation. [`BfsScratch::invalidate`]
+/// drops everything; callers that cache a scratch across topology changes
+/// (see `Network`'s topology epoch in `drqos-core`) call it whenever the
+/// graph's link set changes.
+#[derive(Debug, Clone, Default)]
+pub struct BfsScratch {
+    gen: u64,
+    stamp: Vec<u64>,
+    prev: Vec<NodeId>,
+    queue: VecDeque<NodeId>,
+}
+
+impl BfsScratch {
+    /// An empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drops all cached search state (call after any topology change).
+    pub fn invalidate(&mut self) {
+        self.gen = 0;
+        self.stamp.clear();
+        self.prev.clear();
+        self.queue.clear();
+    }
+
+    /// Prepares the buffers for a fresh search over `n` nodes.
+    fn begin(&mut self, n: usize) {
+        if self.stamp.len() < n {
+            self.stamp.resize(n, 0);
+            self.prev.resize(n, NodeId(usize::MAX));
+        }
+        self.gen = self.gen.wrapping_add(1);
+        if self.gen == 0 {
+            // Generation wrapped: stale stamps could alias. Reset them all.
+            self.stamp.iter_mut().for_each(|s| *s = 0);
+            self.gen = 1;
+        }
+        self.queue.clear();
+    }
+
+    fn visited(&self, v: NodeId) -> bool {
+        self.stamp[v.0] == self.gen
+    }
+
+    fn visit(&mut self, v: NodeId, from: NodeId) {
+        self.stamp[v.0] = self.gen;
+        self.prev[v.0] = from;
+    }
+}
+
 /// Breadth-first (fewest-hops) shortest path from `src` to `dst`, traversing
 /// only links accepted by `filter`.
 ///
@@ -113,36 +168,51 @@ pub type LinkFilter<'a> = dyn Fn(LinkId) -> bool + 'a;
 ///
 /// Panics if `src` or `dst` are not nodes of `graph`.
 pub fn bfs_path(graph: &Graph, src: NodeId, dst: NodeId, filter: &LinkFilter) -> Option<Path> {
+    bfs_path_with(&mut BfsScratch::new(), graph, src, dst, filter)
+}
+
+/// [`bfs_path`] reusing caller-owned buffers — the allocation-free variant
+/// for hot admission paths. Identical results to [`bfs_path`].
+///
+/// # Panics
+///
+/// Panics if `src` or `dst` are not nodes of `graph`.
+pub fn bfs_path_with(
+    scratch: &mut BfsScratch,
+    graph: &Graph,
+    src: NodeId,
+    dst: NodeId,
+    filter: &LinkFilter,
+) -> Option<Path> {
     assert!(graph.contains_node(src) && graph.contains_node(dst));
     if src == dst {
         return Path::from_nodes(graph, vec![src]).ok();
     }
-    let mut prev: HashMap<NodeId, NodeId> = HashMap::new();
-    let mut queue = VecDeque::new();
-    queue.push_back(src);
-    prev.insert(src, src);
-    while let Some(u) = queue.pop_front() {
+    scratch.begin(graph.node_count());
+    scratch.queue.push_back(src);
+    scratch.visit(src, src);
+    while let Some(u) = scratch.queue.pop_front() {
         for &(v, l) in graph.neighbors(u) {
             if !filter(l) {
                 continue;
             }
-            if let Entry::Vacant(e) = prev.entry(v) {
-                e.insert(u);
+            if !scratch.visited(v) {
+                scratch.visit(v, u);
                 if v == dst {
-                    return Some(reconstruct(graph, &prev, src, dst));
+                    return Some(reconstruct(graph, &scratch.prev, src, dst));
                 }
-                queue.push_back(v);
+                scratch.queue.push_back(v);
             }
         }
     }
     None
 }
 
-fn reconstruct(graph: &Graph, prev: &HashMap<NodeId, NodeId>, src: NodeId, dst: NodeId) -> Path {
+fn reconstruct(graph: &Graph, prev: &[NodeId], src: NodeId, dst: NodeId) -> Path {
     let mut nodes = vec![dst];
     let mut cur = dst;
     while cur != src {
-        cur = prev[&cur];
+        cur = prev[cur.0];
         nodes.push(cur);
     }
     nodes.reverse();
@@ -224,7 +294,10 @@ pub fn dijkstra_path(
             if next < dist[v.0] {
                 dist[v.0] = next;
                 prev[v.0] = Some(u);
-                heap.push(HeapItem { cost: next, node: v });
+                heap.push(HeapItem {
+                    cost: next,
+                    node: v,
+                });
             }
         }
     }
@@ -280,8 +353,7 @@ pub fn k_shortest_paths(
                 }
             }
             // Nodes in the root (except the spur node) must not be revisited.
-            let banned_nodes: HashSet<NodeId> =
-                root_nodes[..i].iter().copied().collect();
+            let banned_nodes: HashSet<NodeId> = root_nodes[..i].iter().copied().collect();
             let spur_filter = |l: LinkId| {
                 if banned_links.contains(&l) || root_links.contains(&l) || !filter(l) {
                     return false;
@@ -466,6 +538,21 @@ mod tests {
                 assert_ne!(ps[i], ps[j]);
             }
         }
+    }
+
+    #[test]
+    fn bfs_scratch_reuse_matches_fresh_searches() {
+        let g = regular::grid(4, 4).unwrap();
+        let mut scratch = BfsScratch::new();
+        for (s, d) in [(0, 15), (3, 12), (5, 5), (0, 1), (15, 0)] {
+            let reused = bfs_path_with(&mut scratch, &g, NodeId(s), NodeId(d), &pass_all);
+            let fresh = bfs_path(&g, NodeId(s), NodeId(d), &pass_all);
+            assert_eq!(reused, fresh, "{s}->{d}");
+        }
+        // Invalidation keeps the scratch usable.
+        scratch.invalidate();
+        let p = bfs_path_with(&mut scratch, &g, NodeId(0), NodeId(15), &pass_all).unwrap();
+        assert_eq!(p.hop_count(), 6);
     }
 
     #[test]

@@ -211,7 +211,9 @@ mod tests {
 
     #[test]
     fn classification_is_consistent() {
-        let ts = TransitStubConfig::paper_default().generate(&mut rng()).unwrap();
+        let ts = TransitStubConfig::paper_default()
+            .generate(&mut rng())
+            .unwrap();
         for &t in &ts.transit_nodes {
             assert!(ts.is_transit(t));
         }
@@ -254,13 +256,14 @@ mod tests {
     fn stub_traffic_must_cross_transit() {
         // In a 1-transit-domain graph, remove the transit nodes and stubs
         // from *different* transit routers should be disconnected.
-        let ts = TransitStubConfig::paper_default().generate(&mut rng()).unwrap();
+        let ts = TransitStubConfig::paper_default()
+            .generate(&mut rng())
+            .unwrap();
         let g = &ts.graph;
         // BFS from a stub of transit node 0, forbidding links that touch any
         // transit node: should reach at most its own stub domain.
         let first_stub = ts.stub_nodes[0];
-        let transit: std::collections::HashSet<NodeId> =
-            ts.transit_nodes.iter().copied().collect();
+        let transit: std::collections::HashSet<NodeId> = ts.transit_nodes.iter().copied().collect();
         let filter = |l: crate::graph::LinkId| {
             let link = g.link(l);
             !transit.contains(&link.a()) && !transit.contains(&link.b())

@@ -152,7 +152,8 @@ pub fn bridge_components(g: &mut Graph) {
             }
         }
         let (_, u, v) = best.expect("at least two components");
-        g.add_link(u, v).expect("cross-component link cannot duplicate");
+        g.add_link(u, v)
+            .expect("cross-component link cannot duplicate");
     }
 }
 

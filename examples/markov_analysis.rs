@@ -15,7 +15,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let summary = metrics::summarize(&graph);
     println!(
         "Topology: {} nodes, {} edges, E/N = {:.2}, diameter {:?}",
-        summary.nodes, summary.edges, summary.edges as f64 / summary.nodes as f64,
+        summary.nodes,
+        summary.edges,
+        summary.edges as f64 / summary.nodes as f64,
         summary.diameter
     );
 
@@ -27,21 +29,37 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let point = analyze(graph, &config);
-    let params = point.report.params.as_ref().expect("churn recorded arrivals");
+    let params = point
+        .report
+        .params
+        .as_ref()
+        .expect("churn recorded arrivals");
 
     println!("\nMeasured parameters (paper Section 3.3):");
     println!("  P_f (directly chained)   = {:.4}", params.pf);
     println!("  P_s (indirectly chained) = {:.4}", params.ps);
-    println!("  A (arrival/failure retreat matrix, {0}×{0}):", params.n_states);
+    println!(
+        "  A (arrival/failure retreat matrix, {0}×{0}):",
+        params.n_states
+    );
     for row in &params.a {
         let cells: Vec<String> = row.iter().map(|p| format!("{p:.3}")).collect();
         println!("    [{}]", cells.join(", "));
     }
-    println!("  level occupancy: {:?}",
-        params.occupancy.iter().map(|p| (p * 1000.0).round() / 1000.0).collect::<Vec<_>>());
+    println!(
+        "  level occupancy: {:?}",
+        params
+            .occupancy
+            .iter()
+            .map(|p| (p * 1000.0).round() / 1000.0)
+            .collect::<Vec<_>>()
+    );
 
     println!("\nAverage bandwidth per primary channel:");
-    println!("  simulation : {:>6.1} Kbps", point.report.avg_bandwidth_sim);
+    println!(
+        "  simulation : {:>6.1} Kbps",
+        point.report.avg_bandwidth_sim
+    );
     match point.analytic_avg {
         Some(v) => println!("  Markov model: {v:>6.1} Kbps"),
         None => println!("  Markov model:    n/a (degenerate measurement)"),

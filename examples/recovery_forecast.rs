@@ -59,12 +59,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
     println!("Recovery forecast after a typical link failure:");
-    println!("{:>12} {:>22} {:>12}", "time (s)", "expected bandwidth", "recovered");
+    println!(
+        "{:>12} {:>22} {:>12}",
+        "time (s)", "expected bandwidth", "recovered"
+    );
     let bw0 = model.transient_average_bandwidth(&post_failure, 0.0)?;
     for t in [0.0, 250.0, 500.0, 1_000.0, 2_000.0, 5_000.0, 20_000.0] {
         let bw = model.transient_average_bandwidth(&post_failure, t)?;
         let recovered = (bw - bw0) / (stationary - bw0).max(1e-9);
-        println!("{t:>12.0} {bw:>17.0} Kbps {:>11.0}%", 100.0 * recovered.min(1.0));
+        println!(
+            "{t:>12.0} {bw:>17.0} Kbps {:>11.0}%",
+            100.0 * recovered.min(1.0)
+        );
     }
     println!(
         "(a single failure barely dents the ensemble — the measured F matrix\n\

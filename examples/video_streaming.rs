@@ -23,7 +23,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut net = Network::new(graph, NetworkConfig::default());
     let workload = Workload::new(ElasticQos::paper_video(50));
 
-    println!("\n{:>10} {:>9} {:>16} {:>14}", "customers", "accepted", "avg quality", "at minimum");
+    println!(
+        "\n{:>10} {:>9} {:>16} {:>14}",
+        "customers", "accepted", "avg quality", "at minimum"
+    );
     let mut accepted = 0usize;
     for wave in 1..=8 {
         // Each wave brings 500 more subscription attempts.
@@ -34,10 +37,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             }
         }
         let avg = net.average_bandwidth().unwrap_or(0.0);
-        let at_min = net
-            .connections()
-            .filter(|c| c.level() == 0)
-            .count();
+        let at_min = net.connections().filter(|c| c.level() == 0).count();
         let quality = match avg as u64 {
             0..=149 => "minimum",
             150..=299 => "standard",

@@ -25,7 +25,10 @@ fn single_failure_never_strands_backed_up_connections() {
         );
     }
     for id in &report.dropped {
-        assert!(!with_backup.contains(id), "{id} dropped despite disjoint backup");
+        assert!(
+            !with_backup.contains(id),
+            "{id} dropped despite disjoint backup"
+        );
     }
     net.validate();
 }

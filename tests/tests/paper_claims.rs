@@ -1,8 +1,17 @@
 //! Each qualitative claim of the paper's evaluation, checked at reduced
 //! scale on every `cargo test` run. The full-size regenerators live in
 //! `drqos-bench` (binaries `fig2`, `table1`, `fig3`, `fig4`).
+//!
+//! The multi-point checks run through the bench crate's parallel sweep
+//! runner ([`drqos_bench::runner::sweep`]), same as the full-size
+//! binaries, so the points of a claim are simulated concurrently and the
+//! runner's split-mix seed derivation is exercised end to end. Paired
+//! comparisons (5-state vs 9-state, calm vs stormy, elastic vs rigid)
+//! share one derived seed — common random numbers keep the comparison
+//! tight.
 
 use drqos_analysis::pipeline::analyze;
+use drqos_bench::runner::{derive_seed, sweep, PointObs};
 use drqos_core::experiment::run_churn;
 use drqos_core::qos::ElasticQos;
 use drqos_sim::rng::Rng;
@@ -16,37 +25,60 @@ use drqos_topology::waxman;
 #[test]
 fn fig2_bandwidth_decays_with_load_and_model_tracks() {
     let loads = [50usize, 400, 1_200];
+    let result = sweep(21, &loads, |&load, point_seed| {
+        let mut config = quick_experiment(load, 900, 21);
+        config.seed = point_seed;
+        let point = analyze(small_paper_graph(60, 21), &config);
+        let mut obs = PointObs::default();
+        obs.absorb(&config, &point.report);
+        (
+            (
+                point.report.avg_bandwidth_sim,
+                point.analytic_avg,
+                point.ideal_avg,
+            ),
+            obs,
+        )
+    });
     let mut sims = Vec::new();
-    for &load in &loads {
-        let point = analyze(small_paper_graph(60, 21), &quick_experiment(load, 900, 21));
-        let sim = point.report.avg_bandwidth_sim;
-        if let Some(model) = point.analytic_avg {
+    for (i, &(sim, model, ideal)) in result.rows().enumerate() {
+        if let Some(model) = model {
             assert!(
                 (model - sim).abs() / sim < 0.35,
-                "load {load}: model {model:.0} vs sim {sim:.0}"
+                "load {}: model {model:.0} vs sim {sim:.0}",
+                loads[i]
             );
             // Both under (or at) the ideal reference.
-            assert!(model <= point.ideal_avg + 30.0);
+            assert!(model <= ideal + 30.0);
         }
         sims.push(sim);
     }
     assert!(sims[0] > sims[2], "no decay across the sweep: {sims:?}");
     assert!(sims[0] > 450.0, "light load should be near the maximum");
+    assert!(
+        result.total_events() > 0,
+        "sweep must count simulated events"
+    );
 }
 
 /// Table 1's first claim: the increment size (5 vs 9 states) does not
-/// change the average bandwidth.
+/// change the average bandwidth. Both increments run under one derived
+/// seed (common random numbers) so only Δ varies.
 #[test]
 fn table1_increment_size_immaterial() {
-    let run = |inc: u64| {
+    let increments = [100u64, 50];
+    let shared_seed = derive_seed(22, 0);
+    let rows = sweep(22, &increments, |&inc, _point_seed| {
         let mut config = quick_experiment(500, 1_000, 22);
         config.qos = ElasticQos::paper_video(inc);
-        analyze(small_paper_graph(60, 22), &config)
-            .report
-            .avg_bandwidth_sim
-    };
-    let five = run(100);
-    let nine = run(50);
+        config.seed = shared_seed;
+        let a = analyze(small_paper_graph(60, 22), &config);
+        let mut obs = PointObs::default();
+        obs.absorb(&config, &a.report);
+        (a.report.avg_bandwidth_sim, obs)
+    })
+    .into_rows();
+    let (five, nine) = (rows[0], rows[1]);
     assert!(
         (five - nine).abs() < 60.0,
         "Δ=100 gives {five:.0}, Δ=50 gives {nine:.0}"
@@ -79,16 +111,21 @@ fn table1_tier_network_saturates_early() {
 /// with the node count.
 #[test]
 fn fig3_more_nodes_means_more_bandwidth() {
-    let run = |nodes: usize| {
+    let node_counts = [40usize, 120];
+    let rows = sweep(24, &node_counts, |&nodes, point_seed| {
         let graph = waxman::paper_waxman_scaled(nodes)
             .generate(&mut Rng::seed_from_u64(24))
             .unwrap();
         let edges = graph.link_count();
-        let a = analyze(graph, &quick_experiment(800, 600, 24));
-        (a.report.avg_bandwidth_sim, edges)
-    };
-    let (bw_small, edges_small) = run(40);
-    let (bw_large, edges_large) = run(120);
+        let mut config = quick_experiment(800, 600, 24);
+        config.seed = point_seed;
+        let a = analyze(graph, &config);
+        let mut obs = PointObs::default();
+        obs.absorb(&config, &a.report);
+        ((a.report.avg_bandwidth_sim, edges), obs)
+    })
+    .into_rows();
+    let ((bw_small, edges_small), (bw_large, edges_large)) = (rows[0], rows[1]);
     assert!(edges_large > edges_small);
     assert!(
         bw_large > bw_small,
@@ -97,18 +134,23 @@ fn fig3_more_nodes_means_more_bandwidth() {
 }
 
 /// Figure 4's claim: realistic failure rates (γ ≪ λ) have no visible
-/// effect on the average bandwidth.
+/// effect on the average bandwidth. Calm and stormy runs share one
+/// derived seed so only γ varies.
 #[test]
 fn fig4_small_failure_rates_invisible() {
-    let run = |gamma: f64| {
+    let gammas = [0.0f64, 1e-6];
+    let shared_seed = derive_seed(25, 0);
+    let rows = sweep(25, &gammas, |&gamma, _point_seed| {
         let mut config = quick_experiment(500, 900, 25);
         config.gamma = gamma;
-        analyze(small_paper_graph(60, 25), &config)
-            .report
-            .avg_bandwidth_sim
-    };
-    let calm = run(0.0);
-    let stormy = run(1e-6);
+        config.seed = shared_seed;
+        let a = analyze(small_paper_graph(60, 25), &config);
+        let mut obs = PointObs::default();
+        obs.absorb(&config, &a.report);
+        (a.report.avg_bandwidth_sim, obs)
+    })
+    .into_rows();
+    let (calm, stormy) = (rows[0], rows[1]);
     assert!(
         (calm - stormy).abs() < 40.0,
         "γ=1e-6 moved the average: {calm:.1} vs {stormy:.1}"
@@ -119,15 +161,22 @@ fn fig4_small_failure_rates_invisible() {
 /// channel than the rigid single-value scheme on the same workload.
 #[test]
 fn elastic_beats_rigid_baseline() {
-    let run = |qos: ElasticQos| {
+    let variants = [
+        ElasticQos::paper_video(50),
+        ElasticQos::rigid(drqos_core::qos::Bandwidth::kbps(100)).unwrap(),
+    ];
+    let shared_seed = derive_seed(26, 0);
+    let rows = sweep(26, &variants, |&qos, _point_seed| {
         let mut config = quick_experiment(300, 600, 26);
         config.qos = qos;
-        analyze(small_paper_graph(60, 26), &config)
-            .report
-            .avg_bandwidth_sim
-    };
-    let elastic = run(ElasticQos::paper_video(50));
-    let rigid = run(ElasticQos::rigid(drqos_core::qos::Bandwidth::kbps(100)).unwrap());
+        config.seed = shared_seed;
+        let a = analyze(small_paper_graph(60, 26), &config);
+        let mut obs = PointObs::default();
+        obs.absorb(&config, &a.report);
+        (a.report.avg_bandwidth_sim, obs)
+    })
+    .into_rows();
+    let (elastic, rigid) = (rows[0], rows[1]);
     assert!((rigid - 100.0).abs() < 1e-6, "rigid is pinned to 100");
     assert!(
         elastic > 1.5 * rigid,

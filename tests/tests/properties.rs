@@ -1,5 +1,13 @@
-//! Property-based tests (proptest) on the workspace's core invariants.
+//! Property-style tests on the workspace's core invariants.
+//!
+//! These used to run under proptest; the offline build has no crates.io
+//! access, so each property is now exercised over a deterministic family
+//! of cases derived with the bench runner's split-mix hash. Coverage is
+//! equivalent in spirit (dozens of seeds × sizes per property) and
+//! failures are trivially reproducible: the panic message carries the
+//! exact seed and parameters.
 
+use drqos_bench::runner::{derive_seed, splitmix64};
 use drqos_core::network::{Network, NetworkConfig};
 use drqos_core::qos::{Bandwidth, ElasticQos};
 use drqos_markov::birth_death;
@@ -10,7 +18,16 @@ use drqos_topology::disjoint::suurballe;
 use drqos_topology::graph::{Graph, NodeId};
 use drqos_topology::paths::{bfs_path, k_shortest_paths, pass_all};
 use drqos_topology::{metrics, waxman};
-use proptest::prelude::*;
+
+/// Deterministic case seeds for one property (`salt` names the property).
+fn case_seeds(salt: u64, n: usize) -> impl Iterator<Item = u64> {
+    (0..n as u64).map(move |i| derive_seed(salt, i))
+}
+
+/// Maps a case seed into `lo..hi`.
+fn in_range(seed: u64, lo: usize, hi: usize) -> usize {
+    lo + (splitmix64(seed) % (hi - lo) as u64) as usize
+}
 
 /// A connected random graph from a seed (size 8..40).
 fn seeded_graph(seed: u64, nodes: usize) -> Graph {
@@ -20,58 +37,70 @@ fn seeded_graph(seed: u64, nodes: usize) -> Graph {
         .expect("valid config")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn generated_graphs_are_connected_and_sane(seed in 0u64..500, nodes in 8usize..40) {
+#[test]
+fn generated_graphs_are_connected_and_sane() {
+    for seed in case_seeds(1, 48) {
+        let nodes = in_range(seed, 8, 40);
         let g = seeded_graph(seed, nodes);
-        prop_assert_eq!(g.node_count(), nodes);
-        prop_assert!(metrics::is_connected(&g));
+        assert_eq!(g.node_count(), nodes, "seed {seed}");
+        assert!(metrics::is_connected(&g), "seed {seed} nodes {nodes}");
         // Handshake lemma.
         let degree_sum: usize = g.nodes().map(|n| g.degree(n)).sum();
-        prop_assert_eq!(degree_sum, 2 * g.link_count());
+        assert_eq!(degree_sum, 2 * g.link_count(), "seed {seed}");
     }
+}
 
-    #[test]
-    fn bfs_paths_are_shortest_and_valid(seed in 0u64..200, nodes in 8usize..30) {
+#[test]
+fn bfs_paths_are_shortest_and_valid() {
+    for seed in case_seeds(2, 24) {
+        let nodes = in_range(seed, 8, 30);
         let g = seeded_graph(seed, nodes);
         let dist = metrics::bfs_distances(&g, NodeId(0));
         for dst in g.nodes().skip(1) {
             let p = bfs_path(&g, NodeId(0), dst, &pass_all).expect("connected graph");
-            prop_assert_eq!(Some(p.hop_count()), dist[dst.index()]);
-            prop_assert_eq!(p.source(), NodeId(0));
-            prop_assert_eq!(p.destination(), dst);
+            assert_eq!(Some(p.hop_count()), dist[dst.index()], "seed {seed}");
+            assert_eq!(p.source(), NodeId(0));
+            assert_eq!(p.destination(), dst);
         }
     }
+}
 
-    #[test]
-    fn suurballe_pairs_are_disjoint_and_no_longer_than_double_greedy(
-        seed in 0u64..200, nodes in 8usize..30
-    ) {
+#[test]
+fn suurballe_pairs_are_disjoint_and_no_shorter_than_bfs() {
+    for seed in case_seeds(3, 24) {
+        let nodes = in_range(seed, 8, 30);
         let g = seeded_graph(seed, nodes);
         let dst = NodeId(nodes - 1);
         if let Some(pair) = suurballe(&g, NodeId(0), dst, &pass_all) {
-            prop_assert!(pair.first.is_link_disjoint(&pair.second));
-            prop_assert!(pair.first.hop_count() <= pair.second.hop_count());
+            assert!(pair.first.is_link_disjoint(&pair.second), "seed {seed}");
+            assert!(pair.first.hop_count() <= pair.second.hop_count());
             // The pair's first path can never beat the true shortest path.
             let shortest = bfs_path(&g, NodeId(0), dst, &pass_all).expect("connected");
-            prop_assert!(pair.first.hop_count() >= shortest.hop_count());
+            assert!(
+                pair.first.hop_count() >= shortest.hop_count(),
+                "seed {seed}"
+            );
         }
     }
+}
 
-    #[test]
-    fn yen_paths_are_distinct_sorted_and_simple(seed in 0u64..100, nodes in 8usize..20) {
+#[test]
+fn yen_paths_are_distinct_sorted_and_simple() {
+    for seed in case_seeds(4, 16) {
+        let nodes = in_range(seed, 8, 20);
         let g = seeded_graph(seed, nodes);
         let ps = k_shortest_paths(&g, NodeId(0), NodeId(nodes - 1), 5, &pass_all);
         for w in ps.windows(2) {
-            prop_assert!(w[0].hop_count() <= w[1].hop_count());
-            prop_assert_ne!(&w[0], &w[1]);
+            assert!(w[0].hop_count() <= w[1].hop_count(), "seed {seed}");
+            assert_ne!(&w[0], &w[1], "seed {seed}");
         }
     }
+}
 
-    #[test]
-    fn gth_matches_direct_solve_on_random_chains(seed in 0u64..300, n in 2usize..10) {
+#[test]
+fn gth_matches_direct_solve_on_random_chains() {
+    for seed in case_seeds(5, 32) {
+        let n = in_range(seed, 2, 10);
         let mut rng = Rng::seed_from_u64(seed);
         let mut builder = CtmcBuilder::new(n);
         for i in 0..n {
@@ -85,13 +114,21 @@ proptest! {
         let a = steady_state::gth(&chain).expect("irreducible");
         let b = steady_state::linear(&chain).expect("irreducible");
         for (x, y) in a.probs().iter().zip(b.probs()) {
-            prop_assert!((x - y).abs() < 1e-8, "{:?} vs {:?}", a.probs(), b.probs());
+            assert!(
+                (x - y).abs() < 1e-8,
+                "seed {seed}: {:?} vs {:?}",
+                a.probs(),
+                b.probs()
+            );
         }
-        prop_assert!((a.probs().iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!((a.probs().iter().sum::<f64>() - 1.0).abs() < 1e-9);
     }
+}
 
-    #[test]
-    fn birth_death_closed_form_matches_gth(seed in 0u64..200, n in 1usize..8) {
+#[test]
+fn birth_death_closed_form_matches_gth() {
+    for seed in case_seeds(6, 32) {
+        let n = in_range(seed, 1, 8);
         let mut rng = Rng::seed_from_u64(seed);
         let birth: Vec<f64> = (0..n).map(|_| rng.range_f64(0.1, 3.0)).collect();
         let death: Vec<f64> = (0..n).map(|_| rng.range_f64(0.1, 3.0)).collect();
@@ -99,35 +136,46 @@ proptest! {
         let chain = birth_death::birth_death_ctmc(&birth, &death).expect("valid");
         let gth = steady_state::gth(&chain).expect("irreducible");
         for (x, y) in exact.iter().zip(gth.probs()) {
-            prop_assert!((x - y).abs() < 1e-9);
+            assert!((x - y).abs() < 1e-9, "seed {seed}");
         }
     }
+}
 
-    #[test]
-    fn elastic_qos_levels_are_exact(min in 1u64..500, steps in 1u64..12, inc in 1u64..100) {
+#[test]
+fn elastic_qos_levels_are_exact() {
+    for seed in case_seeds(7, 48) {
+        let min = 1 + splitmix64(seed) % 499;
+        let steps = 1 + splitmix64(seed ^ 1) % 11;
+        let inc = 1 + splitmix64(seed ^ 2) % 99;
         let qos = ElasticQos::new(
             Bandwidth::kbps(min),
             Bandwidth::kbps(min + steps * inc),
             Bandwidth::kbps(inc),
             1.0,
-        ).expect("constructed to divide evenly");
-        prop_assert_eq!(qos.num_levels(), steps as usize + 1);
+        )
+        .expect("constructed to divide evenly");
+        assert_eq!(qos.num_levels(), steps as usize + 1, "seed {seed}");
         for level in 0..qos.num_levels() {
             let bw = qos.level_bandwidth(level);
-            prop_assert_eq!(qos.level_of(bw), Some(level));
-            prop_assert!(bw >= qos.min() && bw <= qos.max());
+            assert_eq!(qos.level_of(bw), Some(level), "seed {seed}");
+            assert!(bw >= qos.min() && bw <= qos.max());
         }
     }
+}
 
-    #[test]
-    fn establish_release_cycles_preserve_invariants(
-        seed in 0u64..60, nodes in 10usize..25, ops in 10usize..60
-    ) {
+#[test]
+fn establish_release_cycles_preserve_invariants() {
+    for seed in case_seeds(8, 12) {
+        let nodes = in_range(seed, 10, 25);
+        let ops = in_range(seed ^ 1, 10, 60);
         let g = seeded_graph(seed, nodes);
-        let mut net = Network::new(g, NetworkConfig {
-            capacity: Bandwidth::kbps(2_000),
-            ..NetworkConfig::default()
-        });
+        let mut net = Network::new(
+            g,
+            NetworkConfig {
+                capacity: Bandwidth::kbps(2_000),
+                ..NetworkConfig::default()
+            },
+        );
         let mut rng = Rng::seed_from_u64(seed ^ 0xF00D);
         let qos = ElasticQos::paper_video(100);
         let mut live: Vec<drqos_core::channel::ConnectionId> = Vec::new();
@@ -135,7 +183,9 @@ proptest! {
             if live.is_empty() || rng.chance(0.6) {
                 let s = rng.range_usize(nodes);
                 let mut d = rng.range_usize(nodes - 1);
-                if d >= s { d += 1; }
+                if d >= s {
+                    d += 1;
+                }
                 if let Ok(id) = net.establish(NodeId(s), NodeId(d), qos) {
                     live.push(id);
                 }
@@ -147,26 +197,36 @@ proptest! {
         net.validate();
         // Every connection sits within its QoS range on every link.
         for c in net.connections() {
-            prop_assert!(c.bandwidth() >= qos.min() && c.bandwidth() <= qos.max());
+            assert!(
+                c.bandwidth() >= qos.min() && c.bandwidth() <= qos.max(),
+                "seed {seed}"
+            );
         }
     }
+}
 
-    #[test]
-    fn multi_backup_invariants_under_churn(
-        seed in 0u64..40, nodes in 10usize..20, backups in 1usize..4
-    ) {
+#[test]
+fn multi_backup_invariants_under_churn() {
+    for seed in case_seeds(9, 12) {
+        let nodes = in_range(seed, 10, 20);
+        let backups = in_range(seed ^ 1, 1, 4);
         let g = seeded_graph(seed, nodes);
-        let mut net = Network::new(g, NetworkConfig {
-            capacity: Bandwidth::kbps(3_000),
-            backup_count: backups,
-            ..NetworkConfig::default()
-        });
+        let mut net = Network::new(
+            g,
+            NetworkConfig {
+                capacity: Bandwidth::kbps(3_000),
+                backup_count: backups,
+                ..NetworkConfig::default()
+            },
+        );
         let mut rng = Rng::seed_from_u64(seed ^ 0xCAFE);
         let qos = ElasticQos::paper_video(100);
         for _ in 0..25 {
             let s = rng.range_usize(nodes);
             let mut d = rng.range_usize(nodes - 1);
-            if d >= s { d += 1; }
+            if d >= s {
+                d += 1;
+            }
             let _ = net.establish(NodeId(s), NodeId(d), qos);
         }
         // One failure round.
@@ -176,26 +236,31 @@ proptest! {
         }
         net.validate();
         for c in net.connections() {
-            prop_assert!(c.backup_count() <= backups);
+            assert!(c.backup_count() <= backups, "seed {seed}");
             // Backups never exceed the configured count and are mutually
             // link-disjoint (validate() asserts the rest).
             for (i, a) in c.backups().iter().enumerate() {
                 for b in &c.backups()[i + 1..] {
-                    prop_assert!(a.is_link_disjoint(b));
+                    assert!(a.is_link_disjoint(b), "seed {seed}");
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn mixed_ops_with_failures_preserve_invariants(
-        seed in 0u64..40, nodes in 10usize..20, ops in 10usize..40
-    ) {
+#[test]
+fn mixed_ops_with_failures_preserve_invariants() {
+    for seed in case_seeds(10, 12) {
+        let nodes = in_range(seed, 10, 20);
+        let ops = in_range(seed ^ 1, 10, 40);
         let g = seeded_graph(seed, nodes);
-        let mut net = Network::new(g, NetworkConfig {
-            capacity: Bandwidth::kbps(1_500),
-            ..NetworkConfig::default()
-        });
+        let mut net = Network::new(
+            g,
+            NetworkConfig {
+                capacity: Bandwidth::kbps(1_500),
+                ..NetworkConfig::default()
+            },
+        );
         let mut rng = Rng::seed_from_u64(seed ^ 0xBEEF);
         let qos = ElasticQos::paper_video(100);
         for _ in 0..ops {
@@ -203,7 +268,9 @@ proptest! {
                 0 | 1 => {
                     let s = rng.range_usize(nodes);
                     let mut d = rng.range_usize(nodes - 1);
-                    if d >= s { d += 1; }
+                    if d >= s {
+                        d += 1;
+                    }
                     let _ = net.establish(NodeId(s), NodeId(d), qos);
                 }
                 2 => {
