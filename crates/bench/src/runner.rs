@@ -281,6 +281,12 @@ pub fn export_sweep<R>(
         })
         .collect();
     crate::csv::export(name, &header, &rows);
+    if drqos_core::experiment::checked_mode() {
+        println!(
+            "(checked mode is ON: invariants re-validated after every churn event — \
+             timings below are not representative)"
+        );
+    }
     let summary = result.runtime_summary(name);
     match record_runtime(&summary) {
         Ok(path) => println!(

@@ -88,6 +88,11 @@ pub enum NetworkError {
     UnknownLink(LinkId),
     /// The link is already in the requested up/down state.
     LinkStateUnchanged(LinkId),
+    /// The node id is not part of the network graph.
+    UnknownNode(NodeId),
+    /// Every link adjacent to the node is already down, so failing the
+    /// node changes nothing.
+    NodeAlreadyDown(NodeId),
 }
 
 impl fmt::Display for NetworkError {
@@ -97,6 +102,10 @@ impl fmt::Display for NetworkError {
             NetworkError::UnknownLink(l) => write!(f, "unknown link {l}"),
             NetworkError::LinkStateUnchanged(l) => {
                 write!(f, "link {l} is already in the requested state")
+            }
+            NetworkError::UnknownNode(n) => write!(f, "unknown node {n}"),
+            NetworkError::NodeAlreadyDown(n) => {
+                write!(f, "node {n} has no up links left to fail")
             }
         }
     }
@@ -146,5 +155,11 @@ mod tests {
         assert!(NetworkError::LinkStateUnchanged(LinkId(2))
             .to_string()
             .contains("already"));
+        assert!(NetworkError::UnknownNode(NodeId(4))
+            .to_string()
+            .contains("n4"));
+        assert!(NetworkError::NodeAlreadyDown(NodeId(5))
+            .to_string()
+            .contains("n5"));
     }
 }

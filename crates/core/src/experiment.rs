@@ -109,12 +109,25 @@ enum Event {
     Repair(LinkId),
 }
 
+/// Whether churn experiments validate the full invariant set after every
+/// event. The `DRQOS_CHECKED` environment variable overrides (`1`/`true`/
+/// `on`/`yes` to force on, anything else to force off); without it,
+/// checking follows `cfg!(debug_assertions)`, so `cargo test` runs fully
+/// checked and `--release` experiments stay fast.
+pub fn checked_mode() -> bool {
+    match std::env::var("DRQOS_CHECKED") {
+        Ok(v) => matches!(v.as_str(), "1" | "true" | "on" | "yes"),
+        Err(_) => cfg!(debug_assertions),
+    }
+}
+
 /// Runs a churn experiment on `graph`.
 ///
 /// Deterministic for a given `(graph, config)`; the graph is moved in, and
 /// the final network state is returned alongside the report for further
 /// inspection.
 pub fn run_churn(graph: Graph, config: &ExperimentConfig) -> (ExperimentReport, Network) {
+    let checked = checked_mode();
     let mut rng = Rng::seed_from_u64(config.seed);
     let mut net = Network::new(graph, config.network.clone());
     let workload = Workload::new(config.qos);
@@ -248,6 +261,9 @@ pub fn run_churn(graph: Graph, config: &ExperimentConfig) -> (ExperimentReport, 
                 // Ignore the error if something else repaired it already.
                 let _ = net.repair_link(link);
             }
+        }
+        if checked {
+            net.validate();
         }
         total_bw_tracker.update(now, net.total_primary_bandwidth().as_kbps_f64());
         count_tracker.update(now, net.len() as f64);

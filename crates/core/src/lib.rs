@@ -27,6 +27,8 @@
 //!   re-distribution, failure handling.
 //! * [`interval`] — the run-time k-out-of-M interval QoS model
 //!   (Section 2.2's second elastic model).
+//! * [`invariant`] — structured violations returned by
+//!   [`network::Network::check_invariants`].
 //! * [`snapshot`] — frozen per-link/per-connection views for reporting.
 //! * [`workload`] — request generation.
 //! * [`measure`] — estimation of the Markov-model parameters
@@ -59,6 +61,7 @@ pub mod channel;
 pub mod error;
 pub mod experiment;
 pub mod interval;
+pub mod invariant;
 pub mod link_state;
 pub mod measure;
 pub mod network;
@@ -69,8 +72,9 @@ pub mod workload;
 
 pub use channel::{ConnectionId, DrConnection};
 pub use error::{AdmissionError, NetworkError, QosError};
-pub use experiment::{run_churn, ExperimentConfig, ExperimentReport};
+pub use experiment::{checked_mode, run_churn, ExperimentConfig, ExperimentReport};
 pub use interval::{DropController, IntervalQos};
+pub use invariant::InvariantViolation;
 pub use measure::{MeasuredParams, ParameterEstimator};
 pub use network::{EstablishPlan, FailureReport, Network, NetworkConfig};
 pub use qos::{AdaptationPolicy, Bandwidth, ElasticQos};

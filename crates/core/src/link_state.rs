@@ -218,17 +218,24 @@ impl LinkUsage {
             .unwrap_or(Bandwidth::ZERO);
     }
 
-    /// Test/debug helper: recomputes the reservation from the conflict map
-    /// and asserts the cache is consistent.
-    pub fn debug_validate(&self) {
-        let recomputed = self
-            .conflict
+    /// Recomputes the multiplexed reservation from the conflict map,
+    /// ignoring the cached value. Equal to [`Self::backup_reservation`]
+    /// whenever the incremental bookkeeping is consistent; the invariant
+    /// checker compares the two.
+    pub fn recomputed_reservation(&self) -> Bandwidth {
+        self.conflict
             .values()
             .copied()
             .max()
-            .unwrap_or(Bandwidth::ZERO);
+            .unwrap_or(Bandwidth::ZERO)
+    }
+
+    /// Test/debug helper: recomputes the reservation from the conflict map
+    /// and asserts the cache is consistent.
+    pub fn debug_validate(&self) {
         assert_eq!(
-            recomputed, self.reservation,
+            self.recomputed_reservation(),
+            self.reservation,
             "cached backup reservation out of sync"
         );
         assert!(

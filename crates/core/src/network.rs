@@ -23,6 +23,7 @@
 
 use crate::channel::{ConnectionId, DrConnection};
 use crate::error::{AdmissionError, NetworkError};
+use crate::invariant::InvariantViolation;
 use crate::link_state::LinkUsage;
 use crate::qos::{AdaptationPolicy, Bandwidth, ElasticQos};
 use crate::routing::{self, BackupDisjointness, RouteScratch, RouterKind};
@@ -651,23 +652,28 @@ impl Network {
     ///
     /// # Errors
     ///
-    /// Returns [`NetworkError::UnknownConnection`]-free errors only:
-    /// [`NetworkError::UnknownLink`] never occurs (links come from the
-    /// graph); already-down links are skipped silently.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `node` is not a node of the graph.
-    pub fn fail_node(&mut self, node: NodeId) -> Vec<FailureReport> {
-        assert!(self.graph.contains_node(node), "unknown node {node}");
-        let adjacent: Vec<LinkId> = self.graph.neighbors(node).iter().map(|&(_, l)| l).collect();
-        let mut reports = Vec::new();
-        for l in adjacent {
-            if self.links[l.index()].is_up() {
-                reports.push(self.fail_link(l).expect("verified up just above"));
-            }
+    /// * [`NetworkError::UnknownNode`] if `node` is not a node of the graph.
+    /// * [`NetworkError::NodeAlreadyDown`] if every adjacent link is
+    ///   already down (failing the node again would change nothing).
+    pub fn fail_node(&mut self, node: NodeId) -> Result<Vec<FailureReport>, NetworkError> {
+        if !self.graph.contains_node(node) {
+            return Err(NetworkError::UnknownNode(node));
         }
-        reports
+        let adjacent: Vec<LinkId> = self
+            .graph
+            .neighbors(node)
+            .iter()
+            .map(|&(_, l)| l)
+            .filter(|&l| self.links[l.index()].is_up())
+            .collect();
+        if adjacent.is_empty() {
+            return Err(NetworkError::NodeAlreadyDown(node));
+        }
+        let mut reports = Vec::with_capacity(adjacent.len());
+        for l in adjacent {
+            reports.push(self.fail_link(l).expect("filtered to up links above"));
+        }
+        Ok(reports)
     }
 
     /// Repairs a link and re-attempts backup establishment for connections
@@ -915,13 +921,11 @@ impl Network {
     // ------------------------------------------------------- validation --
 
     /// Recomputes all per-link accounting from the connection table and
-    /// asserts it matches the incremental bookkeeping. O(C·hops + L); used
-    /// by tests and debug assertions.
-    ///
-    /// # Panics
-    ///
-    /// Panics if any invariant is violated.
-    pub fn validate(&self) {
+    /// compares it against the incremental bookkeeping, returning every
+    /// discrepancy instead of stopping at the first. O(C·hops + L); the
+    /// testkit's oracles run this after every operation.
+    pub fn check_invariants(&self) -> Vec<InvariantViolation> {
+        let mut violations = Vec::new();
         let mut min_sums = vec![Bandwidth::ZERO; self.links.len()];
         let mut extra_sums = vec![Bandwidth::ZERO; self.links.len()];
         let mut primary_sets: Vec<BTreeSet<ConnectionId>> = vec![BTreeSet::new(); self.links.len()];
@@ -929,48 +933,99 @@ impl Network {
         let mut total = Bandwidth::ZERO;
         for conn in self.connections.values() {
             total += conn.bandwidth();
-            assert!(conn.level() <= conn.qos().max_level());
+            if conn.level() > conn.qos().max_level() {
+                violations.push(InvariantViolation::LevelAboveMax {
+                    conn: conn.id(),
+                    level: conn.level(),
+                    max: conn.qos().max_level(),
+                });
+            }
             for &l in conn.primary().links() {
                 min_sums[l.index()] += conn.qos().min();
                 extra_sums[l.index()] += conn.extra();
                 primary_sets[l.index()].insert(conn.id());
             }
             for (i, b) in conn.backups().iter().enumerate() {
-                assert_ne!(b, conn.primary(), "backup identical to primary");
-                if self.config.disjointness == BackupDisjointness::Strict {
-                    assert!(conn.primary().is_link_disjoint(b));
+                if b == conn.primary() {
+                    violations.push(InvariantViolation::BackupEqualsPrimary { conn: conn.id() });
+                }
+                if self.config.disjointness == BackupDisjointness::Strict
+                    && !conn.primary().is_link_disjoint(b)
+                {
+                    violations.push(InvariantViolation::BackupNotDisjoint { conn: conn.id() });
                 }
                 for other in &conn.backups()[i + 1..] {
-                    assert!(
-                        b.is_link_disjoint(other),
-                        "backups of one connection must be mutually disjoint"
-                    );
+                    if !b.is_link_disjoint(other) {
+                        violations.push(InvariantViolation::BackupsNotMutuallyDisjoint {
+                            conn: conn.id(),
+                        });
+                    }
                 }
                 for &l in b.links() {
                     backup_sets[l.index()].insert(conn.id());
                 }
             }
         }
-        assert_eq!(total, self.total_bandwidth, "total bandwidth out of sync");
-        for (i, usage) in self.links.iter().enumerate() {
-            assert_eq!(usage.primary_min_sum(), min_sums[i], "min sum on l{i}");
-            assert_eq!(usage.extra_sum(), extra_sums[i], "extra sum on l{i}");
-            assert_eq!(
-                usage.primaries().collect::<BTreeSet<_>>(),
-                primary_sets[i],
-                "primary set on l{i}"
-            );
-            assert_eq!(
-                usage.backups().collect::<BTreeSet<_>>(),
-                backup_sets[i],
-                "backup set on l{i}"
-            );
-            assert!(
-                usage.primary_min_sum() + usage.extra_sum() <= usage.capacity(),
-                "allocation exceeds capacity on l{i}"
-            );
-            usage.debug_validate();
+        if total != self.total_bandwidth {
+            violations.push(InvariantViolation::TotalBandwidthMismatch {
+                cached: self.total_bandwidth,
+                recomputed: total,
+            });
         }
+        for (i, usage) in self.links.iter().enumerate() {
+            let link = LinkId(i);
+            if usage.primary_min_sum() != min_sums[i] {
+                violations.push(InvariantViolation::MinSumMismatch {
+                    link,
+                    cached: usage.primary_min_sum(),
+                    recomputed: min_sums[i],
+                });
+            }
+            if usage.extra_sum() != extra_sums[i] {
+                violations.push(InvariantViolation::ExtraSumMismatch {
+                    link,
+                    cached: usage.extra_sum(),
+                    recomputed: extra_sums[i],
+                });
+            }
+            if usage.primaries().collect::<BTreeSet<_>>() != primary_sets[i] {
+                violations.push(InvariantViolation::PrimarySetMismatch { link });
+            }
+            if usage.backups().collect::<BTreeSet<_>>() != backup_sets[i] {
+                violations.push(InvariantViolation::BackupSetMismatch { link });
+            }
+            if usage.primary_min_sum() + usage.extra_sum() > usage.capacity() {
+                violations.push(InvariantViolation::CapacityExceeded {
+                    link,
+                    allocated: usage.primary_min_sum() + usage.extra_sum(),
+                    capacity: usage.capacity(),
+                });
+            }
+            if usage.recomputed_reservation() != usage.backup_reservation() {
+                violations.push(InvariantViolation::ReservationOutOfSync {
+                    link,
+                    cached: usage.backup_reservation(),
+                    recomputed: usage.recomputed_reservation(),
+                });
+            }
+        }
+        violations
+    }
+
+    /// Panicking wrapper around [`Self::check_invariants`]; used by tests
+    /// and debug assertions.
+    ///
+    /// # Panics
+    ///
+    /// Panics with every violation listed, one per line, if any invariant
+    /// is violated.
+    pub fn validate(&self) {
+        let violations = self.check_invariants();
+        assert!(
+            violations.is_empty(),
+            "network invariants violated:\n{}",
+            crate::invariant::format_violations(&violations)
+        );
     }
 }
 
@@ -1055,7 +1110,7 @@ mod tests {
         net.establish(NodeId(0), NodeId(1), qos()).unwrap();
         net.validate();
         // fail_node bumps once per adjacent up link (ring: degree 2).
-        net.fail_node(NodeId(3));
+        net.fail_node(NodeId(3)).unwrap();
         assert_eq!(net.topology_epoch(), 4);
     }
 
@@ -1325,7 +1380,7 @@ mod tests {
         let g = regular::torus(4, 4).unwrap();
         let mut net = Network::new(g, NetworkConfig::default());
         let a = net.establish(NodeId(0), NodeId(10), qos()).unwrap();
-        let reports = net.fail_node(NodeId(5));
+        let reports = net.fail_node(NodeId(5)).unwrap();
         assert_eq!(reports.len(), 4, "a torus node has degree 4");
         for &(_, l) in net.graph().neighbors(NodeId(5)) {
             assert!(!net.link_usage(l).is_up());
@@ -1338,22 +1393,29 @@ mod tests {
     }
 
     #[test]
-    fn node_failure_is_idempotent_on_down_links() {
+    fn node_failure_errors_once_all_links_down() {
         let g = regular::ring(5).unwrap();
         let mut net = Network::new(g, NetworkConfig::default());
-        let first = net.fail_node(NodeId(0));
+        let first = net.fail_node(NodeId(0)).unwrap();
         assert_eq!(first.len(), 2);
         // Second failure of the same node: nothing left to fail.
-        assert!(net.fail_node(NodeId(0)).is_empty());
+        assert!(matches!(
+            net.fail_node(NodeId(0)),
+            Err(NetworkError::NodeAlreadyDown(NodeId(0)))
+        ));
         net.validate();
     }
 
     #[test]
-    #[should_panic(expected = "unknown node")]
     fn node_failure_checks_bounds() {
         let g = regular::ring(5).unwrap();
         let mut net = Network::new(g, NetworkConfig::default());
-        net.fail_node(NodeId(99));
+        assert!(matches!(
+            net.fail_node(NodeId(99)),
+            Err(NetworkError::UnknownNode(NodeId(99)))
+        ));
+        // The error path must not bump the epoch.
+        assert_eq!(net.topology_epoch(), 0);
     }
 
     #[test]

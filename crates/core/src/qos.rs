@@ -419,6 +419,51 @@ mod tests {
     }
 
     #[test]
+    fn equal_min_max_is_a_single_state_chain() {
+        let k = Bandwidth::kbps;
+        // B_min == B_max degenerates to the rigid single-state chain no
+        // matter what increment is supplied — including zero.
+        for inc in [0u64, 1, 50] {
+            let q = ElasticQos::new(k(300), k(300), k(inc), 1.0).unwrap();
+            assert!(q.is_rigid(), "inc {inc}");
+            assert_eq!(q.num_levels(), 1, "inc {inc}");
+            assert_eq!(q.max_level(), 0, "inc {inc}");
+            assert_eq!(q.level_bandwidth(0), k(300), "inc {inc}");
+            assert_eq!(q.level_of(k(300)), Some(0), "inc {inc}");
+            assert_eq!(q.level_of(k(299)), None, "inc {inc}");
+        }
+    }
+
+    #[test]
+    fn increment_must_divide_range_exactly() {
+        let k = Bandwidth::kbps;
+        // Δ larger than the range, Δ equal to the range, and a Δ that
+        // leaves a remainder: only the exact divisor is accepted.
+        assert_eq!(
+            ElasticQos::new(k(100), k(500), k(600), 1.0),
+            Err(QosError::IncrementDoesNotDivideRange)
+        );
+        assert_eq!(
+            ElasticQos::new(k(100), k(500), k(300), 1.0),
+            Err(QosError::IncrementDoesNotDivideRange)
+        );
+        let q = ElasticQos::new(k(100), k(500), k(400), 1.0).unwrap();
+        assert_eq!(q.num_levels(), 2);
+        assert_eq!(q.level_bandwidth(1), k(500));
+        assert_eq!(q.level_of(k(300)), None, "off-grid value has no level");
+    }
+
+    #[test]
+    fn zero_increment_rejected_only_when_elastic() {
+        let k = Bandwidth::kbps;
+        assert_eq!(
+            ElasticQos::new(k(100), k(101), Bandwidth::ZERO, 1.0),
+            Err(QosError::ZeroIncrement)
+        );
+        assert!(ElasticQos::new(k(100), k(100), Bandwidth::ZERO, 1.0).is_ok());
+    }
+
+    #[test]
     fn with_utility_replaces() {
         let q = ElasticQos::paper_video(50).with_utility(2.5).unwrap();
         assert_eq!(q.utility(), 2.5);

@@ -1,0 +1,139 @@
+//! CI entry point for the chaos harness.
+//!
+//! ```text
+//! fuzz [--seqs N] [--ops N] [--seed S] [--diff N] [--tolerance F] [--self-test]
+//! ```
+//!
+//! * the main run executes `--seqs` seeded operation sequences and exits
+//!   non-zero with a shrunk, copy-pasteable reproducer on any invariant
+//!   violation;
+//! * `--diff N` additionally runs N simulation-vs-Markov differential
+//!   cases within `--tolerance` (default 0.45 relative);
+//! * `--self-test` is the mutation check: it injects the `LoseRelease`
+//!   accounting fault, and *fails* unless the fuzzer catches it and
+//!   shrinks the witness to ≤ 10 operations.
+
+use drqos_testkit::diff::check_diff;
+use drqos_testkit::fuzz::{run_fuzz, FuzzConfig, InjectedFault};
+use std::process::ExitCode;
+
+struct Args {
+    seqs: usize,
+    ops: usize,
+    seed: u64,
+    diff: usize,
+    tolerance: f64,
+    self_test: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        seqs: 200,
+        ops: 60,
+        seed: 2001,
+        diff: 0,
+        tolerance: 0.45,
+        self_test: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} expects a value"));
+        match flag.as_str() {
+            "--seqs" => args.seqs = parse(&value("--seqs")?)?,
+            "--ops" => args.ops = parse(&value("--ops")?)?,
+            "--seed" => args.seed = parse(&value("--seed")?)?,
+            "--diff" => args.diff = parse(&value("--diff")?)?,
+            "--tolerance" => args.tolerance = parse(&value("--tolerance")?)?,
+            "--self-test" => args.self_test = true,
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn parse<T: std::str::FromStr>(s: &str) -> Result<T, String> {
+    s.parse()
+        .map_err(|_| format!("could not parse argument {s:?}"))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if args.self_test {
+        return mutation_check(args.seed);
+    }
+
+    let outcome = run_fuzz(&FuzzConfig {
+        sequences: args.seqs,
+        ops_per_sequence: args.ops,
+        seed: args.seed,
+        fault: InjectedFault::None,
+    });
+    if let Some(failure) = outcome.failure {
+        eprintln!(
+            "FAIL: invariant violation after {} clean sequence(s)\n",
+            outcome.sequences_run
+        );
+        eprintln!("{}", failure.reproducer());
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "ok: {} sequences x {} ops (seed {}) with zero invariant violations",
+        args.seqs, args.ops, args.seed
+    );
+
+    if args.diff > 0 {
+        let failures = check_diff(args.seed, args.diff, args.tolerance);
+        if !failures.is_empty() {
+            eprintln!("FAIL: simulation diverged from the Markov model:");
+            for f in &failures {
+                eprintln!("  {f}");
+            }
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "ok: {} differential case(s) within {:.0}% of the Markov prediction",
+            args.diff,
+            args.tolerance * 100.0
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+/// The mutation check: the injected fault MUST be caught and MUST shrink
+/// to a small reproducer, or the detector itself is broken.
+fn mutation_check(seed: u64) -> ExitCode {
+    let outcome = run_fuzz(&FuzzConfig {
+        sequences: 50,
+        ops_per_sequence: 30,
+        seed,
+        fault: InjectedFault::LoseRelease,
+    });
+    match outcome.failure {
+        Some(failure) if failure.shrunk.len() <= 10 => {
+            println!(
+                "ok: injected LoseRelease fault caught and shrunk to {} op(s):\n",
+                failure.shrunk.len()
+            );
+            println!("{}", failure.reproducer());
+            ExitCode::SUCCESS
+        }
+        Some(failure) => {
+            eprintln!(
+                "FAIL: fault caught but reproducer has {} ops (> 10) — shrinker regressed",
+                failure.shrunk.len()
+            );
+            ExitCode::FAILURE
+        }
+        None => {
+            eprintln!("FAIL: injected accounting fault was NOT detected — oracle regressed");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! Differential checking: simulation vs the analytic Markov model.
+//!
+//! Fuzzer-generated churn workloads are run through the full simulator
+//! ([`drqos_core::experiment::run_churn`], via
+//! [`drqos_analysis::pipeline::analyze`]) and the resulting steady-state
+//! average bandwidth is compared against the paper's Markov-chain
+//! prediction. The two are independent computations of the same quantity
+//! — the simulator walks events, the model solves a birth–death chain
+//! from measured transition parameters — so agreement within a tolerance
+//! band is a strong end-to-end check on both.
+//!
+//! The tolerance is deliberately loose (the paper itself reports model
+//! error growing with load, and our CI cases run at reduced scale where
+//! stochastic noise is larger): the check catches gross divergence
+//! (wrong chain, broken estimator, corrupted accounting), not small
+//! biases.
+
+use drqos_analysis::pipeline::analyze;
+use drqos_core::experiment::ExperimentConfig;
+use drqos_sim::rng::{Rng, SplitMix64};
+use drqos_topology::waxman;
+
+/// One generated differential workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffCase {
+    /// Nodes in the random topology.
+    pub nodes: usize,
+    /// Warm-up connection target.
+    pub target: usize,
+    /// Churn events after warm-up.
+    pub churn: usize,
+    /// QoS increment Δ in Kbps.
+    pub increment: u64,
+    /// Link failure rate γ.
+    pub gamma: f64,
+    /// Seed for both the topology and the experiment.
+    pub seed: u64,
+}
+
+impl DiffCase {
+    /// Derives a case from a seed: moderate sizes so a handful of cases
+    /// stays affordable in CI, loads spread from light to congested.
+    pub fn from_seed(seed: u64) -> Self {
+        let mut mix = SplitMix64::new(seed);
+        DiffCase {
+            nodes: 40 + (mix.next_u64() % 21) as usize, // 40..=60
+            target: [50, 150, 400][(mix.next_u64() % 3) as usize],
+            churn: 400,
+            increment: [50, 100][(mix.next_u64() % 2) as usize],
+            gamma: [0.0, 1e-6][(mix.next_u64() % 2) as usize],
+            seed: mix.next_u64(),
+        }
+    }
+}
+
+/// The outcome of one differential run.
+#[derive(Debug, Clone)]
+pub struct DiffResult {
+    /// The case that ran.
+    pub case: DiffCase,
+    /// Simulated time-weighted average bandwidth (Kbps).
+    pub sim: f64,
+    /// The Markov model's prediction (None when the chain degenerated,
+    /// e.g. no churn arrivals were recorded).
+    pub model: Option<f64>,
+    /// `|model − sim| / sim` when both are available and sim > 0.
+    pub rel_error: Option<f64>,
+}
+
+impl DiffResult {
+    /// Whether the model tracked the simulation within `tolerance`
+    /// (relative). Cases without a model prediction pass vacuously —
+    /// degenerate chains are legal at extreme parameters.
+    pub fn within(&self, tolerance: f64) -> bool {
+        self.rel_error.is_none_or(|e| e <= tolerance)
+    }
+}
+
+/// Runs one differential case.
+pub fn run_diff(case: &DiffCase) -> DiffResult {
+    let graph = waxman::paper_waxman(case.nodes)
+        .generate(&mut Rng::seed_from_u64(case.seed))
+        .expect("paper Waxman parameters are valid");
+    let config = ExperimentConfig {
+        churn_events: case.churn,
+        gamma: case.gamma,
+        seed: case.seed,
+        ..ExperimentConfig::paper_default(case.target, case.increment)
+    };
+    let analysis = analyze(graph, &config);
+    let sim = analysis.report.avg_bandwidth_sim;
+    let model = analysis.analytic_avg;
+    let rel_error = match model {
+        Some(m) if sim > 0.0 => Some((m - sim).abs() / sim),
+        _ => None,
+    };
+    DiffResult {
+        case: case.clone(),
+        sim,
+        model,
+        rel_error,
+    }
+}
+
+/// Runs `count` seeded differential cases; returns one message per case
+/// that fell outside the tolerance band.
+pub fn check_diff(base_seed: u64, count: usize, tolerance: f64) -> Vec<String> {
+    (0..count)
+        .map(|i| {
+            let case = DiffCase::from_seed(crate::fuzz::case_seed(base_seed, i as u64));
+            run_diff(&case)
+        })
+        .filter(|r| !r.within(tolerance))
+        .map(|r| {
+            format!(
+                "case {:?}: sim {:.1} vs model {:.1} (relative error {:.2} > {tolerance})",
+                r.case,
+                r.sim,
+                r.model.unwrap_or(f64::NAN),
+                r.rel_error.unwrap_or(f64::NAN)
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cases_are_deterministic() {
+        assert_eq!(DiffCase::from_seed(5), DiffCase::from_seed(5));
+        let a = DiffCase::from_seed(1);
+        assert!((40..=60).contains(&a.nodes));
+        assert!([50u64, 100].contains(&a.increment));
+    }
+
+    #[test]
+    fn model_tracks_simulation_on_one_case() {
+        // One mid-load case end to end; the full band runs in CI via the
+        // fuzz binary's --diff flag.
+        let case = DiffCase {
+            nodes: 50,
+            target: 150,
+            churn: 300,
+            increment: 100,
+            gamma: 0.0,
+            seed: 2001,
+        };
+        let result = run_diff(&case);
+        assert!(result.sim >= 100.0 && result.sim <= 500.0);
+        assert!(
+            result.within(0.45),
+            "sim {:.1} vs model {:?}",
+            result.sim,
+            result.model
+        );
+    }
+}

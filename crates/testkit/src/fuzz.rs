@@ -1,0 +1,565 @@
+//! The operation-sequence fuzzer.
+//!
+//! A seeded generator drives a [`Network`] through random interleavings
+//! of establish / release / fail-link / fail-node / repair-link
+//! operations. After every operation the [`Harness`] compares the network
+//! against the [`ReferenceModel`] and runs the standard [`Oracle`]; any
+//! violation fails the sequence.
+//!
+//! Operand encoding makes sequences *shrinkable*: every operation carries
+//! raw `u64` operands that are resolved **modulo the current candidate
+//! list** (live connections, up links, ...) at application time, so
+//! deleting earlier operations never invalidates later ones — they just
+//! resolve to different (still legal) targets. [`shrink`] exploits this
+//! with delta-debugging: it removes ever-smaller chunks while the
+//! sequence still fails, converging on a minimal reproducer that
+//! [`FuzzFailure::reproducer`] prints as copy-pasteable Rust.
+//!
+//! [`InjectedFault`] deliberately desynchronizes the books mid-run — the
+//! mutation check proving the detector actually detects (and the shrinker
+//! actually shrinks; see `testkit_chaos.rs`).
+
+use crate::oracle::{Oracle, Violation};
+use crate::reference::ReferenceModel;
+use drqos_core::channel::ConnectionId;
+use drqos_core::network::{Network, NetworkConfig};
+use drqos_core::qos::{Bandwidth, ElasticQos};
+use drqos_sim::rng::{Rng, SplitMix64};
+use drqos_topology::graph::Graph;
+use drqos_topology::{waxman, LinkId, NodeId};
+
+/// One fuzzer operation. Operands are raw and position-independent: they
+/// are resolved against the network's current candidate lists when the
+/// operation is applied (see the module docs), so any subsequence of a
+/// generated sequence is itself a valid sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Attempt a DR-connection between two nodes (resolved mod node
+    /// count, destination skewed off the source). Admission rejections
+    /// are legal outcomes, not failures.
+    Establish {
+        /// Raw source selector.
+        src: u64,
+        /// Raw destination selector.
+        dst: u64,
+    },
+    /// Release a live connection (resolved mod the live list; no-op when
+    /// none are live).
+    Release {
+        /// Raw selector into the live-connection list.
+        pick: u64,
+    },
+    /// Fail an up link (resolved mod the up-link list; no-op when every
+    /// link is already down).
+    FailLink {
+        /// Raw selector into the up-link list.
+        pick: u64,
+    },
+    /// Fail a node that still has at least one up adjacent link (no-op
+    /// when none qualifies).
+    FailNode {
+        /// Raw selector into the qualifying-node list.
+        pick: u64,
+    },
+    /// Repair a down link (resolved mod the down-link list; no-op when
+    /// everything is up).
+    RepairLink {
+        /// Raw selector into the down-link list.
+        pick: u64,
+    },
+}
+
+/// A deliberately injected accounting bug, used as a mutation check: the
+/// fuzzer must catch it and shrink the witness to a handful of
+/// operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum InjectedFault {
+    /// No fault: the harness mirrors every operation faithfully.
+    #[default]
+    None,
+    /// Releases are applied to the network but *not* to the reference —
+    /// the mirrored books keep charging the freed bandwidth, exactly the
+    /// drift a forgotten `remove_primary` would cause.
+    LoseRelease,
+}
+
+/// Deterministic parameters of one fuzz case: topology and QoS template.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Scenario {
+    /// Node count of the random Waxman topology.
+    pub nodes: usize,
+    /// Uniform link capacity in Kbps.
+    pub capacity_kbps: u64,
+    /// Backups per connection.
+    pub backup_count: usize,
+    /// Δ of the elastic 100–500 Kbps QoS template.
+    pub increment_kbps: u64,
+    /// Seed for the topology generator.
+    pub graph_seed: u64,
+}
+
+impl Scenario {
+    /// Derives scenario parameters from a case seed (split-mix mixed, so
+    /// nearby seeds give unrelated scenarios).
+    pub fn from_seed(seed: u64) -> Self {
+        let mut mix = SplitMix64::new(seed);
+        let nodes = 8 + (mix.next_u64() % 17) as usize; // 8..=24
+        let capacity_kbps = [800, 1_500, 3_000][(mix.next_u64() % 3) as usize];
+        let backup_count = 1 + (mix.next_u64() % 2) as usize; // 1..=2
+        let increment_kbps = [50, 100, 200][(mix.next_u64() % 3) as usize];
+        Scenario {
+            nodes,
+            capacity_kbps,
+            backup_count,
+            increment_kbps,
+            graph_seed: mix.next_u64(),
+        }
+    }
+
+    /// The QoS template every establish uses.
+    pub fn qos(&self) -> ElasticQos {
+        ElasticQos::paper_video(self.increment_kbps)
+    }
+
+    /// Builds the scenario's topology.
+    pub fn graph(&self) -> Graph {
+        waxman::WaxmanConfig::new(self.nodes, 0.8, 0.4)
+            .expect("static parameters are valid")
+            .generate(&mut Rng::seed_from_u64(self.graph_seed))
+            .expect("valid config")
+    }
+
+    /// Builds the scenario's network.
+    pub fn network(&self) -> Network {
+        Network::new(
+            self.graph(),
+            NetworkConfig {
+                capacity: Bandwidth::kbps(self.capacity_kbps),
+                backup_count: self.backup_count,
+                ..NetworkConfig::default()
+            },
+        )
+    }
+}
+
+/// Network + reference model + oracle, stepped one [`Op`] at a time.
+pub struct Harness {
+    net: Network,
+    reference: ReferenceModel,
+    oracle: Oracle,
+    qos: ElasticQos,
+    fault: InjectedFault,
+}
+
+impl Harness {
+    /// Builds the harness for a scenario.
+    pub fn new(scenario: &Scenario, fault: InjectedFault) -> Self {
+        let net = scenario.network();
+        let reference = ReferenceModel::new(&net);
+        Harness {
+            net,
+            reference,
+            oracle: Oracle::standard(),
+            qos: scenario.qos(),
+            fault,
+        }
+    }
+
+    /// The network under test.
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
+    /// Applies one operation, then cross-checks network vs reference and
+    /// runs every oracle. Returns all violations (empty = healthy).
+    pub fn apply(&mut self, op: Op) -> Vec<Violation> {
+        match op {
+            Op::Establish { src, dst } => {
+                let n = self.net.graph().node_count() as u64;
+                let s = (src % n) as usize;
+                let mut d = (dst % (n - 1)) as usize;
+                if d >= s {
+                    d += 1;
+                }
+                if let Ok(id) = self.net.establish(NodeId(s), NodeId(d), self.qos) {
+                    self.reference.on_establish(&self.net, id);
+                }
+            }
+            Op::Release { pick } => {
+                let live: Vec<ConnectionId> = self.net.connections().map(|c| c.id()).collect();
+                if let Some(&id) = resolve(&live, pick) {
+                    self.net.release(id).expect("picked from the live list");
+                    if self.fault != InjectedFault::LoseRelease {
+                        self.reference.on_release(id);
+                    }
+                }
+            }
+            Op::FailLink { pick } => {
+                let up: Vec<LinkId> = self.net.up_links().collect();
+                if let Some(&link) = resolve(&up, pick) {
+                    let report = self.net.fail_link(link).expect("picked from the up list");
+                    self.reference.on_fail_link(&self.net, &report);
+                }
+            }
+            Op::FailNode { pick } => {
+                let candidates: Vec<NodeId> = self
+                    .net
+                    .graph()
+                    .nodes()
+                    .filter(|&n| {
+                        self.net
+                            .graph()
+                            .neighbors(n)
+                            .iter()
+                            .any(|&(_, l)| self.net.link_usage(l).is_up())
+                    })
+                    .collect();
+                if let Some(&node) = resolve(&candidates, pick) {
+                    let reports = self
+                        .net
+                        .fail_node(node)
+                        .expect("candidate has an up adjacent link");
+                    for report in &reports {
+                        self.reference.on_fail_link(&self.net, report);
+                    }
+                }
+            }
+            Op::RepairLink { pick } => {
+                let down: Vec<LinkId> = self
+                    .net
+                    .graph()
+                    .links()
+                    .map(|l| l.id())
+                    .filter(|&l| !self.net.link_usage(l).is_up())
+                    .collect();
+                if let Some(&link) = resolve(&down, pick) {
+                    self.net
+                        .repair_link(link)
+                        .expect("picked from the down list");
+                    self.reference.on_repair_link(link);
+                }
+            }
+        }
+        let mut violations: Vec<Violation> = self
+            .reference
+            .compare(&self.net)
+            .into_iter()
+            .map(|message| Violation {
+                check: "reference-model",
+                message,
+            })
+            .collect();
+        violations.extend(self.oracle.run(&self.net));
+        violations
+    }
+}
+
+/// Resolves a raw operand against a candidate list (None when empty).
+fn resolve<T>(candidates: &[T], pick: u64) -> Option<&T> {
+    if candidates.is_empty() {
+        None
+    } else {
+        Some(&candidates[(pick % candidates.len() as u64) as usize])
+    }
+}
+
+/// Generates `len` operations with the standard weights (40% establish,
+/// 25% release, 15% fail-link, 5% fail-node, 15% repair).
+pub fn generate_ops(rng: &mut Rng, len: usize) -> Vec<Op> {
+    (0..len)
+        .map(|_| {
+            let roll = rng.range_usize(100);
+            if roll < 40 {
+                Op::Establish {
+                    src: rng.next_u64(),
+                    dst: rng.next_u64(),
+                }
+            } else if roll < 65 {
+                Op::Release {
+                    pick: rng.next_u64(),
+                }
+            } else if roll < 80 {
+                Op::FailLink {
+                    pick: rng.next_u64(),
+                }
+            } else if roll < 85 {
+                Op::FailNode {
+                    pick: rng.next_u64(),
+                }
+            } else {
+                Op::RepairLink {
+                    pick: rng.next_u64(),
+                }
+            }
+        })
+        .collect()
+}
+
+/// The first failing step of a sequence, with everything the oracles and
+/// reference model reported there.
+#[derive(Debug, Clone)]
+pub struct SequenceFailure {
+    /// Index of the failing operation.
+    pub step: usize,
+    /// The failing operation.
+    pub op: Op,
+    /// Every violation reported after applying it.
+    pub violations: Vec<Violation>,
+}
+
+/// Runs a sequence from scratch, stopping at the first violating step.
+pub fn run_sequence(
+    scenario: &Scenario,
+    ops: &[Op],
+    fault: InjectedFault,
+) -> Option<SequenceFailure> {
+    let mut harness = Harness::new(scenario, fault);
+    for (step, &op) in ops.iter().enumerate() {
+        let violations = harness.apply(op);
+        if !violations.is_empty() {
+            return Some(SequenceFailure {
+                step,
+                op,
+                violations,
+            });
+        }
+    }
+    None
+}
+
+/// Delta-debugging shrink: truncates at the first failing step, then
+/// removes ever-smaller chunks while the sequence still fails. The result
+/// still fails and no single further chunk removal of size 1 succeeds
+/// (1-minimality).
+pub fn shrink(scenario: &Scenario, ops: &[Op], fault: InjectedFault) -> Vec<Op> {
+    let Some(failure) = run_sequence(scenario, ops, fault) else {
+        return ops.to_vec(); // not failing: nothing to shrink
+    };
+    let mut current: Vec<Op> = ops[..=failure.step].to_vec();
+    let mut chunk = (current.len() / 2).max(1);
+    loop {
+        let mut start = 0;
+        while start < current.len() {
+            let end = (start + chunk).min(current.len());
+            let mut candidate = current.clone();
+            candidate.drain(start..end);
+            if !candidate.is_empty() && run_sequence(scenario, &candidate, fault).is_some() {
+                current = candidate;
+            } else {
+                start = end;
+            }
+        }
+        if chunk == 1 {
+            break;
+        }
+        chunk = (chunk / 2).max(1);
+    }
+    current
+}
+
+/// Fuzzer budget and seed.
+#[derive(Debug, Clone)]
+pub struct FuzzConfig {
+    /// Number of independent operation sequences to run.
+    pub sequences: usize,
+    /// Operations per sequence.
+    pub ops_per_sequence: usize,
+    /// Base seed; case `i` derives its own scenario and operation stream.
+    pub seed: u64,
+    /// Fault to inject (for mutation checks).
+    pub fault: InjectedFault,
+}
+
+impl Default for FuzzConfig {
+    fn default() -> Self {
+        FuzzConfig {
+            sequences: 100,
+            ops_per_sequence: 60,
+            seed: 2001,
+            fault: InjectedFault::None,
+        }
+    }
+}
+
+/// A failing fuzz case, shrunk and ready to report.
+#[derive(Debug, Clone)]
+pub struct FuzzFailure {
+    /// The derived case seed (scenario and operations follow from it).
+    pub case_seed: u64,
+    /// The scenario the case ran under.
+    pub scenario: Scenario,
+    /// The original failing sequence.
+    pub ops: Vec<Op>,
+    /// The shrunk reproducer.
+    pub shrunk: Vec<Op>,
+    /// Violations at the failing step of the shrunk sequence.
+    pub violations: Vec<Violation>,
+    /// Fault that was injected, if any.
+    pub fault: InjectedFault,
+}
+
+impl FuzzFailure {
+    /// Renders the shrunk case as a copy-pasteable Rust snippet.
+    pub fn reproducer(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "// drqos-testkit reproducer (case seed {:#x}, {} op(s) after shrinking)\n",
+            self.case_seed,
+            self.shrunk.len()
+        ));
+        out.push_str(&format!(
+            "let scenario = Scenario {{ nodes: {}, capacity_kbps: {}, backup_count: {}, \
+             increment_kbps: {}, graph_seed: {:#x} }};\n",
+            self.scenario.nodes,
+            self.scenario.capacity_kbps,
+            self.scenario.backup_count,
+            self.scenario.increment_kbps,
+            self.scenario.graph_seed
+        ));
+        out.push_str("let ops = vec![\n");
+        for op in &self.shrunk {
+            out.push_str(&format!("    Op::{op:?},\n"));
+        }
+        out.push_str("];\n");
+        out.push_str(&format!(
+            "let failure = run_sequence(&scenario, &ops, InjectedFault::{:?})\n    \
+             .expect(\"reproduces the violation\");\n",
+            self.fault
+        ));
+        for v in &self.violations {
+            out.push_str(&format!("// {v}\n"));
+        }
+        out
+    }
+}
+
+/// Outcome of a fuzz run: how many sequences ran clean, and the first
+/// failure (shrunk) if any.
+#[derive(Debug, Clone)]
+pub struct FuzzOutcome {
+    /// Sequences completed without a violation.
+    pub sequences_run: usize,
+    /// The first failing case, if any, already shrunk.
+    pub failure: Option<FuzzFailure>,
+}
+
+/// Derives the per-case seed from the base seed (split-mix mixed).
+pub fn case_seed(base: u64, case: u64) -> u64 {
+    let mut mix = SplitMix64::new(base ^ SplitMix64::new(case).next_u64());
+    mix.next_u64()
+}
+
+/// Runs the fuzzer: independent seeded sequences, stopping at (and
+/// shrinking) the first failure.
+pub fn run_fuzz(config: &FuzzConfig) -> FuzzOutcome {
+    for case in 0..config.sequences {
+        let seed = case_seed(config.seed, case as u64);
+        let scenario = Scenario::from_seed(seed);
+        let mut rng = Rng::seed_from_u64(seed ^ 0x4655_5A5A); // ASCII "FUZZ"
+        let ops = generate_ops(&mut rng, config.ops_per_sequence);
+        if run_sequence(&scenario, &ops, config.fault).is_some() {
+            let shrunk = shrink(&scenario, &ops, config.fault);
+            let violations = run_sequence(&scenario, &shrunk, config.fault)
+                .expect("shrink preserves failure")
+                .violations;
+            return FuzzOutcome {
+                sequences_run: case,
+                failure: Some(FuzzFailure {
+                    case_seed: seed,
+                    scenario,
+                    ops,
+                    shrunk,
+                    violations,
+                    fault: config.fault,
+                }),
+            };
+        }
+    }
+    FuzzOutcome {
+        sequences_run: config.sequences,
+        failure: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenarios_are_deterministic_and_varied() {
+        let a = Scenario::from_seed(1);
+        assert_eq!(a, Scenario::from_seed(1));
+        let distinct: std::collections::BTreeSet<usize> =
+            (0..32).map(|s| Scenario::from_seed(s).nodes).collect();
+        assert!(distinct.len() > 3, "node counts should vary: {distinct:?}");
+        for s in 0..16 {
+            let sc = Scenario::from_seed(s);
+            assert!((8..=24).contains(&sc.nodes));
+            assert!((1..=2).contains(&sc.backup_count));
+        }
+    }
+
+    #[test]
+    fn clean_sequences_produce_no_violations() {
+        let outcome = run_fuzz(&FuzzConfig {
+            sequences: 20,
+            ops_per_sequence: 40,
+            seed: 7,
+            fault: InjectedFault::None,
+        });
+        assert!(
+            outcome.failure.is_none(),
+            "unexpected violation:\n{}",
+            outcome.failure.unwrap().reproducer()
+        );
+        assert_eq!(outcome.sequences_run, 20);
+    }
+
+    #[test]
+    fn injected_fault_is_caught_and_shrunk_small() {
+        let outcome = run_fuzz(&FuzzConfig {
+            sequences: 50,
+            ops_per_sequence: 30,
+            seed: 7,
+            fault: InjectedFault::LoseRelease,
+        });
+        let failure = outcome.failure.expect("the fault must be caught");
+        assert!(
+            failure.shrunk.len() <= 10,
+            "reproducer should be tiny, got {} ops",
+            failure.shrunk.len()
+        );
+        // The shrunk sequence replays to the same kind of failure.
+        let replay = run_sequence(
+            &failure.scenario,
+            &failure.shrunk,
+            InjectedFault::LoseRelease,
+        )
+        .expect("reproducer replays");
+        assert!(!replay.violations.is_empty());
+        let repro = failure.reproducer();
+        assert!(repro.contains("Scenario {"));
+        assert!(repro.contains("Op::"));
+    }
+
+    #[test]
+    fn shrink_is_a_noop_on_passing_sequences() {
+        let scenario = Scenario::from_seed(3);
+        let mut rng = Rng::seed_from_u64(3);
+        let ops = generate_ops(&mut rng, 10);
+        assert!(run_sequence(&scenario, &ops, InjectedFault::None).is_none());
+        assert_eq!(shrink(&scenario, &ops, InjectedFault::None), ops);
+    }
+
+    #[test]
+    fn subsequences_stay_legal() {
+        // The shrinkability contract: dropping any prefix of a sequence
+        // leaves a sequence the harness can still apply without panicking.
+        let scenario = Scenario::from_seed(11);
+        let mut rng = Rng::seed_from_u64(11);
+        let ops = generate_ops(&mut rng, 30);
+        for skip in [1usize, 7, 15, 29] {
+            assert!(run_sequence(&scenario, &ops[skip..], InjectedFault::None).is_none());
+        }
+    }
+}

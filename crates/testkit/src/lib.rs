@@ -1,0 +1,44 @@
+//! # drqos-testkit
+//!
+//! Deterministic chaos harness for the DR-connection stack. Three layers:
+//!
+//! * [`fuzz`] — a seeded **operation-sequence fuzzer** that drives
+//!   [`drqos_core::network::Network`] through random interleavings of
+//!   establish/release/fail/repair operations against the [`reference`]
+//!   model, with automatic shrinking of failing sequences down to the
+//!   shortest reproducer (printed as a copy-pasteable scenario).
+//! * [`oracle`] — pluggable **invariant checks** run after every
+//!   operation: the core accounting recomputation plus Δ-grid membership,
+//!   liveness of committed paths, epoch monotonicity, and drop-counter
+//!   conservation.
+//! * [`golden`] — a **golden-trace harness**: canonical scenarios are
+//!   serialized to a hand-rolled text format and compared byte-exact
+//!   against files blessed into `tests/golden/` (update with
+//!   `DRQOS_BLESS=1`).
+//!
+//! A fourth, cross-crate layer lives in [`diff`]: fuzzer-generated churn
+//! workloads whose simulated steady-state average bandwidth is compared
+//! against the `drqos-analysis` Markov prediction within a stated
+//! tolerance band.
+//!
+//! Everything is deterministic given the seeds; there are no external
+//! dependencies and no wall-clock or thread-count influence on any
+//! generated artifact.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod diff;
+pub mod fuzz;
+pub mod golden;
+pub mod oracle;
+pub mod reference;
+
+pub use diff::{run_diff, DiffCase, DiffResult};
+pub use fuzz::{
+    generate_ops, run_fuzz, run_sequence, shrink, FuzzConfig, FuzzFailure, FuzzOutcome, Harness,
+    InjectedFault, Op, Scenario, SequenceFailure,
+};
+pub use golden::{verify_golden, TraceRecorder};
+pub use oracle::{InvariantCheck, Oracle, Violation};
+pub use reference::ReferenceModel;

@@ -1,0 +1,306 @@
+//! A simplified reference model of per-link bandwidth accounting.
+//!
+//! The model mirrors the *observable contract* of
+//! [`drqos_core::network::Network`] — which connections are alive, which
+//! links are up, how much guaranteed minimum bandwidth each link carries,
+//! how many drops have accumulated, and how often the topology changed —
+//! while recomputing all of it independently from first principles. Route
+//! *choices* are learned from the network (the reference does not
+//! re-implement routing), but every derived quantity is re-derived here,
+//! so any bookkeeping drift in the incremental accounting shows up as a
+//! divergence between the two.
+
+use drqos_core::channel::ConnectionId;
+use drqos_core::network::{FailureReport, Network};
+use drqos_core::qos::Bandwidth;
+use drqos_topology::LinkId;
+use std::collections::BTreeMap;
+
+/// What the reference remembers about one live connection.
+#[derive(Debug, Clone, PartialEq)]
+struct RefConnection {
+    min: Bandwidth,
+    max: Bandwidth,
+    increment: Bandwidth,
+    primary: Vec<LinkId>,
+}
+
+/// Independent mirror of the network's observable state.
+#[derive(Debug, Clone)]
+pub struct ReferenceModel {
+    capacity: Vec<Bandwidth>,
+    link_up: Vec<bool>,
+    conns: BTreeMap<ConnectionId, RefConnection>,
+    dropped: u64,
+    epoch: u64,
+}
+
+impl ReferenceModel {
+    /// Mirrors a freshly constructed (empty, all-links-up) network.
+    pub fn new(net: &Network) -> Self {
+        let links: Vec<LinkId> = net.graph().links().map(|l| l.id()).collect();
+        Self {
+            capacity: links
+                .iter()
+                .map(|&l| net.link_usage(l).capacity())
+                .collect(),
+            link_up: links.iter().map(|&l| net.link_usage(l).is_up()).collect(),
+            conns: net
+                .connections()
+                .map(|c| {
+                    (
+                        c.id(),
+                        RefConnection {
+                            min: c.qos().min(),
+                            max: c.qos().max(),
+                            increment: c.qos().increment(),
+                            primary: c.primary().links().to_vec(),
+                        },
+                    )
+                })
+                .collect(),
+            dropped: net.dropped_total(),
+            epoch: net.topology_epoch(),
+        }
+    }
+
+    /// Live connection ids, in id order.
+    pub fn live_ids(&self) -> Vec<ConnectionId> {
+        self.conns.keys().copied().collect()
+    }
+
+    /// Links currently believed up, in id order.
+    pub fn up_links(&self) -> Vec<LinkId> {
+        self.link_up
+            .iter()
+            .enumerate()
+            .filter(|&(_, &up)| up)
+            .map(|(i, _)| LinkId(i))
+            .collect()
+    }
+
+    /// Links currently believed down, in id order.
+    pub fn down_links(&self) -> Vec<LinkId> {
+        self.link_up
+            .iter()
+            .enumerate()
+            .filter(|&(_, &up)| !up)
+            .map(|(i, _)| LinkId(i))
+            .collect()
+    }
+
+    /// Records a successful establishment, learning the committed primary
+    /// route from the network.
+    pub fn on_establish(&mut self, net: &Network, id: ConnectionId) {
+        let c = net.connection(id).expect("establish returned this id");
+        let prev = self.conns.insert(
+            id,
+            RefConnection {
+                min: c.qos().min(),
+                max: c.qos().max(),
+                increment: c.qos().increment(),
+                primary: c.primary().links().to_vec(),
+            },
+        );
+        assert!(prev.is_none(), "{id} established twice");
+    }
+
+    /// Records a release.
+    pub fn on_release(&mut self, id: ConnectionId) {
+        let removed = self.conns.remove(&id);
+        assert!(removed.is_some(), "{id} released but never tracked");
+    }
+
+    /// Records a link failure: the link goes down (one epoch bump),
+    /// dropped connections leave the books, and activated connections
+    /// switch to the backup route the network reports.
+    pub fn on_fail_link(&mut self, net: &Network, report: &FailureReport) {
+        let idx = report.link.index();
+        assert!(self.link_up[idx], "{} failed while down", report.link);
+        self.link_up[idx] = false;
+        self.epoch += 1;
+        for id in &report.dropped {
+            let removed = self.conns.remove(id);
+            assert!(removed.is_some(), "{id} dropped but never tracked");
+            self.dropped += 1;
+        }
+        for id in &report.activated {
+            // A node outage downs several links in one batch; a connection
+            // activated by this link's failure may have been dropped by a
+            // later one, in which case that report's `dropped` list settles
+            // the books and there is no surviving route to learn.
+            let Some(c) = net.connection(*id) else {
+                continue;
+            };
+            self.conns
+                .get_mut(id)
+                .expect("activated connection is tracked")
+                .primary = c.primary().links().to_vec();
+        }
+    }
+
+    /// Records a repair: one epoch bump, link back up. (Backup
+    /// re-establishment does not touch any quantity the reference tracks.)
+    pub fn on_repair_link(&mut self, link: LinkId) {
+        let idx = link.index();
+        assert!(!self.link_up[idx], "{link} repaired while up");
+        self.link_up[idx] = true;
+        self.epoch += 1;
+    }
+
+    /// Compares the mirrored books against the network, returning one
+    /// message per divergence (empty = consistent).
+    pub fn compare(&self, net: &Network) -> Vec<String> {
+        let mut diffs = Vec::new();
+
+        // Live-connection sets must agree.
+        let net_ids: Vec<ConnectionId> = net.connections().map(|c| c.id()).collect();
+        let ref_ids = self.live_ids();
+        if net_ids != ref_ids {
+            diffs.push(format!(
+                "live set diverged: network has {} connections, reference {} \
+                 (network {:?}, reference {:?})",
+                net_ids.len(),
+                ref_ids.len(),
+                net_ids,
+                ref_ids,
+            ));
+        }
+
+        // Per-link liveness and independently summed primary minima.
+        let mut min_sums = vec![Bandwidth::ZERO; self.link_up.len()];
+        for rc in self.conns.values() {
+            for &l in &rc.primary {
+                min_sums[l.index()] += rc.min;
+            }
+        }
+        for (i, &up) in self.link_up.iter().enumerate() {
+            let link = LinkId(i);
+            let usage = net.link_usage(link);
+            if usage.is_up() != up {
+                diffs.push(format!(
+                    "{link} liveness diverged: network {}, reference {}",
+                    usage.is_up(),
+                    up
+                ));
+            }
+            if usage.primary_min_sum() != min_sums[i] {
+                diffs.push(format!(
+                    "{link} min sum diverged: network {}, reference {}",
+                    usage.primary_min_sum(),
+                    min_sums[i]
+                ));
+            }
+            if min_sums[i] > self.capacity[i] {
+                diffs.push(format!(
+                    "{link} oversubscribed: minima {} exceed capacity {}",
+                    min_sums[i], self.capacity[i]
+                ));
+            }
+        }
+
+        // Per-connection route agreement, QoS range, and Δ-grid membership.
+        for (id, rc) in &self.conns {
+            let Some(c) = net.connection(*id) else {
+                continue; // already reported via the live-set diff
+            };
+            if c.primary().links() != rc.primary.as_slice() {
+                diffs.push(format!("{id} primary route diverged"));
+            }
+            let bw = c.bandwidth();
+            if bw < rc.min || bw > rc.max {
+                diffs.push(format!(
+                    "{id} bandwidth {bw} outside [{}, {}]",
+                    rc.min, rc.max
+                ));
+            } else if rc.increment > Bandwidth::ZERO
+                && (bw.as_kbps() - rc.min.as_kbps()) % rc.increment.as_kbps() != 0
+            {
+                diffs.push(format!(
+                    "{id} bandwidth {bw} off the Δ-grid (min {}, Δ {})",
+                    rc.min, rc.increment
+                ));
+            }
+            for &l in &rc.primary {
+                if !self.link_up[l.index()] {
+                    diffs.push(format!("{id} primary crosses down link {l}"));
+                }
+            }
+        }
+
+        // Global counters.
+        if net.dropped_total() != self.dropped {
+            diffs.push(format!(
+                "dropped_total diverged: network {}, reference {}",
+                net.dropped_total(),
+                self.dropped
+            ));
+        }
+        if net.topology_epoch() != self.epoch {
+            diffs.push(format!(
+                "topology_epoch diverged: network {}, reference {}",
+                net.topology_epoch(),
+                self.epoch
+            ));
+        }
+        diffs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drqos_core::network::{Network, NetworkConfig};
+    use drqos_core::qos::ElasticQos;
+    use drqos_topology::{regular, NodeId};
+
+    fn net() -> Network {
+        Network::new(regular::ring(6).unwrap(), NetworkConfig::default())
+    }
+
+    #[test]
+    fn mirrors_establish_release_and_failure() {
+        let mut net = net();
+        let mut model = ReferenceModel::new(&net);
+        assert!(model.compare(&net).is_empty());
+
+        let q = ElasticQos::paper_video(100);
+        let a = net.establish(NodeId(0), NodeId(3), q).unwrap();
+        model.on_establish(&net, a);
+        assert!(model.compare(&net).is_empty());
+
+        let link = net.connection(a).unwrap().primary().links()[0];
+        let report = net.fail_link(link).unwrap();
+        model.on_fail_link(&net, &report);
+        assert!(model.compare(&net).is_empty());
+
+        net.repair_link(link).unwrap();
+        model.on_repair_link(link);
+        assert!(model.compare(&net).is_empty());
+
+        net.release(a).unwrap();
+        model.on_release(a);
+        assert!(model.compare(&net).is_empty());
+    }
+
+    #[test]
+    fn detects_a_lost_release() {
+        let mut net = net();
+        let mut model = ReferenceModel::new(&net);
+        let q = ElasticQos::paper_video(100);
+        let a = net.establish(NodeId(0), NodeId(3), q).unwrap();
+        model.on_establish(&net, a);
+        // The network releases but the reference is not told — exactly the
+        // desynchronization the fuzzer's injected fault produces.
+        net.release(a).unwrap();
+        let diffs = model.compare(&net);
+        assert!(
+            diffs.iter().any(|d| d.contains("live set diverged")),
+            "{diffs:?}"
+        );
+        assert!(
+            diffs.iter().any(|d| d.contains("min sum diverged")),
+            "{diffs:?}"
+        );
+    }
+}

@@ -1,0 +1,29 @@
+//! Differential check: the event simulation and the analytic Markov model
+//! compute the steady-state average bandwidth independently; on
+//! fuzzer-generated workloads they must agree within a loose tolerance.
+//! CI runs a wider band through the fuzz binary's `--diff` flag.
+
+use drqos_testkit::{run_diff, DiffCase};
+
+#[test]
+fn simulation_tracks_the_markov_model_on_seeded_cases() {
+    let mut checked = 0;
+    for i in 0..3u64 {
+        let case = DiffCase::from_seed(drqos_testkit::fuzz::case_seed(2001, i));
+        let result = run_diff(&case);
+        assert!(
+            result.within(0.45),
+            "case {:?}: sim {:.1} vs model {:?} (rel error {:?})",
+            result.case,
+            result.sim,
+            result.model,
+            result.rel_error
+        );
+        if result.rel_error.is_some() {
+            checked += 1;
+        }
+    }
+    // At least one case must have produced a real model prediction —
+    // otherwise the check is vacuous and the estimator is likely broken.
+    assert!(checked >= 1, "no differential case produced a model value");
+}

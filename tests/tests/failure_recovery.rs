@@ -2,8 +2,10 @@
 //! multiplexing safety, drops, and repair across the full stack.
 
 use drqos_core::channel::ConnectionId;
+use drqos_core::error::NetworkError;
 use drqos_core::qos::Bandwidth;
 use drqos_tests::loaded_network;
+use drqos_topology::NodeId;
 use std::collections::BTreeSet;
 
 #[test]
@@ -101,6 +103,70 @@ fn failover_retains_minimum_bandwidth() {
         // The new primary must avoid the dead link.
         assert!(!c.primary().crosses(link));
     }
+}
+
+#[test]
+fn repair_restores_up_links_and_never_resurrects_connections() {
+    // Property, across seeds: failing a link and repairing it restores
+    // the exact up-link set, and connections released or dropped while
+    // the link was down never come back.
+    for seed in [21u64, 22, 23, 24] {
+        let (mut net, mut rng) = loaded_network(40, 60, seed);
+        let before: BTreeSet<_> = net.up_links().collect();
+        let up: Vec<_> = net.up_links().collect();
+        let link = up[rng.range_usize(up.len())];
+
+        let report = net.fail_link(link).expect("link is up");
+        let mut gone: BTreeSet<ConnectionId> = report.dropped.iter().copied().collect();
+        // Release one survivor while the link is down.
+        let survivor = net.connections().map(|c| c.id()).next();
+        if let Some(id) = survivor {
+            net.release(id).expect("live id");
+            gone.insert(id);
+        }
+
+        net.repair_link(link).expect("link is down");
+        let after: BTreeSet<_> = net.up_links().collect();
+        assert_eq!(before, after, "seed {seed}: repair must restore up_links");
+        for id in &gone {
+            assert!(
+                net.connection(*id).is_none(),
+                "seed {seed}: {id} resurrected by repair"
+            );
+        }
+        net.validate();
+    }
+}
+
+#[test]
+fn fail_node_rejects_unknown_and_fully_downed_nodes() {
+    let (mut net, _) = loaded_network(40, 30, 25);
+    let n = net.graph().node_count();
+    assert_eq!(
+        net.fail_node(NodeId(n + 7)),
+        Err(NetworkError::UnknownNode(NodeId(n + 7)))
+    );
+    // Down every link adjacent to node 0, then failing it again is an
+    // error rather than a silent no-op.
+    let adjacent: Vec<_> = net
+        .graph()
+        .neighbors(NodeId(0))
+        .iter()
+        .map(|&(_, l)| l)
+        .collect();
+    assert!(!adjacent.is_empty());
+    let epoch_before_outage = net.topology_epoch();
+    net.fail_node(NodeId(0)).expect("node has up links");
+    assert_eq!(
+        net.fail_node(NodeId(0)),
+        Err(NetworkError::NodeAlreadyDown(NodeId(0)))
+    );
+    // Failed calls must not bump the topology epoch further.
+    assert_eq!(
+        net.topology_epoch(),
+        epoch_before_outage + adjacent.len() as u64
+    );
+    net.validate();
 }
 
 #[test]

@@ -1,0 +1,83 @@
+//! Golden-trace verification: canonical scenarios replayed against the
+//! blessed traces in `tests/golden/`, byte-exact.
+//!
+//! To update after an intentional behaviour change:
+//!
+//! ```text
+//! DRQOS_BLESS=1 cargo test -p drqos-tests --test golden_traces
+//! ```
+//!
+//! then commit the rewritten `tests/golden/*.txt`.
+
+use drqos_bench::runner::{sweep, PointObs};
+use drqos_core::experiment::run_churn;
+use drqos_testkit::golden::{scenarios, verify_golden};
+use drqos_tests::{quick_experiment, small_paper_graph};
+use std::path::{Path, PathBuf};
+
+fn golden_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("golden")
+}
+
+#[test]
+fn canonical_scenarios_match_blessed_traces() {
+    for (name, content) in scenarios::all() {
+        if let Err(e) = verify_golden(&golden_dir(), name, &content) {
+            panic!("{e}");
+        }
+    }
+}
+
+/// The deterministic series columns of a small sweep, as trace lines.
+/// Only integer counters — no floats, no wall-clock — so the text is
+/// byte-stable across machines and worker counts.
+fn sweep_series() -> String {
+    let points: Vec<(usize, usize)> = vec![(30, 40), (30, 80), (40, 60), (50, 100)];
+    let result = sweep(2001, &points, |&(nodes, target), seed| {
+        let graph = small_paper_graph(nodes, seed);
+        let config = quick_experiment(target, 150, seed);
+        let (report, net) = run_churn(graph, &config);
+        net.validate();
+        let mut obs = PointObs::default();
+        obs.absorb(&config, &report);
+        let row = format!(
+            "nodes={nodes} target={target} accepted={} rejected={} dropped={} failures={} epoch={}",
+            report.accepted,
+            report.rejected_primary + report.rejected_backup,
+            report.dropped,
+            report.failures,
+            net.topology_epoch(),
+        );
+        (row, obs)
+    });
+    let mut out = String::from("# drqos golden trace: sweep_series (4 points, seed 2001)\n");
+    for row in result.rows() {
+        out.push_str(row);
+        out.push('\n');
+    }
+    out
+}
+
+#[test]
+fn sweep_series_is_thread_invariant_and_matches_golden() {
+    // The sweep engine must produce identical series columns regardless of
+    // the worker count; pin it to 1 and 4 threads explicitly and compare
+    // both against the blessed trace. (This test is the only one in this
+    // binary touching DRQOS_THREADS, so the process-global env is safe.)
+    let prev = std::env::var("DRQOS_THREADS").ok();
+    std::env::set_var("DRQOS_THREADS", "1");
+    let serial = sweep_series();
+    std::env::set_var("DRQOS_THREADS", "4");
+    let parallel = sweep_series();
+    match prev {
+        Some(v) => std::env::set_var("DRQOS_THREADS", v),
+        None => std::env::remove_var("DRQOS_THREADS"),
+    }
+    assert_eq!(
+        serial, parallel,
+        "sweep series diverged between 1 and 4 worker threads"
+    );
+    if let Err(e) = verify_golden(&golden_dir(), "sweep_series", &serial) {
+        panic!("{e}");
+    }
+}
