@@ -357,18 +357,41 @@ impl RuntimeSummary {
 ///
 /// Returns any I/O error from directory creation, writing, or re-reading.
 pub fn record_runtime(summary: &RuntimeSummary) -> io::Result<PathBuf> {
-    let dir = crate::csv::default_dir().join("runtime");
-    fs::create_dir_all(&dir)?;
     let name: String = summary
         .name
         .chars()
         .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
         .collect();
-    fs::write(
-        dir.join(format!("{name}-{}t.json", summary.threads)),
-        summary.to_json(),
-    )?;
-    // Rebuild the aggregate from the per-sweep files (each holds one
+    record_runtime_entry(&format!("{name}-{}t", summary.threads), &summary.to_json())
+}
+
+/// Records one pre-rendered JSON object as
+/// `target/experiments/runtime/<stem>.json` and rebuilds the aggregate
+/// `runtime.json`. This is the shared sink for every runtime producer —
+/// the sweep runner above and out-of-crate tools like `drqos-loadgen` —
+/// so all entries land in one aggregate regardless of who wrote them.
+///
+/// `stem` is sanitized to `[A-Za-z0-9_-]`; `json` must be one complete
+/// JSON object (it is embedded verbatim, never parsed).
+///
+/// # Errors
+///
+/// Returns any I/O error from directory creation, writing, or re-reading.
+pub fn record_runtime_entry(stem: &str, json: &str) -> io::Result<PathBuf> {
+    let dir = crate::csv::default_dir().join("runtime");
+    fs::create_dir_all(&dir)?;
+    let stem: String = stem
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    fs::write(dir.join(format!("{stem}.json")), json)?;
+    // Rebuild the aggregate from the per-entry files (each holds one
     // complete JSON object, embedded verbatim — no JSON parsing needed).
     let mut entries: Vec<(String, String)> = Vec::new();
     for entry in fs::read_dir(&dir)? {

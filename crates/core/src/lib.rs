@@ -68,6 +68,7 @@ pub mod network;
 pub mod qos;
 pub mod routing;
 pub mod snapshot;
+pub mod wire;
 pub mod workload;
 
 pub use channel::{ConnectionId, DrConnection};

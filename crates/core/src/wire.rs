@@ -1,0 +1,272 @@
+//! Stable numeric error codes for the wire protocol.
+//!
+//! The `drqos-service` daemon reports failures as `ERR <code> <message>`
+//! lines. The codes are assigned *here*, next to the error enums, through
+//! exhaustive `match` expressions: adding a new variant to any of these
+//! enums without assigning it a code is a compile error, so the wire
+//! protocol can never silently ship an unnumbered failure.
+//!
+//! Code ranges (one block per error family, room to grow in each):
+//!
+//! | range   | family                                   |
+//! |---------|------------------------------------------|
+//! | 1–99    | protocol-level (reserved for the service) |
+//! | 100–199 | [`QosError`]                             |
+//! | 200–299 | [`AdmissionError`]                       |
+//! | 300–399 | [`NetworkError`]                         |
+//! | 400–499 | [`InvariantViolation`]                   |
+//!
+//! Codes are append-only: a published code never changes meaning, and
+//! retired variants leave a hole rather than renumbering their successors.
+
+use crate::error::{AdmissionError, NetworkError, QosError};
+use crate::invariant::InvariantViolation;
+
+impl QosError {
+    /// The stable wire code of this error (100–199).
+    pub fn wire_code(&self) -> u16 {
+        match self {
+            QosError::ZeroMinimum => 100,
+            QosError::MaxBelowMin => 101,
+            QosError::ZeroIncrement => 102,
+            QosError::IncrementDoesNotDivideRange => 103,
+            QosError::InvalidUtility(_) => 104,
+        }
+    }
+}
+
+impl AdmissionError {
+    /// The stable wire code of this error (200–299).
+    pub fn wire_code(&self) -> u16 {
+        match self {
+            AdmissionError::UnknownNode(_) => 200,
+            AdmissionError::SameEndpoints(_) => 201,
+            AdmissionError::NoPrimaryRoute => 202,
+            AdmissionError::NoBackupRoute => 203,
+        }
+    }
+}
+
+impl NetworkError {
+    /// The stable wire code of this error (300–399).
+    pub fn wire_code(&self) -> u16 {
+        match self {
+            NetworkError::UnknownConnection(_) => 300,
+            NetworkError::UnknownLink(_) => 301,
+            NetworkError::LinkStateUnchanged(_) => 302,
+            NetworkError::UnknownNode(_) => 303,
+            NetworkError::NodeAlreadyDown(_) => 304,
+        }
+    }
+}
+
+impl InvariantViolation {
+    /// The stable wire code of this violation (400–499).
+    pub fn wire_code(&self) -> u16 {
+        match self {
+            InvariantViolation::TotalBandwidthMismatch { .. } => 400,
+            InvariantViolation::LevelAboveMax { .. } => 401,
+            InvariantViolation::BackupEqualsPrimary { .. } => 402,
+            InvariantViolation::BackupNotDisjoint { .. } => 403,
+            InvariantViolation::BackupsNotMutuallyDisjoint { .. } => 404,
+            InvariantViolation::MinSumMismatch { .. } => 405,
+            InvariantViolation::ExtraSumMismatch { .. } => 406,
+            InvariantViolation::PrimarySetMismatch { .. } => 407,
+            InvariantViolation::BackupSetMismatch { .. } => 408,
+            InvariantViolation::CapacityExceeded { .. } => 409,
+            InvariantViolation::ReservationOutOfSync { .. } => 410,
+        }
+    }
+}
+
+/// Every assigned wire code with a short stable description, in code
+/// order. Protocol-level codes (1–99) belong to the service crate and are
+/// not listed here.
+pub const WIRE_CODES: &[(u16, &str)] = &[
+    (100, "qos: zero minimum"),
+    (101, "qos: maximum below minimum"),
+    (102, "qos: zero increment"),
+    (103, "qos: increment does not divide range"),
+    (104, "qos: invalid utility"),
+    (200, "admission: unknown node"),
+    (201, "admission: same endpoints"),
+    (202, "admission: no primary route"),
+    (203, "admission: no backup route"),
+    (300, "network: unknown connection"),
+    (301, "network: unknown link"),
+    (302, "network: link state unchanged"),
+    (303, "network: unknown node"),
+    (304, "network: node already down"),
+    (400, "invariant: total bandwidth mismatch"),
+    (401, "invariant: level above max"),
+    (402, "invariant: backup equals primary"),
+    (403, "invariant: backup not disjoint"),
+    (404, "invariant: backups not mutually disjoint"),
+    (405, "invariant: min sum mismatch"),
+    (406, "invariant: extra sum mismatch"),
+    (407, "invariant: primary set mismatch"),
+    (408, "invariant: backup set mismatch"),
+    (409, "invariant: capacity exceeded"),
+    (410, "invariant: reservation out of sync"),
+];
+
+/// The stable description of a wire code, or `None` for an unassigned
+/// code.
+pub fn describe(code: u16) -> Option<&'static str> {
+    WIRE_CODES
+        .binary_search_by_key(&code, |&(c, _)| c)
+        .ok()
+        .map(|i| WIRE_CODES[i].1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use samples::*;
+
+    /// Sample instances covering *every* variant of every wired enum. The
+    /// `wire_code` matches above are exhaustive (the enums are defined in
+    /// this crate, so `#[non_exhaustive]` does not add a wildcard arm):
+    /// adding a variant breaks compilation there first, and then fails
+    /// this module until the sample list and [`WIRE_CODES`] follow.
+    mod samples {
+        use crate::channel::ConnectionId;
+        use crate::error::{AdmissionError, NetworkError, QosError};
+        use crate::invariant::InvariantViolation;
+        use crate::qos::Bandwidth;
+        use drqos_topology::{LinkId, NodeId};
+
+        pub fn qos_samples() -> Vec<QosError> {
+            vec![
+                QosError::ZeroMinimum,
+                QosError::MaxBelowMin,
+                QosError::ZeroIncrement,
+                QosError::IncrementDoesNotDivideRange,
+                QosError::InvalidUtility(-1.0),
+            ]
+        }
+
+        pub fn admission_samples() -> Vec<AdmissionError> {
+            vec![
+                AdmissionError::UnknownNode(NodeId(0)),
+                AdmissionError::SameEndpoints(NodeId(0)),
+                AdmissionError::NoPrimaryRoute,
+                AdmissionError::NoBackupRoute,
+            ]
+        }
+
+        pub fn network_samples() -> Vec<NetworkError> {
+            vec![
+                NetworkError::UnknownConnection(0),
+                NetworkError::UnknownLink(LinkId(0)),
+                NetworkError::LinkStateUnchanged(LinkId(0)),
+                NetworkError::UnknownNode(NodeId(0)),
+                NetworkError::NodeAlreadyDown(NodeId(0)),
+            ]
+        }
+
+        pub fn invariant_samples() -> Vec<InvariantViolation> {
+            let bw = Bandwidth::kbps(1);
+            let link = LinkId(0);
+            let conn = ConnectionId(0);
+            vec![
+                InvariantViolation::TotalBandwidthMismatch {
+                    cached: bw,
+                    recomputed: bw,
+                },
+                InvariantViolation::LevelAboveMax {
+                    conn,
+                    level: 1,
+                    max: 0,
+                },
+                InvariantViolation::BackupEqualsPrimary { conn },
+                InvariantViolation::BackupNotDisjoint { conn },
+                InvariantViolation::BackupsNotMutuallyDisjoint { conn },
+                InvariantViolation::MinSumMismatch {
+                    link,
+                    cached: bw,
+                    recomputed: bw,
+                },
+                InvariantViolation::ExtraSumMismatch {
+                    link,
+                    cached: bw,
+                    recomputed: bw,
+                },
+                InvariantViolation::PrimarySetMismatch { link },
+                InvariantViolation::BackupSetMismatch { link },
+                InvariantViolation::CapacityExceeded {
+                    link,
+                    allocated: bw,
+                    capacity: bw,
+                },
+                InvariantViolation::ReservationOutOfSync {
+                    link,
+                    cached: bw,
+                    recomputed: bw,
+                },
+            ]
+        }
+    }
+
+    fn all_sample_codes() -> Vec<u16> {
+        let mut codes: Vec<u16> = Vec::new();
+        codes.extend(qos_samples().iter().map(QosError::wire_code));
+        codes.extend(admission_samples().iter().map(AdmissionError::wire_code));
+        codes.extend(network_samples().iter().map(NetworkError::wire_code));
+        codes.extend(
+            invariant_samples()
+                .iter()
+                .map(InvariantViolation::wire_code),
+        );
+        codes
+    }
+
+    #[test]
+    fn every_variant_round_trips_through_the_code_table() {
+        let codes = all_sample_codes();
+        // Every variant's code resolves to a description...
+        for code in &codes {
+            assert!(
+                describe(*code).is_some(),
+                "code {code} missing from WIRE_CODES"
+            );
+        }
+        // ...and every table entry is reachable from some variant, so the
+        // table and the enums cannot drift apart in either direction.
+        for (code, desc) in WIRE_CODES {
+            assert!(
+                codes.contains(code),
+                "WIRE_CODES entry {code} ({desc}) matches no variant"
+            );
+        }
+        assert_eq!(codes.len(), WIRE_CODES.len());
+    }
+
+    #[test]
+    fn codes_are_unique_and_in_family_ranges() {
+        let codes = all_sample_codes();
+        let unique: std::collections::BTreeSet<u16> = codes.iter().copied().collect();
+        assert_eq!(unique.len(), codes.len(), "duplicate wire code assigned");
+        for q in qos_samples() {
+            assert!((100..200).contains(&q.wire_code()));
+        }
+        for a in admission_samples() {
+            assert!((200..300).contains(&a.wire_code()));
+        }
+        for n in network_samples() {
+            assert!((300..400).contains(&n.wire_code()));
+        }
+        for v in invariant_samples() {
+            assert!((400..500).contains(&v.wire_code()));
+        }
+    }
+
+    #[test]
+    fn table_is_sorted_for_binary_search() {
+        for w in WIRE_CODES.windows(2) {
+            assert!(w[0].0 < w[1].0, "WIRE_CODES out of order at {}", w[1].0);
+        }
+        assert_eq!(describe(100), Some("qos: zero minimum"));
+        assert_eq!(describe(999), None);
+    }
+}

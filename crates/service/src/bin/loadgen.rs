@@ -1,0 +1,107 @@
+//! `drqos-loadgen` — closed-loop load generator for `drqosd`.
+//!
+//! Spawns N worker connections replaying seeded workload slices, prints
+//! ops/sec and tail latency, and records the run under the
+//! `target/experiments/runtime/` convention shared with `drqos-bench`.
+//! Exits 0 only if the run saw zero protocol errors (and, with
+//! `--shutdown`, the server exited invariant-clean).
+//!
+//! ```text
+//! drqos-loadgen [--addr HOST:PORT] [--clients N] [--requests N]
+//!               [--seed S] [--release-prob PCT] [--shutdown]
+//! ```
+
+use drqos_service::loadgen::{self, LoadgenConfig};
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: drqos-loadgen [--addr HOST:PORT] [--clients N] \
+                     [--requests N] [--seed S] [--release-prob PCT] [--shutdown]";
+
+fn parse_args(argv: &[String]) -> Result<LoadgenConfig, String> {
+    let mut config = LoadgenConfig::default();
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value\n{USAGE}"))
+        };
+        match flag.as_str() {
+            "--addr" => config.addr = value(flag)?,
+            "--clients" => {
+                config.clients = value(flag)?
+                    .parse()
+                    .map_err(|_| format!("bad --clients\n{USAGE}"))?;
+            }
+            "--requests" => {
+                config.requests_per_client = value(flag)?
+                    .parse()
+                    .map_err(|_| format!("bad --requests\n{USAGE}"))?;
+            }
+            "--seed" => {
+                config.seed = value(flag)?
+                    .parse()
+                    .map_err(|_| format!("bad --seed\n{USAGE}"))?;
+            }
+            "--release-prob" => {
+                let pct: u64 = value(flag)?
+                    .parse()
+                    .map_err(|_| format!("bad --release-prob (whole percent)\n{USAGE}"))?;
+                if pct > 100 {
+                    return Err(format!("--release-prob must be 0..=100\n{USAGE}"));
+                }
+                config.release_prob = pct as f64 / 100.0;
+            }
+            "--shutdown" => config.shutdown = true,
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown flag {other}\n{USAGE}")),
+        }
+    }
+    Ok(config)
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let config = match parse_args(&argv) {
+        Ok(c) => c,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    eprintln!(
+        "drqos-loadgen: {} clients x {} requests against {} (seed {})",
+        config.clients, config.requests_per_client, config.addr, config.seed
+    );
+    let report = match loadgen::run(&config) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("drqos-loadgen: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    println!("{}", report.summary());
+    let stem = format!("loadgen-{}c", config.clients);
+    match drqos_bench::runner::record_runtime_entry(
+        &stem,
+        &report.to_json(config.clients, config.seed),
+    ) {
+        Ok(path) => eprintln!("drqos-loadgen: recorded to {}", path.display()),
+        Err(e) => eprintln!("drqos-loadgen: could not record runtime entry: {e}"),
+    }
+    if let Some(clean) = report.clean_shutdown {
+        eprintln!(
+            "drqos-loadgen: server shutdown {}",
+            if clean { "clean" } else { "UNCLEAN" }
+        );
+        if !clean {
+            return ExitCode::from(1);
+        }
+    }
+    if report.protocol_errors == 0 {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("drqos-loadgen: {} protocol errors", report.protocol_errors);
+        ExitCode::from(1)
+    }
+}

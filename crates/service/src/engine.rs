@@ -1,0 +1,373 @@
+//! The admission-control engine: one [`Network`] plus the request-metrics
+//! layer, driven one command at a time.
+//!
+//! The engine is *single-writer by construction*: it is owned by exactly
+//! one event loop (see [`crate::server`]) and has no interior locking.
+//! Every response except `STATS` is a pure function of the command
+//! sequence applied so far, which is what makes protocol sessions
+//! golden-traceable.
+
+use crate::metrics::{Metrics, OpKind};
+use crate::protocol::{self, Request, Response};
+use drqos_core::network::Network;
+use drqos_core::qos::{Bandwidth, ElasticQos};
+use drqos_topology::{LinkId, NodeId};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// What the server loop should do with a handled line.
+#[derive(Debug)]
+pub enum Handled {
+    /// Send this response to the client.
+    Reply(Response),
+    /// The line was a `SHUTDOWN` request: drain the queue, then call
+    /// [`Engine::finish_shutdown`] and send its response.
+    ShutdownRequested,
+}
+
+/// The network engine behind the daemon.
+pub struct Engine {
+    net: Network,
+    metrics: Metrics,
+    /// `BUSY` responses sent by reader threads (they never reach the
+    /// engine, so the count crosses threads via an atomic).
+    busy: Arc<AtomicU64>,
+}
+
+impl Engine {
+    /// Wraps a network.
+    pub fn new(net: Network) -> Self {
+        Self {
+            net,
+            metrics: Metrics::new(),
+            busy: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// The network under the engine.
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
+    /// The request-metrics layer.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// The shared counter reader threads bump when they answer `BUSY`.
+    pub fn busy_counter(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.busy)
+    }
+
+    /// Handles one line for an interactive (non-server) caller: `SHUTDOWN`
+    /// completes immediately. This is the entry point golden-session
+    /// replays use.
+    pub fn handle_line(&mut self, line: &str) -> Response {
+        match self.handle_server_line(line) {
+            Handled::Reply(r) => r,
+            Handled::ShutdownRequested => self.finish_shutdown(),
+        }
+    }
+
+    /// Handles one line for the server event loop: `SHUTDOWN` is deferred
+    /// so the loop can drain queued commands first. Metrics are recorded
+    /// for every line, including malformed ones.
+    pub fn handle_server_line(&mut self, line: &str) -> Handled {
+        let t0 = Instant::now();
+        match protocol::parse(line) {
+            Ok(Request::Shutdown) => {
+                self.metrics.record(OpKind::Shutdown, t0.elapsed(), false);
+                Handled::ShutdownRequested
+            }
+            Ok(req) => {
+                let resp = self.dispatch(&req);
+                self.metrics
+                    .record(op_kind(&req), t0.elapsed(), resp.is_err());
+                Handled::Reply(resp)
+            }
+            Err(e) => {
+                self.metrics.record(OpKind::Invalid, t0.elapsed(), true);
+                Handled::Reply(e.into())
+            }
+        }
+    }
+
+    /// Runs the final invariant check and reports the violation count.
+    /// The caller (event loop or [`Engine::handle_line`]) sends this as
+    /// the `SHUTDOWN` response after the queue is drained.
+    pub fn finish_shutdown(&mut self) -> Response {
+        let violations = self.net.check_invariants();
+        if violations.is_empty() {
+            Response::Ok("violations=0".to_string())
+        } else {
+            // Surface the first violation's stable code and the full count;
+            // the daemon also exits non-zero in this case.
+            Response::Err {
+                code: violations[0].wire_code(),
+                message: format!("shutdown with {} invariant violations", violations.len()),
+            }
+        }
+    }
+
+    fn dispatch(&mut self, req: &Request) -> Response {
+        match *req {
+            Request::Establish {
+                src,
+                dst,
+                bmin,
+                bmax,
+                delta,
+            } => self.establish(src, dst, bmin, bmax, delta),
+            Request::Release { id } => {
+                let cid = drqos_core::channel::ConnectionId(id);
+                // `release` retreats the channel to its QoS minimum before
+                // removing it, so read the bandwidth actually held first.
+                let held = self.net.connection(cid).map(|c| c.bandwidth().as_kbps());
+                match self.net.release(cid) {
+                    Ok(_) => Response::Ok(format!(
+                        "freed={}",
+                        held.expect("connection existed: release succeeded")
+                    )),
+                    Err(e) => Response::Err {
+                        code: e.wire_code(),
+                        message: e.to_string(),
+                    },
+                }
+            }
+            Request::FailLink { link } => match self.net.fail_link(LinkId(link)) {
+                Ok(report) => Response::Ok(format!(
+                    "activated={} dropped={} lost_backup={} retreated={}",
+                    report.activated.len(),
+                    report.dropped.len(),
+                    report.lost_backup.len(),
+                    report.retreated.len()
+                )),
+                Err(e) => Response::Err {
+                    code: e.wire_code(),
+                    message: e.to_string(),
+                },
+            },
+            Request::RepairLink { link } => match self.net.repair_link(LinkId(link)) {
+                Ok(regained) => Response::Ok(format!("regained={}", regained.len())),
+                Err(e) => Response::Err {
+                    code: e.wire_code(),
+                    message: e.to_string(),
+                },
+            },
+            Request::FailNode { node } => match self.net.fail_node(NodeId(node)) {
+                Ok(reports) => {
+                    let activated: usize = reports.iter().map(|r| r.activated.len()).sum();
+                    let dropped: usize = reports.iter().map(|r| r.dropped.len()).sum();
+                    Response::Ok(format!(
+                        "links={} activated={} dropped={}",
+                        reports.len(),
+                        activated,
+                        dropped
+                    ))
+                }
+                Err(e) => Response::Err {
+                    code: e.wire_code(),
+                    message: e.to_string(),
+                },
+            },
+            Request::Snapshot => Response::Ok(self.snapshot_payload()),
+            Request::Stats => Response::Ok(self.stats_payload()),
+            Request::Shutdown => {
+                unreachable!("SHUTDOWN is routed by handle_server_line before dispatch")
+            }
+        }
+    }
+
+    fn establish(&mut self, src: usize, dst: usize, bmin: u64, bmax: u64, delta: u64) -> Response {
+        let qos = match ElasticQos::new(
+            Bandwidth::kbps(bmin),
+            Bandwidth::kbps(bmax),
+            Bandwidth::kbps(delta),
+            1.0,
+        ) {
+            Ok(q) => q,
+            Err(e) => {
+                return Response::Err {
+                    code: e.wire_code(),
+                    message: e.to_string(),
+                }
+            }
+        };
+        match self.net.establish(NodeId(src), NodeId(dst), qos) {
+            Ok(id) => {
+                let c = self.net.connection(id).expect("just established");
+                Response::Ok(format!(
+                    "id={} bw={} hops={} backups={}",
+                    id.0,
+                    c.bandwidth().as_kbps(),
+                    c.primary().hop_count(),
+                    c.backup_count()
+                ))
+            }
+            Err(e) => Response::Err {
+                code: e.wire_code(),
+                message: e.to_string(),
+            },
+        }
+    }
+
+    /// The deterministic `SNAPSHOT` payload: counts and integer totals
+    /// only — no floats, no wall-clock — so concurrent sessions that end
+    /// in the same network state produce the same line.
+    fn snapshot_payload(&self) -> String {
+        format!(
+            "conns={} bw={} dropped={} epoch={} up={} nodes={} links={}",
+            self.net.len(),
+            self.net.total_primary_bandwidth().as_kbps(),
+            self.net.dropped_total(),
+            self.net.topology_epoch(),
+            self.net.up_links().count(),
+            self.net.graph().node_count(),
+            self.net.graph().link_count()
+        )
+    }
+
+    /// The `STATS` payload: the one intentionally non-deterministic reply
+    /// (latency and throughput are wall-clock measurements).
+    fn stats_payload(&self) -> String {
+        let merged = self.metrics.merged_latency();
+        format!(
+            "ops={} errors={} admitted={} rejected={} busy={} \
+             p50_us={} p95_us={} p99_us={} ops_per_sec={}",
+            self.metrics.total_ops(),
+            self.metrics.total_errors(),
+            self.metrics.admitted,
+            self.metrics.rejected,
+            self.busy.load(Ordering::Relaxed),
+            merged.quantile_us(0.50),
+            merged.quantile_us(0.95),
+            merged.quantile_us(0.99),
+            self.metrics.ops_per_sec() as u64
+        )
+    }
+}
+
+fn op_kind(req: &Request) -> OpKind {
+    match req {
+        Request::Establish { .. } => OpKind::Establish,
+        Request::Release { .. } => OpKind::Release,
+        Request::FailLink { .. } => OpKind::FailLink,
+        Request::RepairLink { .. } => OpKind::RepairLink,
+        Request::FailNode { .. } => OpKind::FailNode,
+        Request::Snapshot => OpKind::Snapshot,
+        Request::Stats => OpKind::Stats,
+        Request::Shutdown => OpKind::Shutdown,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drqos_core::network::NetworkConfig;
+    use drqos_topology::regular;
+
+    fn engine() -> Engine {
+        Engine::new(Network::new(
+            regular::ring(6).unwrap(),
+            NetworkConfig::default(),
+        ))
+    }
+
+    #[test]
+    fn establish_release_round_trip() {
+        let mut e = engine();
+        let r = e.handle_line("ESTABLISH 0 3 100 500 100");
+        let Response::Ok(payload) = &r else {
+            panic!("expected OK, got {r}");
+        };
+        let id = protocol::payload_field(payload, "id").unwrap();
+        assert_eq!(protocol::payload_field(payload, "bw"), Some(500));
+        assert_eq!(protocol::payload_field(payload, "backups"), Some(1));
+        let r = e.handle_line(&format!("RELEASE {id}"));
+        assert_eq!(r, Response::Ok("freed=500".to_string()));
+        assert_eq!(e.metrics().admitted, 1);
+    }
+
+    #[test]
+    fn errors_carry_stable_codes() {
+        let mut e = engine();
+        match e.handle_line("RELEASE 42") {
+            Response::Err { code, .. } => assert_eq!(code, 300),
+            other => panic!("expected ERR, got {other}"),
+        }
+        match e.handle_line("ESTABLISH 1 1 100 500 100") {
+            Response::Err { code, .. } => assert_eq!(code, 201),
+            other => panic!("expected ERR, got {other}"),
+        }
+        match e.handle_line("ESTABLISH 0 2 0 500 100") {
+            Response::Err { code, .. } => assert_eq!(code, 100),
+            other => panic!("expected ERR, got {other}"),
+        }
+        match e.handle_line("NONSENSE") {
+            Response::Err { code, .. } => assert_eq!(code, 2),
+            other => panic!("expected ERR, got {other}"),
+        }
+        assert_eq!(e.metrics().total_errors(), 4);
+    }
+
+    #[test]
+    fn snapshot_is_deterministic_and_integer_only() {
+        let mut e = engine();
+        e.handle_line("ESTABLISH 0 3 100 500 100");
+        let a = e.handle_line("SNAPSHOT");
+        let b = e.handle_line("SNAPSHOT");
+        assert_eq!(a, b);
+        let Response::Ok(payload) = a else {
+            panic!("SNAPSHOT must succeed")
+        };
+        assert_eq!(protocol::payload_field(&payload, "conns"), Some(1));
+        assert_eq!(protocol::payload_field(&payload, "bw"), Some(500));
+        assert_eq!(protocol::payload_field(&payload, "nodes"), Some(6));
+        assert!(!payload.contains('.'), "floats leak: {payload}");
+    }
+
+    #[test]
+    fn failure_commands_report_counts() {
+        let mut e = engine();
+        assert!(matches!(
+            e.handle_line("ESTABLISH 0 3 100 500 100"),
+            Response::Ok(_)
+        ));
+        let r = e.handle_line("FAIL-LINK 0");
+        let Response::Ok(payload) = r else {
+            panic!("FAIL-LINK on an up link must succeed");
+        };
+        assert!(payload.starts_with("activated="));
+        let r = e.handle_line("FAIL-LINK 0");
+        assert!(matches!(r, Response::Err { code: 302, .. }));
+        let r = e.handle_line("REPAIR-LINK 0");
+        assert!(matches!(r, Response::Ok(_)));
+    }
+
+    #[test]
+    fn shutdown_checks_invariants() {
+        let mut e = engine();
+        e.handle_line("ESTABLISH 0 2 100 500 100");
+        assert_eq!(
+            e.handle_line("SHUTDOWN"),
+            Response::Ok("violations=0".to_string())
+        );
+    }
+
+    #[test]
+    fn stats_reports_counters() {
+        let mut e = engine();
+        e.handle_line("ESTABLISH 0 2 100 500 100");
+        e.handle_line("BOGUS");
+        let Response::Ok(payload) = e.handle_line("STATS") else {
+            panic!("STATS must succeed");
+        };
+        assert_eq!(protocol::payload_field(&payload, "admitted"), Some(1));
+        assert_eq!(protocol::payload_field(&payload, "errors"), Some(1));
+        assert_eq!(protocol::payload_field(&payload, "busy"), Some(0));
+        // ops counted *before* this STATS call is recorded: establish +
+        // invalid.
+        assert_eq!(protocol::payload_field(&payload, "ops"), Some(2));
+    }
+}

@@ -1,0 +1,32 @@
+//! drqos-service: a long-lived daemon serving DR-connection operations
+//! over a line-based TCP protocol, plus a closed-loop load generator.
+//!
+//! The daemon (`drqosd`) owns one [`drqos_core::network::Network`] behind
+//! a single-writer event loop: per-connection reader threads parse
+//! nothing — they forward raw lines into a bounded command queue, and one
+//! thread owns all mutable state, so the hot path takes no locks and
+//! every response (except `STATS`) is a deterministic function of the
+//! command sequence. A full queue is surfaced to the client as `BUSY`
+//! backpressure rather than unbounded buffering.
+//!
+//! Module map:
+//!
+//! * [`protocol`] — request grammar, response rendering, parsing.
+//! * [`error`] — protocol-level error codes 1–99 (domain errors use
+//!   `drqos_core::wire` codes 100–499).
+//! * [`engine`] — maps requests onto the `Network` API; owns metrics.
+//! * [`metrics`] — log₂-bucketed latency histograms and per-op counters.
+//! * [`server`] — TCP accept/reader/event-loop plumbing and graceful,
+//!   invariant-checked shutdown.
+//! * [`loadgen`] — the closed-loop multi-client load generator used by
+//!   `drqos-loadgen` and the smoke tests.
+//!
+//! See `SERVICE.md` at the repo root for the wire grammar and an example
+//! session.
+
+pub mod engine;
+pub mod error;
+pub mod loadgen;
+pub mod metrics;
+pub mod protocol;
+pub mod server;

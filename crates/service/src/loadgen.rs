@@ -1,0 +1,404 @@
+//! Closed-loop multi-client load generation against a running `drqosd`.
+//!
+//! Each of N worker threads opens its own TCP connection and replays a
+//! seeded slice of the repo's standard workload
+//! ([`drqos_core::workload::Workload`]): establish a connection, sometimes
+//! release one it owns, finally release everything it still holds.
+//! Workers are *closed-loop* — at most one in-flight request per
+//! connection — so achieved throughput is a fair serving benchmark, not a
+//! buffer-depth artifact. Per-request latency is measured client-side
+//! (send → response) into the same histogram the daemon uses.
+//!
+//! Streams are disjoint by construction: a worker only ever releases ids
+//! it established itself, so any `ERR` outside admission rejections
+//! (codes 200–299) indicates a server bug and fails the run.
+
+use crate::metrics::Histogram;
+use crate::protocol::payload_field;
+use drqos_bench::runner::derive_seed;
+use drqos_core::qos::{Bandwidth, ElasticQos};
+use drqos_core::workload::Workload;
+use drqos_sim::rng::Rng;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Load-generator configuration.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Server address, e.g. `127.0.0.1:7841`.
+    pub addr: String,
+    /// Worker threads (= concurrent client connections).
+    pub clients: usize,
+    /// `ESTABLISH` attempts per worker.
+    pub requests_per_client: usize,
+    /// Base seed; worker i runs on `derive_seed(seed, i)`.
+    pub seed: u64,
+    /// Probability of issuing a `RELEASE` after each establish attempt.
+    pub release_prob: f64,
+    /// Elastic range minimum (Kbps).
+    pub bmin: u64,
+    /// Elastic range maximum (Kbps).
+    pub bmax: u64,
+    /// Increment Δ (Kbps).
+    pub delta: u64,
+    /// Send `SHUTDOWN` after the run and verify the clean-exit reply.
+    pub shutdown: bool,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:7841".to_string(),
+            clients: 4,
+            requests_per_client: 250,
+            seed: 2001,
+            release_prob: 0.4,
+            bmin: 100,
+            bmax: 500,
+            delta: 100,
+            shutdown: false,
+        }
+    }
+}
+
+/// Aggregated outcome of a load-generation run.
+#[derive(Debug)]
+pub struct LoadgenReport {
+    /// Total requests sent (establish + release, excluding the initial
+    /// snapshot and any final shutdown).
+    pub ops: u64,
+    /// Connections admitted.
+    pub admitted: u64,
+    /// Admission rejections (expected under load; codes 100–299).
+    pub rejected: u64,
+    /// `BUSY` replies (each is retried until the command lands).
+    pub busy_retries: u64,
+    /// Protocol errors: malformed-command codes (1–99), unexpected
+    /// network-level errors (300+), or unparseable replies. Must be zero
+    /// for a healthy server.
+    pub protocol_errors: u64,
+    /// Client-observed request latency.
+    pub latency: Histogram,
+    /// Wall time of the whole run.
+    pub wall: Duration,
+    /// Whether the final `SHUTDOWN` (if requested) reported a clean,
+    /// invariant-checked exit.
+    pub clean_shutdown: Option<bool>,
+}
+
+impl LoadgenReport {
+    /// Achieved operations per second across all clients.
+    pub fn ops_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs > 0.0 {
+            self.ops as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Human-readable summary (what the binary prints).
+    pub fn summary(&self) -> String {
+        format!(
+            "ops={} admitted={} rejected={} busy_retries={} protocol_errors={} \
+             ops_per_sec={:.0} p50_us={} p99_us={}",
+            self.ops,
+            self.admitted,
+            self.rejected,
+            self.busy_retries,
+            self.protocol_errors,
+            self.ops_per_sec(),
+            self.latency.quantile_us(0.50),
+            self.latency.quantile_us(0.99),
+        )
+    }
+
+    /// JSON for the `runtime.json` convention of `drqos-bench`.
+    pub fn to_json(&self, clients: usize, seed: u64) -> String {
+        format!(
+            concat!(
+                "{{\"name\":\"loadgen\",\"clients\":{},\"seed\":{},",
+                "\"ops\":{},\"admitted\":{},\"rejected\":{},",
+                "\"busy_retries\":{},\"protocol_errors\":{},",
+                "\"wall_s\":{:.6},\"ops_per_sec\":{:.1},",
+                "\"p50_us\":{},\"p95_us\":{},\"p99_us\":{}}}"
+            ),
+            clients,
+            seed,
+            self.ops,
+            self.admitted,
+            self.rejected,
+            self.busy_retries,
+            self.protocol_errors,
+            self.wall.as_secs_f64(),
+            self.ops_per_sec(),
+            self.latency.quantile_us(0.50),
+            self.latency.quantile_us(0.95),
+            self.latency.quantile_us(0.99),
+        )
+    }
+}
+
+/// One worker's tallies, merged into the report under a mutex at the end.
+#[derive(Debug, Default)]
+struct WorkerStats {
+    ops: u64,
+    admitted: u64,
+    rejected: u64,
+    busy_retries: u64,
+    protocol_errors: u64,
+    latency: Histogram,
+}
+
+/// A line-based protocol client over one TCP stream.
+struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: &str) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(Self {
+            writer,
+            reader: BufReader::new(stream),
+        })
+    }
+
+    /// Sends one command and reads its one response line.
+    fn roundtrip(&mut self, command: &str) -> io::Result<String> {
+        writeln!(self.writer, "{command}")?;
+        self.writer.flush()?;
+        let mut resp = String::new();
+        if self.reader.read_line(&mut resp)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        Ok(resp.trim_end().to_string())
+    }
+
+    /// Round-trips with bounded `BUSY` retry; counts retries into `stats`.
+    fn roundtrip_retrying(&mut self, command: &str, stats: &mut WorkerStats) -> io::Result<String> {
+        loop {
+            let resp = self.roundtrip(command)?;
+            if resp == "BUSY" {
+                stats.busy_retries += 1;
+                std::thread::sleep(Duration::from_micros(200));
+                continue;
+            }
+            return Ok(resp);
+        }
+    }
+}
+
+/// Classifies a reply for the tallies. Returns the admitted id for an
+/// establish `OK`.
+fn tally(resp: &str, establishing: bool, stats: &mut WorkerStats) -> Option<u64> {
+    if let Some(payload) = resp.strip_prefix("OK ") {
+        if establishing {
+            let id = payload_field(payload, "id");
+            if id.is_some() {
+                stats.admitted += 1;
+            } else {
+                stats.protocol_errors += 1;
+            }
+            return id;
+        }
+        return None;
+    }
+    if let Some(rest) = resp.strip_prefix("ERR ") {
+        let code: u16 = rest
+            .split_ascii_whitespace()
+            .next()
+            .and_then(|c| c.parse().ok())
+            .unwrap_or(0);
+        if (100..300).contains(&code) && establishing {
+            // QoS or admission rejection: expected under load.
+            stats.rejected += 1;
+        } else {
+            stats.protocol_errors += 1;
+        }
+        return None;
+    }
+    stats.protocol_errors += 1;
+    None
+}
+
+fn worker(config: &LoadgenConfig, worker_idx: usize, nodes: usize) -> io::Result<WorkerStats> {
+    let mut stats = WorkerStats::default();
+    let mut client = Client::connect(&config.addr)?;
+    let mut rng = Rng::seed_from_u64(derive_seed(config.seed, worker_idx as u64));
+    let qos = ElasticQos::new(
+        Bandwidth::kbps(config.bmin),
+        Bandwidth::kbps(config.bmax),
+        Bandwidth::kbps(config.delta),
+        1.0,
+    )
+    .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+    let workload = Workload::new(qos);
+    let mut held: Vec<u64> = Vec::new();
+    let send_timed = |client: &mut Client,
+                      command: &str,
+                      establishing: bool,
+                      stats: &mut WorkerStats|
+     -> io::Result<Option<u64>> {
+        let t0 = Instant::now();
+        let resp = client.roundtrip_retrying(command, stats)?;
+        stats.latency.record(t0.elapsed());
+        stats.ops += 1;
+        Ok(tally(&resp, establishing, stats))
+    };
+    for _ in 0..config.requests_per_client {
+        let req = workload.request(&mut rng, nodes);
+        let command = format!(
+            "ESTABLISH {} {} {} {} {}",
+            req.src.index(),
+            req.dst.index(),
+            config.bmin,
+            config.bmax,
+            config.delta
+        );
+        if let Some(id) = send_timed(&mut client, &command, true, &mut stats)? {
+            held.push(id);
+        }
+        if !held.is_empty() && rng.chance(config.release_prob) {
+            let idx = rng.range_usize(held.len());
+            let id = held.swap_remove(idx);
+            send_timed(&mut client, &format!("RELEASE {id}"), false, &mut stats)?;
+        }
+    }
+    // Drain: release everything this worker still owns.
+    for id in held.drain(..) {
+        send_timed(&mut client, &format!("RELEASE {id}"), false, &mut stats)?;
+    }
+    Ok(stats)
+}
+
+/// Runs the load generator.
+///
+/// # Errors
+///
+/// Connection or I/O failures (including a worker's). A run that
+/// *completes* always returns a report; protocol errors are counted, not
+/// fatal.
+pub fn run(config: &LoadgenConfig) -> io::Result<LoadgenReport> {
+    // Discover the topology size from the server itself.
+    let mut probe = Client::connect(&config.addr)?;
+    let snapshot = probe.roundtrip("SNAPSHOT")?;
+    let nodes = snapshot
+        .strip_prefix("OK ")
+        .and_then(|p| payload_field(p, "nodes"))
+        .ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("bad SNAPSHOT reply: {snapshot}"),
+            )
+        })? as usize;
+    if nodes < 2 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "server topology has fewer than two nodes",
+        ));
+    }
+    let t0 = Instant::now();
+    let merged = Mutex::new(WorkerStats::default());
+    let errors = Mutex::new(Vec::<io::Error>::new());
+    std::thread::scope(|scope| {
+        for i in 0..config.clients.max(1) {
+            let merged = &merged;
+            let errors = &errors;
+            scope.spawn(move || match worker(config, i, nodes) {
+                Ok(stats) => {
+                    let mut m = merged.lock().expect("no worker panics holding the lock");
+                    m.ops += stats.ops;
+                    m.admitted += stats.admitted;
+                    m.rejected += stats.rejected;
+                    m.busy_retries += stats.busy_retries;
+                    m.protocol_errors += stats.protocol_errors;
+                    m.latency.merge(&stats.latency);
+                }
+                Err(e) => errors
+                    .lock()
+                    .expect("no worker panics holding the lock")
+                    .push(e),
+            });
+        }
+    });
+    if let Some(e) = errors
+        .into_inner()
+        .expect("scope joined all workers")
+        .into_iter()
+        .next()
+    {
+        return Err(e);
+    }
+    let wall = t0.elapsed();
+    let stats = merged.into_inner().expect("scope joined all workers");
+    let clean_shutdown = if config.shutdown {
+        let resp = probe.roundtrip("SHUTDOWN")?;
+        Some(resp == "OK violations=0")
+    } else {
+        None
+    };
+    Ok(LoadgenReport {
+        ops: stats.ops,
+        admitted: stats.admitted,
+        rejected: stats.rejected,
+        busy_retries: stats.busy_retries,
+        protocol_errors: stats.protocol_errors,
+        latency: stats.latency,
+        wall,
+        clean_shutdown,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tally_classifies_replies() {
+        let mut s = WorkerStats::default();
+        assert_eq!(
+            tally("OK id=4 bw=500 hops=2 backups=1", true, &mut s),
+            Some(4)
+        );
+        assert_eq!(s.admitted, 1);
+        tally("ERR 202 no feasible primary route", true, &mut s);
+        assert_eq!(s.rejected, 1);
+        tally("ERR 300 unknown connection c9", false, &mut s);
+        assert_eq!(s.protocol_errors, 1);
+        tally("garbage", false, &mut s);
+        assert_eq!(s.protocol_errors, 2);
+        tally("OK freed=500", false, &mut s);
+        assert_eq!(s.ops, 0, "tally does not count ops; the send path does");
+        assert_eq!(s.admitted, 1);
+    }
+
+    #[test]
+    fn report_summary_names_the_tail() {
+        let mut latency = Histogram::new();
+        latency.record(Duration::from_micros(50));
+        let report = LoadgenReport {
+            ops: 10,
+            admitted: 8,
+            rejected: 2,
+            busy_retries: 1,
+            protocol_errors: 0,
+            latency,
+            wall: Duration::from_millis(100),
+            clean_shutdown: Some(true),
+        };
+        let s = report.summary();
+        assert!(s.contains("p50_us=") && s.contains("p99_us=") && s.contains("ops_per_sec="));
+        let json = report.to_json(4, 2001);
+        assert!(json.contains("\"protocol_errors\":0"));
+        assert!(json.contains("\"clients\":4"));
+    }
+}

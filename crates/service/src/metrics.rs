@@ -1,0 +1,367 @@
+//! Request metrics: per-operation latency histograms, admit/reject
+//! counters, and throughput.
+//!
+//! The histogram is a fixed array of power-of-two nanosecond buckets, so
+//! recording is allocation-free and O(1); percentiles are read as bucket
+//! upper bounds, which is exact enough for tail reporting (within 2× of
+//! the true value, by construction). Everything is hand-rolled — the
+//! offline build has no external crates.
+
+use std::time::{Duration, Instant};
+
+/// Number of power-of-two buckets: covers 1 ns to ~584 years.
+const BUCKETS: usize = 64;
+
+/// A log₂-bucketed latency histogram.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: [0; BUCKETS],
+            count: 0,
+        }
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, latency: Duration) {
+        let nanos = u64::try_from(latency.as_nanos()).unwrap_or(u64::MAX);
+        // Bucket i holds samples in [2^i, 2^(i+1)); 0 ns lands in bucket 0.
+        let idx = (63 - (nanos | 1).leading_zeros()) as usize;
+        self.buckets[idx] += 1;
+        self.count += 1;
+    }
+
+    /// Samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) as a bucket upper bound in
+    /// nanoseconds, or 0 with no samples.
+    pub fn quantile_nanos(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((self.count as f64) * q.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return 1u64 << (i + 1).min(63);
+            }
+        }
+        u64::MAX
+    }
+
+    /// The `q`-quantile in whole microseconds (minimum 1 µs once any
+    /// sample exists, so reports never show a zero tail).
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            (self.quantile_nanos(q) / 1_000).max(1)
+        }
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+    }
+}
+
+/// The operations the metrics layer distinguishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    /// `ESTABLISH`.
+    Establish,
+    /// `RELEASE`.
+    Release,
+    /// `FAIL-LINK`.
+    FailLink,
+    /// `REPAIR-LINK`.
+    RepairLink,
+    /// `FAIL-NODE`.
+    FailNode,
+    /// `SNAPSHOT`.
+    Snapshot,
+    /// `STATS`.
+    Stats,
+    /// `SHUTDOWN`.
+    Shutdown,
+    /// A line that failed to parse.
+    Invalid,
+}
+
+impl OpKind {
+    /// All kinds, in report order.
+    pub const ALL: [OpKind; 9] = [
+        OpKind::Establish,
+        OpKind::Release,
+        OpKind::FailLink,
+        OpKind::RepairLink,
+        OpKind::FailNode,
+        OpKind::Snapshot,
+        OpKind::Stats,
+        OpKind::Shutdown,
+        OpKind::Invalid,
+    ];
+
+    /// Stable lowercase label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            OpKind::Establish => "establish",
+            OpKind::Release => "release",
+            OpKind::FailLink => "fail_link",
+            OpKind::RepairLink => "repair_link",
+            OpKind::FailNode => "fail_node",
+            OpKind::Snapshot => "snapshot",
+            OpKind::Stats => "stats",
+            OpKind::Shutdown => "shutdown",
+            OpKind::Invalid => "invalid",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            OpKind::Establish => 0,
+            OpKind::Release => 1,
+            OpKind::FailLink => 2,
+            OpKind::RepairLink => 3,
+            OpKind::FailNode => 4,
+            OpKind::Snapshot => 5,
+            OpKind::Stats => 6,
+            OpKind::Shutdown => 7,
+            OpKind::Invalid => 8,
+        }
+    }
+}
+
+/// Per-operation counters and latency distribution.
+#[derive(Debug, Clone, Default)]
+pub struct OpStats {
+    /// Requests handled.
+    pub count: u64,
+    /// Requests answered with `ERR`.
+    pub errors: u64,
+    /// Handling-latency histogram.
+    pub latency: Histogram,
+}
+
+/// The daemon's request-metrics layer.
+#[derive(Debug, Clone)]
+pub struct Metrics {
+    started: Instant,
+    ops: [OpStats; 9],
+    /// `ESTABLISH` requests admitted.
+    pub admitted: u64,
+    /// `ESTABLISH` requests rejected (QoS or admission errors).
+    pub rejected: u64,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Metrics {
+    /// A fresh metrics layer; throughput is measured from this instant.
+    pub fn new() -> Self {
+        Self {
+            started: Instant::now(),
+            ops: Default::default(),
+            admitted: 0,
+            rejected: 0,
+        }
+    }
+
+    /// Records one handled request.
+    pub fn record(&mut self, op: OpKind, latency: Duration, errored: bool) {
+        let stats = &mut self.ops[op.index()];
+        stats.count += 1;
+        if errored {
+            stats.errors += 1;
+        }
+        stats.latency.record(latency);
+        if op == OpKind::Establish {
+            if errored {
+                self.rejected += 1;
+            } else {
+                self.admitted += 1;
+            }
+        }
+    }
+
+    /// The stats for one operation kind.
+    pub fn op(&self, op: OpKind) -> &OpStats {
+        &self.ops[op.index()]
+    }
+
+    /// Total requests handled across all operations.
+    pub fn total_ops(&self) -> u64 {
+        self.ops.iter().map(|s| s.count).sum()
+    }
+
+    /// Total `ERR` responses across all operations.
+    pub fn total_errors(&self) -> u64 {
+        self.ops.iter().map(|s| s.errors).sum()
+    }
+
+    /// Latency histogram merged over every operation.
+    pub fn merged_latency(&self) -> Histogram {
+        let mut h = Histogram::new();
+        for s in &self.ops {
+            h.merge(&s.latency);
+        }
+        h
+    }
+
+    /// Seconds since the metrics layer was created.
+    pub fn elapsed_s(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+
+    /// Requests handled per wall-clock second since creation.
+    pub fn ops_per_sec(&self) -> f64 {
+        let secs = self.elapsed_s();
+        if secs > 0.0 {
+            self.total_ops() as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Serializes the metrics as a JSON object (hand-rolled, matching the
+    /// `runtime.json` convention of `drqos-bench`).
+    pub fn to_json(&self, name: &str) -> String {
+        let merged = self.merged_latency();
+        let mut per_op = Vec::new();
+        for kind in OpKind::ALL {
+            let s = self.op(kind);
+            if s.count == 0 {
+                continue;
+            }
+            per_op.push(format!(
+                concat!(
+                    "{{\"op\":\"{}\",\"count\":{},\"errors\":{},",
+                    "\"p50_us\":{},\"p95_us\":{},\"p99_us\":{}}}"
+                ),
+                kind.label(),
+                s.count,
+                s.errors,
+                s.latency.quantile_us(0.50),
+                s.latency.quantile_us(0.95),
+                s.latency.quantile_us(0.99),
+            ));
+        }
+        format!(
+            concat!(
+                "{{\"name\":\"{}\",\"ops\":{},\"errors\":{},",
+                "\"admitted\":{},\"rejected\":{},",
+                "\"wall_s\":{:.6},\"ops_per_sec\":{:.1},",
+                "\"p50_us\":{},\"p95_us\":{},\"p99_us\":{},",
+                "\"per_op\":[{}]}}"
+            ),
+            name.replace(['"', '\\'], "_"),
+            self.total_ops(),
+            self.total_errors(),
+            self.admitted,
+            self.rejected,
+            self.elapsed_s(),
+            self.ops_per_sec(),
+            merged.quantile_us(0.50),
+            merged.quantile_us(0.95),
+            merged.quantile_us(0.99),
+            per_op.join(","),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_by_powers_of_two() {
+        let mut h = Histogram::new();
+        for _ in 0..99 {
+            h.record(Duration::from_nanos(100));
+        }
+        h.record(Duration::from_micros(100));
+        assert_eq!(h.count(), 100);
+        // p50 sits in the 100 ns bucket [64, 128) → upper bound 128.
+        assert_eq!(h.quantile_nanos(0.50), 128);
+        // p99 lands on the 99th of 100 samples — still 100 ns.
+        assert_eq!(h.quantile_nanos(0.99), 128);
+        // p100 reaches the single 100 µs outlier.
+        assert!(h.quantile_nanos(1.0) > 100_000);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile_nanos(0.5), 0);
+        assert_eq!(h.quantile_us(0.99), 0);
+    }
+
+    #[test]
+    fn quantile_us_floors_at_one_microsecond() {
+        let mut h = Histogram::new();
+        h.record(Duration::from_nanos(10));
+        assert_eq!(h.quantile_us(0.5), 1);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(Duration::from_nanos(100));
+        b.record(Duration::from_nanos(100));
+        b.record(Duration::from_micros(10));
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+    }
+
+    #[test]
+    fn metrics_track_admission_split() {
+        let mut m = Metrics::new();
+        m.record(OpKind::Establish, Duration::from_micros(3), false);
+        m.record(OpKind::Establish, Duration::from_micros(3), true);
+        m.record(OpKind::Release, Duration::from_micros(1), false);
+        m.record(OpKind::Invalid, Duration::from_nanos(200), true);
+        assert_eq!(m.admitted, 1);
+        assert_eq!(m.rejected, 1);
+        assert_eq!(m.total_ops(), 4);
+        assert_eq!(m.total_errors(), 2);
+        assert_eq!(m.op(OpKind::Establish).count, 2);
+        assert_eq!(m.op(OpKind::Release).errors, 0);
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let mut m = Metrics::new();
+        m.record(OpKind::Establish, Duration::from_micros(5), false);
+        let json = m.to_json("drqosd");
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"name\":\"drqosd\""));
+        assert!(json.contains("\"admitted\":1"));
+        assert!(json.contains("\"op\":\"establish\""));
+        // Unused ops are omitted from per_op.
+        assert!(!json.contains("\"op\":\"fail_node\""));
+    }
+}

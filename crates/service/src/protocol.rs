@@ -1,0 +1,290 @@
+//! The wire protocol: a line-based, integer-only text format.
+//!
+//! One request per line, one response line per request. Requests are an
+//! uppercase verb followed by space-separated non-negative integers;
+//! responses are `OK <key>=<value>...`, `ERR <code> <message>`, or the
+//! bare backpressure line `BUSY`. Every response except `STATS` is a pure
+//! function of the command sequence, so whole sessions can be replayed
+//! byte-exact against golden transcripts (see `SERVICE.md` for the full
+//! grammar).
+
+use crate::error::ProtocolError;
+use std::fmt;
+
+/// A parsed request line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// `ESTABLISH <src> <dst> <bmin> <bmax> <delta>` — admit a
+    /// DR-connection with elastic QoS `[bmin, bmax]` in steps of `delta`
+    /// (all in Kbps).
+    Establish {
+        /// Source node index.
+        src: usize,
+        /// Destination node index.
+        dst: usize,
+        /// Minimum bandwidth (Kbps).
+        bmin: u64,
+        /// Maximum bandwidth (Kbps).
+        bmax: u64,
+        /// Increment size Δ (Kbps).
+        delta: u64,
+    },
+    /// `RELEASE <id>` — terminate a connection.
+    Release {
+        /// Connection id as returned by `ESTABLISH`.
+        id: u64,
+    },
+    /// `FAIL-LINK <link>` — inject a link failure.
+    FailLink {
+        /// Link index.
+        link: usize,
+    },
+    /// `REPAIR-LINK <link>` — repair a failed link.
+    RepairLink {
+        /// Link index.
+        link: usize,
+    },
+    /// `FAIL-NODE <node>` — fail every up link adjacent to a node.
+    FailNode {
+        /// Node index.
+        node: usize,
+    },
+    /// `SNAPSHOT` — a one-line deterministic summary of network state.
+    Snapshot,
+    /// `STATS` — request-metrics counters and latency percentiles.
+    Stats,
+    /// `SHUTDOWN` — drain in-flight requests, check invariants, exit.
+    Shutdown,
+}
+
+impl Request {
+    /// The verb this request was parsed from (for metrics labels).
+    pub fn verb(&self) -> &'static str {
+        match self {
+            Request::Establish { .. } => "ESTABLISH",
+            Request::Release { .. } => "RELEASE",
+            Request::FailLink { .. } => "FAIL-LINK",
+            Request::RepairLink { .. } => "REPAIR-LINK",
+            Request::FailNode { .. } => "FAIL-NODE",
+            Request::Snapshot => "SNAPSHOT",
+            Request::Stats => "STATS",
+            Request::Shutdown => "SHUTDOWN",
+        }
+    }
+}
+
+/// A response line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// `OK <payload>` — the request succeeded.
+    Ok(String),
+    /// `ERR <code> <message>` — the request failed; `code` is stable (see
+    /// `drqos_core::wire` and [`crate::error`]).
+    Err {
+        /// Stable numeric error code.
+        code: u16,
+        /// Deterministic message.
+        message: String,
+    },
+    /// `BUSY` — the command queue is full; retry later (backpressure, not
+    /// an error: the command was never enqueued).
+    Busy,
+}
+
+impl Response {
+    /// Whether this is an `ERR` response.
+    pub fn is_err(&self) -> bool {
+        matches!(self, Response::Err { .. })
+    }
+}
+
+impl fmt::Display for Response {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Response::Ok(payload) => write!(f, "OK {payload}"),
+            Response::Err { code, message } => write!(f, "ERR {code} {message}"),
+            Response::Busy => write!(f, "BUSY"),
+        }
+    }
+}
+
+impl From<ProtocolError> for Response {
+    fn from(e: ProtocolError) -> Self {
+        Response::Err {
+            code: e.code,
+            message: e.message,
+        }
+    }
+}
+
+fn parse_u64(arg: &str) -> Result<u64, ProtocolError> {
+    arg.parse::<u64>().map_err(|_| ProtocolError::bad_int(arg))
+}
+
+fn parse_usize(arg: &str) -> Result<usize, ProtocolError> {
+    arg.parse::<usize>()
+        .map_err(|_| ProtocolError::bad_int(arg))
+}
+
+fn expect_args(verb: &str, args: &[&str], n: usize) -> Result<(), ProtocolError> {
+    if args.len() == n {
+        Ok(())
+    } else {
+        Err(ProtocolError::arg_count(verb, n, args.len()))
+    }
+}
+
+/// Parses one request line.
+///
+/// # Errors
+///
+/// Returns a [`ProtocolError`] (codes 1–4) for an empty line, unknown
+/// verb, wrong argument count, or non-integer argument.
+pub fn parse(line: &str) -> Result<Request, ProtocolError> {
+    let mut tokens = line.split_ascii_whitespace();
+    let Some(verb) = tokens.next() else {
+        return Err(ProtocolError::empty());
+    };
+    let args: Vec<&str> = tokens.collect();
+    match verb {
+        "ESTABLISH" => {
+            expect_args(verb, &args, 5)?;
+            Ok(Request::Establish {
+                src: parse_usize(args[0])?,
+                dst: parse_usize(args[1])?,
+                bmin: parse_u64(args[2])?,
+                bmax: parse_u64(args[3])?,
+                delta: parse_u64(args[4])?,
+            })
+        }
+        "RELEASE" => {
+            expect_args(verb, &args, 1)?;
+            Ok(Request::Release {
+                id: parse_u64(args[0])?,
+            })
+        }
+        "FAIL-LINK" => {
+            expect_args(verb, &args, 1)?;
+            Ok(Request::FailLink {
+                link: parse_usize(args[0])?,
+            })
+        }
+        "REPAIR-LINK" => {
+            expect_args(verb, &args, 1)?;
+            Ok(Request::RepairLink {
+                link: parse_usize(args[0])?,
+            })
+        }
+        "FAIL-NODE" => {
+            expect_args(verb, &args, 1)?;
+            Ok(Request::FailNode {
+                node: parse_usize(args[0])?,
+            })
+        }
+        "SNAPSHOT" => {
+            expect_args(verb, &args, 0)?;
+            Ok(Request::Snapshot)
+        }
+        "STATS" => {
+            expect_args(verb, &args, 0)?;
+            Ok(Request::Stats)
+        }
+        "SHUTDOWN" => {
+            expect_args(verb, &args, 0)?;
+            Ok(Request::Shutdown)
+        }
+        other => Err(ProtocolError::unknown_command(other)),
+    }
+}
+
+/// Extracts the integer value of `key=<n>` from an `OK` payload (used by
+/// the load generator and tests to read structured replies).
+pub fn payload_field(payload: &str, key: &str) -> Option<u64> {
+    payload.split_ascii_whitespace().find_map(|tok| {
+        let (k, v) = tok.split_once('=')?;
+        if k == key {
+            v.parse().ok()
+        } else {
+            None
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::{CODE_ARG_COUNT, CODE_BAD_INT, CODE_EMPTY, CODE_UNKNOWN_COMMAND};
+
+    #[test]
+    fn parses_every_verb() {
+        assert_eq!(
+            parse("ESTABLISH 0 3 100 500 100").unwrap(),
+            Request::Establish {
+                src: 0,
+                dst: 3,
+                bmin: 100,
+                bmax: 500,
+                delta: 100
+            }
+        );
+        assert_eq!(parse("RELEASE 7").unwrap(), Request::Release { id: 7 });
+        assert_eq!(parse("FAIL-LINK 2").unwrap(), Request::FailLink { link: 2 });
+        assert_eq!(
+            parse("REPAIR-LINK 2").unwrap(),
+            Request::RepairLink { link: 2 }
+        );
+        assert_eq!(parse("FAIL-NODE 4").unwrap(), Request::FailNode { node: 4 });
+        assert_eq!(parse("SNAPSHOT").unwrap(), Request::Snapshot);
+        assert_eq!(parse("STATS").unwrap(), Request::Stats);
+        assert_eq!(parse("SHUTDOWN").unwrap(), Request::Shutdown);
+    }
+
+    #[test]
+    fn tolerates_extra_whitespace() {
+        assert_eq!(
+            parse("  RELEASE   9  ").unwrap(),
+            Request::Release { id: 9 }
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_lines_with_stable_codes() {
+        assert_eq!(parse("").unwrap_err().code, CODE_EMPTY);
+        assert_eq!(parse("   ").unwrap_err().code, CODE_EMPTY);
+        assert_eq!(
+            parse("FROBNICATE 1").unwrap_err().code,
+            CODE_UNKNOWN_COMMAND
+        );
+        assert_eq!(parse("RELEASE").unwrap_err().code, CODE_ARG_COUNT);
+        assert_eq!(parse("RELEASE 1 2").unwrap_err().code, CODE_ARG_COUNT);
+        assert_eq!(parse("RELEASE x").unwrap_err().code, CODE_BAD_INT);
+        assert_eq!(parse("SNAPSHOT now").unwrap_err().code, CODE_ARG_COUNT);
+        // Verbs are case-sensitive by design (the grammar is uppercase).
+        assert_eq!(parse("release 1").unwrap_err().code, CODE_UNKNOWN_COMMAND);
+    }
+
+    #[test]
+    fn responses_render_one_line() {
+        assert_eq!(
+            Response::Ok("id=3 bw=500".into()).to_string(),
+            "OK id=3 bw=500"
+        );
+        assert_eq!(
+            Response::Err {
+                code: 300,
+                message: "unknown connection c9".into()
+            }
+            .to_string(),
+            "ERR 300 unknown connection c9"
+        );
+        assert_eq!(Response::Busy.to_string(), "BUSY");
+    }
+
+    #[test]
+    fn payload_fields_are_extractable() {
+        let payload = "conns=5 bw=2500 dropped=0";
+        assert_eq!(payload_field(payload, "bw"), Some(2500));
+        assert_eq!(payload_field(payload, "conns"), Some(5));
+        assert_eq!(payload_field(payload, "missing"), None);
+    }
+}

@@ -15,6 +15,10 @@
 //!   serialized to a hand-rolled text format and compared byte-exact
 //!   against files blessed into `tests/golden/` (update with
 //!   `DRQOS_BLESS=1`).
+//! * [`session`] — a **protocol-session replay** helper rendering
+//!   command/response transcripts (`> cmd` / `< resp`) for golden
+//!   comparison of line protocols; the handler is injected as a closure,
+//!   so the testkit stays agnostic of `drqos-service`.
 //!
 //! A fourth, cross-crate layer lives in [`diff`]: fuzzer-generated churn
 //! workloads whose simulated steady-state average bandwidth is compared
@@ -33,6 +37,7 @@ pub mod fuzz;
 pub mod golden;
 pub mod oracle;
 pub mod reference;
+pub mod session;
 
 pub use diff::{run_diff, DiffCase, DiffResult};
 pub use fuzz::{

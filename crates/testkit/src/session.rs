@@ -1,0 +1,61 @@
+//! Protocol-session replay: turns a command script plus a line handler
+//! into a byte-stable transcript for golden-trace comparison.
+//!
+//! The helper is deliberately service-agnostic — it knows nothing about
+//! the wire grammar. The service crate's engine (or any other line
+//! handler) is passed in as a closure, which keeps `drqos-testkit` free
+//! of a dependency on `drqos-service` while letting integration tests
+//! combine the two with [`crate::golden::verify_golden`].
+
+use std::fmt::Write as _;
+
+/// Replays `commands` through `handler` and renders the session as a
+/// transcript:
+///
+/// ```text
+/// # drqos protocol session: <name>
+/// > ESTABLISH 0 3 100 500 100
+/// < OK id=0 bw=500 hops=3 backups=1
+/// > RELEASE 0
+/// < OK freed=500
+/// ```
+///
+/// One `>` line per command (verbatim), one `<` line per response. The
+/// transcript is a pure function of `(name, commands, handler)` — golden
+/// files stay byte-exact as long as the protocol semantics do.
+pub fn replay_script<H>(name: &str, commands: &[&str], mut handler: H) -> String
+where
+    H: FnMut(&str) -> String,
+{
+    let mut out = String::new();
+    writeln!(out, "# drqos protocol session: {name}").expect("writing to String cannot fail");
+    for command in commands {
+        writeln!(out, "> {command}").expect("writing to String cannot fail");
+        writeln!(out, "< {}", handler(command)).expect("writing to String cannot fail");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transcript_interleaves_commands_and_responses() {
+        let t = replay_script("echo", &["PING", "PONG"], |line| format!("OK {line}"));
+        assert_eq!(
+            t,
+            "# drqos protocol session: echo\n> PING\n< OK PING\n> PONG\n< OK PONG\n"
+        );
+    }
+
+    #[test]
+    fn handler_sees_commands_in_order() {
+        let mut seen = Vec::new();
+        replay_script("order", &["A", "B", "C"], |line| {
+            seen.push(line.to_string());
+            String::new()
+        });
+        assert_eq!(seen, ["A", "B", "C"]);
+    }
+}

@@ -1,0 +1,217 @@
+//! Protocol-session tests for `drqos-service`: a golden transcript
+//! covering every verb and error family, an order-independence proof for
+//! concurrent disjoint-stream clients, and an in-process load-generator
+//! smoke run (the PR's acceptance criterion).
+//!
+//! Re-bless the transcript after an intentional protocol change:
+//!
+//! ```text
+//! DRQOS_BLESS=1 cargo test -p drqos-tests --test service_session
+//! ```
+
+use drqos_core::network::{Network, NetworkConfig};
+use drqos_service::engine::Engine;
+use drqos_service::loadgen::{self, LoadgenConfig};
+use drqos_service::protocol::payload_field;
+use drqos_service::server::Server;
+use drqos_testkit::golden::verify_golden;
+use drqos_testkit::session::replay_script;
+use drqos_topology::regular;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::thread;
+
+fn golden_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("golden")
+}
+
+fn ring_engine() -> Engine {
+    Engine::new(Network::new(
+        regular::ring(6).unwrap(),
+        NetworkConfig::default(),
+    ))
+}
+
+/// Every verb plus one error from each family: protocol (2, 3, 4),
+/// QoS (100), admission (201), network (300, 302). `STATS` is excluded —
+/// it is the one intentionally non-deterministic reply.
+const GOLDEN_SCRIPT: &[&str] = &[
+    "SNAPSHOT",
+    "ESTABLISH 0 3 100 500 100",
+    "ESTABLISH 1 4 100 500 100",
+    "SNAPSHOT",
+    "ESTABLISH 2 2 100 500 100",
+    "ESTABLISH 0 2 0 500 100",
+    "RELEASE 99",
+    "FAIL-LINK 0",
+    "FAIL-LINK 0",
+    "REPAIR-LINK 0",
+    "FAIL-NODE 5",
+    "SNAPSHOT",
+    "RELEASE 1",
+    "RELEASE 0",
+    "BOGUS",
+    "RELEASE",
+    "RELEASE x",
+    "SNAPSHOT",
+    "SHUTDOWN",
+];
+
+#[test]
+fn protocol_session_matches_blessed_transcript() {
+    let mut engine = ring_engine();
+    let transcript = replay_script("ring6 all verbs", GOLDEN_SCRIPT, |line| {
+        engine.handle_line(line).to_string()
+    });
+    if let Err(e) = verify_golden(&golden_dir(), "service_session", &transcript) {
+        panic!("{e}");
+    }
+}
+
+/// A serial replay of all four clients' streams, used as the reference
+/// for the concurrent run below.
+fn serial_snapshot(streams: &[Vec<String>]) -> String {
+    let mut engine = ring_engine();
+    for stream in streams {
+        for line in stream {
+            let resp = engine.handle_line(line).to_string();
+            assert!(
+                resp.starts_with("OK "),
+                "serial replay must be clean: {resp}"
+            );
+        }
+    }
+    engine.handle_line("SNAPSHOT").to_string()
+}
+
+/// Four disjoint-stream clients (distinct endpoints, ample capacity, no
+/// cross-client RELEASEs) must leave the network in the same final state
+/// regardless of interleaving: the event loop serializes all writes, and
+/// with no contention every connection reaches `bmax` either way.
+#[test]
+fn concurrent_disjoint_clients_match_serial_replay() {
+    // Ring of 6 at 10 Mbps: 4 concurrent 500-Kbps-max connections cannot
+    // contend, so admitted bandwidth is interleaving-independent.
+    let streams: Vec<Vec<String>> = (0..4)
+        .map(|c| {
+            vec![
+                format!("ESTABLISH {} {} 100 500 100", c, (c + 2) % 6),
+                "SNAPSHOT".to_string(),
+            ]
+        })
+        .collect();
+    let expected = serial_snapshot(&streams);
+
+    let net = Network::new(regular::ring(6).unwrap(), NetworkConfig::default());
+    let server = Server::bind("127.0.0.1:0", net).expect("bind ephemeral");
+    let addr = server.local_addr().unwrap();
+    let server_handle = thread::spawn(move || server.run());
+    thread::scope(|scope| {
+        for stream in &streams {
+            scope.spawn(move || {
+                let tcp = TcpStream::connect(addr).expect("connect");
+                tcp.set_nodelay(true).unwrap();
+                let mut writer = tcp.try_clone().unwrap();
+                let mut reader = BufReader::new(tcp);
+                for line in stream {
+                    writeln!(writer, "{line}").unwrap();
+                    let mut resp = String::new();
+                    reader.read_line(&mut resp).unwrap();
+                    let resp = resp.trim_end();
+                    assert!(
+                        resp.starts_with("OK "),
+                        "disjoint streams must not fail: {line} -> {resp}"
+                    );
+                }
+            });
+        }
+    });
+    // All clients done; the final state must match the serial reference.
+    let tcp = TcpStream::connect(addr).expect("connect");
+    let mut writer = tcp.try_clone().unwrap();
+    let mut reader = BufReader::new(tcp);
+    writeln!(writer, "SNAPSHOT").unwrap();
+    let mut snap = String::new();
+    reader.read_line(&mut snap).unwrap();
+    assert_eq!(
+        snap.trim_end(),
+        expected,
+        "concurrent != serial final state"
+    );
+    writeln!(writer, "SHUTDOWN").unwrap();
+    let mut bye = String::new();
+    reader.read_line(&mut bye).unwrap();
+    assert_eq!(bye.trim_end(), "OK violations=0");
+    let report = server_handle.join().unwrap().unwrap();
+    assert_eq!(report.violations, 0);
+}
+
+/// The acceptance criterion: a seeded 4-client load-generator run against
+/// an in-process server completes with zero protocol errors, reports tail
+/// latency, and shuts the server down invariant-clean.
+#[test]
+fn loadgen_four_clients_zero_protocol_errors() {
+    let net = Network::new(regular::torus(6, 6).unwrap(), NetworkConfig::default());
+    let server = Server::bind("127.0.0.1:0", net).expect("bind ephemeral");
+    let addr = server.local_addr().unwrap();
+    let server_handle = thread::spawn(move || server.run());
+
+    let config = LoadgenConfig {
+        addr: addr.to_string(),
+        clients: 4,
+        requests_per_client: 50,
+        seed: 2001,
+        shutdown: true,
+        ..LoadgenConfig::default()
+    };
+    let report = loadgen::run(&config).expect("loadgen run completes");
+    assert_eq!(report.protocol_errors, 0, "{}", report.summary());
+    assert!(
+        report.ops >= 4 * 50,
+        "every establish counts: {}",
+        report.ops
+    );
+    assert!(
+        report.admitted > 0,
+        "torus at 10 Mbps admits: {}",
+        report.summary()
+    );
+    assert_eq!(report.clean_shutdown, Some(true));
+    // Tail latency is measured (histogram floors at 1 µs once non-empty).
+    assert!(report.latency.quantile_us(0.99) >= 1);
+
+    let server_report = server_handle.join().unwrap().unwrap();
+    assert_eq!(server_report.violations, 0);
+    assert!(server_report.metrics_json.contains("\"op\":\"establish\""));
+}
+
+/// `STATS` is reachable over TCP and reports integer counters (it is
+/// excluded from the golden transcript because latency fields are
+/// wall-clock measurements).
+#[test]
+fn stats_reports_counters_over_tcp() {
+    let net = Network::new(regular::ring(6).unwrap(), NetworkConfig::default());
+    let server = Server::bind("127.0.0.1:0", net).expect("bind ephemeral");
+    let addr = server.local_addr().unwrap();
+    let server_handle = thread::spawn(move || server.run());
+    let tcp = TcpStream::connect(addr).expect("connect");
+    let mut writer = tcp.try_clone().unwrap();
+    let mut reader = BufReader::new(tcp);
+    let mut roundtrip = |line: &str| -> String {
+        writeln!(writer, "{line}").unwrap();
+        let mut resp = String::new();
+        reader.read_line(&mut resp).unwrap();
+        resp.trim_end().to_string()
+    };
+    roundtrip("ESTABLISH 0 3 100 500 100");
+    let stats = roundtrip("STATS");
+    let payload = stats
+        .strip_prefix("OK ")
+        .unwrap_or_else(|| panic!("STATS reply: {stats:?}"))
+        .to_string();
+    assert_eq!(payload_field(&payload, "admitted"), Some(1));
+    assert_eq!(payload_field(&payload, "errors"), Some(0));
+    assert_eq!(roundtrip("SHUTDOWN"), "OK violations=0");
+    server_handle.join().unwrap().unwrap();
+}
