@@ -1,0 +1,159 @@
+//! Micro-benchmark for the admission route cache: repeat-admission
+//! planning with `DRQOS_ROUTE_CACHE` on vs. off, plus a steady
+//! establish/release churn loop showing the cache surviving real commits.
+//!
+//! Besides the usual stdout report, the cached/uncached medians and the
+//! resulting speedup are recorded into `target/experiments/runtime.json`
+//! under the `route_cache` entry (the PR's acceptance criterion is a ≥ 2×
+//! speedup on the repeat-admission workload).
+
+use drqos_bench::microbench::Criterion;
+use drqos_bench::runner::record_runtime_entry_in;
+use drqos_bench::{criterion_group, criterion_main};
+use drqos_core::network::{Network, NetworkConfig};
+use drqos_core::qos::ElasticQos;
+use drqos_sim::rng::Rng;
+use drqos_topology::graph::NodeId;
+use drqos_topology::waxman;
+use std::hint::black_box;
+use std::time::Instant;
+
+fn network(route_cache: bool) -> Network {
+    let graph = waxman::paper_waxman(100)
+        .generate(&mut Rng::seed_from_u64(11))
+        .unwrap();
+    let mut net = Network::new(
+        graph,
+        NetworkConfig {
+            route_cache,
+            ..NetworkConfig::default()
+        },
+    );
+    // A realistic background load so planning has real work to skip.
+    let mut rng = Rng::seed_from_u64(7);
+    let mut admitted = 0;
+    while admitted < 60 {
+        let (s, d) = endpoints(&net, &mut rng);
+        if net.establish(s, d, qos()).is_ok() {
+            admitted += 1;
+        }
+    }
+    net
+}
+
+fn qos() -> ElasticQos {
+    ElasticQos::paper_video(100)
+}
+
+fn endpoints(net: &Network, rng: &mut Rng) -> (NodeId, NodeId) {
+    let n = net.graph().node_count();
+    let a = rng.range_usize(n);
+    let mut b = rng.range_usize(n - 1);
+    if b >= a {
+        b += 1;
+    }
+    (NodeId(a), NodeId(b))
+}
+
+/// A fixed request mix replayed over and over — the repeat-admission
+/// pattern (steady churn re-requesting popular endpoint pairs, no
+/// topology events).
+fn request_mix(net: &Network, pairs: usize) -> Vec<(NodeId, NodeId)> {
+    let mut rng = Rng::seed_from_u64(13);
+    (0..pairs).map(|_| endpoints(net, &mut rng)).collect()
+}
+
+/// Median ns per `plan_establish` over `rounds` passes of the mix (two
+/// warm passes first: the cache's doorkeeper memoizes a key on its
+/// second miss, so after two passes a cached network answers from the
+/// memo).
+fn median_plan_ns(net: &Network, mix: &[(NodeId, NodeId)], rounds: usize) -> f64 {
+    for _ in 0..2 {
+        for &(s, d) in mix {
+            let _ = black_box(net.plan_establish(s, d, qos()));
+        }
+    }
+    let mut samples: Vec<f64> = (0..rounds)
+        .map(|_| {
+            let t0 = Instant::now();
+            for &(s, d) in mix {
+                let _ = black_box(net.plan_establish(s, d, qos()));
+            }
+            t0.elapsed().as_nanos() as f64 / mix.len() as f64
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+fn bench_repeat_admission(c: &mut Criterion) {
+    let mut group = c.benchmark_group("route_cache/repeat_admission");
+    group.sample_size(30);
+    for (label, enabled) in [("cached", true), ("uncached", false)] {
+        let net = network(enabled);
+        let mix = request_mix(&net, 32);
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                for &(s, d) in &mix {
+                    let _ = black_box(net.plan_establish(s, d, qos()));
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_churn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("route_cache/establish_release_churn");
+    group.sample_size(20);
+    for (label, enabled) in [("cached", true), ("uncached", false)] {
+        group.bench_function(label, |b| {
+            let mut net = network(enabled);
+            let mut rng = Rng::seed_from_u64(29);
+            b.iter(|| {
+                let (s, d) = endpoints(&net, &mut rng);
+                if let Ok(id) = net.establish(s, d, qos()) {
+                    net.release(id).unwrap();
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+fn record_speedup(_c: &mut Criterion) {
+    let cached_net = network(true);
+    let uncached_net = network(false);
+    let mix = request_mix(&cached_net, 32);
+    let cached_ns = median_plan_ns(&cached_net, &mix, 30);
+    let uncached_ns = median_plan_ns(&uncached_net, &mix, 30);
+    let speedup = uncached_ns / cached_ns.max(1.0);
+    let stats = cached_net.route_cache_stats();
+    println!(
+        "\nroute_cache speedup: {speedup:.2}x \
+         (uncached {uncached_ns:.0} ns/plan, cached {cached_ns:.0} ns/plan, \
+         {} hits / {} misses / {} stale)",
+        stats.hits, stats.misses, stats.stale_evictions
+    );
+    let json = format!(
+        concat!(
+            "{{\"name\":\"route_cache\",\"workload\":\"repeat_admission\",",
+            "\"uncached_ns_per_plan\":{:.0},\"cached_ns_per_plan\":{:.0},",
+            "\"speedup\":{:.2},\"cache_hits\":{},\"cache_misses\":{},",
+            "\"cache_stale\":{}}}"
+        ),
+        uncached_ns, cached_ns, speedup, stats.hits, stats.misses, stats.stale_evictions,
+    );
+    // `cargo bench` starts in the package root, not the workspace root —
+    // anchor explicitly so the entry lands in the canonical aggregate.
+    let experiments = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("target/experiments");
+    match record_runtime_entry_in(&experiments, "route_cache", &json) {
+        Ok(path) => println!("(recorded in {})", path.display()),
+        Err(e) => eprintln!("warning: could not record route_cache runtime: {e}"),
+    }
+}
+
+criterion_group!(benches, bench_repeat_admission, bench_churn, record_speedup);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+use drqos_core::experiment::{run_churn, ExperimentConfig};
+use drqos_sim::rng::Rng;
+use drqos_topology::waxman;
+use std::time::Instant;
+
+fn main() {
+    // One fig2-like point: 100-node waxman, 2000 connections target.
+    let graph = waxman::paper_waxman(100)
+        .generate(&mut Rng::seed_from_u64(42))
+        .unwrap();
+    for on in [true, false] {
+        let mut cfg = ExperimentConfig::paper_default(2_000, 50);
+        cfg.network.route_cache = on;
+        let t0 = Instant::now();
+        let (report, _net) = run_churn(graph.clone(), &cfg);
+        println!(
+            "cache={on}: {:?}  hits={} misses={} stale={} accepted={}",
+            t0.elapsed(),
+            report.cache.hits,
+            report.cache.misses,
+            report.cache.stale_evictions,
+            report.accepted
+        );
+    }
+}

@@ -86,7 +86,13 @@ pub struct Bencher {
 
 impl Bencher {
     /// Times `routine` repeatedly; one sample per call.
+    ///
+    /// Reports exactly `sample_size` samples: warm-up runs are never
+    /// timed, and anything a previous `iter`/`iter_batched` call on the
+    /// same bencher recorded is discarded — with sub-timer-granularity
+    /// routines, leaked warm-up zeros used to drag the median to 0 ns.
     pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        self.samples.clear();
         // Warm-up: a few untimed runs to populate caches / branch state.
         for _ in 0..(self.sample_size / 10).clamp(1, 5) {
             black_box(routine());
@@ -98,12 +104,15 @@ impl Bencher {
         }
     }
 
-    /// Times `routine` on fresh input from `setup`; setup time is excluded.
+    /// Times `routine` on fresh input from `setup`; setup time is
+    /// excluded. Like [`Bencher::iter`], reports exactly `sample_size`
+    /// samples per call.
     pub fn iter_batched<I, R, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
     where
         S: FnMut() -> I,
         F: FnMut(I) -> R,
     {
+        self.samples.clear();
         black_box(routine(setup()));
         for _ in 0..self.sample_size {
             let input = setup();
@@ -203,6 +212,27 @@ mod tests {
         });
         group.finish();
         assert_eq!(setups, 6, "one warm-up + five timed setups");
+    }
+
+    #[test]
+    fn iter_reports_exactly_sample_size_samples() {
+        // The routine here finishes well under timer granularity — the
+        // case where stray warm-up samples used to leak into the report.
+        let mut b = Bencher {
+            sample_size: 7,
+            samples: Vec::new(),
+        };
+        b.iter(|| black_box(1u32) + 1);
+        assert_eq!(b.samples.len(), 7);
+        // A second call on the same bencher must not accumulate.
+        b.iter(|| black_box(2u32) + 2);
+        assert_eq!(b.samples.len(), 7);
+        let mut batched = Bencher {
+            sample_size: 6,
+            samples: Vec::new(),
+        };
+        batched.iter_batched(|| 3u8, |x| x, BatchSize::SmallInput);
+        assert_eq!(batched.samples.len(), 6);
     }
 
     #[test]

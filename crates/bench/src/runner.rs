@@ -19,7 +19,7 @@
 use drqos_core::experiment::{ExperimentConfig, ExperimentReport};
 use std::fs;
 use std::io;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
@@ -79,6 +79,13 @@ pub struct PointObs {
     pub dropped: u64,
     /// Link failures injected.
     pub failures: u64,
+    /// Admission route-cache hits (zero when `DRQOS_ROUTE_CACHE=0`).
+    pub cache_hits: u64,
+    /// Admission route-cache misses.
+    pub cache_misses: u64,
+    /// Route-cache entries evicted as stale (digest mismatch or
+    /// fail/repair reverse-index eviction).
+    pub cache_stale: u64,
 }
 
 impl PointObs {
@@ -92,6 +99,9 @@ impl PointObs {
         self.rejected += report.rejected_primary + report.rejected_backup;
         self.dropped += report.dropped;
         self.failures += report.failures;
+        self.cache_hits += report.cache.hits;
+        self.cache_misses += report.cache.misses;
+        self.cache_stale += report.cache.stale_evictions;
     }
 }
 
@@ -181,6 +191,9 @@ impl<R> Sweep<R> {
             obs.rejected += r.obs.rejected;
             obs.dropped += r.obs.dropped;
             obs.failures += r.obs.failures;
+            obs.cache_hits += r.obs.cache_hits;
+            obs.cache_misses += r.obs.cache_misses;
+            obs.cache_stale += r.obs.cache_stale;
         }
         RuntimeSummary {
             name: name.to_string(),
@@ -330,7 +343,8 @@ impl RuntimeSummary {
                 "{{\"name\":\"{}\",\"threads\":{},\"points\":{},",
                 "\"wall_s\":{:.6},\"events\":{},\"events_per_sec\":{:.1},",
                 "\"attempted\":{},\"accepted\":{},\"rejected\":{},",
-                "\"dropped\":{},\"failures\":{}}}"
+                "\"dropped\":{},\"failures\":{},",
+                "\"cache_hits\":{},\"cache_misses\":{},\"cache_stale\":{}}}"
             ),
             self.name.replace(['"', '\\'], "_"),
             self.threads,
@@ -343,6 +357,9 @@ impl RuntimeSummary {
             self.obs.rejected,
             self.obs.dropped,
             self.obs.failures,
+            self.obs.cache_hits,
+            self.obs.cache_misses,
+            self.obs.cache_stale,
         )
     }
 }
@@ -365,20 +382,106 @@ pub fn record_runtime(summary: &RuntimeSummary) -> io::Result<PathBuf> {
     record_runtime_entry(&format!("{name}-{}t", summary.threads), &summary.to_json())
 }
 
+/// A held `runtime/.lock` file; dropping it releases the lock.
+struct RuntimeLock {
+    path: PathBuf,
+}
+
+impl Drop for RuntimeLock {
+    fn drop(&mut self) {
+        let _ = fs::remove_file(&self.path);
+    }
+}
+
+/// How long an existing `.lock` may sit untouched before it is presumed
+/// abandoned (a crashed writer) and broken.
+const LOCK_STALE_AFTER: Duration = Duration::from_secs(10);
+
+/// Upper bound on waiting for the lock; no healthy writer holds it for
+/// more than a few milliseconds.
+const LOCK_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Acquires the runtime directory's lock file via `O_EXCL` creation,
+/// retrying until [`LOCK_TIMEOUT`] and breaking locks older than
+/// [`LOCK_STALE_AFTER`].
+fn lock_runtime_dir(dir: &std::path::Path) -> io::Result<RuntimeLock> {
+    let path = dir.join(".lock");
+    let start = Instant::now();
+    loop {
+        match fs::OpenOptions::new()
+            .write(true)
+            .create_new(true)
+            .open(&path)
+        {
+            Ok(_) => return Ok(RuntimeLock { path }),
+            Err(e) if e.kind() == io::ErrorKind::AlreadyExists => {
+                let stale = fs::metadata(&path)
+                    .and_then(|m| m.modified())
+                    .ok()
+                    .and_then(|t| t.elapsed().ok())
+                    .is_some_and(|age| age > LOCK_STALE_AFTER);
+                if stale {
+                    let _ = fs::remove_file(&path);
+                    continue;
+                }
+                if start.elapsed() > LOCK_TIMEOUT {
+                    return Err(io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        format!("timed out waiting for {}", path.display()),
+                    ));
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Writes `content` to `path` atomically: a process-unique temp file in
+/// the same directory, then a rename (readers never observe a torn file).
+fn write_atomic(path: &std::path::Path, content: &str) -> io::Result<()> {
+    let file_name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_default();
+    let tmp = path.with_file_name(format!(".{file_name}.{}.tmp", std::process::id()));
+    fs::write(&tmp, content)?;
+    fs::rename(&tmp, path)
+}
+
 /// Records one pre-rendered JSON object as
 /// `target/experiments/runtime/<stem>.json` and rebuilds the aggregate
 /// `runtime.json`. This is the shared sink for every runtime producer —
 /// the sweep runner above and out-of-crate tools like `drqos-loadgen` —
 /// so all entries land in one aggregate regardless of who wrote them.
 ///
+/// Concurrent writers (the sweep runner and a service binary finishing at
+/// the same time, or parallel tests) are serialized through a lock file:
+/// the whole write-entry-then-rebuild sequence runs under `runtime/.lock`,
+/// so the last writer's aggregate always reflects every recorded entry
+/// and `runtime.json` is never a lost update or a torn interleaving.
+///
 /// `stem` is sanitized to `[A-Za-z0-9_-]`; `json` must be one complete
 /// JSON object (it is embedded verbatim, never parsed).
 ///
 /// # Errors
 ///
-/// Returns any I/O error from directory creation, writing, or re-reading.
+/// Returns any I/O error from directory creation, locking, writing, or
+/// re-reading.
 pub fn record_runtime_entry(stem: &str, json: &str) -> io::Result<PathBuf> {
-    let dir = crate::csv::default_dir().join("runtime");
+    record_runtime_entry_in(&crate::csv::default_dir(), stem, json)
+}
+
+/// [`record_runtime_entry`] with an explicit experiments directory.
+///
+/// The default resolves `target/experiments` relative to the current
+/// working directory, which is right for the sweep binaries (run from the
+/// workspace root) but wrong for `cargo bench`/`cargo test`, whose
+/// processes start in the *package* root — a bench that wants its entry
+/// in the canonical workspace aggregate should anchor explicitly, e.g.
+/// via `CARGO_MANIFEST_DIR`.
+pub fn record_runtime_entry_in(experiments: &Path, stem: &str, json: &str) -> io::Result<PathBuf> {
+    let dir = experiments.join("runtime");
     fs::create_dir_all(&dir)?;
     let stem: String = stem
         .chars()
@@ -390,7 +493,8 @@ pub fn record_runtime_entry(stem: &str, json: &str) -> io::Result<PathBuf> {
             }
         })
         .collect();
-    fs::write(dir.join(format!("{stem}.json")), json)?;
+    let lock = lock_runtime_dir(&dir)?;
+    write_atomic(&dir.join(format!("{stem}.json")), json)?;
     // Rebuild the aggregate from the per-entry files (each holds one
     // complete JSON object, embedded verbatim — no JSON parsing needed).
     let mut entries: Vec<(String, String)> = Vec::new();
@@ -406,11 +510,12 @@ pub fn record_runtime_entry(stem: &str, json: &str) -> io::Result<PathBuf> {
     }
     entries.sort();
     let body: Vec<String> = entries.into_iter().map(|(_, json)| json).collect();
-    let aggregate = crate::csv::default_dir().join("runtime.json");
-    fs::write(
+    let aggregate = experiments.join("runtime.json");
+    write_atomic(
         &aggregate,
-        format!("{{\"experiments\":[\n{}\n]}}\n", body.join(",\n")),
+        &format!("{{\"experiments\":[\n{}\n]}}\n", body.join(",\n")),
     )?;
+    drop(lock);
     Ok(aggregate)
 }
 
@@ -522,8 +627,10 @@ mod tests {
                     attempted: 5,
                     accepted: 4,
                     rejected: 1,
-                    dropped: 0,
-                    failures: 0,
+                    cache_hits: 3,
+                    cache_misses: 2,
+                    cache_stale: 1,
+                    ..PointObs::default()
                 },
             )
         });
@@ -532,10 +639,54 @@ mod tests {
         assert!(json.contains("\"name\":\"selftest\""));
         assert!(json.contains("\"events\":30"));
         assert!(json.contains("\"accepted\":12"));
+        assert!(json.contains("\"cache_hits\":9"));
+        assert!(json.contains("\"cache_misses\":6"));
+        assert!(json.contains("\"cache_stale\":3"));
         let path = record_runtime(&summary).expect("runtime.json written");
         let content = fs::read_to_string(&path).expect("aggregate readable");
         assert!(content.contains("\"experiments\":["));
         assert!(content.contains("\"name\":\"selftest\""));
+    }
+
+    #[test]
+    fn concurrent_runtime_entries_are_not_lost() {
+        // The read-modify-write race this guards against: two writers
+        // finish together, each writes its entry and rebuilds the
+        // aggregate, and the slower rebuild (which never saw the faster
+        // writer's entry) overwrites the aggregate, losing it. With the
+        // lock file the whole sequence is serial, so the aggregate must
+        // contain every entry no matter the interleaving.
+        // A process-unique scratch dir keeps the test out of the real
+        // `target/experiments` aggregate.
+        let base = std::env::temp_dir().join(format!("drqos-locktest-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&base);
+        let names: Vec<String> = (0..2).map(|i| format!("locktest-writer-{i}")).collect();
+        std::thread::scope(|scope| {
+            for name in &names {
+                let base = &base;
+                scope.spawn(move || {
+                    for round in 0..20 {
+                        record_runtime_entry_in(
+                            base,
+                            name,
+                            &format!("{{\"name\":\"{name}\",\"round\":{round}}}"),
+                        )
+                        .expect("record under contention");
+                    }
+                });
+            }
+        });
+        let aggregate = fs::read_to_string(base.join("runtime.json")).unwrap();
+        for name in &names {
+            assert!(
+                aggregate.contains(&format!("\"name\":\"{name}\"")),
+                "aggregate lost {name}"
+            );
+        }
+        // The aggregate is one well-formed object, not a torn interleaving.
+        assert!(aggregate.starts_with("{\"experiments\":[\n"));
+        assert!(aggregate.ends_with("\n]}\n"));
+        let _ = fs::remove_dir_all(&base);
     }
 
     #[test]

@@ -23,6 +23,8 @@
 //!   reservations.
 //! * [`routing`] — bounded-flooding emulation, shortest-path baseline,
 //!   Suurballe pair router.
+//! * [`route_cache`] — the epoch/digest-validated admission route memo
+//!   (toggled by `DRQOS_ROUTE_CACHE`).
 //! * [`network`] — [`network::Network`], the manager: admission, retreat &
 //!   re-distribution, failure handling.
 //! * [`interval`] — the run-time k-out-of-M interval QoS model
@@ -66,6 +68,7 @@ pub mod link_state;
 pub mod measure;
 pub mod network;
 pub mod qos;
+pub mod route_cache;
 pub mod routing;
 pub mod snapshot;
 pub mod wire;
@@ -76,9 +79,10 @@ pub use error::{AdmissionError, NetworkError, QosError};
 pub use experiment::{checked_mode, run_churn, ExperimentConfig, ExperimentReport};
 pub use interval::{DropController, IntervalQos};
 pub use invariant::InvariantViolation;
-pub use measure::{MeasuredParams, ParameterEstimator};
-pub use network::{EstablishPlan, FailureReport, Network, NetworkConfig};
+pub use measure::{MeasuredParams, ParameterEstimator, RouteCacheStats};
+pub use network::{route_cache_env_default, EstablishPlan, FailureReport, Network, NetworkConfig};
 pub use qos::{AdaptationPolicy, Bandwidth, ElasticQos};
+pub use route_cache::RouteCache;
 pub use routing::{BackupDisjointness, RouterKind};
 pub use snapshot::NetworkSnapshot;
 pub use workload::{PairSampler, Request, Workload};

@@ -25,10 +25,11 @@
 use crate::channel::ConnectionId;
 use crate::qos::Bandwidth;
 use drqos_topology::LinkId;
+use std::cell::Cell;
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Bandwidth bookkeeping for one link.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct LinkUsage {
     capacity: Bandwidth,
     up: bool,
@@ -40,6 +41,27 @@ pub struct LinkUsage {
     /// backups on this link whose primary crosses `f`.
     conflict: BTreeMap<LinkId, Bandwidth>,
     reservation: Bandwidth,
+    /// Memoized [`Self::plan_digest`] (valid when `digest_dirty` is
+    /// false). The route cache revalidates footprints on every lookup and
+    /// hashes them on every insert; without the memo each call walks the
+    /// conflict map, which dominated the miss path on loaded networks.
+    digest_memo: Cell<u64>,
+    digest_dirty: Cell<bool>,
+}
+
+/// Equality over the *accounting* state only — the digest memo is a
+/// lazily-filled cache and must never make otherwise-equal links differ.
+impl PartialEq for LinkUsage {
+    fn eq(&self, other: &Self) -> bool {
+        self.capacity == other.capacity
+            && self.up == other.up
+            && self.primaries == other.primaries
+            && self.primary_min_sum == other.primary_min_sum
+            && self.extra_sum == other.extra_sum
+            && self.backups == other.backups
+            && self.conflict == other.conflict
+            && self.reservation == other.reservation
+    }
 }
 
 impl LinkUsage {
@@ -55,6 +77,8 @@ impl LinkUsage {
             backups: BTreeSet::new(),
             conflict: BTreeMap::new(),
             reservation: Bandwidth::ZERO,
+            digest_memo: Cell::new(0),
+            digest_dirty: Cell::new(true),
         }
     }
 
@@ -70,6 +94,7 @@ impl LinkUsage {
 
     pub(crate) fn set_up(&mut self, up: bool) {
         self.up = up;
+        self.digest_dirty.set(true);
     }
 
     /// Primary channels crossing this link.
@@ -159,12 +184,14 @@ impl LinkUsage {
         let inserted = self.primaries.insert(id);
         assert!(inserted, "{id} already a primary on this link");
         self.primary_min_sum += min;
+        self.digest_dirty.set(true);
     }
 
     pub(crate) fn remove_primary(&mut self, id: ConnectionId, min: Bandwidth) {
         let removed = self.primaries.remove(&id);
         assert!(removed, "{id} was not a primary on this link");
         self.primary_min_sum -= min;
+        self.digest_dirty.set(true);
     }
 
     pub(crate) fn add_extra(&mut self, amount: Bandwidth) {
@@ -190,6 +217,7 @@ impl LinkUsage {
                 self.reservation = *entry;
             }
         }
+        self.digest_dirty.set(true);
     }
 
     pub(crate) fn remove_backup(
@@ -216,6 +244,36 @@ impl LinkUsage {
             .copied()
             .max()
             .unwrap_or(Bandwidth::ZERO);
+        self.digest_dirty.set(true);
+    }
+
+    /// A digest of every field of this link that route *planning* can
+    /// observe: liveness, the primary-minimum sum, the cached reservation,
+    /// and the full backup-conflict map. Extras are deliberately excluded —
+    /// they are reclaimable and never consulted by `can_admit_primary` /
+    /// `can_admit_backup` / the planning allowances — so grant/retreat
+    /// churn does not invalidate cached routes.
+    ///
+    /// The route cache stores, per probed link, the digest seen while
+    /// planning; a later lookup revalidates by comparing digests. Equal
+    /// digests ⇒ (modulo a 2⁻⁶⁴ collision) identical answers to every
+    /// planning query, hence an identical search outcome.
+    ///
+    /// Memoized: the digest is recomputed only after a planning-relevant
+    /// mutation, so repeated revalidation of untouched links is O(1)
+    /// regardless of how many backups conflict on them.
+    pub fn plan_digest(&self) -> u64 {
+        if self.digest_dirty.get() {
+            let mut h: u64 = if self.up { 0x9E37_79B9_7F4A_7C15 } else { 0 };
+            h = mix64(h ^ self.primary_min_sum.as_kbps());
+            h = mix64(h ^ self.reservation.as_kbps());
+            for (&f, &bw) in &self.conflict {
+                h = mix64(h ^ (f.index() as u64).wrapping_mul(0x0100_0000_01B3) ^ bw.as_kbps());
+            }
+            self.digest_memo.set(h);
+            self.digest_dirty.set(false);
+        }
+        self.digest_memo.get()
     }
 
     /// Recomputes the multiplexed reservation from the conflict map,
@@ -243,6 +301,14 @@ impl LinkUsage {
             "allocated bandwidth exceeds capacity"
         );
     }
+}
+
+/// The split-mix-64 finalizer: full-avalanche mixing for the plan digest.
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 #[cfg(test)]
@@ -398,6 +464,63 @@ mod tests {
         assert!(!l.is_up());
         assert!(!l.can_admit_primary(k(1)));
         assert!(!l.can_admit_backup(k(1), &[lid(0)]));
+    }
+
+    #[test]
+    fn plan_digest_tracks_planning_state_only() {
+        let mut l = LinkUsage::new(k(1_000));
+        let fresh = l.plan_digest();
+        // Extras are invisible to planning: the digest must not move.
+        l.add_extra(k(300));
+        assert_eq!(l.plan_digest(), fresh);
+        l.remove_extra(k(300));
+        // Primaries, backups, and liveness all change it.
+        l.add_primary(cid(1), k(100));
+        let with_primary = l.plan_digest();
+        assert_ne!(with_primary, fresh);
+        l.add_backup(cid(2), k(100), &[lid(10)]);
+        let with_backup = l.plan_digest();
+        assert_ne!(with_backup, with_primary);
+        l.set_up(false);
+        assert_ne!(l.plan_digest(), with_backup);
+        l.set_up(true);
+        // Round-trips restore the exact digest (value-based, not
+        // generation-based: establish→release revalidates cached routes).
+        l.remove_backup(cid(2), k(100), &[lid(10)]);
+        assert_eq!(l.plan_digest(), with_primary);
+        l.remove_primary(cid(1), k(100));
+        assert_eq!(l.plan_digest(), fresh);
+    }
+
+    #[test]
+    fn plan_digest_distinguishes_conflict_layouts() {
+        // Same reservation, different conflict maps: planning can tell
+        // them apart (reservation_if_backup_added reads per-link entries),
+        // so the digest must too.
+        let mut a = LinkUsage::new(k(1_000));
+        a.add_backup(cid(1), k(100), &[lid(10)]);
+        let mut b = LinkUsage::new(k(1_000));
+        b.add_backup(cid(1), k(100), &[lid(11)]);
+        assert_eq!(a.backup_reservation(), b.backup_reservation());
+        assert_ne!(a.plan_digest(), b.plan_digest());
+    }
+
+    #[test]
+    fn plan_digest_memo_is_invisible() {
+        let mut a = LinkUsage::new(k(1_000));
+        a.add_primary(cid(1), k(100));
+        let b = a.clone();
+        // Computing the digest fills `a`'s memo but must not make `a`
+        // observably different from `b` (snapshot / oracle comparisons
+        // rely on accounting-only equality).
+        let d1 = a.plan_digest();
+        assert_eq!(a, b);
+        // Memoized reads keep returning the true digest, and a mutation
+        // in between invalidates the memo.
+        assert_eq!(a.plan_digest(), d1);
+        a.add_backup(cid(2), k(50), &[lid(10)]);
+        assert_ne!(a.plan_digest(), d1);
+        assert_eq!(b.plan_digest(), d1);
     }
 
     #[test]

@@ -23,6 +23,48 @@ use std::fmt;
 /// A `(before, after)` level transition of one channel at one event.
 pub type LevelTransition = (usize, usize);
 
+/// Observed effectiveness of the admission-path route cache
+/// (see [`crate::route_cache`]).
+///
+/// Lives here with the other measured quantities so experiment reports,
+/// the bench runner's `runtime.json`, and the service's `STATS` reply all
+/// share one definition of the counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RouteCacheStats {
+    /// Lookups answered from a cached, still-valid route pair.
+    pub hits: u64,
+    /// Lookups that fell through to a full route search (including
+    /// lookups that found a stale entry).
+    pub misses: u64,
+    /// Entries evicted because a probed link's planning state changed
+    /// (lazy digest mismatch) or a topology event touched a footprint
+    /// link (eager reverse-index eviction).
+    pub stale_evictions: u64,
+}
+
+impl RouteCacheStats {
+    /// Total lookups (hits + misses).
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Fraction of lookups served from the cache (0 with no lookups).
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups() == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups() as f64
+        }
+    }
+
+    /// Folds another run's counters into this one (sweep aggregation).
+    pub fn absorb(&mut self, other: &RouteCacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.stale_evictions += other.stale_evictions;
+    }
+}
+
 /// Errors from parameter estimation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]

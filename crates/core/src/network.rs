@@ -25,7 +25,9 @@ use crate::channel::{ConnectionId, DrConnection};
 use crate::error::{AdmissionError, NetworkError};
 use crate::invariant::InvariantViolation;
 use crate::link_state::LinkUsage;
+use crate::measure::RouteCacheStats;
 use crate::qos::{AdaptationPolicy, Bandwidth, ElasticQos};
+use crate::route_cache::RouteCache;
 use crate::routing::{self, BackupDisjointness, RouteScratch, RouterKind};
 use drqos_topology::graph::{Graph, LinkId, NodeId};
 use drqos_topology::paths::Path;
@@ -55,6 +57,25 @@ pub struct NetworkConfig {
     /// backups protect against multi-failures. Backups of one connection
     /// are mutually link-disjoint.
     pub backup_count: usize,
+    /// Whether [`Network::plan_establish`] may answer from the
+    /// epoch-validated route memo (see [`crate::route_cache`]). Defaults
+    /// from the `DRQOS_ROUTE_CACHE` environment variable (on unless set
+    /// to `0`/`false`/`off`); the cache is exact — cached and uncached
+    /// networks produce byte-identical state — so the toggle exists for
+    /// differential testing and benchmarking, not as a safety valve.
+    pub route_cache: bool,
+}
+
+/// The default for [`NetworkConfig::route_cache`]: the value of the
+/// `DRQOS_ROUTE_CACHE` environment variable, with unset meaning enabled.
+pub fn route_cache_env_default() -> bool {
+    match std::env::var("DRQOS_ROUTE_CACHE") {
+        Ok(v) => !matches!(
+            v.trim().to_ascii_lowercase().as_str(),
+            "0" | "false" | "off"
+        ),
+        Err(_) => true,
+    }
 }
 
 impl Default for NetworkConfig {
@@ -69,6 +90,7 @@ impl Default for NetworkConfig {
             reestablish_backups: true,
             disjointness: BackupDisjointness::default(),
             backup_count: 1,
+            route_cache: route_cache_env_default(),
         }
     }
 }
@@ -151,6 +173,11 @@ pub struct Network {
     /// planning takes `&self`. `scratch_epoch` records which topology
     /// epoch the buffers were last validated against.
     scratch: RefCell<(u64, RouteScratch)>,
+    /// Memo of successful route plans, consulted by
+    /// [`Network::plan_establish`] when [`NetworkConfig::route_cache`] is
+    /// set. Interior mutability because planning takes `&self` but a
+    /// lookup updates counters and evicts stale entries.
+    cache: RefCell<RouteCache>,
 }
 
 impl Network {
@@ -169,7 +196,19 @@ impl Network {
             dropped_total: 0,
             topology_epoch: 0,
             scratch: RefCell::new((0, RouteScratch::new())),
+            cache: RefCell::new(RouteCache::new()),
         }
+    }
+
+    /// Hit/miss/stale-eviction counters of the admission route cache
+    /// (all zero when [`NetworkConfig::route_cache`] is off).
+    pub fn route_cache_stats(&self) -> RouteCacheStats {
+        self.cache.borrow().stats()
+    }
+
+    /// Number of plans currently memoized by the route cache.
+    pub fn route_cache_len(&self) -> usize {
+        self.cache.borrow().len()
     }
 
     /// The current topology epoch: incremented by every
@@ -292,8 +331,42 @@ impl Network {
             return Err(AdmissionError::SameEndpoints(src));
         }
         let min = qos.min();
-        let primary_filter = |l: LinkId| self.links[l.index()].can_admit_primary(min);
+        let key = (src, dst, min.as_kbps());
+        let mut record = false;
+        if self.config.route_cache {
+            let mut cache = self.cache.borrow_mut();
+            let hit = cache.lookup(key, |l| self.links[l.index()].plan_digest());
+            if let Some((primary, backups)) = hit {
+                return Ok(EstablishPlan {
+                    qos,
+                    primary,
+                    backups,
+                });
+            }
+            // Doorkeeper: memoize only keys that miss twice. One-shot
+            // pairs (most of a sweep's arrivals) skip footprint recording
+            // and entry maintenance entirely.
+            record = cache.promote(key);
+        }
+        // While the real search runs, record every link it probes: a
+        // successful plan is memoized together with the probed links'
+        // digests, which is exactly the state the search depended on.
+        // A plain Vec with deferred dedup: the search probes links far
+        // more often than there are distinct links, and a push is much
+        // cheaper than an ordered-set insert on this hot path.
+        let footprint: RefCell<Vec<LinkId>> = RefCell::new(Vec::new());
+        let fp = record.then_some(&footprint);
+        let touch = |l: LinkId| {
+            if let Some(f) = fp {
+                f.borrow_mut().push(l);
+            }
+        };
+        let primary_filter = |l: LinkId| {
+            touch(l);
+            self.links[l.index()].can_admit_primary(min)
+        };
         let primary_allowance = |l: LinkId| {
+            touch(l);
             let u = &self.links[l.index()];
             u.capacity().saturating_sub(u.hard_committed())
         };
@@ -304,7 +377,7 @@ impl Network {
                 if let Some((first, second)) =
                     routing::route_pair(&self.graph, src, dst, &primary_filter)
                 {
-                    if self.backup_fits(&second, min, &first) {
+                    if self.backup_fits(&second, min, &first, fp) {
                         seeded_backup = Some(second);
                     }
                     Some(first)
@@ -349,13 +422,29 @@ impl Network {
             backups.push(b);
         }
         while backups.len() < want {
-            let Some(b) = self.plan_backup(&primary, min, &backups) else {
+            let Some(b) = self.plan_backup(&primary, min, &backups, fp) else {
                 break;
             };
             backups.push(b);
         }
         if backups.is_empty() && self.config.require_backup {
             return Err(AdmissionError::NoBackupRoute);
+        }
+        if record {
+            let mut probed = footprint.into_inner();
+            probed.sort_unstable();
+            probed.dedup();
+            let digests: Vec<(LinkId, u64)> = probed
+                .into_iter()
+                .map(|l| (l, self.links[l.index()].plan_digest()))
+                .collect();
+            self.cache.borrow_mut().insert(
+                key,
+                self.topology_epoch,
+                primary.clone(),
+                backups.clone(),
+                digests,
+            );
         }
         Ok(EstablishPlan {
             qos,
@@ -365,18 +454,33 @@ impl Network {
     }
 
     /// Routes one more backup for the given primary path, link-disjoint
-    /// from the already-chosen `existing` backups, or `None`.
-    fn plan_backup(&self, primary: &Path, min: Bandwidth, existing: &[Path]) -> Option<Path> {
+    /// from the already-chosen `existing` backups, or `None`. Probed links
+    /// are recorded into `fp` when the caller is building a cache
+    /// footprint (`None` on the non-cached maintenance paths).
+    fn plan_backup(
+        &self,
+        primary: &Path,
+        min: Bandwidth,
+        existing: &[Path],
+        fp: Option<&RefCell<Vec<LinkId>>>,
+    ) -> Option<Path> {
         let primary_links = primary.links().to_vec();
         let taken: BTreeSet<LinkId> = existing
             .iter()
             .flat_map(|b| b.links().iter().copied())
             .collect();
+        let touch = |l: LinkId| {
+            if let Some(f) = fp {
+                f.borrow_mut().push(l);
+            }
+        };
         let backup_filter = |l: LinkId| {
+            touch(l);
             !taken.contains(&l)
                 && self.links[l.index()].can_admit_backup(min, &conflict_set(&primary_links, l))
         };
         let backup_allowance = |l: LinkId| {
+            touch(l);
             let u = &self.links[l.index()];
             u.capacity().saturating_sub(
                 u.primary_min_sum()
@@ -397,9 +501,19 @@ impl Network {
     }
 
     /// Whether `backup` fits (reservation-wise) on every link for a
-    /// connection with the given `min` and `primary`.
-    fn backup_fits(&self, backup: &Path, min: Bandwidth, primary: &Path) -> bool {
+    /// connection with the given `min` and `primary`. Probed links are
+    /// recorded into `fp` when building a cache footprint.
+    fn backup_fits(
+        &self,
+        backup: &Path,
+        min: Bandwidth,
+        primary: &Path,
+        fp: Option<&RefCell<Vec<LinkId>>>,
+    ) -> bool {
         backup.links().iter().all(|&l| {
+            if let Some(f) = fp {
+                f.borrow_mut().push(l);
+            }
             self.links[l.index()].can_admit_backup(min, &conflict_set(primary.links(), l))
         })
     }
@@ -522,6 +636,7 @@ impl Network {
         }
         self.links[link.index()].set_up(false);
         self.topology_epoch += 1;
+        self.cache.borrow_mut().evict_link(link);
 
         let victims: Vec<ConnectionId> = self.links[link.index()].primaries().collect();
         let backup_losers: Vec<ConnectionId> = self.links[link.index()]
@@ -692,6 +807,7 @@ impl Network {
         }
         self.links[link.index()].set_up(true);
         self.topology_epoch += 1;
+        self.cache.borrow_mut().evict_link(link);
         let mut regained = Vec::new();
         if self.config.reestablish_backups {
             let target = self.config.backup_count;
@@ -727,7 +843,7 @@ impl Network {
             if existing.len() >= target {
                 break;
             }
-            let Some(backup) = self.plan_backup(&primary, min, &existing) else {
+            let Some(backup) = self.plan_backup(&primary, min, &existing, None) else {
                 break;
             };
             for &l in backup.links() {
@@ -1514,6 +1630,111 @@ mod tests {
         let c = net.connection(id).unwrap();
         assert!(c.primary().is_link_disjoint(c.backup().unwrap()));
         net.validate();
+    }
+
+    /// A network with the route cache explicitly forced on or off
+    /// (ignoring the `DRQOS_ROUTE_CACHE` environment, which other test
+    /// threads must not be able to perturb).
+    fn cached_net(capacity_kbps: u64, route_cache: bool) -> Network {
+        Network::new(
+            regular::torus(4, 4).unwrap(),
+            NetworkConfig {
+                capacity: Bandwidth::kbps(capacity_kbps),
+                route_cache,
+                ..NetworkConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn route_cache_hits_on_repeated_planning() {
+        let net = cached_net(10_000, true);
+        // Miss #1 only marks the key with the doorkeeper; miss #2 records
+        // the footprint and memoizes; #3 onwards replay from the cache.
+        let first = net.plan_establish(NodeId(0), NodeId(10), qos()).unwrap();
+        assert_eq!(net.route_cache_len(), 0, "doorkeeper defers the entry");
+        let second = net.plan_establish(NodeId(0), NodeId(10), qos()).unwrap();
+        let third = net.plan_establish(NodeId(0), NodeId(10), qos()).unwrap();
+        assert_eq!(first, second, "identical state: identical plans");
+        assert_eq!(second, third, "cached plan must replay the search");
+        let stats = net.route_cache_stats();
+        assert_eq!((stats.hits, stats.misses), (1, 2));
+        assert_eq!(net.route_cache_len(), 1);
+    }
+
+    #[test]
+    fn route_cache_disabled_never_counts() {
+        let net = cached_net(10_000, false);
+        net.plan_establish(NodeId(0), NodeId(10), qos()).unwrap();
+        net.plan_establish(NodeId(0), NodeId(10), qos()).unwrap();
+        assert_eq!(net.route_cache_stats(), RouteCacheStats::default());
+        assert_eq!(net.route_cache_len(), 0);
+    }
+
+    #[test]
+    fn route_cache_commit_invalidates_lazily() {
+        let mut net = cached_net(800, true);
+        // Plan + commit: the commit changes the planned links' usage, so
+        // the memoized entry must not be replayed for the next arrival.
+        // (The first establish only passes the doorkeeper; the second
+        // inserts an entry; the third finds it stale and evicts it.)
+        let a = net.establish(NodeId(0), NodeId(10), qos()).unwrap();
+        let b = net.establish(NodeId(0), NodeId(10), qos()).unwrap();
+        net.establish(NodeId(0), NodeId(10), qos()).unwrap();
+        net.validate();
+        let stats = net.route_cache_stats();
+        assert_eq!(stats.hits, 0, "usage moved: replay would be unsound");
+        assert!(stats.stale_evictions >= 1);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn route_cache_failure_evicts_touching_entries() {
+        let mut net = cached_net(10_000, true);
+        net.plan_establish(NodeId(0), NodeId(10), qos()).unwrap();
+        let plan = net.plan_establish(NodeId(0), NodeId(10), qos()).unwrap();
+        assert_eq!(net.route_cache_len(), 1);
+        net.fail_link(plan.primary().links()[0]).unwrap();
+        assert_eq!(net.route_cache_len(), 0, "eager reverse-index eviction");
+        assert!(net.route_cache_stats().stale_evictions >= 1);
+        // Planning after the failure finds a fresh (different) primary.
+        let replanned = net.plan_establish(NodeId(0), NodeId(10), qos()).unwrap();
+        assert_ne!(replanned.primary(), plan.primary());
+        net.validate();
+    }
+
+    #[test]
+    fn route_cache_equivalent_to_oracle_under_churn() {
+        // The cheap in-crate version of the testkit's diff-cache mode: an
+        // establish/release/fail/repair interleaving must leave cached and
+        // uncached networks byte-identical at every step.
+        let mut on = cached_net(1_500, true);
+        let mut off = cached_net(1_500, false);
+        let script: &[(usize, usize)] = &[(0, 10), (1, 11), (0, 10), (2, 9), (0, 10), (5, 12)];
+        for (step, &(s, d)) in script.iter().enumerate() {
+            let got_on = on.establish(NodeId(s), NodeId(d), qos());
+            let got_off = off.establish(NodeId(s), NodeId(d), qos());
+            assert_eq!(got_on, got_off, "step {step}");
+            if step == 2 {
+                assert_eq!(on.release(ConnectionId(0)), off.release(ConnectionId(0)));
+            }
+            if step == 3 {
+                let l = LinkId(0);
+                assert_eq!(on.fail_link(l), off.fail_link(l));
+            }
+            if step == 4 {
+                let l = LinkId(0);
+                assert_eq!(on.repair_link(l), off.repair_link(l));
+            }
+            assert_eq!(
+                crate::snapshot::NetworkSnapshot::capture(&on),
+                crate::snapshot::NetworkSnapshot::capture(&off),
+                "step {step}"
+            );
+        }
+        assert!(on.route_cache_stats().lookups() > 0);
+        on.validate();
+        off.validate();
     }
 
     #[test]

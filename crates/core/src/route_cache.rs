@@ -1,0 +1,364 @@
+//! An epoch- and digest-validated memo of admission route searches.
+//!
+//! Between topology events the graph is immutable ([`crate::network`]
+//! tracks this with `topology_epoch`), and between capacity-crossing
+//! establishes/releases the per-link *planning* state (liveness, primary
+//! minima, backup-conflict map) is immutable too. Route planning is a
+//! deterministic function of the graph and of the answers the search
+//! receives on the links it probes — so a successful plan can be replayed
+//! from a cache as long as every probed link still answers the same way.
+//!
+//! The cache exploits exactly that:
+//!
+//! * **Key** — `(src, dst, B_min)`. Planning observes the QoS only
+//!   through its minimum, so connections with different elastic ranges
+//!   but equal minima share entries.
+//! * **Footprint** — while a miss runs the real search, the network
+//!   records every link the search probed together with that link's
+//!   [`crate::link_state::LinkUsage::plan_digest`]. Links the search
+//!   never looked at cannot have influenced it.
+//! * **Validation** — a lookup replays the footprint digests. All equal ⇒
+//!   the search would reproduce the cached primary/backup pair verbatim:
+//!   a *hit*. Any mismatch ⇒ the entry is evicted (a *stale eviction*)
+//!   and the caller falls back to the real search.
+//! * **Reverse index** — `fail_link` / `repair_link` (and `fail_node`,
+//!   which delegates) eagerly evict only the entries whose footprint
+//!   touches the changed link, via a link → keys index — never a global
+//!   flush. Capacity-crossing establishes/releases are caught lazily by
+//!   the digest check.
+//! * **Doorkeeper admission** — recording a footprint and hashing it into
+//!   an entry is not free, and a workload whose every plan is immediately
+//!   committed invalidates each entry before it can ever hit. So a key is
+//!   only memoized once [`RouteCache::promote`] has seen it miss twice:
+//!   one-shot endpoint pairs pay a single set probe, nothing more, while
+//!   genuinely recurring pairs are cached from their second miss on.
+//! * **Bounded size** — at most [`MAX_ENTRIES`] plans are retained
+//!   (approximate-FIFO eviction), keeping the reverse index small on
+//!   long-running networks whose stale entries are never looked up again.
+//!
+//! Correctness does not rest on this module being clever: the testkit's
+//! `fuzz --diff-cache` mode replays every fuzzed operation sequence
+//! against cache-on and cache-off networks and demands byte-identical
+//! snapshots after every operation.
+
+use crate::measure::RouteCacheStats;
+use drqos_topology::graph::{LinkId, NodeId};
+use drqos_topology::paths::Path;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Cache key: source, destination, and the QoS minimum in Kbps (the only
+/// QoS component route planning can observe).
+pub type RouteCacheKey = (NodeId, NodeId, u64);
+
+/// Maximum number of retained plans; beyond it the oldest entry is
+/// evicted (approximate FIFO — re-inserted keys keep their original queue
+/// position until it cycles out).
+pub const MAX_ENTRIES: usize = 1024;
+
+/// Cap on the doorkeeper's seen-once key set; when full it is simply
+/// cleared (keys then need one extra miss to be admitted again).
+const CANDIDATE_LIMIT: usize = 8192;
+
+/// One memoized successful plan.
+#[derive(Debug, Clone)]
+struct Entry {
+    /// Topology epoch at insertion (observability only: validation rests
+    /// on the digests, which subsume liveness changes).
+    epoch: u64,
+    primary: Path,
+    backups: Vec<Path>,
+    /// Every link the planning search probed, with the digest of its
+    /// planning-visible state at plan time.
+    footprint: Vec<(LinkId, u64)>,
+}
+
+/// The per-network route memo. See the module docs for the design.
+#[derive(Debug, Clone, Default)]
+pub struct RouteCache {
+    entries: BTreeMap<RouteCacheKey, Entry>,
+    /// Reverse index: link → keys whose footprint contains it.
+    by_link: BTreeMap<LinkId, BTreeSet<RouteCacheKey>>,
+    /// Doorkeeper: keys that have missed at least once (see module docs).
+    candidates: BTreeSet<RouteCacheKey>,
+    /// Insertion order for capacity eviction. May contain keys already
+    /// removed elsewhere; they are skipped when popped.
+    order: VecDeque<RouteCacheKey>,
+    stats: RouteCacheStats,
+}
+
+impl RouteCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of cached plans.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds no plans.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Hit/miss/stale-eviction counters since creation.
+    pub fn stats(&self) -> RouteCacheStats {
+        self.stats
+    }
+
+    /// Looks up `key`, revalidating the entry's footprint with
+    /// `digest_of` (the current per-link plan digest). Returns the cached
+    /// primary and backups on a hit; on a stale entry the entry is
+    /// evicted and `None` is returned (counted as both a stale eviction
+    /// and a miss).
+    pub fn lookup(
+        &mut self,
+        key: RouteCacheKey,
+        digest_of: impl Fn(LinkId) -> u64,
+    ) -> Option<(Path, Vec<Path>)> {
+        match self.entries.get(&key) {
+            Some(entry) => {
+                if entry.footprint.iter().all(|&(l, d)| digest_of(l) == d) {
+                    self.stats.hits += 1;
+                    let entry = &self.entries[&key];
+                    Some((entry.primary.clone(), entry.backups.clone()))
+                } else {
+                    self.remove(key);
+                    self.stats.stale_evictions += 1;
+                    self.stats.misses += 1;
+                    None
+                }
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Records a miss for `key` with the doorkeeper and reports whether
+    /// the key has now earned an entry: `false` on the first miss (the
+    /// caller should skip footprint recording entirely), `true` from the
+    /// second miss on.
+    pub fn promote(&mut self, key: RouteCacheKey) -> bool {
+        if self.candidates.len() >= CANDIDATE_LIMIT && !self.candidates.contains(&key) {
+            self.candidates.clear();
+        }
+        !self.candidates.insert(key)
+    }
+
+    /// Inserts (or replaces) the plan for `key`, evicting the oldest
+    /// entries beyond [`MAX_ENTRIES`].
+    pub fn insert(
+        &mut self,
+        key: RouteCacheKey,
+        epoch: u64,
+        primary: Path,
+        backups: Vec<Path>,
+        footprint: Vec<(LinkId, u64)>,
+    ) {
+        self.remove(key); // drop a superseded entry's reverse-index refs
+        while self.entries.len() >= MAX_ENTRIES {
+            let Some(oldest) = self.order.pop_front() else {
+                break;
+            };
+            if self.entries.contains_key(&oldest) {
+                self.remove(oldest);
+            }
+        }
+        for &(l, _) in &footprint {
+            self.by_link.entry(l).or_default().insert(key);
+        }
+        self.order.push_back(key);
+        self.entries.insert(
+            key,
+            Entry {
+                epoch,
+                primary,
+                backups,
+                footprint,
+            },
+        );
+    }
+
+    /// Eagerly evicts every entry whose footprint touches `link` (called
+    /// on fail/repair). Returns how many entries were dropped; each
+    /// counts as a stale eviction.
+    pub fn evict_link(&mut self, link: LinkId) -> usize {
+        let Some(keys) = self.by_link.get(&link) else {
+            return 0;
+        };
+        let keys: Vec<RouteCacheKey> = keys.iter().copied().collect();
+        for &key in &keys {
+            self.remove(key);
+        }
+        self.stats.stale_evictions += keys.len() as u64;
+        keys.len()
+    }
+
+    /// The insertion epoch of the entry for `key`, if cached.
+    pub fn entry_epoch(&self, key: RouteCacheKey) -> Option<u64> {
+        self.entries.get(&key).map(|e| e.epoch)
+    }
+
+    /// Removes one entry and its reverse-index references.
+    fn remove(&mut self, key: RouteCacheKey) {
+        let Some(entry) = self.entries.remove(&key) else {
+            return;
+        };
+        for (l, _) in entry.footprint {
+            if let Some(keys) = self.by_link.get_mut(&l) {
+                keys.remove(&key);
+                if keys.is_empty() {
+                    self.by_link.remove(&l);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drqos_topology::graph::Graph;
+
+    fn key(s: usize, d: usize) -> RouteCacheKey {
+        (NodeId(s), NodeId(d), 100)
+    }
+
+    fn path(g: &Graph, nodes: &[usize]) -> Path {
+        Path::from_nodes(g, nodes.iter().map(|&n| NodeId(n)).collect()).unwrap()
+    }
+
+    fn line4() -> Graph {
+        let mut g = Graph::with_nodes(4);
+        for (a, b) in [(0, 1), (1, 2), (2, 3)] {
+            g.add_link(NodeId(a), NodeId(b)).unwrap();
+        }
+        g
+    }
+
+    #[test]
+    fn hit_after_insert_with_matching_digests() {
+        let g = line4();
+        let mut cache = RouteCache::new();
+        let p = path(&g, &[0, 1, 2]);
+        cache.insert(
+            key(0, 2),
+            0,
+            p.clone(),
+            vec![],
+            vec![(LinkId(0), 7), (LinkId(1), 9)],
+        );
+        let got = cache.lookup(key(0, 2), |l| if l == LinkId(0) { 7 } else { 9 });
+        assert_eq!(got, Some((p, vec![])));
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.stats().misses, 0);
+    }
+
+    #[test]
+    fn digest_mismatch_evicts_and_counts_stale() {
+        let g = line4();
+        let mut cache = RouteCache::new();
+        cache.insert(
+            key(0, 2),
+            0,
+            path(&g, &[0, 1, 2]),
+            vec![],
+            vec![(LinkId(0), 7)],
+        );
+        assert!(cache.lookup(key(0, 2), |_| 8).is_none());
+        assert!(cache.is_empty());
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.stale_evictions), (0, 1, 1));
+        // The reverse index forgot the entry too.
+        assert_eq!(cache.evict_link(LinkId(0)), 0);
+    }
+
+    #[test]
+    fn evict_link_drops_only_touching_entries() {
+        let g = line4();
+        let mut cache = RouteCache::new();
+        cache.insert(
+            key(0, 2),
+            0,
+            path(&g, &[0, 1, 2]),
+            vec![],
+            vec![(LinkId(0), 1), (LinkId(1), 1)],
+        );
+        cache.insert(
+            key(2, 3),
+            0,
+            path(&g, &[2, 3]),
+            vec![],
+            vec![(LinkId(2), 1)],
+        );
+        assert_eq!(cache.evict_link(LinkId(1)), 1);
+        assert_eq!(cache.len(), 1);
+        assert!(cache.lookup(key(2, 3), |_| 1).is_some());
+        assert_eq!(cache.stats().stale_evictions, 1);
+    }
+
+    #[test]
+    fn replacement_cleans_old_reverse_refs() {
+        let g = line4();
+        let mut cache = RouteCache::new();
+        cache.insert(
+            key(0, 2),
+            0,
+            path(&g, &[0, 1, 2]),
+            vec![],
+            vec![(LinkId(0), 1)],
+        );
+        cache.insert(
+            key(0, 2),
+            1,
+            path(&g, &[0, 1, 2]),
+            vec![],
+            vec![(LinkId(2), 1)],
+        );
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.entry_epoch(key(0, 2)), Some(1));
+        // The old footprint link no longer maps to the key.
+        assert_eq!(cache.evict_link(LinkId(0)), 0);
+        assert_eq!(cache.evict_link(LinkId(2)), 1);
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn promote_admits_on_second_miss() {
+        let mut cache = RouteCache::new();
+        assert!(!cache.promote(key(0, 1)), "first miss: doorkeeper only");
+        assert!(cache.promote(key(0, 1)), "second miss: record this one");
+        assert!(cache.promote(key(0, 1)), "stays admitted");
+        assert!(!cache.promote(key(2, 3)), "independent per key");
+    }
+
+    #[test]
+    fn capacity_eviction_drops_oldest_first() {
+        let g = line4();
+        let p = path(&g, &[0, 1]);
+        let mut cache = RouteCache::new();
+        for i in 0..=MAX_ENTRIES {
+            cache.insert(key(i, i + 1), 0, p.clone(), vec![], vec![(LinkId(0), 1)]);
+        }
+        assert_eq!(cache.len(), MAX_ENTRIES);
+        assert!(cache.entry_epoch(key(0, 1)).is_none(), "oldest evicted");
+        assert!(cache
+            .entry_epoch(key(MAX_ENTRIES, MAX_ENTRIES + 1))
+            .is_some());
+        // The evicted entry's reverse-index refs are gone with it: failing
+        // the shared link drops exactly the retained entries.
+        assert_eq!(cache.evict_link(LinkId(0)), MAX_ENTRIES);
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn miss_on_absent_key_counts() {
+        let mut cache = RouteCache::new();
+        assert!(cache.lookup(key(1, 3), |_| 0).is_none());
+        assert_eq!(cache.stats().misses, 1);
+        assert_eq!(cache.stats().hit_rate(), 0.0);
+    }
+}

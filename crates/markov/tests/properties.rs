@@ -1,0 +1,142 @@
+//! Property tests for the steady-state solvers.
+//!
+//! Two families of seeded random inputs (no external property-testing
+//! crate; a local split-mix generator keeps the cases deterministic):
+//!
+//! 1. **Stationarity laws** — for random irreducible CTMCs, every solver
+//!    (`gth`, `linear`, `power`, `gauss_seidel`, `solve`) must return a
+//!    distribution that is non-negative, sums to 1, and satisfies the
+//!    global balance equation `πQ = 0`.
+//! 2. **Closed-form differential** — for random birth–death rate
+//!    ladders, the product-form `birth_death_stationary` must agree with
+//!    the generic GTH solution of the same chain.
+
+use drqos_markov::birth_death::{birth_death_ctmc, birth_death_stationary};
+use drqos_markov::ctmc::{Ctmc, CtmcBuilder};
+use drqos_markov::linalg::max_abs_diff;
+use drqos_markov::steady_state::{gauss_seidel, gth, linear, power, solve};
+
+/// Minimal split-mix-64 (the markov crate deliberately has no dependency
+/// on `drqos-sim`, so the tests carry their own generator).
+struct SplitMix(u64);
+
+impl SplitMix {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `(0.1, 2.1)` — strictly positive rates keep every
+    /// generated chain irreducible.
+    fn rate(&mut self) -> f64 {
+        0.1 + 2.0 * (self.next_u64() as f64 / u64::MAX as f64)
+    }
+
+    fn range(&mut self, lo: usize, hi: usize) -> usize {
+        lo + (self.next_u64() % (hi - lo + 1) as u64) as usize
+    }
+}
+
+/// A random irreducible CTMC: a strictly positive cycle `i → i+1 (mod n)`
+/// guarantees irreducibility; extra random transitions vary the shape.
+fn random_irreducible(rng: &mut SplitMix) -> Ctmc {
+    let n = rng.range(2, 8);
+    let mut b = CtmcBuilder::new(n);
+    for i in 0..n {
+        b = b.rate(i, (i + 1) % n, rng.rate()).unwrap();
+    }
+    for _ in 0..rng.range(0, 2 * n) {
+        let from = rng.range(0, n - 1);
+        let to = rng.range(0, n - 1);
+        if from != to {
+            b = b.rate(from, to, rng.rate()).unwrap();
+        }
+    }
+    b.build().unwrap()
+}
+
+/// Asserts the three stationarity laws for one solution of `ctmc`.
+fn assert_stationary(ctmc: &Ctmc, probs: &[f64], solver: &str, seed: u64) {
+    assert_eq!(probs.len(), ctmc.n_states());
+    for (i, &p) in probs.iter().enumerate() {
+        assert!(
+            p >= 0.0,
+            "{solver} (seed {seed}): negative probability {p} at state {i}"
+        );
+    }
+    let sum: f64 = probs.iter().sum();
+    assert!(
+        (sum - 1.0).abs() < 1e-9,
+        "{solver} (seed {seed}): probabilities sum to {sum}"
+    );
+    let balance = ctmc.generator().vec_mul(probs).unwrap();
+    let worst = balance.iter().fold(0.0_f64, |m, &x| m.max(x.abs()));
+    assert!(
+        worst < 1e-8,
+        "{solver} (seed {seed}): global balance residual {worst}"
+    );
+}
+
+#[test]
+fn every_solver_satisfies_the_stationarity_laws() {
+    for seed in 0..25 {
+        let mut rng = SplitMix(seed);
+        let ctmc = random_irreducible(&mut rng);
+        assert!(ctmc.is_irreducible());
+        let solutions = [
+            ("gth", gth(&ctmc)),
+            ("linear", linear(&ctmc)),
+            ("power", power(&ctmc, 1e-13, 200_000)),
+            ("gauss_seidel", gauss_seidel(&ctmc, 1e-13, 200_000)),
+            ("solve", solve(&ctmc)),
+        ];
+        for (solver, result) in solutions {
+            let pi = result.unwrap_or_else(|e| panic!("{solver} failed on seed {seed}: {e}"));
+            assert_stationary(&ctmc, pi.probs(), solver, seed);
+        }
+    }
+}
+
+#[test]
+fn solvers_agree_with_gth_pairwise() {
+    for seed in 100..115 {
+        let mut rng = SplitMix(seed);
+        let ctmc = random_irreducible(&mut rng);
+        let reference = gth(&ctmc).unwrap();
+        for (solver, result) in [
+            ("linear", linear(&ctmc)),
+            ("power", power(&ctmc, 1e-13, 200_000)),
+            ("gauss_seidel", gauss_seidel(&ctmc, 1e-13, 200_000)),
+        ] {
+            let pi = result.unwrap_or_else(|e| panic!("{solver} failed on seed {seed}: {e}"));
+            let diff = max_abs_diff(reference.probs(), pi.probs());
+            assert!(
+                diff < 1e-7,
+                "{solver} (seed {seed}) deviates from gth by {diff}"
+            );
+        }
+    }
+}
+
+#[test]
+fn birth_death_closed_form_matches_generic_solver() {
+    for seed in 0..40 {
+        let mut rng = SplitMix(0xB1D ^ seed);
+        let len = rng.range(1, 6); // ladders with 2..=7 states
+        let birth: Vec<f64> = (0..len).map(|_| rng.rate()).collect();
+        let death: Vec<f64> = (0..len).map(|_| rng.rate()).collect();
+        let closed = birth_death_stationary(&birth, &death).unwrap();
+        let ctmc = birth_death_ctmc(&birth, &death).unwrap();
+        let generic = gth(&ctmc).unwrap();
+        let diff = max_abs_diff(&closed, generic.probs());
+        assert!(
+            diff < 1e-10,
+            "seed {seed}: closed form deviates from GTH by {diff} \
+             (birth {birth:?}, death {death:?})"
+        );
+        assert_stationary(&ctmc, &closed, "closed-form", seed);
+    }
+}

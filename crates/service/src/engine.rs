@@ -229,12 +229,16 @@ impl Engine {
     }
 
     /// The `STATS` payload: the one intentionally non-deterministic reply
-    /// (latency and throughput are wall-clock measurements).
+    /// (latency and throughput are wall-clock measurements; the route
+    /// cache counters at the end are deterministic again — they count
+    /// admission lookups, not time).
     fn stats_payload(&self) -> String {
         let merged = self.metrics.merged_latency();
+        let cache = self.net.route_cache_stats();
         format!(
             "ops={} errors={} admitted={} rejected={} busy={} \
-             p50_us={} p95_us={} p99_us={} ops_per_sec={}",
+             p50_us={} p95_us={} p99_us={} ops_per_sec={} \
+             cache_hits={} cache_misses={} cache_stale={}",
             self.metrics.total_ops(),
             self.metrics.total_errors(),
             self.metrics.admitted,
@@ -243,7 +247,10 @@ impl Engine {
             merged.quantile_us(0.50),
             merged.quantile_us(0.95),
             merged.quantile_us(0.99),
-            self.metrics.ops_per_sec() as u64
+            self.metrics.ops_per_sec() as u64,
+            cache.hits,
+            cache.misses,
+            cache.stale_evictions
         )
     }
 }

@@ -1,7 +1,8 @@
 //! CI entry point for the chaos harness.
 //!
 //! ```text
-//! fuzz [--seqs N] [--ops N] [--seed S] [--diff N] [--tolerance F] [--self-test]
+//! fuzz [--seqs N] [--ops N] [--seed S] [--diff N] [--diff-cache N]
+//!      [--tolerance F] [--self-test]
 //! ```
 //!
 //! * the main run executes `--seqs` seeded operation sequences and exits
@@ -9,10 +10,15 @@
 //!   violation;
 //! * `--diff N` additionally runs N simulation-vs-Markov differential
 //!   cases within `--tolerance` (default 0.45 relative);
+//! * `--diff-cache N` replays N fuzzed sequences against route-cache-on
+//!   and route-cache-off networks in lockstep and fails (with a shrunk
+//!   reproducer) on any divergence in admission decisions, failure
+//!   reports, drop counters, or snapshots;
 //! * `--self-test` is the mutation check: it injects the `LoseRelease`
 //!   accounting fault, and *fails* unless the fuzzer catches it and
 //!   shrinks the witness to ≤ 10 operations.
 
+use drqos_testkit::cache_diff::{run_cache_diff, CacheDiffConfig};
 use drqos_testkit::diff::check_diff;
 use drqos_testkit::fuzz::{run_fuzz, FuzzConfig, InjectedFault};
 use std::process::ExitCode;
@@ -22,6 +28,7 @@ struct Args {
     ops: usize,
     seed: u64,
     diff: usize,
+    diff_cache: usize,
     tolerance: f64,
     self_test: bool,
 }
@@ -32,6 +39,7 @@ fn parse_args() -> Result<Args, String> {
         ops: 60,
         seed: 2001,
         diff: 0,
+        diff_cache: 0,
         tolerance: 0.45,
         self_test: false,
     };
@@ -43,6 +51,7 @@ fn parse_args() -> Result<Args, String> {
             "--ops" => args.ops = parse(&value("--ops")?)?,
             "--seed" => args.seed = parse(&value("--seed")?)?,
             "--diff" => args.diff = parse(&value("--diff")?)?,
+            "--diff-cache" => args.diff_cache = parse(&value("--diff-cache")?)?,
             "--tolerance" => args.tolerance = parse(&value("--tolerance")?)?,
             "--self-test" => args.self_test = true,
             other => return Err(format!("unknown flag {other}")),
@@ -101,6 +110,26 @@ fn main() -> ExitCode {
             "ok: {} differential case(s) within {:.0}% of the Markov prediction",
             args.diff,
             args.tolerance * 100.0
+        );
+    }
+
+    if args.diff_cache > 0 {
+        let outcome = run_cache_diff(&CacheDiffConfig {
+            sequences: args.diff_cache,
+            ops_per_sequence: args.ops,
+            seed: args.seed,
+        });
+        if let Some(failure) = outcome.failure {
+            eprintln!(
+                "FAIL: route cache diverged from the uncached oracle after {} clean sequence(s)\n",
+                outcome.sequences_run
+            );
+            eprintln!("{}", failure.reproducer());
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "ok: {} cache-differential sequence(s) x {} ops (seed {}) byte-identical throughout",
+            args.diff_cache, args.ops, args.seed
         );
     }
     ExitCode::SUCCESS

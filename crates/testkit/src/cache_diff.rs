@@ -1,0 +1,430 @@
+//! Differential fuzzing of the admission route cache.
+//!
+//! The route cache ([`drqos_core::route_cache`]) claims *exact*
+//! equivalence: with the cache on, every admission decision, failure
+//! report, drop counter, and byte of observable network state must be
+//! identical to the cache-off network. This module is the enforcement
+//! arm of that claim — the fuzzer's operation sequences are replayed
+//! against a cache-on and a cache-off [`Network`] in lockstep, and after
+//! **every** operation the two are compared on:
+//!
+//! * the operation's own result (admission `Ok`/`Err`, failure reports,
+//!   release results),
+//! * a full [`NetworkSnapshot`] (per-link accounting, per-connection QoS
+//!   state),
+//! * the cumulative drop counter and the topology epoch.
+//!
+//! Any divergence is shrunk with the fuzzer's delta-debugging engine
+//! ([`crate::fuzz::shrink_by`]) to a minimal operation sequence and
+//! printed as a copy-pasteable reproducer.
+//!
+//! Operands are resolved against the *cache-off* network's candidate
+//! lists (exactly as [`crate::fuzz::Harness::apply`] resolves them
+//! against its single network). Until the first divergence both networks
+//! have identical candidate lists, so the choice of resolution side
+//! cannot mask a bug: the first divergent operation is always detected
+//! at the step where it happens.
+
+use crate::fuzz::{case_seed, generate_ops, shrink_by, Op, Scenario};
+use drqos_core::channel::ConnectionId;
+use drqos_core::network::Network;
+use drqos_core::qos::ElasticQos;
+use drqos_core::snapshot::NetworkSnapshot;
+use drqos_sim::rng::Rng;
+use drqos_topology::{LinkId, NodeId};
+
+/// How a cache-on network first disagreed with its cache-off oracle.
+#[derive(Debug, Clone)]
+pub struct CacheDiffDivergence {
+    /// Index of the diverging operation.
+    pub step: usize,
+    /// The diverging operation.
+    pub op: Op,
+    /// Human-readable description of the first mismatch.
+    pub detail: String,
+}
+
+impl std::fmt::Display for CacheDiffDivergence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "step {} ({:?}): {}", self.step, self.op, self.detail)
+    }
+}
+
+/// Applies one operation to both networks and reports the first
+/// mismatch, if any. Operand resolution mirrors `Harness::apply`, using
+/// `off` as the candidate-list oracle.
+fn apply_both(on: &mut Network, off: &mut Network, qos: ElasticQos, op: Op) -> Option<String> {
+    match op {
+        Op::Establish { src, dst } => {
+            let n = off.graph().node_count() as u64;
+            let s = (src % n) as usize;
+            let mut d = (dst % (n - 1)) as usize;
+            if d >= s {
+                d += 1;
+            }
+            let got_on = on.establish(NodeId(s), NodeId(d), qos);
+            let got_off = off.establish(NodeId(s), NodeId(d), qos);
+            if got_on != got_off {
+                return Some(format!(
+                    "establish({s},{d}) diverged: cache-on {got_on:?}, cache-off {got_off:?}"
+                ));
+            }
+        }
+        Op::Release { pick } => {
+            let live: Vec<ConnectionId> = off.connections().map(|c| c.id()).collect();
+            if let Some(&id) = resolve(&live, pick) {
+                let got_on = on.release(id);
+                let got_off = off.release(id);
+                if got_on != got_off {
+                    return Some(format!(
+                        "release({id}) diverged: cache-on {got_on:?}, cache-off {got_off:?}"
+                    ));
+                }
+            }
+        }
+        Op::FailLink { pick } => {
+            let up: Vec<LinkId> = off.up_links().collect();
+            if let Some(&link) = resolve(&up, pick) {
+                let got_on = on.fail_link(link);
+                let got_off = off.fail_link(link);
+                if got_on != got_off {
+                    return Some(format!(
+                        "fail_link({link:?}) diverged: cache-on {got_on:?}, cache-off {got_off:?}"
+                    ));
+                }
+            }
+        }
+        Op::FailNode { pick } => {
+            let candidates: Vec<NodeId> = off
+                .graph()
+                .nodes()
+                .filter(|&n| {
+                    off.graph()
+                        .neighbors(n)
+                        .iter()
+                        .any(|&(_, l)| off.link_usage(l).is_up())
+                })
+                .collect();
+            if let Some(&node) = resolve(&candidates, pick) {
+                let got_on = on.fail_node(node);
+                let got_off = off.fail_node(node);
+                if got_on != got_off {
+                    return Some(format!(
+                        "fail_node({node:?}) diverged: cache-on {got_on:?}, cache-off {got_off:?}"
+                    ));
+                }
+            }
+        }
+        Op::RepairLink { pick } => {
+            let down: Vec<LinkId> = off
+                .graph()
+                .links()
+                .map(|l| l.id())
+                .filter(|&l| !off.link_usage(l).is_up())
+                .collect();
+            if let Some(&link) = resolve(&down, pick) {
+                let got_on = on.repair_link(link);
+                let got_off = off.repair_link(link);
+                if got_on != got_off {
+                    return Some(format!(
+                        "repair_link({link:?}) diverged: cache-on {got_on:?}, cache-off {got_off:?}"
+                    ));
+                }
+            }
+        }
+    }
+    if on.dropped_total() != off.dropped_total() {
+        return Some(format!(
+            "drop counter diverged: cache-on {}, cache-off {}",
+            on.dropped_total(),
+            off.dropped_total()
+        ));
+    }
+    if on.topology_epoch() != off.topology_epoch() {
+        return Some(format!(
+            "topology epoch diverged: cache-on {}, cache-off {}",
+            on.topology_epoch(),
+            off.topology_epoch()
+        ));
+    }
+    let snap_on = NetworkSnapshot::capture(on);
+    let snap_off = NetworkSnapshot::capture(off);
+    if snap_on != snap_off {
+        return Some(first_snapshot_mismatch(&snap_on, &snap_off));
+    }
+    None
+}
+
+/// Pinpoints the first differing row of two snapshots.
+fn first_snapshot_mismatch(on: &NetworkSnapshot, off: &NetworkSnapshot) -> String {
+    for (a, b) in on.links.iter().zip(&off.links) {
+        if a != b {
+            return format!("link row diverged: cache-on {a:?}, cache-off {b:?}");
+        }
+    }
+    for (a, b) in on.connections.iter().zip(&off.connections) {
+        if a != b {
+            return format!("connection row diverged: cache-on {a:?}, cache-off {b:?}");
+        }
+    }
+    format!(
+        "snapshot shape diverged: cache-on {} links / {} connections, cache-off {} / {}",
+        on.links.len(),
+        on.connections.len(),
+        off.links.len(),
+        off.connections.len()
+    )
+}
+
+/// Replays `ops` against two freshly built networks (route cache on vs.
+/// off) and returns the first divergence, or `None` when the sequence is
+/// byte-identical throughout.
+pub fn run_cache_diff_sequence(scenario: &Scenario, ops: &[Op]) -> Option<CacheDiffDivergence> {
+    let mut on = scenario.network_with_cache(true);
+    let mut off = scenario.network_with_cache(false);
+    diff_networks(&mut on, &mut off, scenario.qos(), ops)
+}
+
+/// The inner lockstep loop of [`run_cache_diff_sequence`], exposed so
+/// tests can inject a deliberately mismatched pair and prove the
+/// detector detects.
+pub fn diff_networks(
+    on: &mut Network,
+    off: &mut Network,
+    qos: ElasticQos,
+    ops: &[Op],
+) -> Option<CacheDiffDivergence> {
+    for (step, &op) in ops.iter().enumerate() {
+        if let Some(detail) = apply_both(on, off, qos, op) {
+            return Some(CacheDiffDivergence { step, op, detail });
+        }
+    }
+    None
+}
+
+/// Resolves a raw operand against a candidate list (None when empty).
+fn resolve<T>(candidates: &[T], pick: u64) -> Option<&T> {
+    if candidates.is_empty() {
+        None
+    } else {
+        Some(&candidates[(pick % candidates.len() as u64) as usize])
+    }
+}
+
+/// Budget and seed of a differential run (mirrors
+/// [`crate::fuzz::FuzzConfig`]; the same case seeds generate the same
+/// scenarios and operation streams as the invariant fuzzer).
+#[derive(Debug, Clone)]
+pub struct CacheDiffConfig {
+    /// Number of independent operation sequences.
+    pub sequences: usize,
+    /// Operations per sequence.
+    pub ops_per_sequence: usize,
+    /// Base seed.
+    pub seed: u64,
+}
+
+impl Default for CacheDiffConfig {
+    fn default() -> Self {
+        CacheDiffConfig {
+            sequences: 100,
+            ops_per_sequence: 60,
+            seed: 2001,
+        }
+    }
+}
+
+/// A diverging case, shrunk and ready to report.
+#[derive(Debug, Clone)]
+pub struct CacheDiffFailure {
+    /// The derived case seed.
+    pub case_seed: u64,
+    /// The scenario the case ran under.
+    pub scenario: Scenario,
+    /// The original diverging sequence.
+    pub ops: Vec<Op>,
+    /// The shrunk reproducer.
+    pub shrunk: Vec<Op>,
+    /// The divergence at the shrunk sequence's failing step.
+    pub divergence: CacheDiffDivergence,
+}
+
+impl CacheDiffFailure {
+    /// Renders the shrunk case as a copy-pasteable Rust snippet.
+    pub fn reproducer(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "// drqos-testkit cache-diff reproducer (case seed {:#x}, {} op(s) after shrinking)\n",
+            self.case_seed,
+            self.shrunk.len()
+        ));
+        out.push_str(&format!(
+            "let scenario = Scenario {{ nodes: {}, capacity_kbps: {}, backup_count: {}, \
+             increment_kbps: {}, graph_seed: {:#x} }};\n",
+            self.scenario.nodes,
+            self.scenario.capacity_kbps,
+            self.scenario.backup_count,
+            self.scenario.increment_kbps,
+            self.scenario.graph_seed
+        ));
+        out.push_str("let ops = vec![\n");
+        for op in &self.shrunk {
+            out.push_str(&format!("    Op::{op:?},\n"));
+        }
+        out.push_str("];\n");
+        out.push_str(
+            "let divergence = run_cache_diff_sequence(&scenario, &ops)\n    \
+             .expect(\"reproduces the divergence\");\n",
+        );
+        out.push_str(&format!("// {}\n", self.divergence));
+        out
+    }
+}
+
+/// Outcome of a differential run.
+#[derive(Debug, Clone)]
+pub struct CacheDiffOutcome {
+    /// Sequences that replayed byte-identically.
+    pub sequences_run: usize,
+    /// The first diverging case, if any, already shrunk.
+    pub failure: Option<CacheDiffFailure>,
+}
+
+/// Runs the differential fuzzer: independent seeded sequences, stopping
+/// at (and shrinking) the first divergence.
+pub fn run_cache_diff(config: &CacheDiffConfig) -> CacheDiffOutcome {
+    for case in 0..config.sequences {
+        let seed = case_seed(config.seed, case as u64);
+        let scenario = Scenario::from_seed(seed);
+        let mut rng = Rng::seed_from_u64(seed ^ 0x4655_5A5A); // same stream as run_fuzz
+        let ops = generate_ops(&mut rng, config.ops_per_sequence);
+        if run_cache_diff_sequence(&scenario, &ops).is_some() {
+            let shrunk = shrink_by(&ops, |candidate| {
+                run_cache_diff_sequence(&scenario, candidate).map(|d| d.step)
+            });
+            let divergence = run_cache_diff_sequence(&scenario, &shrunk)
+                .expect("shrink preserves the divergence");
+            return CacheDiffOutcome {
+                sequences_run: case,
+                failure: Some(CacheDiffFailure {
+                    case_seed: seed,
+                    scenario,
+                    ops,
+                    shrunk,
+                    divergence,
+                }),
+            };
+        }
+    }
+    CacheDiffOutcome {
+        sequences_run: config.sequences,
+        failure: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fuzz::InjectedFault;
+
+    #[test]
+    fn fuzzed_sequences_replay_identically() {
+        let outcome = run_cache_diff(&CacheDiffConfig {
+            sequences: 25,
+            ops_per_sequence: 50,
+            seed: 17,
+        });
+        assert!(
+            outcome.failure.is_none(),
+            "cache diverged:\n{}",
+            outcome.failure.unwrap().reproducer()
+        );
+        assert_eq!(outcome.sequences_run, 25);
+    }
+
+    #[test]
+    fn mismatched_pair_is_detected() {
+        // Mutation check for the detector itself: pit two *different*
+        // scenarios against each other — the smaller-capacity side must
+        // reject sooner, and the lockstep comparison must say where.
+        let scenario = Scenario {
+            nodes: 10,
+            capacity_kbps: 3_000,
+            backup_count: 1,
+            increment_kbps: 100,
+            graph_seed: 5,
+        };
+        let starved = Scenario {
+            capacity_kbps: 100,
+            ..scenario.clone()
+        };
+        let mut on = scenario.network_with_cache(true);
+        let mut off = starved.network_with_cache(false);
+        let mut rng = Rng::seed_from_u64(99);
+        let ops = generate_ops(&mut rng, 40);
+        let divergence = diff_networks(&mut on, &mut off, scenario.qos(), &ops)
+            .expect("capacity mismatch must surface as a divergence");
+        assert!(!divergence.detail.is_empty());
+    }
+
+    #[test]
+    fn injected_divergence_shrinks_to_one_op() {
+        // shrink_by over a capacity-mismatched pair: the minimal witness
+        // for "one side admits, the other rejects" is a single establish.
+        let scenario = Scenario {
+            nodes: 10,
+            capacity_kbps: 3_000,
+            backup_count: 1,
+            increment_kbps: 100,
+            graph_seed: 5,
+        };
+        let starved = Scenario {
+            capacity_kbps: 100,
+            ..scenario.clone()
+        };
+        let fails_at = |ops: &[Op]| {
+            let mut on = scenario.network_with_cache(true);
+            let mut off = starved.network_with_cache(false);
+            diff_networks(&mut on, &mut off, scenario.qos(), ops).map(|d| d.step)
+        };
+        let mut rng = Rng::seed_from_u64(99);
+        let ops = generate_ops(&mut rng, 40);
+        assert!(fails_at(&ops).is_some());
+        let shrunk = shrink_by(&ops, fails_at);
+        assert_eq!(shrunk.len(), 1, "minimal witness is one op: {shrunk:?}");
+        assert!(matches!(shrunk[0], Op::Establish { .. }));
+    }
+
+    #[test]
+    fn reproducer_renders_scenario_and_ops() {
+        let scenario = Scenario::from_seed(4);
+        let failure = CacheDiffFailure {
+            case_seed: 4,
+            scenario,
+            ops: vec![Op::Establish { src: 1, dst: 2 }],
+            shrunk: vec![Op::Establish { src: 1, dst: 2 }],
+            divergence: CacheDiffDivergence {
+                step: 0,
+                op: Op::Establish { src: 1, dst: 2 },
+                detail: "example".into(),
+            },
+        };
+        let repro = failure.reproducer();
+        assert!(repro.contains("Scenario {"));
+        assert!(repro.contains("Op::Establish"));
+        assert!(repro.contains("run_cache_diff_sequence"));
+    }
+
+    #[test]
+    fn diff_streams_match_the_invariant_fuzzer() {
+        // The differential runner deliberately replays the exact case
+        // seeds and op streams the invariant fuzzer uses, so a sequence
+        // number from one report addresses the same workload in both.
+        let seed = case_seed(2001, 3);
+        let scenario = Scenario::from_seed(seed);
+        let mut rng = Rng::seed_from_u64(seed ^ 0x4655_5A5A);
+        let ops = generate_ops(&mut rng, 20);
+        assert!(crate::fuzz::run_sequence(&scenario, &ops, InjectedFault::None).is_none());
+        assert!(run_cache_diff_sequence(&scenario, &ops).is_none());
+    }
+}

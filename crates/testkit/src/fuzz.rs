@@ -140,6 +140,21 @@ impl Scenario {
             },
         )
     }
+
+    /// Builds the scenario's network with the route cache explicitly
+    /// forced on or off, ignoring the `DRQOS_ROUTE_CACHE` environment
+    /// (differential runs must control both sides themselves).
+    pub fn network_with_cache(&self, route_cache: bool) -> Network {
+        Network::new(
+            self.graph(),
+            NetworkConfig {
+                capacity: Bandwidth::kbps(self.capacity_kbps),
+                backup_count: self.backup_count,
+                route_cache,
+                ..NetworkConfig::default()
+            },
+        )
+    }
 }
 
 /// Network + reference model + oracle, stepped one [`Op`] at a time.
@@ -332,10 +347,21 @@ pub fn run_sequence(
 /// still fails and no single further chunk removal of size 1 succeeds
 /// (1-minimality).
 pub fn shrink(scenario: &Scenario, ops: &[Op], fault: InjectedFault) -> Vec<Op> {
-    let Some(failure) = run_sequence(scenario, ops, fault) else {
+    shrink_by(ops, |candidate| {
+        run_sequence(scenario, candidate, fault).map(|f| f.step)
+    })
+}
+
+/// The generic delta-debugging engine behind [`shrink`]: `fails_at`
+/// replays a candidate sequence and returns the failing step (`None` =
+/// passes). Any failure predicate over operand-encoded sequences shrinks
+/// this way — the invariant fuzzer and the cache-differential runner
+/// share it.
+pub fn shrink_by(ops: &[Op], fails_at: impl Fn(&[Op]) -> Option<usize>) -> Vec<Op> {
+    let Some(step) = fails_at(ops) else {
         return ops.to_vec(); // not failing: nothing to shrink
     };
-    let mut current: Vec<Op> = ops[..=failure.step].to_vec();
+    let mut current: Vec<Op> = ops[..=step].to_vec();
     let mut chunk = (current.len() / 2).max(1);
     loop {
         let mut start = 0;
@@ -343,7 +369,7 @@ pub fn shrink(scenario: &Scenario, ops: &[Op], fault: InjectedFault) -> Vec<Op> 
             let end = (start + chunk).min(current.len());
             let mut candidate = current.clone();
             candidate.drain(start..end);
-            if !candidate.is_empty() && run_sequence(scenario, &candidate, fault).is_some() {
+            if !candidate.is_empty() && fails_at(&candidate).is_some() {
                 current = candidate;
             } else {
                 start = end;

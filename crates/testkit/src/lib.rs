@@ -25,6 +25,13 @@
 //! against the `drqos-analysis` Markov prediction within a stated
 //! tolerance band.
 //!
+//! A fifth layer, [`cache_diff`], is differential: every fuzzed
+//! operation sequence is replayed against route-cache-on and
+//! route-cache-off networks in lockstep, demanding byte-identical
+//! admission decisions, failure reports, drop counters, and snapshots
+//! after every operation — with delta-debugging shrinking of any
+//! divergence (`fuzz --diff-cache N` in CI).
+//!
 //! Everything is deterministic given the seeds; there are no external
 //! dependencies and no wall-clock or thread-count influence on any
 //! generated artifact.
@@ -32,6 +39,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache_diff;
 pub mod diff;
 pub mod fuzz;
 pub mod golden;
@@ -39,10 +47,14 @@ pub mod oracle;
 pub mod reference;
 pub mod session;
 
+pub use cache_diff::{
+    run_cache_diff, run_cache_diff_sequence, CacheDiffConfig, CacheDiffDivergence,
+    CacheDiffFailure, CacheDiffOutcome,
+};
 pub use diff::{run_diff, DiffCase, DiffResult};
 pub use fuzz::{
-    generate_ops, run_fuzz, run_sequence, shrink, FuzzConfig, FuzzFailure, FuzzOutcome, Harness,
-    InjectedFault, Op, Scenario, SequenceFailure,
+    generate_ops, run_fuzz, run_sequence, shrink, shrink_by, FuzzConfig, FuzzFailure, FuzzOutcome,
+    Harness, InjectedFault, Op, Scenario, SequenceFailure,
 };
 pub use golden::{verify_golden, TraceRecorder};
 pub use oracle::{InvariantCheck, Oracle, Violation};
