@@ -19,6 +19,7 @@ pub fn cell(v: f64) -> String {
     if v.is_nan() {
         String::new()
     } else {
+        // lint:allow(float-format): shortest-round-trip IS the CSV cell contract — pinning a precision would truncate data
         format!("{v}")
     }
 }

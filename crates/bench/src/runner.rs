@@ -53,12 +53,11 @@ pub fn derive_seed(base: u64, salt: u64) -> u64 {
 /// The sweep worker count: `DRQOS_THREADS` if set (minimum 1), otherwise
 /// the machine's available parallelism.
 pub fn thread_count() -> usize {
-    match std::env::var("DRQOS_THREADS") {
-        Ok(v) => v.trim().parse::<usize>().unwrap_or(1).max(1),
-        Err(_) => std::thread::available_parallelism()
+    drqos_core::env::threads().unwrap_or_else(|| {
+        std::thread::available_parallelism()
             .map(std::num::NonZeroUsize::get)
-            .unwrap_or(1),
-    }
+            .unwrap_or(1)
+    })
 }
 
 // --------------------------------------------------------- observability --
@@ -588,7 +587,7 @@ mod tests {
         // Speedup smoke test: spin-wait points parallelize ~linearly. Only
         // asserted when the machine actually has cores to spare.
         let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
-        if cores < 4 || std::env::var("DRQOS_THREADS").is_ok() {
+        if cores < 4 || drqos_core::env::threads().is_some() {
             return;
         }
         let points: Vec<usize> = (0..8).collect();

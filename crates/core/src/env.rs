@@ -1,0 +1,279 @@
+//! The central registry of `DRQOS_*` environment knobs.
+//!
+//! Every environment variable the workspace reads is declared here once —
+//! name, default, consumer, and effect — and read through a typed
+//! accessor. Call sites elsewhere use the exported name constants
+//! ([`THREADS`], [`CHECKED`], ...) instead of string literals, so
+//! `drqos-lint`'s `env-registry` rule can mechanically prove that no
+//! crate reads an undeclared variable and that the README's environment
+//! table matches this registry (via [`readme_table`]).
+//!
+//! The accessors preserve the exact parsing semantics their original
+//! call sites had (they were folded in here verbatim), so behaviour is
+//! identical to the pre-registry code:
+//!
+//! * [`threads`] — `DRQOS_THREADS`, sweep worker count.
+//! * [`checked`] — `DRQOS_CHECKED`, invariant re-validation override.
+//! * [`route_cache`] — `DRQOS_ROUTE_CACHE`, admission route-memo toggle.
+//! * [`bless`] — `DRQOS_BLESS`, golden-trace re-bless switch.
+//! * [`batch`] / [`queue_depth`] — `drqosd` event-loop knobs.
+
+/// `DRQOS_THREADS` — sweep worker count (see [`threads`]).
+pub const THREADS: &str = "DRQOS_THREADS";
+/// `DRQOS_CHECKED` — per-event invariant checking (see [`checked`]).
+pub const CHECKED: &str = "DRQOS_CHECKED";
+/// `DRQOS_ROUTE_CACHE` — admission route-cache toggle (see
+/// [`route_cache`]).
+pub const ROUTE_CACHE: &str = "DRQOS_ROUTE_CACHE";
+/// `DRQOS_BLESS` — golden-trace re-bless switch (see [`bless`]).
+pub const BLESS: &str = "DRQOS_BLESS";
+/// `DRQOS_BATCH` — daemon event-loop batch size (see [`batch`]).
+pub const BATCH: &str = "DRQOS_BATCH";
+/// `DRQOS_QUEUE_DEPTH` — daemon command-queue capacity (see
+/// [`queue_depth`]).
+pub const QUEUE_DEPTH: &str = "DRQOS_QUEUE_DEPTH";
+
+/// Default for `DRQOS_BATCH`: commands drained per event-loop tick.
+pub const DEFAULT_BATCH: usize = 64;
+/// Default for `DRQOS_QUEUE_DEPTH`: bounded command-queue capacity.
+pub const DEFAULT_QUEUE_DEPTH: usize = 1024;
+
+/// One registered environment knob.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EnvVar {
+    /// The variable name (always `DRQOS_`-prefixed).
+    pub name: &'static str,
+    /// Which part of the workspace consumes it.
+    pub consumed_by: &'static str,
+    /// The effective default when unset.
+    pub default: &'static str,
+    /// What setting it does.
+    pub doc: &'static str,
+}
+
+/// Every `DRQOS_*` variable the workspace reads, in table order.
+///
+/// `drqos-lint` cross-checks this list against the README's environment
+/// table and flags any `std::env` read of a `DRQOS_*` name that does not
+/// go through this module.
+pub fn registry() -> &'static [EnvVar] {
+    &[
+        EnvVar {
+            name: THREADS,
+            consumed_by: "`drqos-bench` sweeps",
+            default: "all cores",
+            doc: "bounds sweep worker threads (`1` forces sequential; \
+                  results are thread-count-independent)",
+        },
+        EnvVar {
+            name: CHECKED,
+            consumed_by: "churn harness / testkit",
+            default: "`debug_assertions`",
+            doc: "`1` runs the invariant-oracle set after every churn event",
+        },
+        EnvVar {
+            name: ROUTE_CACHE,
+            consumed_by: "`drqos-core` admission",
+            default: "`1` (on)",
+            doc: "`0` disables the epoch-validated route cache \
+                  (observable results are identical either way)",
+        },
+        EnvVar {
+            name: BLESS,
+            consumed_by: "golden-trace tests",
+            default: "`0` (off)",
+            doc: "`1` rewrites `tests/golden/*.txt` instead of comparing",
+        },
+        EnvVar {
+            name: BATCH,
+            consumed_by: "`drqosd`",
+            default: "`64`",
+            doc: "commands drained per event-loop wakeup",
+        },
+        EnvVar {
+            name: QUEUE_DEPTH,
+            consumed_by: "`drqosd`",
+            default: "`1024`",
+            doc: "bounded command-queue capacity; a full queue answers `BUSY`",
+        },
+    ]
+}
+
+/// The one gated read every accessor funnels through. Panics (in tests)
+/// on a name missing from [`registry`], so an accessor cannot be added
+/// without registering its variable.
+fn read(name: &str) -> Option<String> {
+    debug_assert!(
+        registry().iter().any(|v| v.name == name),
+        "env var {name} is not in the drqos_core::env registry"
+    );
+    std::env::var(name).ok()
+}
+
+/// The raw value of a *registered* variable, for tests that save and
+/// restore the environment around a scoped override.
+///
+/// # Panics
+///
+/// Panics when `name` is not in [`registry`] — unregistered reads must
+/// not exist, even in tests.
+pub fn raw(name: &str) -> Option<String> {
+    assert!(
+        registry().iter().any(|v| v.name == name),
+        "env var {name} is not in the drqos_core::env registry"
+    );
+    read(name)
+}
+
+fn parse_threads(v: &str) -> usize {
+    v.trim().parse::<usize>().unwrap_or(1).max(1)
+}
+
+fn parse_truthy(v: &str) -> bool {
+    matches!(v, "1" | "true" | "on" | "yes")
+}
+
+fn parse_not_disabled(v: &str) -> bool {
+    !matches!(
+        v.trim().to_ascii_lowercase().as_str(),
+        "0" | "false" | "off"
+    )
+}
+
+fn parse_positive(v: &str, default: usize) -> usize {
+    v.trim()
+        .parse::<usize>()
+        .ok()
+        .filter(|&n| n > 0)
+        .unwrap_or(default)
+}
+
+/// `DRQOS_THREADS`: `Some(n)` (minimum 1) when set, `None` when unset
+/// (callers fall back to the machine's available parallelism).
+pub fn threads() -> Option<usize> {
+    read(THREADS).map(|v| parse_threads(&v))
+}
+
+/// `DRQOS_CHECKED`: `Some(true)` for `1`/`true`/`on`/`yes`, `Some(false)`
+/// for any other set value, `None` when unset (callers fall back to
+/// `cfg!(debug_assertions)`).
+pub fn checked() -> Option<bool> {
+    read(CHECKED).map(|v| parse_truthy(&v))
+}
+
+/// `DRQOS_ROUTE_CACHE`: enabled unless set to `0`/`false`/`off`
+/// (case-insensitive).
+pub fn route_cache() -> bool {
+    read(ROUTE_CACHE).is_none_or(|v| parse_not_disabled(&v))
+}
+
+/// `DRQOS_BLESS`: `true` only for the exact value `1`.
+pub fn bless() -> bool {
+    read(BLESS).is_some_and(|v| v == "1")
+}
+
+/// `DRQOS_BATCH` (minimum 1; default [`DEFAULT_BATCH`]).
+pub fn batch() -> usize {
+    read(BATCH).map_or(DEFAULT_BATCH, |v| parse_positive(&v, DEFAULT_BATCH))
+}
+
+/// `DRQOS_QUEUE_DEPTH` (minimum 1; default [`DEFAULT_QUEUE_DEPTH`]).
+pub fn queue_depth() -> usize {
+    read(QUEUE_DEPTH).map_or(DEFAULT_QUEUE_DEPTH, |v| {
+        parse_positive(&v, DEFAULT_QUEUE_DEPTH)
+    })
+}
+
+/// The README environment table, rendered from [`registry`]. The README
+/// commits this text between `<!-- env-table:begin -->` and
+/// `<!-- env-table:end -->` markers; `drqos-lint` (and the
+/// `lint_clean` tier-1 test) fail when the committed table drifts from
+/// this output.
+pub fn readme_table() -> String {
+    let mut out =
+        String::from("| Variable | Consumed by | Default | Effect |\n|---|---|---|---|\n");
+    for var in registry() {
+        out.push_str(&format!(
+            "| `{}` | {} | {} | {} |\n",
+            var.name, var.consumed_by, var.default, var.doc
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_names_are_prefixed_unique_and_documented() {
+        let vars = registry();
+        let mut names: Vec<&str> = vars.iter().map(|v| v.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), vars.len(), "duplicate registry entry");
+        for v in vars {
+            assert!(v.name.starts_with("DRQOS_"), "{} not prefixed", v.name);
+            assert!(!v.doc.is_empty() && !v.default.is_empty() && !v.consumed_by.is_empty());
+        }
+    }
+
+    // The parsing helpers are tested as pure functions: mutating the real
+    // process environment would race with other tests in this binary that
+    // read it (e.g. the NetworkConfig default).
+    #[test]
+    fn threads_parsing_matches_legacy_semantics() {
+        assert_eq!(parse_threads("4"), 4);
+        assert_eq!(parse_threads(" 8 "), 8);
+        assert_eq!(parse_threads("0"), 1);
+        assert_eq!(parse_threads("garbage"), 1);
+    }
+
+    #[test]
+    fn truthy_parsing_matches_legacy_semantics() {
+        for v in ["1", "true", "on", "yes"] {
+            assert!(parse_truthy(v));
+        }
+        for v in ["0", "TRUE", " 1", "2", ""] {
+            assert!(!parse_truthy(v));
+        }
+    }
+
+    #[test]
+    fn route_cache_parsing_matches_legacy_semantics() {
+        for v in ["0", "false", "OFF", " off "] {
+            assert!(!parse_not_disabled(v));
+        }
+        for v in ["1", "true", "", "2", "anything"] {
+            assert!(parse_not_disabled(v));
+        }
+    }
+
+    #[test]
+    fn positive_parsing_matches_legacy_semantics() {
+        assert_eq!(parse_positive("32", 64), 32);
+        assert_eq!(parse_positive("0", 64), 64);
+        assert_eq!(parse_positive("x", 64), 64);
+        assert_eq!(parse_positive(" 7 ", 64), 7);
+    }
+
+    #[test]
+    fn readme_table_lists_every_variable_once() {
+        let table = readme_table();
+        for v in registry() {
+            assert_eq!(
+                table.matches(v.name).count(),
+                1,
+                "{} must appear exactly once",
+                v.name
+            );
+        }
+        assert!(table.starts_with("| Variable |"));
+    }
+
+    #[test]
+    #[should_panic(expected = "not in the drqos_core::env registry")]
+    fn raw_rejects_unregistered_names() {
+        let _ = raw("DRQOS_NOT_A_REAL_KNOB");
+    }
+}

@@ -120,10 +120,7 @@ enum Event {
 /// checking follows `cfg!(debug_assertions)`, so `cargo test` runs fully
 /// checked and `--release` experiments stay fast.
 pub fn checked_mode() -> bool {
-    match std::env::var("DRQOS_CHECKED") {
-        Ok(v) => matches!(v.as_str(), "1" | "true" | "on" | "yes"),
-        Err(_) => cfg!(debug_assertions),
-    }
+    crate::env::checked().unwrap_or(cfg!(debug_assertions))
 }
 
 /// Runs a churn experiment on `graph`.

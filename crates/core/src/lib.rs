@@ -60,6 +60,7 @@
 #![warn(missing_docs)]
 
 pub mod channel;
+pub mod env;
 pub mod error;
 pub mod experiment;
 pub mod interval;

@@ -69,13 +69,7 @@ pub struct NetworkConfig {
 /// The default for [`NetworkConfig::route_cache`]: the value of the
 /// `DRQOS_ROUTE_CACHE` environment variable, with unset meaning enabled.
 pub fn route_cache_env_default() -> bool {
-    match std::env::var("DRQOS_ROUTE_CACHE") {
-        Ok(v) => !matches!(
-            v.trim().to_ascii_lowercase().as_str(),
-            "0" | "false" | "off"
-        ),
-        Err(_) => true,
-    }
+    crate::env::route_cache()
 }
 
 impl Default for NetworkConfig {
@@ -591,6 +585,7 @@ impl Network {
             return Err(NetworkError::UnknownConnection(id.0));
         }
         self.retreat(id);
+        // lint:allow(no-panic-daemon): contains_key is checked at fn entry
         let conn = self.connections.remove(&id).expect("checked above");
         let min = conn.qos().min();
         for &l in conn.primary().links() {
@@ -675,6 +670,7 @@ impl Network {
                 // the survivors against the new primary.
                 self.unregister_backup_links(id);
                 let (new_links, survivors) = {
+                    // lint:allow(no-panic-daemon): id came from this link's victim set
                     let conn = self.connections.get_mut(&id).expect("victim exists");
                     conn.activate_backup(idx);
                     (conn.primary().links().to_vec(), conn.backups().to_vec())
@@ -693,6 +689,7 @@ impl Network {
                     }
                 }
                 {
+                    // lint:allow(no-panic-daemon): id came from this link's victim set
                     let conn = self.connections.get_mut(&id).expect("victim exists");
                     conn.clear_backups();
                     for b in keep {
@@ -703,6 +700,7 @@ impl Network {
             } else {
                 // No usable backup: the connection is lost.
                 self.unregister_backup_links(id);
+                // lint:allow(no-panic-daemon): id came from this link's victim set
                 let mut conn = self.connections.remove(&id).expect("victim exists");
                 conn.clear_backups();
                 self.total_bandwidth -= conn.bandwidth();
@@ -786,6 +784,7 @@ impl Network {
         }
         let mut reports = Vec::with_capacity(adjacent.len());
         for l in adjacent {
+            // lint:allow(no-panic-daemon): adjacent was filtered to up links above
             reports.push(self.fail_link(l).expect("filtered to up links above"));
         }
         Ok(reports)
@@ -851,7 +850,7 @@ impl Network {
             }
             self.connections
                 .get_mut(&id)
-                .expect("caller checked existence")
+                .expect("caller checked existence") // lint:allow(no-panic-daemon): private helper, callers hold the id
                 .push_backup(backup);
             added = true;
         }
@@ -874,7 +873,7 @@ impl Network {
             let removed = self
                 .connections
                 .get_mut(&id)
-                .expect("caller checked existence")
+                .expect("caller checked existence") // lint:allow(no-panic-daemon): private helper, callers hold the id
                 .remove_backup(idx);
             for &l in removed.links() {
                 self.links[l.index()].remove_backup(id, min, &conflict_set(&primary_links, l));
@@ -910,7 +909,7 @@ impl Network {
         let conn = self
             .connections
             .get_mut(&id)
-            .expect("retreat of unknown id");
+            .expect("retreat of unknown id"); // lint:allow(no-panic-daemon): private helper, callers hold the id
         let extra = conn.extra();
         if extra == Bandwidth::ZERO {
             return;
@@ -970,6 +969,7 @@ impl Network {
 
     /// Grants one increment to `id`.
     fn grant(&mut self, id: ConnectionId) {
+        // lint:allow(no-panic-daemon): private helper, grant targets come from the live set
         let conn = self.connections.get_mut(&id).expect("grant of unknown id");
         let inc = conn.qos().increment();
         conn.set_level(conn.level() + 1);

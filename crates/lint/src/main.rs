@@ -1,0 +1,69 @@
+//! The `drqos-lint` CLI. See `drqos_lint` (lib) for the rules and
+//! TESTING.md for the rule table and pragma syntax.
+//!
+//! ```text
+//! drqos-lint [--root PATH] [--json | --fix-allowlist]
+//! ```
+//!
+//! Exits 0 with no findings, 1 with findings, 2 on usage/I-O errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut json = false;
+    let mut fix_allowlist = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--fix-allowlist" => fix_allowlist = true,
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--root needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("usage: drqos-lint [--root PATH] [--json | --fix-allowlist]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument {other}; try --help");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    // Default root: the workspace directory two levels above this crate's
+    // manifest, so `cargo run -p drqos-lint` works from anywhere in the
+    // repo.
+    let root = root.unwrap_or_else(|| {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .ancestors()
+            .nth(2)
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from("."))
+    });
+
+    let findings = match drqos_lint::run_workspace(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("drqos-lint: cannot lint {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    if fix_allowlist {
+        print!("{}", drqos_lint::render_fix_allowlist(&findings));
+    } else if json {
+        println!("{}", drqos_lint::render_json(&findings));
+    } else {
+        print!("{}", drqos_lint::render_human(&findings));
+    }
+    if findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

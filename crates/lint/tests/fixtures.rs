@@ -1,0 +1,329 @@
+//! Per-rule fixture tests: for each of the six rules, one snippet that
+//! fires, one that is `lint:allow`-suppressed, and one that is clean —
+//! plus the `--json` schema snapshot. Fixtures are inline raw strings,
+//! which doubles as a lexer test: the violation text inside these
+//! literals must never leak findings into a lint of *this* file.
+
+use drqos_lint::rules::{self, FileView, Finding};
+use drqos_lint::{check_env_docs, check_wire_docs, lexer, lint_file, render_json};
+
+/// Lints `src` as if it were the workspace file at `path`.
+fn lint_as(path: &str, src: &str) -> Vec<Finding> {
+    lint_file(path, src)
+}
+
+fn rules_fired(findings: &[Finding]) -> Vec<&'static str> {
+    let mut rules: Vec<&'static str> = findings.iter().map(|f| f.rule).collect();
+    rules.dedup();
+    rules
+}
+
+// ------------------------------------------------------ no-panic-daemon --
+
+#[test]
+fn no_panic_daemon_fires() {
+    let src = r#"
+        fn handle(&mut self) {
+            let x = self.map.get(&k).unwrap();
+            let y = self.map.get(&k).expect("present");
+            panic!("boom");
+            todo!();
+            let z = items[0];
+        }
+    "#;
+    let f = lint_as("crates/service/src/engine.rs", src);
+    assert_eq!(f.len(), 5, "{f:?}");
+    assert!(f.iter().all(|f| f.rule == "no-panic-daemon"));
+}
+
+#[test]
+fn no_panic_daemon_suppressed() {
+    let src = r#"
+        fn handle(&mut self) {
+            // lint:allow(no-panic-daemon): checked two lines up
+            let x = self.map.get(&k).unwrap();
+            let y = self.map.get(&k).expect("present"); // lint:allow(no-panic-daemon): ditto
+        }
+    "#;
+    assert!(lint_as("crates/service/src/engine.rs", src).is_empty());
+}
+
+#[test]
+fn no_panic_daemon_clean() {
+    let src = r#"
+        fn handle(&mut self) -> Response {
+            match self.map.get(&k) {
+                Some(v) => ok(v),
+                None => err(),
+            }
+        }
+        /* a block comment mentioning x.unwrap() is not code */
+        const DOC: &str = "and x.unwrap() in a string is not code either";
+    "#;
+    assert!(lint_as("crates/service/src/engine.rs", src).is_empty());
+}
+
+#[test]
+fn no_panic_daemon_only_applies_to_the_daemon_zone() {
+    let src = "fn f() { x.unwrap(); }";
+    assert!(lint_as("crates/markov/src/solver.rs", src).is_empty());
+    assert!(!lint_as("crates/service/src/server.rs", src).is_empty());
+}
+
+// ------------------------------------------- nondeterministic-iteration --
+
+#[test]
+fn nondeterministic_iteration_fires() {
+    let src = "use std::collections::HashMap;\nfn f(m: &HashMap<u32, u32>) {}";
+    let f = lint_as("crates/core/src/snapshot.rs", src);
+    assert_eq!(rules_fired(&f), vec!["nondeterministic-iteration"]);
+    assert_eq!(f.len(), 2);
+}
+
+#[test]
+fn nondeterministic_iteration_suppressed() {
+    let src = "// lint:allow(nondeterministic-iteration): keyed lookups only, never iterated\n\
+               use std::collections::HashSet;";
+    assert!(lint_as("crates/core/src/snapshot.rs", src).is_empty());
+}
+
+#[test]
+fn nondeterministic_iteration_clean() {
+    let src = "use std::collections::{BTreeMap, BTreeSet};\nfn f(m: &BTreeMap<u32, u32>) {}";
+    assert!(lint_as("crates/core/src/snapshot.rs", src).is_empty());
+    // HashMap is fine outside the byte-stable zone (e.g. routing scratch).
+    let scratch = "use std::collections::HashMap;";
+    assert!(lint_as("crates/core/src/routing.rs", scratch).is_empty());
+}
+
+// ----------------------------------------------------------- env-registry --
+
+#[test]
+fn env_registry_fires() {
+    let src = r#"fn f() -> bool { std::env::var("DRQOS_TURBO").is_ok() }"#;
+    let f = lint_as("crates/bench/src/runner.rs", src);
+    assert_eq!(rules_fired(&f), vec!["env-registry"]);
+    assert!(f[0].message.contains("DRQOS_TURBO"));
+}
+
+#[test]
+fn env_registry_suppressed() {
+    let src = "// lint:allow(env-registry): migration shim removed next release\n\
+               fn f() -> bool { std::env::var(\"DRQOS_LEGACY\").is_ok() }";
+    assert!(lint_as("crates/bench/src/runner.rs", src).is_empty());
+}
+
+#[test]
+fn env_registry_clean() {
+    let src = "fn f() -> Option<usize> { drqos_core::env::threads() }";
+    assert!(lint_as("crates/bench/src/runner.rs", src).is_empty());
+    // The registry file itself is where the names are declared.
+    let decl = r#"pub const TURBO: &str = "DRQOS_TURBO";"#;
+    assert!(lint_as("crates/core/src/env.rs", decl).is_empty());
+}
+
+#[test]
+fn env_registry_docs_cross_check() {
+    let good = format!(
+        "<!-- env-table:begin -->\n{}<!-- env-table:end -->\n",
+        drqos_core::env::readme_table()
+    );
+    assert!(check_env_docs(&good).is_empty());
+    let findings = check_env_docs("no markers, no table");
+    assert!(findings.iter().any(|f| f.message.contains("markers")));
+    assert!(findings
+        .iter()
+        .any(|f| f.message.contains("DRQOS_QUEUE_DEPTH")));
+}
+
+// -------------------------------------------------------------- raw-clock --
+
+#[test]
+fn raw_clock_fires() {
+    let src = "fn f() { let t0 = std::time::Instant::now(); let s = SystemTime::now(); }";
+    let f = lint_as("crates/core/src/experiment.rs", src);
+    assert_eq!(rules_fired(&f), vec!["raw-clock"]);
+    assert_eq!(f.len(), 2);
+}
+
+#[test]
+fn raw_clock_suppressed() {
+    let src = "fn f() {\n\
+               let t0 = Instant::now(); // lint:allow(raw-clock): startup banner only\n\
+               }";
+    assert!(lint_as("crates/core/src/experiment.rs", src).is_empty());
+}
+
+#[test]
+fn raw_clock_clean() {
+    // The exempt measurement modules may read clocks...
+    let src = "fn f() { let t0 = Instant::now(); }";
+    assert!(lint_as("crates/core/src/measure.rs", src).is_empty());
+    assert!(lint_as("crates/service/src/metrics.rs", src).is_empty());
+    // ...and bench code is outside the sim zone entirely.
+    assert!(lint_as("crates/bench/src/microbench.rs", src).is_empty());
+    // `Instant` without `::now` (type position, Duration math) is fine.
+    let ty = "fn g(t: Instant) -> Duration { t.elapsed() }";
+    assert!(lint_as("crates/core/src/experiment.rs", ty).is_empty());
+}
+
+// ----------------------------------------------------------- float-format --
+
+#[test]
+fn float_format_fires() {
+    let src = r#"
+        fn cell(v: f64, n: u64) -> String {
+            format!("{v} {n}")
+        }
+        fn row(wall_s: f64) -> String {
+            format!("{} done", wall_s)
+        }
+    "#;
+    let f = lint_as("crates/bench/src/csv.rs", src);
+    assert_eq!(rules_fired(&f), vec!["float-format"]);
+    assert_eq!(f.len(), 2, "{f:?}");
+}
+
+#[test]
+fn float_format_suppressed() {
+    let src = "fn cell(v: f64) -> String {\n\
+               // lint:allow(float-format): full precision is the contract\n\
+               format!(\"{v}\")\n\
+               }";
+    assert!(lint_as("crates/bench/src/csv.rs", src).is_empty());
+}
+
+#[test]
+fn float_format_clean() {
+    let src = r#"
+        fn cell(v: f64, n: u64) -> String {
+            format!("{v:.3} {n} {:.6}", v)
+        }
+    "#;
+    assert!(lint_as("crates/bench/src/csv.rs", src).is_empty());
+    // Integers never need precision, in any zone.
+    let ints = r#"fn f(n: u64) -> String { format!("{n}") }"#;
+    assert!(lint_as("crates/bench/src/csv.rs", ints).is_empty());
+    // Floats formatted outside the emitter zone are unconstrained.
+    let elsewhere = r#"fn f(v: f64) -> String { format!("{v}") }"#;
+    assert!(lint_as("crates/analysis/src/model.rs", elsewhere).is_empty());
+}
+
+// ---------------------------------------------------------- wire-doc-sync --
+
+const WIRE_FIXTURE: &str = r#"pub const WIRE_CODES: &[(u16, &str)] = &[
+    (100, "qos: zero minimum"),
+    (300, "network: unknown connection"),
+];"#;
+
+#[test]
+fn wire_doc_sync_fires() {
+    let md = "| Code | Meaning |\n|---|---|\n| 100 | qos: zero minimum |\n";
+    let f = check_wire_docs(WIRE_FIXTURE, md);
+    assert_eq!(f.len(), 1);
+    assert_eq!(f[0].rule, "wire-doc-sync");
+    assert!(f[0].message.contains("300"));
+}
+
+#[test]
+fn wire_doc_sync_catches_description_drift() {
+    let md = "| 100 | qos: zero minimum |\n| 300 | network: connection unknown |\n";
+    let f = check_wire_docs(WIRE_FIXTURE, md);
+    assert_eq!(f.len(), 1, "reworded row must not count: {f:?}");
+}
+
+#[test]
+fn wire_doc_sync_clean() {
+    let md = "prose\n\n| Code | Meaning |\n|---|---|\n| 100 | qos: zero minimum |\n\
+              | 300 | network: unknown connection |\ntrailing prose\n";
+    assert!(check_wire_docs(WIRE_FIXTURE, md).is_empty());
+}
+
+// ------------------------------------------------------- lexer edge cases --
+
+#[test]
+fn raw_string_containing_unwrap_is_not_a_finding() {
+    let src = r###"
+        fn f() -> &'static str {
+            r#"x.unwrap() panic!("nope") items[0]"#
+        }
+    "###;
+    assert!(lint_as("crates/service/src/engine.rs", src).is_empty());
+}
+
+#[test]
+fn commented_out_code_is_not_a_finding() {
+    let src = "fn f() {\n// let x = m.get(&k).unwrap();\n/* panic!(\"old\") */\n}";
+    assert!(lint_as("crates/service/src/engine.rs", src).is_empty());
+}
+
+#[test]
+fn slashes_inside_string_literals_do_not_start_comments() {
+    // If `//` in the string were taken as a comment, the unwrap after it
+    // would be swallowed and this fixture would pass clean.
+    let src = "fn f() { let url = \"http://example/x\"; m.get(&k).unwrap(); }";
+    let f = lint_as("crates/service/src/engine.rs", src);
+    assert_eq!(f.len(), 1);
+}
+
+#[test]
+fn pragma_inside_string_literal_is_inert() {
+    let src = "fn f() { let s = \"lint:allow(no-panic-daemon)\"; x.unwrap(); }";
+    assert_eq!(lint_as("crates/service/src/engine.rs", src).len(), 1);
+}
+
+// ------------------------------------------------------------ --json snap --
+
+#[test]
+fn json_output_matches_schema_snapshot() {
+    let src = "fn f() { x.unwrap(); }\n";
+    let findings = lint_as("crates/service/src/engine.rs", src);
+    let json = render_json(&findings);
+    assert_eq!(
+        json,
+        "{\"version\":1,\"findings\":[{\"rule\":\"no-panic-daemon\",\
+         \"file\":\"crates/service/src/engine.rs\",\"line\":1,\
+         \"message\":\".unwrap() can panic the daemon; map the failure onto \
+         a wire error code instead\"}]}"
+    );
+    assert_eq!(render_json(&[]), "{\"version\":1,\"findings\":[]}");
+}
+
+// ------------------------------------------------------------- rule table --
+
+#[test]
+fn every_shipped_rule_has_a_stable_id() {
+    assert_eq!(
+        rules::RULES,
+        &[
+            "no-panic-daemon",
+            "nondeterministic-iteration",
+            "env-registry",
+            "raw-clock",
+            "float-format",
+            "wire-doc-sync",
+        ]
+    );
+}
+
+#[test]
+fn findings_sort_by_file_then_line_then_rule() {
+    let src = "fn f() { b.unwrap(); }\nfn g() { a.unwrap(); }";
+    let f = lint_as("crates/service/src/engine.rs", src);
+    assert_eq!(f.len(), 2);
+    assert!(f[0].line < f[1].line);
+}
+
+#[test]
+fn file_view_exposes_test_exclusion() {
+    let lexed = lexer::lex("#[cfg(test)]\nmod tests { fn t() { x.unwrap(); } }\nfn live() {}");
+    let view = FileView::new("crates/service/src/engine.rs", &lexed);
+    let unwrap_idx = lexed
+        .tokens
+        .iter()
+        .position(|t| t.text == "unwrap")
+        .unwrap();
+    assert!(view.is_test(unwrap_idx));
+    let live_idx = lexed.tokens.iter().position(|t| t.text == "live").unwrap();
+    assert!(!view.is_test(live_idx));
+}

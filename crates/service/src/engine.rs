@@ -7,14 +7,14 @@
 //! sequence applied so far, which is what makes protocol sessions
 //! golden-traceable.
 
-use crate::metrics::{Metrics, OpKind};
+use crate::error::ProtocolError;
+use crate::metrics::{Metrics, OpKind, OpTimer};
 use crate::protocol::{self, Request, Response};
 use drqos_core::network::Network;
 use drqos_core::qos::{Bandwidth, ElasticQos};
 use drqos_topology::{LinkId, NodeId};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
 
 /// What the server loop should do with a handled line.
 #[derive(Debug)]
@@ -74,7 +74,7 @@ impl Engine {
     /// so the loop can drain queued commands first. Metrics are recorded
     /// for every line, including malformed ones.
     pub fn handle_server_line(&mut self, line: &str) -> Handled {
-        let t0 = Instant::now();
+        let t0 = OpTimer::start();
         match protocol::parse(line) {
             Ok(Request::Shutdown) => {
                 self.metrics.record(OpKind::Shutdown, t0.elapsed(), false);
@@ -98,15 +98,14 @@ impl Engine {
     /// the `SHUTDOWN` response after the queue is drained.
     pub fn finish_shutdown(&mut self) -> Response {
         let violations = self.net.check_invariants();
-        if violations.is_empty() {
-            Response::Ok("violations=0".to_string())
-        } else {
+        match violations.first() {
+            None => Response::Ok("violations=0".to_string()),
             // Surface the first violation's stable code and the full count;
             // the daemon also exits non-zero in this case.
-            Response::Err {
-                code: violations[0].wire_code(),
+            Some(first) => Response::Err {
+                code: first.wire_code(),
                 message: format!("shutdown with {} invariant violations", violations.len()),
-            }
+            },
         }
     }
 
@@ -124,12 +123,16 @@ impl Engine {
                 // `release` retreats the channel to its QoS minimum before
                 // removing it, so read the bandwidth actually held first.
                 let held = self.net.connection(cid).map(|c| c.bandwidth().as_kbps());
-                match self.net.release(cid) {
-                    Ok(_) => Response::Ok(format!(
-                        "freed={}",
-                        held.expect("connection existed: release succeeded")
-                    )),
-                    Err(e) => Response::Err {
+                match (self.net.release(cid), held) {
+                    (Ok(_), Some(kbps)) => Response::Ok(format!("freed={kbps}")),
+                    // A successful release of a connection that was not
+                    // readable beforehand would mean the engine's view of
+                    // the network is inconsistent; report, don't panic.
+                    (Ok(_), None) => {
+                        ProtocolError::internal("released connection had no readable bandwidth")
+                            .into()
+                    }
+                    (Err(e), _) => Response::Err {
                         code: e.wire_code(),
                         message: e.to_string(),
                     },
@@ -173,9 +176,9 @@ impl Engine {
             },
             Request::Snapshot => Response::Ok(self.snapshot_payload()),
             Request::Stats => Response::Ok(self.stats_payload()),
-            Request::Shutdown => {
-                unreachable!("SHUTDOWN is routed by handle_server_line before dispatch")
-            }
+            // handle_server_line routes SHUTDOWN before dispatch; answering
+            // it here anyway (instead of unreachable!) keeps dispatch total.
+            Request::Shutdown => self.finish_shutdown(),
         }
     }
 
@@ -195,16 +198,18 @@ impl Engine {
             }
         };
         match self.net.establish(NodeId(src), NodeId(dst), qos) {
-            Ok(id) => {
-                let c = self.net.connection(id).expect("just established");
-                Response::Ok(format!(
+            Ok(id) => match self.net.connection(id) {
+                Some(c) => Response::Ok(format!(
                     "id={} bw={} hops={} backups={}",
                     id.0,
                     c.bandwidth().as_kbps(),
                     c.primary().hop_count(),
                     c.backup_count()
-                ))
-            }
+                )),
+                // An admitted connection must be readable back; if not the
+                // engine state is inconsistent — report, don't panic.
+                None => ProtocolError::internal("established connection not readable back").into(),
+            },
             Err(e) => Response::Err {
                 code: e.wire_code(),
                 message: e.to_string(),

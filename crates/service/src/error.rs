@@ -17,6 +17,10 @@ pub const CODE_ARG_COUNT: u16 = 3;
 pub const CODE_BAD_INT: u16 = 4;
 /// The server is shutting down and no longer accepts commands.
 pub const CODE_SHUTTING_DOWN: u16 = 11;
+/// An internal engine inconsistency (e.g. a just-established connection
+/// that cannot be read back). The daemon reports it instead of panicking
+/// so one bad command can never take down other sessions.
+pub const CODE_INTERNAL: u16 = 12;
 
 /// A malformed or unserviceable command line.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -68,6 +72,16 @@ impl ProtocolError {
             message: "server shutting down".to_string(),
         }
     }
+
+    /// An internal engine inconsistency the event loop reports rather
+    /// than panics on. `detail` must be deterministic (no wall-clock, no
+    /// addresses) so sessions stay golden-traceable even when this fires.
+    pub fn internal(detail: &str) -> Self {
+        Self {
+            code: CODE_INTERNAL,
+            message: format!("internal error: {detail}"),
+        }
+    }
 }
 
 impl fmt::Display for ProtocolError {
@@ -90,6 +104,7 @@ mod tests {
             ProtocolError::arg_count("RELEASE", 1, 0),
             ProtocolError::bad_int("x"),
             ProtocolError::shutting_down(),
+            ProtocolError::internal("c0 vanished"),
         ] {
             assert!((1..100).contains(&e.code), "code {} outside 1–99", e.code);
             // Domain codes start at 100; no overlap possible.

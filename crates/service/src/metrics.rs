@@ -12,6 +12,27 @@ use std::time::{Duration, Instant};
 /// Number of power-of-two buckets: covers 1 ns to ~584 years.
 const BUCKETS: usize = 64;
 
+/// A started per-operation latency clock.
+///
+/// All of the daemon's wall-clock access lives in this module (the
+/// `raw-clock` lint pins it here): the engine starts an `OpTimer` per
+/// command and hands the elapsed `Duration` back to [`Metrics::record`],
+/// so command handling itself stays clock-free and deterministic.
+#[derive(Debug, Clone, Copy)]
+pub struct OpTimer(Instant);
+
+impl OpTimer {
+    /// Starts timing now.
+    pub fn start() -> Self {
+        Self(Instant::now())
+    }
+
+    /// Time elapsed since [`OpTimer::start`].
+    pub fn elapsed(&self) -> Duration {
+        self.0.elapsed()
+    }
+}
+
 /// A log₂-bucketed latency histogram.
 #[derive(Debug, Clone)]
 pub struct Histogram {

@@ -31,34 +31,21 @@ use std::sync::Arc;
 use std::thread;
 use std::time::Duration;
 
-/// Default for `DRQOS_BATCH`: commands drained per event-loop tick.
-pub const DEFAULT_BATCH: usize = 64;
-/// Default for `DRQOS_QUEUE_DEPTH`: bounded command-queue capacity.
-pub const DEFAULT_QUEUE_DEPTH: usize = 1024;
+pub use drqos_core::env::{DEFAULT_BATCH, DEFAULT_QUEUE_DEPTH};
 
 /// How often blocked I/O re-checks the shutdown flag.
 const POLL_INTERVAL: Duration = Duration::from_millis(20);
 
-fn env_usize(name: &str, default: usize) -> usize {
-    match std::env::var(name) {
-        Ok(v) => v
-            .trim()
-            .parse::<usize>()
-            .ok()
-            .filter(|&n| n > 0)
-            .unwrap_or(default),
-        Err(_) => default,
-    }
-}
-
-/// `DRQOS_BATCH` (minimum 1; default [`DEFAULT_BATCH`]).
+/// `DRQOS_BATCH` (minimum 1; default [`DEFAULT_BATCH`]), read through the
+/// [`drqos_core::env`] registry.
 pub fn batch_from_env() -> usize {
-    env_usize("DRQOS_BATCH", DEFAULT_BATCH)
+    drqos_core::env::batch()
 }
 
-/// `DRQOS_QUEUE_DEPTH` (minimum 1; default [`DEFAULT_QUEUE_DEPTH`]).
+/// `DRQOS_QUEUE_DEPTH` (minimum 1; default [`DEFAULT_QUEUE_DEPTH`]), read
+/// through the [`drqos_core::env`] registry.
 pub fn queue_depth_from_env() -> usize {
-    env_usize("DRQOS_QUEUE_DEPTH", DEFAULT_QUEUE_DEPTH)
+    drqos_core::env::queue_depth()
 }
 
 /// One queued command: the raw line and where to send the response.

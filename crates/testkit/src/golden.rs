@@ -170,7 +170,7 @@ impl TraceRecorder {
 /// file, or the I/O failure in bless mode).
 pub fn verify_golden(dir: &FsPath, name: &str, content: &str) -> Result<(), String> {
     let path = dir.join(format!("{name}.txt"));
-    if std::env::var("DRQOS_BLESS").is_ok_and(|v| v == "1") {
+    if drqos_core::env::bless() {
         std::fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
         std::fs::write(&path, content).map_err(|e| format!("blessing {}: {e}", path.display()))?;
         return Ok(());

@@ -1,0 +1,112 @@
+//! Robustness regression for `drqosd`: a client bursting malformed,
+//! overflowing, and truncated input must get error *replies*, never kill
+//! a reader thread or the event loop. This is the dynamic counterpart of
+//! the `no-panic-daemon` lint rule — the lint proves the panic sites are
+//! gone from the source, this test proves the daemon survives the inputs
+//! those sites used to be reachable from.
+
+use drqos_core::network::{Network, NetworkConfig};
+use drqos_service::server::Server;
+use drqos_topology::regular;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::thread;
+
+/// One TCP client: send `line`, read one reply.
+struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: std::net::SocketAddr) -> Self {
+        let tcp = TcpStream::connect(addr).expect("connect");
+        tcp.set_nodelay(true).unwrap();
+        Self {
+            writer: tcp.try_clone().unwrap(),
+            reader: BufReader::new(tcp),
+        }
+    }
+
+    fn roundtrip(&mut self, line: &str) -> String {
+        writeln!(self.writer, "{line}").unwrap();
+        let mut resp = String::new();
+        self.reader.read_line(&mut resp).unwrap();
+        assert!(
+            !resp.is_empty(),
+            "daemon closed the connection instead of replying to {line:?}"
+        );
+        resp.trim_end().to_string()
+    }
+}
+
+/// Every line in the burst is designed to hit a failure path that was, or
+/// could plausibly become, a panic: parse failures, integer overflow,
+/// unknown ids far past any allocated connection, out-of-range links and
+/// nodes, binary garbage, and case mismatches.
+const MALFORMED_BURST: &[(&str, &str)] = &[
+    ("", "ERR 1"),                                   // empty line
+    ("   ", "ERR 1"),                                // whitespace only
+    ("BOGUS", "ERR 2"),                              // unknown verb
+    ("release 1", "ERR 2"),                          // verbs are case-sensitive
+    ("ESTABLISH", "ERR 3"),                          // no args
+    ("ESTABLISH 0 3 100 500 100 7", "ERR 3"),        // too many args
+    ("RELEASE 99999999999999999999999999", "ERR 4"), // u64 overflow
+    ("RELEASE -1", "ERR 4"),                         // negative
+    ("RELEASE 0x10", "ERR 4"),                       // hex is not an integer
+    ("RELEASE 18446744073709551615", "ERR 300"),     // u64::MAX id: unknown
+    ("FAIL-LINK 18446744073709551615", "ERR 301"),   // u64::MAX link
+    ("REPAIR-LINK 424242", "ERR 301"),               // out-of-range link
+    ("FAIL-NODE 424242", "ERR 303"),                 // out-of-range node
+    ("ESTABLISH 0 0 100 500 100", "ERR 201"),        // src == dst
+    ("ESTABLISH 0 3 0 500 100", "ERR 100"),          // zero minimum
+    ("ESTABLISH 0 3 500 100 100", "ERR 101"),        // min > max
+    ("ESTABLISH 424242 3 100 500 100", "ERR 200"),   // unknown src node
+    ("\u{7f}\u{1}garbage\u{2}", "ERR 2"),            // binary garbage
+];
+
+#[test]
+fn malformed_burst_cannot_kill_the_daemon() {
+    let net = Network::new(regular::ring(6).unwrap(), NetworkConfig::default());
+    let server = Server::bind("127.0.0.1:0", net).expect("bind ephemeral");
+    let addr = server.local_addr().unwrap();
+    let server_handle = thread::spawn(move || server.run());
+
+    let mut hostile = Client::connect(addr);
+    for &(line, want_prefix) in MALFORMED_BURST {
+        let resp = hostile.roundtrip(line);
+        assert!(
+            resp.starts_with("ERR "),
+            "{line:?} must be rejected, got {resp:?}"
+        );
+        if !want_prefix.is_empty() {
+            assert!(
+                resp.starts_with(want_prefix),
+                "{line:?}: expected {want_prefix} ..., got {resp:?}"
+            );
+        }
+    }
+
+    // A partial line followed by an abrupt disconnect must not wedge the
+    // reader or the loop.
+    {
+        let tcp = TcpStream::connect(addr).expect("connect");
+        let mut w = tcp.try_clone().unwrap();
+        w.write_all(b"ESTABLISH 0 3 1").unwrap(); // no newline
+        drop(w);
+        drop(tcp);
+    }
+
+    // The daemon is still fully functional for a well-behaved client.
+    let mut good = Client::connect(addr);
+    let resp = good.roundtrip("ESTABLISH 0 3 100 500 100");
+    assert!(resp.starts_with("OK id="), "daemon degraded: {resp:?}");
+    let resp = good.roundtrip("SNAPSHOT");
+    assert!(resp.starts_with("OK conns=1"), "state corrupted: {resp:?}");
+
+    // And it shuts down invariant-clean: nothing in the burst leaked
+    // bandwidth or half-registered a connection.
+    assert_eq!(good.roundtrip("SHUTDOWN"), "OK violations=0");
+    let report = server_handle.join().unwrap().unwrap();
+    assert_eq!(report.violations, 0);
+}

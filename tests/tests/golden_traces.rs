@@ -64,14 +64,14 @@ fn sweep_series_is_thread_invariant_and_matches_golden() {
     // the worker count; pin it to 1 and 4 threads explicitly and compare
     // both against the blessed trace. (This test is the only one in this
     // binary touching DRQOS_THREADS, so the process-global env is safe.)
-    let prev = std::env::var("DRQOS_THREADS").ok();
-    std::env::set_var("DRQOS_THREADS", "1");
+    let prev = drqos_core::env::raw(drqos_core::env::THREADS);
+    std::env::set_var(drqos_core::env::THREADS, "1");
     let serial = sweep_series();
-    std::env::set_var("DRQOS_THREADS", "4");
+    std::env::set_var(drqos_core::env::THREADS, "4");
     let parallel = sweep_series();
     match prev {
-        Some(v) => std::env::set_var("DRQOS_THREADS", v),
-        None => std::env::remove_var("DRQOS_THREADS"),
+        Some(v) => std::env::set_var(drqos_core::env::THREADS, v),
+        None => std::env::remove_var(drqos_core::env::THREADS),
     }
     assert_eq!(
         serial, parallel,

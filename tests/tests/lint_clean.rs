@@ -1,0 +1,60 @@
+//! Tier-1 gate: the workspace must be lint-clean.
+//!
+//! `drqos-lint` mechanically enforces the contracts the rest of this suite
+//! proves dynamically — a panic-free daemon, byte-stable emitters, and the
+//! env/wire registries staying in sync with their docs. Running it as an
+//! integration test means `cargo test` fails on a violation even before CI
+//! runs the dedicated lint job.
+//!
+//! If this test fails: run `cargo run -p drqos-lint` for the findings, fix
+//! them, or — only for an intentional, justified exception — run
+//! `cargo run -p drqos-lint -- --fix-allowlist` and edit the emitted
+//! pragma's TODO into a real justification.
+
+use std::path::Path;
+
+fn workspace_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .expect("tests/ lives one level below the workspace root")
+}
+
+#[test]
+fn workspace_has_no_lint_findings() {
+    let findings = drqos_lint::run_workspace(workspace_root()).expect("workspace is readable");
+    assert!(
+        findings.is_empty(),
+        "drqos-lint found violations:\n{}",
+        drqos_lint::render_human(&findings)
+    );
+}
+
+#[test]
+fn readme_env_table_matches_registry() {
+    // Subsumed by the full run above, but kept separate so a drifted env
+    // table fails with the regeneration instructions instead of a generic
+    // findings dump.
+    let readme = std::fs::read_to_string(workspace_root().join("README.md")).expect("README.md");
+    let findings = drqos_lint::check_env_docs(&readme);
+    assert!(
+        findings.is_empty(),
+        "README.md env table is out of sync with drqos_core::env::registry().\n\
+         Replace the block between the env-table markers with the output of\n\
+         drqos_core::env::readme_table():\n\n{}\nFindings:\n{}",
+        drqos_core::env::readme_table(),
+        drqos_lint::render_human(&findings)
+    );
+}
+
+#[test]
+fn every_documented_rule_id_exists() {
+    // TESTING.md documents the rules by id; a renamed rule must update the
+    // docs (ids are a stable interface — pragmas embed them).
+    let testing = std::fs::read_to_string(workspace_root().join("TESTING.md")).expect("TESTING.md");
+    for rule in drqos_lint::rules::RULES {
+        assert!(
+            testing.contains(rule),
+            "rule id `{rule}` is not documented in TESTING.md"
+        );
+    }
+}
