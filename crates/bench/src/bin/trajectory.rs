@@ -1,0 +1,157 @@
+//! `trajectory` — the recorded perf trajectory (`bench trajectory`).
+//!
+//! Default mode runs the full microbench suite (contended-link admission
+//! single vs. batched, churn harness, loadgen-shaped closed loop) and
+//! appends one dated entry to `BENCH_trajectory.json` at the repository
+//! root; `--check` runs the quick admission pair and validates both the
+//! fresh speedup and the committed file (CI's `bench-trajectory` job).
+//!
+//! ```text
+//! trajectory [--entry NAME] [--file PATH] [--quick] [--check] [--dry-run]
+//! ```
+
+use drqos_bench::trajectory::{
+    self, check_committed, check_fresh, today_utc, TrajectoryConfig, TrajectoryEntry,
+};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    entry: String,
+    file: PathBuf,
+    quick: bool,
+    check: bool,
+    dry_run: bool,
+}
+
+/// The committed trajectory file at the repository root, anchored via the
+/// crate manifest so the binary works from any working directory.
+fn default_file() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_trajectory.json")
+}
+
+const USAGE: &str =
+    "usage: trajectory [--entry NAME] [--file PATH] [--quick] [--check] [--dry-run]";
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        entry: format!("run-{}", today_utc()),
+        file: default_file(),
+        quick: false,
+        check: false,
+        dry_run: false,
+    };
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value\n{USAGE}"))
+        };
+        match flag.as_str() {
+            "--entry" => args.entry = value(flag)?,
+            "--file" => args.file = PathBuf::from(value(flag)?),
+            "--quick" => args.quick = true,
+            "--check" => args.check = true,
+            "--dry-run" => args.dry_run = true,
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown flag {other}\n{USAGE}")),
+        }
+    }
+    Ok(args)
+}
+
+fn run_check(args: &Args) -> ExitCode {
+    let cfg = TrajectoryConfig::quick();
+    println!("trajectory --check: measuring the quick admission pair ...");
+    let single = trajectory::bench_admission_single(&cfg);
+    let batch = trajectory::bench_admission_batch(&cfg);
+    let mut failed = false;
+    match check_fresh(&single, &batch) {
+        Ok(line) => println!("ok: {line}"),
+        Err(e) => {
+            eprintln!("FAIL: {e}");
+            failed = true;
+        }
+    }
+    match check_committed(&args.file) {
+        Ok(report) => {
+            for line in report {
+                println!("ok: {line}");
+            }
+        }
+        Err(e) => {
+            eprintln!("FAIL: {e}");
+            failed = true;
+        }
+    }
+    if failed {
+        ExitCode::from(1)
+    } else {
+        println!("trajectory check passed ({})", args.file.display());
+        ExitCode::SUCCESS
+    }
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    if args.check {
+        return run_check(&args);
+    }
+    let cfg = if args.quick {
+        TrajectoryConfig::quick()
+    } else {
+        TrajectoryConfig::full()
+    };
+    println!(
+        "trajectory: running {} benches (entry {:?}) ...",
+        if args.quick { "quick" } else { "full" },
+        args.entry
+    );
+    let benches = trajectory::run_benches(&cfg);
+    for b in &benches {
+        println!(
+            "  {:>17}: {:>9.0} ops/s  p50 {:>8} ns  p95 {:>8} ns  p99 {:>8} ns  ({} ops)",
+            b.name, b.ops_per_sec, b.p50_ns, b.p95_ns, b.p99_ns, b.ops
+        );
+    }
+    if let (Some(single), Some(batch)) = (
+        benches.iter().find(|b| b.name == "admission_single"),
+        benches.iter().find(|b| b.name == "admission_batch"),
+    ) {
+        match check_fresh(single, batch) {
+            Ok(line) => println!("{line}"),
+            Err(e) => {
+                eprintln!("FAIL: {e}");
+                return ExitCode::from(1);
+            }
+        }
+    }
+    let entry = TrajectoryEntry {
+        entry: args.entry.clone(),
+        date: today_utc(),
+        benches,
+    };
+    if args.dry_run {
+        println!("dry run; not writing {}", args.file.display());
+        println!("{}", entry.to_json());
+        return ExitCode::SUCCESS;
+    }
+    match trajectory::append_entry(&args.file, &entry) {
+        Ok(()) => {
+            println!("appended entry {:?} to {}", args.entry, args.file.display());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("trajectory: writing {}: {e}", args.file.display());
+            ExitCode::from(1)
+        }
+    }
+}

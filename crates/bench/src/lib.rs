@@ -16,6 +16,7 @@ pub mod csv;
 pub mod experiments;
 pub mod microbench;
 pub mod runner;
+pub mod trajectory;
 
 pub use experiments::{
     ablation, dependability, fig2, fig3, fig4, table1, AblationRow, DependabilityRow, Fig2Row,

@@ -1,0 +1,632 @@
+//! The recorded performance trajectory (`BENCH_trajectory.json`).
+//!
+//! ROADMAP item 3's complaint was that "measurably faster" is
+//! unenforceable without committed history. This module fixes that: the
+//! `trajectory` binary runs three microbenches — contended-link admission
+//! (single-request vs. batched), the churn experiment harness, and a
+//! loadgen-shaped closed loop — and appends one dated entry of
+//! ops/sec + p50/p95/p99 per bench to `BENCH_trajectory.json` at the
+//! repository root. CI's `bench-trajectory` job re-runs the admission
+//! pair on a quick config (`--check`) and fails if batched admission no
+//! longer beats single-request admission ≥ 2×, or if the committed
+//! trajectory regresses > 10% between its last two entries.
+//!
+//! The file format is deliberately line-oriented (one JSON object per
+//! entry line inside a `{"trajectory":[...]}` wrapper) so diffs show one
+//! added line per PR and the checker can read it without a JSON parser —
+//! the offline container has no serde.
+//!
+//! The benches live here rather than in `drqos-service` because the
+//! dependency arrow points the other way (`drqos-service` → `drqos-bench`
+//! for the runtime sink); the "loadgen" bench therefore reproduces the
+//! load generator's closed-loop establish/release op mix against the
+//! in-process [`Network`] — the admission work that dominates the
+//! daemon's hot path — rather than driving TCP.
+
+use drqos_core::experiment::{run_churn, ExperimentConfig};
+use drqos_core::network::{EstablishRequest, Network, NetworkConfig};
+use drqos_core::qos::ElasticQos;
+use drqos_core::ConnectionId;
+use drqos_sim::rng::Rng;
+use drqos_topology::graph::NodeId;
+use drqos_topology::regular;
+use std::fs;
+use std::io;
+use std::path::Path;
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+// ------------------------------------------------------------- records --
+
+/// One microbench measurement: throughput plus per-op tail latency.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    /// Bench name (`admission_single`, `admission_batch`, `churn`,
+    /// `loadgen_loop`).
+    pub name: String,
+    /// Operations timed.
+    pub ops: u64,
+    /// Total timed wall seconds (setup excluded).
+    pub wall_s: f64,
+    /// Operations per timed second.
+    pub ops_per_sec: f64,
+    /// Median per-op latency in nanoseconds.
+    pub p50_ns: u64,
+    /// 95th-percentile per-op latency in nanoseconds.
+    pub p95_ns: u64,
+    /// 99th-percentile per-op latency in nanoseconds.
+    pub p99_ns: u64,
+}
+
+impl BenchRecord {
+    /// Folds raw per-op samples into a record.
+    fn from_samples(name: &str, mut samples_ns: Vec<u64>) -> Self {
+        samples_ns.sort_unstable();
+        let ops = samples_ns.len() as u64;
+        let wall_s = samples_ns.iter().sum::<u64>() as f64 / 1e9;
+        BenchRecord {
+            name: name.to_string(),
+            ops,
+            wall_s,
+            ops_per_sec: if wall_s > 0.0 {
+                ops as f64 / wall_s
+            } else {
+                0.0
+            },
+            p50_ns: quantile_ns(&samples_ns, 0.50),
+            p95_ns: quantile_ns(&samples_ns, 0.95),
+            p99_ns: quantile_ns(&samples_ns, 0.99),
+        }
+    }
+
+    /// Serializes the record as one JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"name\":\"{}\",\"ops\":{},\"wall_s\":{:.6},",
+                "\"ops_per_sec\":{:.1},\"p50_ns\":{},\"p95_ns\":{},\"p99_ns\":{}}}"
+            ),
+            self.name.replace(['"', '\\'], "_"),
+            self.ops,
+            self.wall_s,
+            self.ops_per_sec,
+            self.p50_ns,
+            self.p95_ns,
+            self.p99_ns,
+        )
+    }
+}
+
+/// Nearest-rank quantile over pre-sorted nanosecond samples.
+fn quantile_ns(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (q * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+/// One dated trajectory entry: a label (typically the PR) plus every
+/// bench measured under it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrajectoryEntry {
+    /// Entry label, e.g. `pr6`.
+    pub entry: String,
+    /// ISO date the entry was recorded.
+    pub date: String,
+    /// The measurements.
+    pub benches: Vec<BenchRecord>,
+}
+
+impl TrajectoryEntry {
+    /// Serializes the entry as one JSON object on a single line (the
+    /// unit of diff in `BENCH_trajectory.json`).
+    pub fn to_json(&self) -> String {
+        let benches: Vec<String> = self.benches.iter().map(BenchRecord::to_json).collect();
+        format!(
+            "{{\"entry\":\"{}\",\"date\":\"{}\",\"benches\":[{}]}}",
+            self.entry.replace(['"', '\\'], "_"),
+            self.date.replace(['"', '\\'], "_"),
+            benches.join(",")
+        )
+    }
+}
+
+/// Today's UTC date as `YYYY-MM-DD` (civil-from-days; no chrono in the
+/// offline container).
+pub fn today_utc() -> String {
+    let secs = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let days = (secs / 86_400) as i64;
+    // Howard Hinnant's civil_from_days.
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1_460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = if m <= 2 { y + 1 } else { y };
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+// -------------------------------------------------------------- benches --
+
+/// Sizing knobs for one trajectory run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrajectoryConfig {
+    /// Contended establishes per admission round.
+    pub requests: usize,
+    /// Admission rounds (each on a fresh network).
+    pub rounds: usize,
+    /// Batch size for the batched admission bench.
+    pub batch: usize,
+    /// Warm-up connections for the churn bench.
+    pub churn_connections: usize,
+    /// Churn events for the churn bench.
+    pub churn_events: usize,
+    /// Ops in the closed-loop (loadgen-shaped) bench.
+    pub loop_ops: usize,
+    /// Base seed.
+    pub seed: u64,
+}
+
+impl TrajectoryConfig {
+    /// The recorded-entry configuration.
+    pub fn full() -> Self {
+        Self {
+            requests: 192,
+            rounds: 20,
+            batch: 16,
+            churn_connections: 200,
+            churn_events: 2_000,
+            loop_ops: 4_000,
+            seed: 2001,
+        }
+    }
+
+    /// The CI `--check` configuration: same shape, a fraction of the
+    /// samples.
+    pub fn quick() -> Self {
+        Self {
+            requests: 160,
+            rounds: 4,
+            churn_connections: 50,
+            churn_events: 200,
+            loop_ops: 500,
+            ..Self::full()
+        }
+    }
+}
+
+/// The contended-link workload: every request crosses the same ring, so
+/// each admission retreats (and later refills) every earlier connection —
+/// the worst case for sequential fill work and the best case for the
+/// batch's deferred-fill rule.
+fn contended_requests(n: usize) -> Vec<EstablishRequest> {
+    // A fine Δ gives the elastic range many levels, so each fill pass
+    // does real redistribution work — the paper's small-increment end.
+    let qos = ElasticQos::paper_video(25);
+    (0..n)
+        .map(|i| EstablishRequest {
+            // Alternate the two antipodal pairs so both ring directions
+            // stay hot; all requests still share links with each other.
+            src: NodeId((i % 2) * 3),
+            dst: NodeId(3 - (i % 2) * 3),
+            qos,
+        })
+        .collect()
+}
+
+fn fresh_ring() -> Network {
+    // Capacity sized so the whole contended workload admits: the cost of
+    // a sequential admission is dominated by refilling every live
+    // connection, which is exactly the work the batch's deferred-fill
+    // rule elides, so the depth of the live set is the contrast knob.
+    Network::new(
+        regular::ring(6).expect("ring(6) is a valid topology"),
+        NetworkConfig {
+            capacity: drqos_core::qos::Bandwidth::kbps(30_000),
+            ..NetworkConfig::default()
+        },
+    )
+}
+
+/// Admission throughput, one request at a time (the pre-batching path).
+pub fn bench_admission_single(cfg: &TrajectoryConfig) -> BenchRecord {
+    let mut samples = Vec::with_capacity(cfg.rounds * cfg.requests);
+    for _ in 0..cfg.rounds {
+        let mut net = fresh_ring();
+        for req in contended_requests(cfg.requests) {
+            let t0 = Instant::now();
+            let _ = net.establish(req.src, req.dst, req.qos);
+            samples.push(t0.elapsed().as_nanos() as u64);
+        }
+    }
+    BenchRecord::from_samples("admission_single", samples)
+}
+
+/// Admission throughput through [`Network::establish_batch`] in
+/// contention order — the daemon's batched path. Per-op latency is the
+/// batch wall time split evenly across its requests.
+pub fn bench_admission_batch(cfg: &TrajectoryConfig) -> BenchRecord {
+    let mut samples = Vec::with_capacity(cfg.rounds * cfg.requests);
+    for _ in 0..cfg.rounds {
+        let mut net = fresh_ring();
+        let requests = contended_requests(cfg.requests);
+        for chunk in requests.chunks(cfg.batch.max(1)) {
+            let order = net.contention_order(chunk);
+            let sorted: Vec<EstablishRequest> = order
+                .iter()
+                .filter_map(|&i| chunk.get(i).copied())
+                .collect();
+            let t0 = Instant::now();
+            let _ = net.establish_batch(&sorted);
+            let per_op = t0.elapsed().as_nanos() as u64 / sorted.len().max(1) as u64;
+            samples.extend(std::iter::repeat_n(per_op, sorted.len()));
+        }
+    }
+    BenchRecord::from_samples("admission_batch", samples)
+}
+
+/// The churn experiment harness (warm-up + arrival/termination events).
+/// Per-op latency here is each round's mean event time — the harness has
+/// no per-event clock — so the quantiles spread across rounds.
+pub fn bench_churn(cfg: &TrajectoryConfig) -> BenchRecord {
+    let rounds = cfg.rounds.clamp(1, 8);
+    let mut samples = Vec::new();
+    for round in 0..rounds {
+        let config = ExperimentConfig {
+            churn_events: cfg.churn_events,
+            seed: crate::runner::derive_seed(cfg.seed, round as u64),
+            ..ExperimentConfig::paper_default(cfg.churn_connections, 100)
+        };
+        let events = (config.target_connections + config.churn_events) as u64;
+        let graph = regular::torus(4, 4).expect("torus(4,4) is a valid topology");
+        let t0 = Instant::now();
+        let _ = run_churn(graph, &config);
+        let per_op = t0.elapsed().as_nanos() as u64 / events.max(1);
+        samples.extend(std::iter::repeat_n(per_op, events as usize));
+    }
+    BenchRecord::from_samples("churn", samples)
+}
+
+/// The load generator's op mix — a closed loop of seeded establishes and
+/// releases against a torus — run in-process against the [`Network`]
+/// (the admission work that dominates `drqosd`'s hot path; the TCP layer
+/// is benched end-to-end by `drqos-loadgen` itself).
+pub fn bench_loadgen_loop(cfg: &TrajectoryConfig) -> BenchRecord {
+    let mut net = Network::new(
+        regular::torus(6, 6).expect("torus(6,6) is a valid topology"),
+        NetworkConfig::default(),
+    );
+    let n = net.graph().node_count();
+    let mut rng = Rng::seed_from_u64(cfg.seed);
+    let qos = ElasticQos::paper_video(100);
+    let mut live: Vec<ConnectionId> = Vec::new();
+    let mut samples = Vec::with_capacity(cfg.loop_ops);
+    for _ in 0..cfg.loop_ops {
+        // The loadgen's mix: mostly establishes, releasing once enough
+        // connections accumulate (its workers release ~1-in-3).
+        let release = !live.is_empty() && (live.len() >= 64 || rng.chance(1.0 / 3.0));
+        if release {
+            let at = rng.range_usize(live.len());
+            let id = live.swap_remove(at);
+            let t0 = Instant::now();
+            let _ = net.release(id);
+            samples.push(t0.elapsed().as_nanos() as u64);
+        } else {
+            let src = rng.range_usize(n);
+            let mut dst = rng.range_usize(n - 1);
+            if dst >= src {
+                dst += 1;
+            }
+            let t0 = Instant::now();
+            let result = net.establish(NodeId(src), NodeId(dst), qos);
+            samples.push(t0.elapsed().as_nanos() as u64);
+            if let Ok(id) = result {
+                live.push(id);
+            }
+        }
+    }
+    BenchRecord::from_samples("loadgen_loop", samples)
+}
+
+/// Runs the full bench suite in trajectory order.
+pub fn run_benches(cfg: &TrajectoryConfig) -> Vec<BenchRecord> {
+    vec![
+        bench_admission_single(cfg),
+        bench_admission_batch(cfg),
+        bench_churn(cfg),
+        bench_loadgen_loop(cfg),
+    ]
+}
+
+// ----------------------------------------------------------- file I/O --
+
+/// Reads the entry lines (one JSON object each) out of a trajectory
+/// file. A missing file is an empty trajectory.
+///
+/// # Errors
+///
+/// Any I/O error other than the file not existing.
+pub fn read_entry_lines(path: &Path) -> io::Result<Vec<String>> {
+    let content = match fs::read_to_string(path) {
+        Ok(c) => c,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(e),
+    };
+    Ok(content
+        .lines()
+        .filter(|l| l.trim_start().starts_with("{\"entry\""))
+        .map(|l| l.trim().trim_end_matches(',').to_string())
+        .collect())
+}
+
+/// Appends one entry and rewrites the file (one entry per line inside
+/// the `{"trajectory":[...]}` wrapper, so each PR diffs as one line).
+///
+/// # Errors
+///
+/// Any I/O error from reading or writing the file.
+pub fn append_entry(path: &Path, entry: &TrajectoryEntry) -> io::Result<()> {
+    let mut lines = read_entry_lines(path)?;
+    lines.push(entry.to_json());
+    fs::write(
+        path,
+        format!("{{\"trajectory\":[\n{}\n]}}\n", lines.join(",\n")),
+    )
+}
+
+/// Extracts one numeric field of one named bench from an entry line
+/// (`bench_field(line, "admission_batch", "ops_per_sec")`). String
+/// scanning instead of a JSON parser — the writer above controls the
+/// format.
+pub fn bench_field(entry_line: &str, bench: &str, field: &str) -> Option<f64> {
+    let at = entry_line.find(&format!("\"name\":\"{bench}\""))?;
+    let obj = entry_line.get(at..)?;
+    let obj = obj.get(..obj.find('}')?)?;
+    let key = format!("\"{field}\":");
+    let at = obj.find(&key)? + key.len();
+    let tail = obj.get(at..)?;
+    let end = tail.find([',', '}']).unwrap_or(tail.len());
+    tail.get(..end)?.trim().parse().ok()
+}
+
+// -------------------------------------------------------------- checks --
+
+/// Batched admission must beat single-request admission by at least this
+/// factor on the contended-link microbench (the PR's acceptance bar).
+pub const BATCH_SPEEDUP_FLOOR: f64 = 2.0;
+
+/// Committed admission ops/sec may regress at most this fraction between
+/// consecutive trajectory entries.
+pub const MAX_REGRESSION: f64 = 0.10;
+
+/// Validates a committed trajectory file: the latest entry must show
+/// batched admission ≥ [`BATCH_SPEEDUP_FLOOR`] × single-request ops/sec,
+/// and (with ≥ 2 entries) admission ops/sec must not have regressed more
+/// than [`MAX_REGRESSION`] vs. the previous entry.
+///
+/// # Errors
+///
+/// A human-readable description of the first failed check.
+pub fn check_committed(path: &Path) -> Result<Vec<String>, String> {
+    let lines = read_entry_lines(path).map_err(|e| format!("reading {}: {e}", path.display()))?;
+    let Some(last) = lines.last() else {
+        return Err(format!("{} has no trajectory entries", path.display()));
+    };
+    let mut report = Vec::new();
+    let field = |line: &str, bench: &str, field: &str| -> Result<f64, String> {
+        bench_field(line, bench, field)
+            .ok_or_else(|| format!("latest entry is missing {bench}.{field}"))
+    };
+    let single = field(last, "admission_single", "ops_per_sec")?;
+    let batch = field(last, "admission_batch", "ops_per_sec")?;
+    if single <= 0.0 || batch < BATCH_SPEEDUP_FLOOR * single {
+        return Err(format!(
+            "latest entry: batched admission {batch:.0} ops/s is below \
+             {BATCH_SPEEDUP_FLOOR}x single-request {single:.0} ops/s"
+        ));
+    }
+    report.push(format!(
+        "committed: admission_batch {batch:.0} ops/s = {:.2}x admission_single {single:.0} ops/s",
+        batch / single
+    ));
+    if lines.len() >= 2 {
+        let prev = &lines[lines.len() - 2];
+        for bench in ["admission_single", "admission_batch"] {
+            let now = field(last, bench, "ops_per_sec")?;
+            let before = match bench_field(prev, bench, "ops_per_sec") {
+                Some(v) if v > 0.0 => v,
+                // The previous entry predates this bench (or recorded
+                // zero); nothing to regress against.
+                _ => continue,
+            };
+            if now < (1.0 - MAX_REGRESSION) * before {
+                return Err(format!(
+                    "{bench} regressed {:.1}% vs the previous entry \
+                     ({before:.0} -> {now:.0} ops/s; >{:.0}% not allowed)",
+                    100.0 * (1.0 - now / before),
+                    100.0 * MAX_REGRESSION
+                ));
+            }
+            report.push(format!(
+                "committed: {bench} {now:.0} ops/s vs previous {before:.0} ops/s (ok)"
+            ));
+        }
+    } else {
+        report.push("committed: single entry, no previous to compare".to_string());
+    }
+    Ok(report)
+}
+
+/// Validates a fresh measurement pair on this machine: batched admission
+/// must beat single-request by [`BATCH_SPEEDUP_FLOOR`].
+///
+/// # Errors
+///
+/// A human-readable description of the failed speedup bar.
+pub fn check_fresh(single: &BenchRecord, batch: &BenchRecord) -> Result<String, String> {
+    if single.ops_per_sec <= 0.0 || batch.ops_per_sec < BATCH_SPEEDUP_FLOOR * single.ops_per_sec {
+        return Err(format!(
+            "fresh run: batched admission {:.0} ops/s is below {BATCH_SPEEDUP_FLOOR}x \
+             single-request {:.0} ops/s",
+            batch.ops_per_sec, single.ops_per_sec
+        ));
+    }
+    Ok(format!(
+        "fresh run: admission_batch {:.0} ops/s = {:.2}x admission_single {:.0} ops/s",
+        batch.ops_per_sec,
+        batch.ops_per_sec / single.ops_per_sec,
+        single.ops_per_sec
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(name: &str, ops_per_sec: f64) -> BenchRecord {
+        BenchRecord {
+            name: name.to_string(),
+            ops: 100,
+            wall_s: 0.5,
+            ops_per_sec,
+            p50_ns: 1_000,
+            p95_ns: 2_000,
+            p99_ns: 4_000,
+        }
+    }
+
+    fn entry(label: &str, single: f64, batch: f64) -> TrajectoryEntry {
+        TrajectoryEntry {
+            entry: label.to_string(),
+            date: "2026-08-08".to_string(),
+            benches: vec![
+                record("admission_single", single),
+                record("admission_batch", batch),
+                record("churn", 5_000.0),
+                record("loadgen_loop", 9_000.0),
+            ],
+        }
+    }
+
+    #[test]
+    fn entry_json_round_trips_through_bench_field() {
+        let line = entry("pr6", 10_000.0, 25_000.0).to_json();
+        assert_eq!(
+            bench_field(&line, "admission_single", "ops_per_sec"),
+            Some(10_000.0)
+        );
+        assert_eq!(
+            bench_field(&line, "admission_batch", "ops_per_sec"),
+            Some(25_000.0)
+        );
+        assert_eq!(bench_field(&line, "churn", "ops"), Some(100.0));
+        assert_eq!(bench_field(&line, "loadgen_loop", "p99_ns"), Some(4_000.0));
+        assert_eq!(bench_field(&line, "missing_bench", "ops"), None);
+        assert_eq!(bench_field(&line, "churn", "missing_field"), None);
+    }
+
+    #[test]
+    fn append_accumulates_one_line_per_entry() {
+        let dir = std::env::temp_dir().join(format!("drqos-traj-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_trajectory.json");
+        assert_eq!(
+            read_entry_lines(&path).unwrap().len(),
+            0,
+            "missing file is empty"
+        );
+        append_entry(&path, &entry("pr6", 10_000.0, 25_000.0)).unwrap();
+        append_entry(&path, &entry("pr7", 11_000.0, 26_000.0)).unwrap();
+        let lines = read_entry_lines(&path).unwrap();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"entry\":\"pr6\""));
+        assert!(lines[1].contains("\"entry\":\"pr7\""));
+        let content = fs::read_to_string(&path).unwrap();
+        assert!(content.starts_with("{\"trajectory\":[\n"));
+        assert!(content.ends_with("\n]}\n"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn committed_checks_enforce_speedup_and_regression_bars() {
+        let dir = std::env::temp_dir().join(format!("drqos-traj-check-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_trajectory.json");
+        assert!(
+            check_committed(&path).is_err(),
+            "empty trajectory must fail"
+        );
+        // Batch below 2x single: fail.
+        append_entry(&path, &entry("pr6", 10_000.0, 15_000.0)).unwrap();
+        assert!(check_committed(&path).unwrap_err().contains("below 2x"));
+        // Healthy single entry: pass.
+        fs::remove_file(&path).unwrap();
+        append_entry(&path, &entry("pr6", 10_000.0, 25_000.0)).unwrap();
+        assert!(check_committed(&path).is_ok());
+        // >10% regression vs the previous entry: fail.
+        append_entry(&path, &entry("pr7", 10_000.0, 21_000.0)).unwrap();
+        assert!(check_committed(&path).unwrap_err().contains("regressed"));
+        // Within 10%: pass.
+        fs::remove_file(&path).unwrap();
+        append_entry(&path, &entry("pr6", 10_000.0, 25_000.0)).unwrap();
+        append_entry(&path, &entry("pr7", 9_500.0, 24_000.0)).unwrap();
+        let report = check_committed(&path).unwrap();
+        assert!(report.iter().any(|l| l.contains("vs previous")));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fresh_check_enforces_the_speedup_floor() {
+        assert!(check_fresh(&record("s", 10_000.0), &record("b", 25_000.0)).is_ok());
+        assert!(check_fresh(&record("s", 10_000.0), &record("b", 19_000.0)).is_err());
+        assert!(check_fresh(&record("s", 0.0), &record("b", 19_000.0)).is_err());
+    }
+
+    #[test]
+    fn quantiles_are_nearest_rank() {
+        let sorted: Vec<u64> = (1..=100).collect();
+        assert_eq!(quantile_ns(&sorted, 0.50), 51);
+        assert_eq!(quantile_ns(&sorted, 0.99), 99);
+        assert_eq!(quantile_ns(&[], 0.5), 0);
+        assert_eq!(quantile_ns(&[7], 0.99), 7);
+    }
+
+    #[test]
+    fn today_renders_an_iso_date() {
+        let d = today_utc();
+        assert_eq!(d.len(), 10, "{d}");
+        assert_eq!(&d[4..5], "-");
+        assert_eq!(&d[7..8], "-");
+        assert!(d.starts_with("20"), "{d}");
+    }
+
+    #[test]
+    fn quick_benches_measure_and_batch_keeps_results_identical() {
+        // A smoke run of the admission pair on a tiny config: both paths
+        // admit the same workload (the equivalence the differential
+        // fuzzer proves at scale), and every record carries samples.
+        let cfg = TrajectoryConfig {
+            requests: 16,
+            rounds: 2,
+            ..TrajectoryConfig::quick()
+        };
+        let single = bench_admission_single(&cfg);
+        let batch = bench_admission_batch(&cfg);
+        for r in [&single, &batch] {
+            assert_eq!(r.ops, (cfg.requests * cfg.rounds) as u64, "{}", r.name);
+            assert!(r.wall_s > 0.0, "{} measured nothing", r.name);
+            assert!(r.p50_ns <= r.p95_ns && r.p95_ns <= r.p99_ns, "{}", r.name);
+        }
+        // No throughput assertion here — CI machines are noisy; the 2x
+        // bar is enforced by `trajectory --check` on a release build.
+    }
+}

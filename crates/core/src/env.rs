@@ -32,11 +32,28 @@ pub const BATCH: &str = "DRQOS_BATCH";
 /// `DRQOS_QUEUE_DEPTH` — daemon command-queue capacity (see
 /// [`queue_depth`]).
 pub const QUEUE_DEPTH: &str = "DRQOS_QUEUE_DEPTH";
+/// `DRQOS_WIRE` — daemon wire framing, text or binary (see [`wire`]).
+pub const WIRE: &str = "DRQOS_WIRE";
+/// `DRQOS_BUSY_RETRIES` — loadgen `BUSY` retry cap (see
+/// [`busy_retries`]).
+pub const BUSY_RETRIES: &str = "DRQOS_BUSY_RETRIES";
 
 /// Default for `DRQOS_BATCH`: commands drained per event-loop tick.
 pub const DEFAULT_BATCH: usize = 64;
 /// Default for `DRQOS_QUEUE_DEPTH`: bounded command-queue capacity.
 pub const DEFAULT_QUEUE_DEPTH: usize = 1024;
+/// Default for `DRQOS_BUSY_RETRIES`: bounded `BUSY` retry attempts.
+pub const DEFAULT_BUSY_RETRIES: usize = 64;
+
+/// Wire framing selected by `DRQOS_WIRE`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WireMode {
+    /// Newline-delimited text grammar (the default).
+    #[default]
+    Text,
+    /// Length-prefixed binary frames.
+    Binary,
+}
 
 /// One registered environment knob.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -95,6 +112,21 @@ pub fn registry() -> &'static [EnvVar] {
             consumed_by: "`drqosd`",
             default: "`1024`",
             doc: "bounded command-queue capacity; a full queue answers `BUSY`",
+        },
+        EnvVar {
+            name: WIRE,
+            consumed_by: "`drqosd` / loadgen",
+            default: "`text`",
+            doc: "`binary` switches the daemon to length-prefixed binary \
+                  framing (see SERVICE.md); any other value means text",
+        },
+        EnvVar {
+            name: BUSY_RETRIES,
+            consumed_by: "loadgen",
+            default: "`64`",
+            doc: "bounded `BUSY` retries per command before the load \
+                  generator gives up (exponential backoff with seeded \
+                  jitter between attempts)",
         },
     ]
 }
@@ -184,6 +216,27 @@ pub fn queue_depth() -> usize {
     })
 }
 
+fn parse_wire(v: &str) -> WireMode {
+    if v.trim().eq_ignore_ascii_case("binary") {
+        WireMode::Binary
+    } else {
+        WireMode::Text
+    }
+}
+
+/// `DRQOS_WIRE`: [`WireMode::Binary`] for `binary` (case-insensitive),
+/// [`WireMode::Text`] otherwise.
+pub fn wire() -> WireMode {
+    read(WIRE).map_or(WireMode::Text, |v| parse_wire(&v))
+}
+
+/// `DRQOS_BUSY_RETRIES` (minimum 1; default [`DEFAULT_BUSY_RETRIES`]).
+pub fn busy_retries() -> usize {
+    read(BUSY_RETRIES).map_or(DEFAULT_BUSY_RETRIES, |v| {
+        parse_positive(&v, DEFAULT_BUSY_RETRIES)
+    })
+}
+
 /// The README environment table, rendered from [`registry`]. The README
 /// commits this text between `<!-- env-table:begin -->` and
 /// `<!-- env-table:end -->` markers; `drqos-lint` (and the
@@ -255,6 +308,15 @@ mod tests {
         assert_eq!(parse_positive("0", 64), 64);
         assert_eq!(parse_positive("x", 64), 64);
         assert_eq!(parse_positive(" 7 ", 64), 7);
+    }
+
+    #[test]
+    fn wire_parsing_defaults_to_text() {
+        assert_eq!(parse_wire("binary"), WireMode::Binary);
+        assert_eq!(parse_wire(" BINARY "), WireMode::Binary);
+        for v in ["text", "", "0", "frames"] {
+            assert_eq!(parse_wire(v), WireMode::Text);
+        }
     }
 
     #[test]

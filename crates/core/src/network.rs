@@ -89,6 +89,17 @@ impl Default for NetworkConfig {
     }
 }
 
+/// One request in an [`Network::establish_batch`] group.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EstablishRequest {
+    /// Source endpoint.
+    pub src: NodeId,
+    /// Destination endpoint.
+    pub dst: NodeId,
+    /// The requested elastic QoS.
+    pub qos: ElasticQos,
+}
+
 /// A routed-but-not-committed DR-connection (the confirmation message of
 /// the flooding protocol, as it were).
 #[derive(Debug, Clone, PartialEq)]
@@ -519,15 +530,36 @@ impl Network {
     /// from (plan → observe → commit is the supported sequence; interleaved
     /// mutations void the feasibility checks).
     pub fn commit_establish(&mut self, plan: EstablishPlan) -> ConnectionId {
-        let id = ConnectionId(self.next_id);
-        self.next_id += 1;
-        // 1. Retreat every primary that shares a link with the new
-        //    connection's channels ("directly chained").
+        let retreated = self.chained_by(&plan);
+        let (id, candidates) = self.commit_deferring_fill(plan, retreated);
+        self.redistribute(&candidates);
+        id
+    }
+
+    /// The "directly chained" set of `plan`: every primary sharing a link
+    /// with the plan's channels. Membership never depends on extras.
+    fn chained_by(&self, plan: &EstablishPlan) -> BTreeSet<ConnectionId> {
         let mut new_links: BTreeSet<LinkId> = plan.primary.links().iter().copied().collect();
         for b in &plan.backups {
             new_links.extend(b.links().iter().copied());
         }
-        let retreated = self.primaries_on_links(new_links.iter().copied());
+        self.primaries_on_links(new_links.iter().copied())
+    }
+
+    /// Commits `plan` against its (already-computed) retreat set but does
+    /// *not* run the redistribution fill: the returned candidate set must
+    /// eventually be passed to `redistribute` by the caller. Splitting the
+    /// fill off lets [`Network::establish_batch`] skip fills the next
+    /// commit would fully undo.
+    fn commit_deferring_fill(
+        &mut self,
+        plan: EstablishPlan,
+        retreated: BTreeSet<ConnectionId>,
+    ) -> (ConnectionId, BTreeSet<ConnectionId>) {
+        let id = ConnectionId(self.next_id);
+        self.next_id += 1;
+        // 1. Retreat every primary that shares a link with the new
+        //    connection's channels ("directly chained").
         for &c in &retreated {
             self.retreat(c);
         }
@@ -544,17 +576,115 @@ impl Network {
         let conn = DrConnection::new(id, plan.qos, plan.primary, plan.backups);
         self.total_bandwidth += conn.bandwidth();
         self.connections.insert(id, conn);
-        // 3. Re-distribute: the retreated channels, the newcomer, and
+        // 3. Fill candidates: the retreated channels, the newcomer, and
         //    anyone sharing a link with a retreated channel can grow.
-        let mut candidates = retreated.clone();
-        candidates.insert(id);
         let retreat_links: BTreeSet<LinkId> = retreated
             .iter()
             .flat_map(|c| self.connections[c].primary().links().iter().copied())
             .collect();
+        let mut candidates = retreated;
+        candidates.insert(id);
         candidates.extend(self.primaries_on_links(retreat_links.iter().copied()));
-        self.redistribute(&candidates);
-        id
+        (id, candidates)
+    }
+
+    /// Establishes a group of requests with *identical results* to calling
+    /// [`Network::establish`] once per request in the given order — same
+    /// admission outcomes, same connection ids, same final network state —
+    /// while eliding redistribution fills that the very next commit would
+    /// fully undo, and sharing one route-search scratch across the group.
+    ///
+    /// Correctness rests on a deliberate property of the admission layer:
+    /// planning, retreat sets, and fill candidate sets never read extras
+    /// (see `link_state` — `can_admit_primary`/`can_admit_backup`, the
+    /// allowances, and `plan_digest` all exclude them as reclaimable). A
+    /// pending fill over candidates `K` is therefore invisible to every
+    /// later *plan*; and when the next successful commit retreats all of
+    /// `K` (`K ⊆ R`), the fill's grants would be unwound before anything
+    /// could observe them, so the fill is skipped outright. Otherwise the
+    /// pending fill runs exactly where sequential execution would have run
+    /// it — before that commit's retreats. `fuzz --diff-batch` replays
+    /// batched and sequential networks in lockstep and compares full
+    /// snapshots to enforce the equivalence empirically.
+    ///
+    /// Requests are processed in the order given. Callers that are free to
+    /// reorder — concurrent `drqosd` clients carry no cross-client
+    /// ordering contract — can use [`Network::contention_order`] to group
+    /// requests over contended links so the skip rule fires more often.
+    pub fn establish_batch(
+        &mut self,
+        requests: &[EstablishRequest],
+    ) -> Vec<Result<ConnectionId, AdmissionError>> {
+        let mut results = Vec::with_capacity(requests.len());
+        // Fill candidates of the last commit, not yet redistributed.
+        let mut pending: Option<BTreeSet<ConnectionId>> = None;
+        for req in requests {
+            let plan = match self.plan_establish(req.src, req.dst, req.qos) {
+                Ok(plan) => plan,
+                Err(e) => {
+                    // Planning never reads extras, so the deferred fill
+                    // cannot have changed this outcome.
+                    results.push(Err(e));
+                    continue;
+                }
+            };
+            let retreated = self.chained_by(&plan);
+            if let Some(fill) = pending.take() {
+                if !fill.iter().all(|c| retreated.contains(c)) {
+                    // Some candidate would keep its granted increments
+                    // past this commit: run the fill at its sequential
+                    // point, before this commit's retreats.
+                    self.redistribute(&fill);
+                }
+            }
+            let (id, candidates) = self.commit_deferring_fill(plan, retreated);
+            results.push(Ok(id));
+            pending = Some(candidates);
+        }
+        if let Some(fill) = pending {
+            self.redistribute(&fill);
+        }
+        results
+    }
+
+    /// A processing order for a batch, grouping requests whose endpoints
+    /// sit on the most-contended links first: indices into `requests`,
+    /// sorted by descending hard commitment per unit capacity of the
+    /// hottest up-link incident to either endpoint, ties broken by input
+    /// position (the order is a deterministic function of network state).
+    ///
+    /// Reordering is the *caller's* choice — [`Network::establish_batch`]
+    /// itself is order-preserving. The daemon applies this to
+    /// concurrently drained requests, which have no cross-client ordering
+    /// contract; grouping contended requests adjacently both cuts retreat
+    /// thrash and lets the batch skip rule fire more often.
+    pub fn contention_order(&self, requests: &[EstablishRequest]) -> Vec<usize> {
+        let node_heat = |n: NodeId| -> u64 {
+            if !self.graph.contains_node(n) {
+                return 0;
+            }
+            self.graph
+                .neighbors(n)
+                .iter()
+                .map(|&(_, l)| {
+                    let u = &self.links[l.index()];
+                    if !u.is_up() {
+                        return 0;
+                    }
+                    // Hard commitment per unit capacity, in parts per 2^16
+                    // (integer arithmetic keeps the order platform-exact).
+                    (u.hard_committed().as_kbps() << 16) / u.capacity().as_kbps().max(1)
+                })
+                .max()
+                .unwrap_or(0)
+        };
+        let heat: Vec<u64> = requests
+            .iter()
+            .map(|r| node_heat(r.src).max(node_heat(r.dst)))
+            .collect();
+        let mut order: Vec<usize> = (0..requests.len()).collect();
+        order.sort_by(|&a, &b| heat[b].cmp(&heat[a]).then(a.cmp(&b)));
+        order
     }
 
     /// Convenience: plan + commit in one call.
@@ -1604,6 +1734,89 @@ mod tests {
             Bandwidth::kbps(100)
         );
         net.validate();
+    }
+
+    /// A contended batch must land on exactly the sequential results and
+    /// final state: same admissions/rejections, same ids, same snapshot.
+    /// (The exhaustive version of this is `fuzz --diff-batch`.)
+    #[test]
+    fn establish_batch_matches_sequential_exactly() {
+        let reqs: Vec<EstablishRequest> = (0..10)
+            .map(|i| EstablishRequest {
+                src: NodeId(i % 6),
+                dst: NodeId((i + 3) % 6),
+                qos: qos(),
+            })
+            .collect();
+        let g = regular::ring(6).unwrap();
+        let config = NetworkConfig {
+            // Tight enough that later requests get rejected and earlier
+            // ones fight over increments — both fill paths exercised.
+            capacity: Bandwidth::kbps(800),
+            ..NetworkConfig::default()
+        };
+        let mut batched = Network::new(g.clone(), config.clone());
+        let mut sequential = Network::new(g, config);
+        let batch_results = batched.establish_batch(&reqs);
+        let seq_results: Vec<_> = reqs
+            .iter()
+            .map(|r| sequential.establish(r.src, r.dst, r.qos))
+            .collect();
+        assert_eq!(batch_results, seq_results);
+        batched.validate();
+        assert_eq!(
+            crate::snapshot::NetworkSnapshot::capture(&batched),
+            crate::snapshot::NetworkSnapshot::capture(&sequential),
+            "batched and sequential establishment diverged"
+        );
+        assert!(
+            batch_results.iter().any(|r| r.is_ok()) && batch_results.iter().any(|r| r.is_err()),
+            "the scenario should mix admissions and rejections"
+        );
+    }
+
+    #[test]
+    fn contention_order_groups_hot_endpoints_first() {
+        // A path graph (no backups possible) keeps the load where it is
+        // put: only link 0–1 carries commitment.
+        let mut g = Graph::new();
+        let n: Vec<NodeId> = (0..6).map(|_| g.add_node()).collect();
+        for w in n.windows(2) {
+            g.add_link(w[0], w[1]).unwrap();
+        }
+        let mut net = Network::new(
+            g,
+            NetworkConfig {
+                capacity: Bandwidth::kbps(1_000),
+                require_backup: false,
+                ..NetworkConfig::default()
+            },
+        );
+        for _ in 0..5 {
+            net.establish(n[0], n[1], qos()).unwrap();
+        }
+        let reqs = [
+            EstablishRequest {
+                src: n[3],
+                dst: n[4],
+                qos: qos(),
+            },
+            EstablishRequest {
+                src: n[0],
+                dst: n[1],
+                qos: qos(),
+            },
+            EstablishRequest {
+                src: NodeId(99), // unknown endpoint sorts cold, not panics
+                dst: n[1],
+                qos: qos(),
+            },
+        ];
+        // Requests touching the hot link first; the heat tie between #1
+        // and #2 (both reach node 1) breaks by input position.
+        assert_eq!(net.contention_order(&reqs), vec![1, 2, 0]);
+        // An empty batch is fine.
+        assert!(net.contention_order(&[]).is_empty());
     }
 
     #[test]

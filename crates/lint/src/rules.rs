@@ -54,6 +54,7 @@ pub const NO_PANIC_FILES: &[(&str, bool)] = &[
     ("crates/service/src/server.rs", true),
     ("crates/service/src/engine.rs", true),
     ("crates/service/src/protocol.rs", true),
+    ("crates/service/src/frame.rs", true),
     ("crates/service/src/bin/drqosd.rs", true),
     ("crates/core/src/network.rs", false),
 ];
@@ -70,6 +71,7 @@ pub const DETERMINISTIC_FILES: &[&str] = &[
     "crates/bench/src/runner.rs",
     "crates/service/src/engine.rs",
     "crates/service/src/protocol.rs",
+    "crates/service/src/frame.rs",
 ];
 
 /// Emitter files where every float reaching `format!` must carry an

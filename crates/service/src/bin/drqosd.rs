@@ -125,11 +125,15 @@ fn main() -> ExitCode {
         }
     };
     eprintln!(
-        "drqosd: serving {} ({}) on {addr}",
+        "drqosd: serving {} ({}) on {addr}, {} wire",
         args.topology,
         match args.topology.as_str() {
             "ring" => format!("{} nodes", args.nodes),
             _ => format!("{}x{}", args.rows, args.cols),
+        },
+        match server.wire() {
+            drqos_core::env::WireMode::Text => "text",
+            drqos_core::env::WireMode::Binary => "binary",
         }
     );
     let report = match server.run() {

@@ -1,5 +1,5 @@
 //! The admission-control engine: one [`Network`] plus the request-metrics
-//! layer, driven one command at a time.
+//! layer, driven one command — or one drained queue batch — at a time.
 //!
 //! The engine is *single-writer by construction*: it is owned by exactly
 //! one event loop (see [`crate::server`]) and has no interior locking.
@@ -10,11 +10,26 @@
 use crate::error::ProtocolError;
 use crate::metrics::{Metrics, OpKind, OpTimer};
 use crate::protocol::{self, Request, Response};
-use drqos_core::network::Network;
+use drqos_core::network::{EstablishRequest, Network};
 use drqos_core::qos::{Bandwidth, ElasticQos};
 use drqos_topology::{LinkId, NodeId};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// One `ESTABLISH` waiting in a batch run: its reply slot, its metrics
+/// timer (started at parse time), and the validated request.
+struct PendingEstablish {
+    slot: usize,
+    t0: OpTimer,
+    req: EstablishRequest,
+}
+
+/// Fills a reply slot without indexing (the daemon zone is panic-free).
+fn set_slot(out: &mut [Option<Handled>], slot: usize, handled: Handled) {
+    if let Some(s) = out.get_mut(slot) {
+        *s = Some(handled);
+    }
+}
 
 /// What the server loop should do with a handled line.
 #[derive(Debug)]
@@ -90,6 +105,130 @@ impl Engine {
                 self.metrics.record(OpKind::Invalid, t0.elapsed(), true);
                 Handled::Reply(e.into())
             }
+        }
+    }
+
+    /// Handles one drained queue batch for the server event loop,
+    /// admitting runs of consecutive `ESTABLISH` commands through
+    /// [`Network::establish_batch`] (one shared scratch/flood pass per
+    /// run instead of one per request).
+    ///
+    /// Replies land in input order, one per line. Each run is sorted by
+    /// [`Network::contention_order`] before admission and the results are
+    /// mapped back; this is observable only as admission order, which
+    /// concurrent clients have no contract over (commands in one drained
+    /// batch come from distinct connections — each client is closed-loop).
+    /// The `bw=` field of a batched establish reply reflects the network
+    /// *after the whole run commits*, exactly as if the requests had been
+    /// admitted back-to-back with no reader between them.
+    pub fn handle_server_batch(&mut self, lines: &[String]) -> Vec<Handled> {
+        let mut out: Vec<Option<Handled>> = lines.iter().map(|_| None).collect();
+        let mut run: Vec<PendingEstablish> = Vec::new();
+        for (slot, line) in lines.iter().enumerate() {
+            let t0 = OpTimer::start();
+            let parsed = protocol::parse(line);
+            if let Ok(Request::Establish {
+                src,
+                dst,
+                bmin,
+                bmax,
+                delta,
+            }) = parsed
+            {
+                match build_qos(bmin, bmax, delta) {
+                    Ok(qos) => run.push(PendingEstablish {
+                        slot,
+                        t0,
+                        req: EstablishRequest {
+                            src: NodeId(src),
+                            dst: NodeId(dst),
+                            qos,
+                        },
+                    }),
+                    // A QoS-range error never touches the network, so it
+                    // cannot split the run.
+                    Err(resp) => {
+                        self.metrics.record(OpKind::Establish, t0.elapsed(), true);
+                        set_slot(&mut out, slot, Handled::Reply(resp));
+                    }
+                }
+                continue;
+            }
+            // Any other command is an ordering barrier: flush the run
+            // first so state mutations keep their queue order.
+            self.flush_establish_run(&mut run, &mut out);
+            let handled = match parsed {
+                Ok(Request::Shutdown) => {
+                    self.metrics.record(OpKind::Shutdown, t0.elapsed(), false);
+                    Handled::ShutdownRequested
+                }
+                Ok(req) => {
+                    let resp = self.dispatch(&req);
+                    self.metrics
+                        .record(op_kind(&req), t0.elapsed(), resp.is_err());
+                    Handled::Reply(resp)
+                }
+                Err(e) => {
+                    self.metrics.record(OpKind::Invalid, t0.elapsed(), true);
+                    Handled::Reply(e.into())
+                }
+            };
+            set_slot(&mut out, slot, handled);
+        }
+        self.flush_establish_run(&mut run, &mut out);
+        out.into_iter()
+            .map(|h| {
+                h.unwrap_or_else(|| {
+                    Handled::Reply(ProtocolError::internal("batch reply slot unfilled").into())
+                })
+            })
+            .collect()
+    }
+
+    /// Admits one buffered establish run: a single request goes through
+    /// the ordinary path, a group goes through the batched planner.
+    fn flush_establish_run(
+        &mut self,
+        run: &mut Vec<PendingEstablish>,
+        out: &mut [Option<Handled>],
+    ) {
+        if run.len() <= 1 {
+            if let Some(p) = run.pop() {
+                let resp = self.admit(p.req);
+                self.metrics
+                    .record(OpKind::Establish, p.t0.elapsed(), resp.is_err());
+                set_slot(out, p.slot, Handled::Reply(resp));
+            }
+            return;
+        }
+        let reqs: Vec<EstablishRequest> = run.iter().map(|p| p.req).collect();
+        let order = self.net.contention_order(&reqs);
+        let sorted: Vec<EstablishRequest> =
+            order.iter().filter_map(|&i| reqs.get(i).copied()).collect();
+        let results = self.net.establish_batch(&sorted);
+        // Un-permute: the result at batch position k answers request
+        // `order[k]`.
+        let mut by_request: Vec<Option<Response>> = reqs.iter().map(|_| None).collect();
+        for (k, &i) in order.iter().enumerate() {
+            let resp = match results.get(k) {
+                Some(Ok(id)) => self.render_admitted(*id),
+                Some(Err(e)) => Response::Err {
+                    code: e.wire_code(),
+                    message: e.to_string(),
+                },
+                None => ProtocolError::internal("batch admission result missing").into(),
+            };
+            if let Some(s) = by_request.get_mut(i) {
+                *s = Some(resp);
+            }
+        }
+        for (p, resp) in run.drain(..).zip(by_request) {
+            let resp = resp.unwrap_or_else(|| {
+                ProtocolError::internal("batch admission result missing").into()
+            });
+            self.metrics
+                .record(OpKind::Establish, p.t0.elapsed(), resp.is_err());
+            set_slot(out, p.slot, Handled::Reply(resp));
         }
     }
 
@@ -183,37 +322,40 @@ impl Engine {
     }
 
     fn establish(&mut self, src: usize, dst: usize, bmin: u64, bmax: u64, delta: u64) -> Response {
-        let qos = match ElasticQos::new(
-            Bandwidth::kbps(bmin),
-            Bandwidth::kbps(bmax),
-            Bandwidth::kbps(delta),
-            1.0,
-        ) {
-            Ok(q) => q,
-            Err(e) => {
-                return Response::Err {
-                    code: e.wire_code(),
-                    message: e.to_string(),
-                }
-            }
-        };
-        match self.net.establish(NodeId(src), NodeId(dst), qos) {
-            Ok(id) => match self.net.connection(id) {
-                Some(c) => Response::Ok(format!(
-                    "id={} bw={} hops={} backups={}",
-                    id.0,
-                    c.bandwidth().as_kbps(),
-                    c.primary().hop_count(),
-                    c.backup_count()
-                )),
-                // An admitted connection must be readable back; if not the
-                // engine state is inconsistent — report, don't panic.
-                None => ProtocolError::internal("established connection not readable back").into(),
-            },
+        match build_qos(bmin, bmax, delta) {
+            Ok(qos) => self.admit(EstablishRequest {
+                src: NodeId(src),
+                dst: NodeId(dst),
+                qos,
+            }),
+            Err(resp) => resp,
+        }
+    }
+
+    /// Admits one request sequentially and renders its reply.
+    fn admit(&mut self, req: EstablishRequest) -> Response {
+        match self.net.establish(req.src, req.dst, req.qos) {
+            Ok(id) => self.render_admitted(id),
             Err(e) => Response::Err {
                 code: e.wire_code(),
                 message: e.to_string(),
             },
+        }
+    }
+
+    /// Renders the `OK` reply for an admitted connection id.
+    fn render_admitted(&self, id: drqos_core::channel::ConnectionId) -> Response {
+        match self.net.connection(id) {
+            Some(c) => Response::Ok(format!(
+                "id={} bw={} hops={} backups={}",
+                id.0,
+                c.bandwidth().as_kbps(),
+                c.primary().hop_count(),
+                c.backup_count()
+            )),
+            // An admitted connection must be readable back; if not the
+            // engine state is inconsistent — report, don't panic.
+            None => ProtocolError::internal("established connection not readable back").into(),
         }
     }
 
@@ -258,6 +400,21 @@ impl Engine {
             cache.stale_evictions
         )
     }
+}
+
+/// Validates an elastic QoS range from wire integers, mapping failures
+/// onto their wire-coded error response.
+fn build_qos(bmin: u64, bmax: u64, delta: u64) -> Result<ElasticQos, Response> {
+    ElasticQos::new(
+        Bandwidth::kbps(bmin),
+        Bandwidth::kbps(bmax),
+        Bandwidth::kbps(delta),
+        1.0,
+    )
+    .map_err(|e| Response::Err {
+        code: e.wire_code(),
+        message: e.to_string(),
+    })
 }
 
 fn op_kind(req: &Request) -> OpKind {
@@ -365,6 +522,100 @@ mod tests {
             e.handle_line("SHUTDOWN"),
             Response::Ok("violations=0".to_string())
         );
+    }
+
+    #[test]
+    fn server_batch_matches_sequential_lines_on_an_idle_network() {
+        // On an idle network every link has zero heat, so the contention
+        // sort is the identity and the batch path must reproduce the
+        // sequential replies byte-for-byte — including the error slots.
+        let lines: Vec<String> = [
+            "ESTABLISH 0 3 100 500 100",
+            "ESTABLISH 1 4 100 500 100",
+            "ESTABLISH 2 2 100 500 100", // src == dst: admission error
+            "BOGUS",
+            "RELEASE 0",
+            "SNAPSHOT",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let mut sequential = engine();
+        let expected: Vec<String> = lines
+            .iter()
+            .map(|l| sequential.handle_line(l).to_string())
+            .collect();
+        let mut batched = engine();
+        let got: Vec<String> = batched
+            .handle_server_batch(&lines)
+            .into_iter()
+            .map(|h| match h {
+                Handled::Reply(r) => r.to_string(),
+                Handled::ShutdownRequested => "SHUTDOWN".to_string(),
+            })
+            .collect();
+        assert_eq!(got, expected);
+        assert_eq!(
+            batched.metrics().total_ops(),
+            sequential.metrics().total_ops()
+        );
+        assert_eq!(batched.metrics().admitted, 2);
+        assert_eq!(batched.metrics().rejected, 1);
+    }
+
+    #[test]
+    fn server_batch_defers_shutdown_and_serves_the_rest() {
+        let lines: Vec<String> = ["ESTABLISH 0 3 100 500 100", "SHUTDOWN", "SNAPSHOT"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let mut e = engine();
+        let handled = e.handle_server_batch(&lines);
+        assert!(matches!(
+            handled.first(),
+            Some(Handled::Reply(Response::Ok(_)))
+        ));
+        assert!(matches!(handled.get(1), Some(Handled::ShutdownRequested)));
+        assert!(matches!(
+            handled.get(2),
+            Some(Handled::Reply(Response::Ok(_)))
+        ));
+    }
+
+    #[test]
+    fn batched_establish_replies_read_post_batch_bandwidth() {
+        // Two antipodal connections on a tight ring force redistribution;
+        // both replies must report the settled (post-batch) bandwidth, and
+        // both must be admitted.
+        let mut e = Engine::new(Network::new(
+            regular::ring(6).unwrap(),
+            drqos_core::network::NetworkConfig {
+                capacity: drqos_core::qos::Bandwidth::kbps(800),
+                ..drqos_core::network::NetworkConfig::default()
+            },
+        ));
+        let lines: Vec<String> = ["ESTABLISH 0 3 100 500 100", "ESTABLISH 3 0 100 500 100"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let mut ids = Vec::new();
+        for h in e.handle_server_batch(&lines) {
+            let Handled::Reply(Response::Ok(payload)) = h else {
+                panic!("both batched establishes must be admitted: {h:?}");
+            };
+            let id = protocol::payload_field(&payload, "id").unwrap();
+            let bw = protocol::payload_field(&payload, "bw").unwrap();
+            let now = e
+                .network()
+                .connection(drqos_core::channel::ConnectionId(id))
+                .unwrap()
+                .bandwidth()
+                .as_kbps();
+            assert_eq!(bw, now, "reply bw must match settled state for id {id}");
+            ids.push(id);
+        }
+        assert_eq!(ids.len(), 2);
+        assert_ne!(ids[0], ids[1]);
     }
 
     #[test]

@@ -1,0 +1,478 @@
+//! Binary wire framing (`DRQOS_WIRE=binary`).
+//!
+//! A length-prefixed, fixed-layout encoding of the exact same protocol
+//! the text mode speaks — same verbs, same error codes, same payloads —
+//! so a binary session decodes to a byte-identical transcript of the
+//! equivalent text session (CI proves this; see `tests/service_wire.rs`).
+//!
+//! ## Request frame
+//!
+//! ```text
+//! [u32 LE len] [u8 opcode] [u64 LE arg]*
+//! ```
+//!
+//! `len` counts the bytes after the length field. Opcodes mirror the
+//! verbs 1:1:
+//!
+//! | opcode | verb          | args                          |
+//! |-------:|---------------|-------------------------------|
+//! | 1      | `ESTABLISH`   | src, dst, bmin, bmax, delta   |
+//! | 2      | `RELEASE`     | id                            |
+//! | 3      | `FAIL-LINK`   | link                          |
+//! | 4      | `REPAIR-LINK` | link                          |
+//! | 5      | `FAIL-NODE`   | node                          |
+//! | 6      | `SNAPSHOT`    | —                             |
+//! | 7      | `STATS`       | —                             |
+//! | 8      | `SHUTDOWN`    | —                             |
+//!
+//! ## Response frame
+//!
+//! ```text
+//! [u32 LE len] [u8 status] [payload]
+//! ```
+//!
+//! Status 0 = `OK` (payload is the UTF-8 `key=value` text), 1 = `ERR`
+//! (payload is `[u16 LE code]` + UTF-8 message), 2 = `BUSY` (empty).
+//!
+//! Malformed frames map onto the *text* protocol's error codes 1–4
+//! ([`crate::error`]): empty body → 1, unknown opcode → 2, wrong
+//! argument count → 3, torn argument block → 4. No new code space.
+//!
+//! The daemon decodes request frames to [`Request`] and re-renders them
+//! as canonical text lines, so both wire modes share one event-loop and
+//! engine path; only the per-connection reader differs.
+
+use crate::error::ProtocolError;
+use crate::protocol::{Request, Response};
+use std::io::{self, Read};
+
+/// Hard cap on a frame body; a larger announced length is unrecoverable
+/// (the stream cannot be resynchronized) and closes the connection.
+pub const MAX_FRAME_BYTES: usize = 64 * 1024;
+
+/// `ESTABLISH` opcode.
+pub const OP_ESTABLISH: u8 = 1;
+/// `RELEASE` opcode.
+pub const OP_RELEASE: u8 = 2;
+/// `FAIL-LINK` opcode.
+pub const OP_FAIL_LINK: u8 = 3;
+/// `REPAIR-LINK` opcode.
+pub const OP_REPAIR_LINK: u8 = 4;
+/// `FAIL-NODE` opcode.
+pub const OP_FAIL_NODE: u8 = 5;
+/// `SNAPSHOT` opcode.
+pub const OP_SNAPSHOT: u8 = 6;
+/// `STATS` opcode.
+pub const OP_STATS: u8 = 7;
+/// `SHUTDOWN` opcode.
+pub const OP_SHUTDOWN: u8 = 8;
+
+/// `OK` response status byte.
+pub const STATUS_OK: u8 = 0;
+/// `ERR` response status byte.
+pub const STATUS_ERR: u8 = 1;
+/// `BUSY` response status byte.
+pub const STATUS_BUSY: u8 = 2;
+
+/// Verb and argument count for an opcode (`None` = unknown opcode).
+fn opcode_info(op: u8) -> Option<(&'static str, usize)> {
+    match op {
+        OP_ESTABLISH => Some(("ESTABLISH", 5)),
+        OP_RELEASE => Some(("RELEASE", 1)),
+        OP_FAIL_LINK => Some(("FAIL-LINK", 1)),
+        OP_REPAIR_LINK => Some(("REPAIR-LINK", 1)),
+        OP_FAIL_NODE => Some(("FAIL-NODE", 1)),
+        OP_SNAPSHOT => Some(("SNAPSHOT", 0)),
+        OP_STATS => Some(("STATS", 0)),
+        OP_SHUTDOWN => Some(("SHUTDOWN", 0)),
+        _ => None,
+    }
+}
+
+/// Prepends the little-endian length field to a frame body.
+fn finish(body: Vec<u8>) -> Vec<u8> {
+    let mut frame = Vec::with_capacity(4 + body.len());
+    frame.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    frame.extend(body);
+    frame
+}
+
+fn put_u64(body: &mut Vec<u8>, v: u64) {
+    body.extend_from_slice(&v.to_le_bytes());
+}
+
+fn get_u64(body: &[u8], at: usize) -> Option<u64> {
+    let bytes: [u8; 8] = body.get(at..at + 8)?.try_into().ok()?;
+    Some(u64::from_le_bytes(bytes))
+}
+
+fn get_index(body: &[u8], at: usize) -> Option<usize> {
+    usize::try_from(get_u64(body, at)?).ok()
+}
+
+/// Encodes a request as a complete frame (length field included).
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    let mut body = Vec::with_capacity(1 + 5 * 8);
+    match *req {
+        Request::Establish {
+            src,
+            dst,
+            bmin,
+            bmax,
+            delta,
+        } => {
+            body.push(OP_ESTABLISH);
+            put_u64(&mut body, src as u64);
+            put_u64(&mut body, dst as u64);
+            put_u64(&mut body, bmin);
+            put_u64(&mut body, bmax);
+            put_u64(&mut body, delta);
+        }
+        Request::Release { id } => {
+            body.push(OP_RELEASE);
+            put_u64(&mut body, id);
+        }
+        Request::FailLink { link } => {
+            body.push(OP_FAIL_LINK);
+            put_u64(&mut body, link as u64);
+        }
+        Request::RepairLink { link } => {
+            body.push(OP_REPAIR_LINK);
+            put_u64(&mut body, link as u64);
+        }
+        Request::FailNode { node } => {
+            body.push(OP_FAIL_NODE);
+            put_u64(&mut body, node as u64);
+        }
+        Request::Snapshot => body.push(OP_SNAPSHOT),
+        Request::Stats => body.push(OP_STATS),
+        Request::Shutdown => body.push(OP_SHUTDOWN),
+    }
+    finish(body)
+}
+
+/// Decodes a request frame body (the bytes after the length field).
+///
+/// # Errors
+///
+/// [`ProtocolError`] with the text protocol's codes: 1 for an empty body,
+/// 2 for an unknown opcode, 3 for a wrong argument count, 4 for an
+/// argument block that is not a whole number of `u64`s or an index that
+/// does not fit `usize`.
+pub fn decode_request(body: &[u8]) -> Result<Request, ProtocolError> {
+    let Some(&op) = body.first() else {
+        return Err(ProtocolError::empty());
+    };
+    let Some((verb, argc)) = opcode_info(op) else {
+        return Err(ProtocolError::unknown_command(&format!("opcode {op}")));
+    };
+    let arg_bytes = body.len() - 1;
+    if !arg_bytes.is_multiple_of(8) {
+        return Err(ProtocolError::bad_int(&format!(
+            "{arg_bytes}-byte argument block"
+        )));
+    }
+    if arg_bytes / 8 != argc {
+        return Err(ProtocolError::arg_count(verb, argc, arg_bytes / 8));
+    }
+    let index = |at: usize| {
+        get_index(body, at).ok_or_else(|| ProtocolError::bad_int("argument beyond usize"))
+    };
+    let int = |at: usize| {
+        // Length is pre-checked above, so this read cannot fall short; a
+        // zero on the impossible branch still decodes without panicking.
+        get_u64(body, at).unwrap_or(0)
+    };
+    match op {
+        OP_ESTABLISH => Ok(Request::Establish {
+            src: index(1)?,
+            dst: index(9)?,
+            bmin: int(17),
+            bmax: int(25),
+            delta: int(33),
+        }),
+        OP_RELEASE => Ok(Request::Release { id: int(1) }),
+        OP_FAIL_LINK => Ok(Request::FailLink { link: index(1)? }),
+        OP_REPAIR_LINK => Ok(Request::RepairLink { link: index(1)? }),
+        OP_FAIL_NODE => Ok(Request::FailNode { node: index(1)? }),
+        OP_SNAPSHOT => Ok(Request::Snapshot),
+        OP_STATS => Ok(Request::Stats),
+        // opcode_info returned Some, so only SHUTDOWN remains.
+        _ => Ok(Request::Shutdown),
+    }
+}
+
+/// Encodes a response as a complete frame (length field included).
+pub fn encode_response(resp: &Response) -> Vec<u8> {
+    let mut body = Vec::new();
+    match resp {
+        Response::Ok(payload) => {
+            body.push(STATUS_OK);
+            body.extend_from_slice(payload.as_bytes());
+        }
+        Response::Err { code, message } => {
+            body.push(STATUS_ERR);
+            body.extend_from_slice(&code.to_le_bytes());
+            body.extend_from_slice(message.as_bytes());
+        }
+        Response::Busy => body.push(STATUS_BUSY),
+    }
+    finish(body)
+}
+
+/// Decodes a response frame body (client side).
+///
+/// # Errors
+///
+/// `InvalidData` for an empty body, unknown status byte, or an `ERR`
+/// body too short to carry its code.
+pub fn decode_response(body: &[u8]) -> io::Result<Response> {
+    let bad = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
+    let Some(&status) = body.first() else {
+        return Err(bad("empty response frame".to_string()));
+    };
+    match status {
+        STATUS_OK => Ok(Response::Ok(
+            String::from_utf8_lossy(body.get(1..).unwrap_or_default()).into_owned(),
+        )),
+        STATUS_ERR => {
+            let code_bytes: [u8; 2] = body
+                .get(1..3)
+                .and_then(|b| b.try_into().ok())
+                .ok_or_else(|| bad("ERR frame too short for its code".to_string()))?;
+            Ok(Response::Err {
+                code: u16::from_le_bytes(code_bytes),
+                message: String::from_utf8_lossy(body.get(3..).unwrap_or_default()).into_owned(),
+            })
+        }
+        STATUS_BUSY => Ok(Response::Busy),
+        other => Err(bad(format!("unknown response status {other}"))),
+    }
+}
+
+/// What one [`FrameReader::fill`] call observed on the stream.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Fill {
+    /// Bytes arrived (there may now be a complete frame).
+    Data,
+    /// Clean end of stream.
+    Eof,
+    /// The read timed out or would block; poll again.
+    Idle,
+}
+
+/// Incremental frame accumulator for a non-blocking (timeout-polled)
+/// stream: bytes are buffered across short reads, and complete frames
+/// pop out as they close — a frame split across any number of packets
+/// reassembles exactly.
+#[derive(Debug, Default)]
+pub struct FrameReader {
+    buf: Vec<u8>,
+}
+
+impl FrameReader {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether the accumulator is holding any buffered bytes (a partial
+    /// frame awaiting its remainder).
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Pops the next complete frame body, if one is fully buffered.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidData` when the announced length exceeds
+    /// [`MAX_FRAME_BYTES`] — the connection cannot be resynchronized.
+    pub fn next_frame(&mut self) -> io::Result<Option<Vec<u8>>> {
+        let Some(len_bytes) = self.buf.get(..4).and_then(|b| <[u8; 4]>::try_from(b).ok()) else {
+            return Ok(None);
+        };
+        let len = u32::from_le_bytes(len_bytes) as usize;
+        if len > MAX_FRAME_BYTES {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("frame length {len} exceeds the {MAX_FRAME_BYTES}-byte cap"),
+            ));
+        }
+        if self.buf.len() < 4 + len {
+            return Ok(None);
+        }
+        let mut frame: Vec<u8> = self.buf.drain(..4 + len).collect();
+        frame.drain(..4);
+        Ok(Some(frame))
+    }
+
+    /// Reads once from `r` into the buffer.
+    ///
+    /// # Errors
+    ///
+    /// Hard I/O errors; timeouts and `WouldBlock` surface as
+    /// [`Fill::Idle`].
+    pub fn fill(&mut self, r: &mut impl Read) -> io::Result<Fill> {
+        let mut chunk = [0u8; 4096];
+        match r.read(&mut chunk) {
+            Ok(0) => Ok(Fill::Eof),
+            Ok(n) => {
+                self.buf
+                    .extend_from_slice(chunk.get(..n).unwrap_or_default());
+                Ok(Fill::Data)
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock
+                        | io::ErrorKind::TimedOut
+                        | io::ErrorKind::Interrupted
+                ) =>
+            {
+                Ok(Fill::Idle)
+            }
+            Err(e) => Err(e),
+        }
+    }
+}
+
+/// Reads one complete frame body from a blocking stream (client side).
+///
+/// # Errors
+///
+/// `UnexpectedEof` on a torn frame, `InvalidData` past the length cap,
+/// plus any underlying I/O error.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Vec<u8>> {
+    let mut len_bytes = [0u8; 4];
+    r.read_exact(&mut len_bytes)?;
+    let len = u32::from_le_bytes(len_bytes) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds the {MAX_FRAME_BYTES}-byte cap"),
+        ));
+    }
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)?;
+    Ok(body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::{CODE_ARG_COUNT, CODE_BAD_INT, CODE_EMPTY, CODE_UNKNOWN_COMMAND};
+
+    fn all_requests() -> Vec<Request> {
+        vec![
+            Request::Establish {
+                src: 0,
+                dst: 3,
+                bmin: 100,
+                bmax: 500,
+                delta: 100,
+            },
+            Request::Release { id: 7 },
+            Request::FailLink { link: 2 },
+            Request::RepairLink { link: 2 },
+            Request::FailNode { node: 4 },
+            Request::Snapshot,
+            Request::Stats,
+            Request::Shutdown,
+        ]
+    }
+
+    #[test]
+    fn every_request_round_trips() {
+        for req in all_requests() {
+            let frame = encode_request(&req);
+            let (len_bytes, body) = frame.split_at(4);
+            let len = u32::from_le_bytes(len_bytes.try_into().unwrap()) as usize;
+            assert_eq!(len, body.len(), "{req:?}: length field mismatch");
+            assert_eq!(decode_request(body).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn decoded_requests_render_to_parseable_lines() {
+        for req in all_requests() {
+            let line = req.render();
+            assert_eq!(crate::protocol::parse(&line).unwrap(), req, "{line}");
+        }
+    }
+
+    #[test]
+    fn every_response_round_trips() {
+        let responses = [
+            Response::Ok("id=3 bw=500 hops=2 backups=1".into()),
+            Response::Ok(String::new()),
+            Response::Err {
+                code: 302,
+                message: "link l4 is already down".into(),
+            },
+            Response::Busy,
+        ];
+        for resp in responses {
+            let frame = encode_response(&resp);
+            assert_eq!(decode_response(&frame[4..]).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn malformed_frames_map_onto_text_protocol_codes() {
+        assert_eq!(decode_request(&[]).unwrap_err().code, CODE_EMPTY);
+        assert_eq!(
+            decode_request(&[99]).unwrap_err().code,
+            CODE_UNKNOWN_COMMAND
+        );
+        // RELEASE with no argument block: wrong arg count.
+        assert_eq!(
+            decode_request(&[OP_RELEASE]).unwrap_err().code,
+            CODE_ARG_COUNT
+        );
+        // SNAPSHOT with a stray argument: wrong arg count.
+        let mut body = vec![OP_SNAPSHOT];
+        body.extend_from_slice(&7u64.to_le_bytes());
+        assert_eq!(decode_request(&body).unwrap_err().code, CODE_ARG_COUNT);
+        // Torn u64: code 4, same family as a non-integer text argument.
+        assert_eq!(
+            decode_request(&[OP_RELEASE, 1, 2, 3]).unwrap_err().code,
+            CODE_BAD_INT
+        );
+    }
+
+    #[test]
+    fn frame_reader_reassembles_split_frames() {
+        let mut bytes = Vec::new();
+        for req in all_requests() {
+            bytes.extend(encode_request(&req));
+        }
+        // Deliver one byte at a time: worst-case fragmentation.
+        let mut reader = FrameReader::new();
+        let mut decoded = Vec::new();
+        for b in bytes {
+            let mut one = &[b][..];
+            assert_eq!(reader.fill(&mut one).unwrap(), Fill::Data);
+            while let Some(body) = reader.next_frame().unwrap() {
+                decoded.push(decode_request(&body).unwrap());
+            }
+        }
+        assert_eq!(decoded, all_requests());
+    }
+
+    #[test]
+    fn frame_reader_rejects_oversized_announcements() {
+        let mut reader = FrameReader::new();
+        let mut stream = &((MAX_FRAME_BYTES as u32 + 1).to_le_bytes())[..];
+        assert_eq!(reader.fill(&mut stream).unwrap(), Fill::Data);
+        assert!(reader.next_frame().is_err());
+    }
+
+    #[test]
+    fn blocking_read_frame_matches_encoder() {
+        let frame = encode_request(&Request::Stats);
+        let mut stream = &frame[..];
+        let body = read_frame(&mut stream).unwrap();
+        assert_eq!(decode_request(&body).unwrap(), Request::Stats);
+    }
+}

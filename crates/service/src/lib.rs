@@ -14,6 +14,9 @@
 //! * [`protocol`] — request grammar, response rendering, parsing.
 //! * [`error`] — protocol-level error codes 1–99 (domain errors use
 //!   `drqos_core::wire` codes 100–499).
+//! * [`frame`] — the binary wire framing (`DRQOS_WIRE=binary`):
+//!   length-prefixed frames carrying the same verbs, codes, and payloads
+//!   as the text mode.
 //! * [`engine`] — maps requests onto the `Network` API; owns metrics.
 //! * [`metrics`] — log₂-bucketed latency histograms and per-op counters.
 //! * [`server`] — TCP accept/reader/event-loop plumbing and graceful,
@@ -26,6 +29,7 @@
 
 pub mod engine;
 pub mod error;
+pub mod frame;
 pub mod loadgen;
 pub mod metrics;
 pub mod protocol;

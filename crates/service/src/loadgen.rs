@@ -13,9 +13,11 @@
 //! it established itself, so any `ERR` outside admission rejections
 //! (codes 200–299) indicates a server bug and fails the run.
 
+use crate::frame;
 use crate::metrics::Histogram;
-use crate::protocol::payload_field;
+use crate::protocol::{self, payload_field};
 use drqos_bench::runner::derive_seed;
+use drqos_core::env::WireMode;
 use drqos_core::qos::{Bandwidth, ElasticQos};
 use drqos_core::workload::Workload;
 use drqos_sim::rng::Rng;
@@ -45,6 +47,8 @@ pub struct LoadgenConfig {
     pub delta: u64,
     /// Send `SHUTDOWN` after the run and verify the clean-exit reply.
     pub shutdown: bool,
+    /// Wire mode to speak (must match the daemon's `DRQOS_WIRE`).
+    pub wire: WireMode,
 }
 
 impl Default for LoadgenConfig {
@@ -59,6 +63,7 @@ impl Default for LoadgenConfig {
             bmax: 500,
             delta: 100,
             shutdown: false,
+            wire: drqos_core::env::wire(),
         }
     }
 }
@@ -152,47 +157,104 @@ struct WorkerStats {
     latency: Histogram,
 }
 
-/// A line-based protocol client over one TCP stream.
+/// Bounded `BUSY` retry policy: exponential backoff with seeded jitter.
+///
+/// The cap comes from `DRQOS_BUSY_RETRIES` (default 64); the delay before
+/// retry `attempt` is `200 µs · 2^attempt` capped at ~51 ms, scaled by a
+/// seeded jitter factor in `[0.5, 1.5)` so lock-stepped workers do not
+/// hammer the queue in phase.
+struct Backoff {
+    max_retries: usize,
+    rng: Rng,
+}
+
+impl Backoff {
+    fn new(seed: u64) -> Self {
+        Self {
+            max_retries: drqos_core::env::busy_retries(),
+            rng: Rng::seed_from_u64(seed ^ 0xB05F_B05F),
+        }
+    }
+
+    fn delay(&mut self, attempt: usize) -> Duration {
+        let base_us = 200u64 << attempt.min(8) as u32;
+        let jitter = self.rng.range_f64(0.5, 1.5);
+        Duration::from_micros((base_us as f64 * jitter) as u64)
+    }
+}
+
+/// A protocol client over one TCP stream, speaking either wire mode;
+/// commands and replies cross this boundary as canonical text either
+/// way, so the workload logic above is framing-agnostic.
 struct Client {
     writer: TcpStream,
     reader: BufReader<TcpStream>,
+    backoff: Backoff,
+    wire: WireMode,
 }
 
 impl Client {
-    fn connect(addr: &str) -> io::Result<Self> {
+    fn connect(addr: &str, backoff_seed: u64, wire: WireMode) -> io::Result<Self> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
         let writer = stream.try_clone()?;
         Ok(Self {
             writer,
             reader: BufReader::new(stream),
+            backoff: Backoff::new(backoff_seed),
+            wire,
         })
     }
 
-    /// Sends one command and reads its one response line.
+    /// Sends one command and reads its one response, rendered as the
+    /// canonical response line regardless of wire mode.
     fn roundtrip(&mut self, command: &str) -> io::Result<String> {
-        writeln!(self.writer, "{command}")?;
-        self.writer.flush()?;
-        let mut resp = String::new();
-        if self.reader.read_line(&mut resp)? == 0 {
-            return Err(io::Error::new(
-                io::ErrorKind::UnexpectedEof,
-                "server closed the connection",
-            ));
+        match self.wire {
+            WireMode::Text => {
+                writeln!(self.writer, "{command}")?;
+                self.writer.flush()?;
+                let mut resp = String::new();
+                if self.reader.read_line(&mut resp)? == 0 {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "server closed the connection",
+                    ));
+                }
+                Ok(resp.trim_end().to_string())
+            }
+            WireMode::Binary => {
+                let req = protocol::parse(command)
+                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.message))?;
+                self.writer.write_all(&frame::encode_request(&req))?;
+                self.writer.flush()?;
+                let body = frame::read_frame(&mut self.reader)?;
+                Ok(frame::decode_response(&body)?.to_string())
+            }
         }
-        Ok(resp.trim_end().to_string())
     }
 
-    /// Round-trips with bounded `BUSY` retry; counts retries into `stats`.
+    /// Round-trips with bounded `BUSY` retry; counts retries into `stats`
+    /// and errors out once the `DRQOS_BUSY_RETRIES` cap is exhausted (a
+    /// queue that never drains is a server bug, not a reason to spin).
     fn roundtrip_retrying(&mut self, command: &str, stats: &mut WorkerStats) -> io::Result<String> {
+        let mut attempt = 0usize;
         loop {
             let resp = self.roundtrip(command)?;
-            if resp == "BUSY" {
-                stats.busy_retries += 1;
-                std::thread::sleep(Duration::from_micros(200));
-                continue;
+            if resp != "BUSY" {
+                return Ok(resp);
             }
-            return Ok(resp);
+            if attempt >= self.backoff.max_retries {
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    format!(
+                        "server still BUSY after {} retries of {command:?}",
+                        self.backoff.max_retries
+                    ),
+                ));
+            }
+            stats.busy_retries += 1;
+            std::thread::sleep(self.backoff.delay(attempt));
+            attempt += 1;
         }
     }
 }
@@ -232,8 +294,9 @@ fn tally(resp: &str, establishing: bool, stats: &mut WorkerStats) -> Option<u64>
 
 fn worker(config: &LoadgenConfig, worker_idx: usize, nodes: usize) -> io::Result<WorkerStats> {
     let mut stats = WorkerStats::default();
-    let mut client = Client::connect(&config.addr)?;
-    let mut rng = Rng::seed_from_u64(derive_seed(config.seed, worker_idx as u64));
+    let worker_seed = derive_seed(config.seed, worker_idx as u64);
+    let mut client = Client::connect(&config.addr, worker_seed, config.wire)?;
+    let mut rng = Rng::seed_from_u64(worker_seed);
     let qos = ElasticQos::new(
         Bandwidth::kbps(config.bmin),
         Bandwidth::kbps(config.bmax),
@@ -289,7 +352,7 @@ fn worker(config: &LoadgenConfig, worker_idx: usize, nodes: usize) -> io::Result
 /// fatal.
 pub fn run(config: &LoadgenConfig) -> io::Result<LoadgenReport> {
     // Discover the topology size from the server itself.
-    let mut probe = Client::connect(&config.addr)?;
+    let mut probe = Client::connect(&config.addr, config.seed, config.wire)?;
     let snapshot = probe.roundtrip("SNAPSHOT")?;
     let nodes = snapshot
         .strip_prefix("OK ")
@@ -361,6 +424,54 @@ pub fn run(config: &LoadgenConfig) -> io::Result<LoadgenReport> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::net::TcpListener;
+
+    /// A server whose queue never drains: every command line is answered
+    /// `BUSY`, forever. The retry cap must turn this into an error, not an
+    /// infinite 200 µs spin.
+    #[test]
+    fn busy_retry_is_bounded_against_a_never_draining_server() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral");
+        let addr = listener.local_addr().unwrap().to_string();
+        let stub = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().expect("one client connects");
+            let mut writer = stream.try_clone().unwrap();
+            let reader = BufReader::new(stream);
+            for line in reader.lines() {
+                if line.is_err() || writeln!(writer, "BUSY").is_err() {
+                    break;
+                }
+                let _ = writer.flush();
+            }
+        });
+        let mut client = Client::connect(&addr, 7, WireMode::Text).expect("connect to stub");
+        client.backoff.max_retries = 3;
+        let mut stats = WorkerStats::default();
+        let err = client
+            .roundtrip_retrying("ESTABLISH 0 1 100 500 100", &mut stats)
+            .expect_err("a never-draining server must exhaust the retry cap");
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut);
+        assert!(err.to_string().contains("after 3 retries"), "{err}");
+        assert_eq!(stats.busy_retries, 3, "every attempt before the cap counts");
+        drop(client);
+        stub.join().unwrap();
+    }
+
+    #[test]
+    fn backoff_delay_is_exponential_jittered_and_capped() {
+        let mut b = Backoff::new(42);
+        for attempt in 0..24 {
+            let base_us = 200u64 << attempt.min(8) as u32;
+            let d = b.delay(attempt);
+            assert!(
+                d >= Duration::from_micros(base_us / 2) && d < Duration::from_micros(base_us * 2),
+                "attempt {attempt}: {d:?} outside jitter band of {base_us} µs"
+            );
+        }
+        // Deterministic for a given seed.
+        let (mut x, mut y) = (Backoff::new(9), Backoff::new(9));
+        assert_eq!(x.delay(4), y.delay(4));
+    }
 
     #[test]
     fn tally_classifies_replies() {

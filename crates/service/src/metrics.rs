@@ -80,7 +80,13 @@ impl Histogram {
         for (i, &n) in self.buckets.iter().enumerate() {
             seen += n;
             if seen >= rank {
-                return 1u64 << (i + 1).min(63);
+                // Bucket i covers [2^i, 2^(i+1)); the last bucket's upper
+                // bound does not fit in a u64, so it saturates.
+                return if i + 1 >= 64 {
+                    u64::MAX
+                } else {
+                    1u64 << (i + 1)
+                };
             }
         }
         u64::MAX
@@ -345,6 +351,46 @@ mod tests {
         let mut h = Histogram::new();
         h.record(Duration::from_nanos(10));
         assert_eq!(h.quantile_us(0.5), 1);
+    }
+
+    #[test]
+    fn bucket_63_saturates_to_u64_max() {
+        // 2^63 ns lands in the last bucket [2^63, 2^64); its upper bound
+        // does not fit in a u64 and must saturate, not report 2^63 (the
+        // *lower* bound) as the quantile.
+        let mut h = Histogram::new();
+        h.record(Duration::from_nanos(1u64 << 63));
+        assert_eq!(h.quantile_nanos(0.5), u64::MAX);
+        assert_eq!(h.quantile_nanos(1.0), u64::MAX);
+        // A >u64-ns duration clamps on record and stays saturated.
+        h.record(Duration::from_secs(u64::MAX));
+        assert_eq!(h.quantile_nanos(1.0), u64::MAX);
+    }
+
+    #[test]
+    fn zero_nanosecond_sample_lands_in_bucket_zero() {
+        let mut h = Histogram::new();
+        h.record(Duration::ZERO);
+        assert_eq!(h.count(), 1);
+        // Bucket 0 is [1, 2) by the (nanos | 1) clamp → upper bound 2.
+        assert_eq!(h.quantile_nanos(0.5), 2);
+        assert_eq!(h.quantile_us(0.5), 1);
+    }
+
+    #[test]
+    fn merge_then_quantile_spans_both_sources() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for _ in 0..9 {
+            a.record(Duration::from_nanos(100));
+        }
+        b.record(Duration::from_nanos(1u64 << 63));
+        a.merge(&b);
+        assert_eq!(a.count(), 10);
+        // Median still in the 100 ns bucket; the max reaches the
+        // saturated last bucket from the merged-in histogram.
+        assert_eq!(a.quantile_nanos(0.5), 128);
+        assert_eq!(a.quantile_nanos(1.0), u64::MAX);
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! byte-exact against golden transcripts (see `SERVICE.md` for the full
 //! grammar).
 
-use crate::error::ProtocolError;
+use crate::error::{ProtocolError, CODE_INTERNAL};
 use std::fmt;
 
 /// A parsed request line.
@@ -58,6 +58,28 @@ pub enum Request {
 }
 
 impl Request {
+    /// Renders the canonical text line for this request (the inverse of
+    /// [`parse`]): the binary framing layer decodes frames to `Request`
+    /// and re-renders them so both wire modes share one engine path.
+    pub fn render(&self) -> String {
+        match *self {
+            Request::Establish {
+                src,
+                dst,
+                bmin,
+                bmax,
+                delta,
+            } => format!("ESTABLISH {src} {dst} {bmin} {bmax} {delta}"),
+            Request::Release { id } => format!("RELEASE {id}"),
+            Request::FailLink { link } => format!("FAIL-LINK {link}"),
+            Request::RepairLink { link } => format!("REPAIR-LINK {link}"),
+            Request::FailNode { node } => format!("FAIL-NODE {node}"),
+            Request::Snapshot => "SNAPSHOT".to_string(),
+            Request::Stats => "STATS".to_string(),
+            Request::Shutdown => "SHUTDOWN".to_string(),
+        }
+    }
+
     /// The verb this request was parsed from (for metrics labels).
     pub fn verb(&self) -> &'static str {
         match self {
@@ -194,6 +216,38 @@ pub fn parse(line: &str) -> Result<Request, ProtocolError> {
             Ok(Request::Shutdown)
         }
         other => Err(ProtocolError::unknown_command(other)),
+    }
+}
+
+/// Parses a rendered response line back into a [`Response`] (the inverse
+/// of `Response`'s `Display`). Engine-produced lines always parse; an
+/// unrecognized shape maps onto the internal-error code rather than
+/// panicking, since the binary reply path runs this on the daemon side.
+pub fn parse_response(line: &str) -> Response {
+    if line == "BUSY" {
+        return Response::Busy;
+    }
+    if line == "OK" {
+        return Response::Ok(String::new());
+    }
+    if let Some(payload) = line.strip_prefix("OK ") {
+        return Response::Ok(payload.to_string());
+    }
+    if let Some(rest) = line.strip_prefix("ERR ") {
+        let (code_str, message) = match rest.split_once(' ') {
+            Some((c, m)) => (c, m),
+            None => (rest, ""),
+        };
+        if let Ok(code) = code_str.parse::<u16>() {
+            return Response::Err {
+                code,
+                message: message.to_string(),
+            };
+        }
+    }
+    Response::Err {
+        code: CODE_INTERNAL,
+        message: format!("internal error: unrenderable response line {line:?}"),
     }
 }
 

@@ -21,12 +21,14 @@
 
 use crate::engine::{Engine, Handled};
 use crate::error::ProtocolError;
-use crate::protocol::Response;
+use crate::frame::{self, Fill, FrameReader};
+use crate::protocol::{self, Response};
+use drqos_core::env::WireMode;
 use drqos_core::network::Network;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, SyncSender, TrySendError};
 use std::sync::Arc;
 use std::thread;
 use std::time::Duration;
@@ -35,6 +37,22 @@ pub use drqos_core::env::{DEFAULT_BATCH, DEFAULT_QUEUE_DEPTH};
 
 /// How often blocked I/O re-checks the shutdown flag.
 const POLL_INTERVAL: Duration = Duration::from_millis(20);
+
+/// Backstop for the shutdown drain: after this many *consecutive* empty
+/// poll intervals the loop stops waiting for reader threads (a reader
+/// always exits within one interval of the flag, so hitting this means a
+/// reader thread is wedged, not slow).
+const SHUTDOWN_DRAIN_POLLS: usize = 250;
+
+/// Decrements the in-flight reader count when a reader thread exits, on
+/// every path (panic included).
+struct ReaderGuard(Arc<AtomicUsize>);
+
+impl Drop for ReaderGuard {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::AcqRel);
+    }
+}
 
 /// `DRQOS_BATCH` (minimum 1; default [`DEFAULT_BATCH`]), read through the
 /// [`drqos_core::env`] registry.
@@ -72,11 +90,13 @@ pub struct Server {
     engine: Engine,
     batch: usize,
     queue_depth: usize,
+    wire: WireMode,
 }
 
 impl Server {
     /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) over `net`,
-    /// reading `DRQOS_BATCH` / `DRQOS_QUEUE_DEPTH` from the environment.
+    /// reading `DRQOS_BATCH` / `DRQOS_QUEUE_DEPTH` / `DRQOS_WIRE` from the
+    /// environment.
     ///
     /// # Errors
     ///
@@ -87,6 +107,7 @@ impl Server {
             engine: Engine::new(net),
             batch: batch_from_env(),
             queue_depth: queue_depth_from_env(),
+            wire: drqos_core::env::wire(),
         })
     }
 
@@ -112,6 +133,17 @@ impl Server {
         self
     }
 
+    /// Overrides the wire mode (tests; production uses `DRQOS_WIRE`).
+    pub fn with_wire(mut self, wire: WireMode) -> Self {
+        self.wire = wire;
+        self
+    }
+
+    /// The wire mode this server will speak.
+    pub fn wire(&self) -> WireMode {
+        self.wire
+    }
+
     /// Serves until a `SHUTDOWN` command completes, then returns the final
     /// report. Blocks the calling thread (spawn it for in-process use).
     ///
@@ -123,12 +155,17 @@ impl Server {
         self.listener.set_nonblocking(true)?;
         let (tx, rx) = mpsc::sync_channel::<Command>(self.queue_depth);
         let shutdown = Arc::new(AtomicBool::new(false));
+        let readers = Arc::new(AtomicUsize::new(0));
         let busy = self.engine.busy_counter();
+        let wire = self.wire;
         let report = thread::scope(|scope| {
             let accept_shutdown = Arc::clone(&shutdown);
+            let accept_readers = Arc::clone(&readers);
             let listener = &self.listener;
-            scope.spawn(move || accept_loop(listener, tx, accept_shutdown, busy));
-            event_loop(&mut self.engine, rx, self.batch, &shutdown)
+            scope.spawn(move || {
+                accept_loop(listener, tx, accept_shutdown, accept_readers, busy, wire)
+            });
+            event_loop(&mut self.engine, rx, self.batch, &shutdown, &readers)
         });
         Ok(report)
     }
@@ -142,7 +179,9 @@ fn accept_loop(
     listener: &TcpListener,
     tx: SyncSender<Command>,
     shutdown: Arc<AtomicBool>,
+    readers: Arc<AtomicUsize>,
     busy: Arc<AtomicU64>,
+    wire: WireMode,
 ) {
     while !shutdown.load(Ordering::Acquire) {
         match listener.accept() {
@@ -150,8 +189,16 @@ fn accept_loop(
                 let tx = tx.clone();
                 let shutdown = Arc::clone(&shutdown);
                 let busy = Arc::clone(&busy);
+                // Count the reader *before* it can send anything, so the
+                // event loop's shutdown drain never undercounts.
+                readers.fetch_add(1, Ordering::AcqRel);
+                let guard = ReaderGuard(Arc::clone(&readers));
                 thread::spawn(move || {
-                    let _ = reader_loop(stream, &tx, &shutdown, &busy);
+                    let _guard = guard;
+                    let _ = match wire {
+                        WireMode::Text => reader_loop(stream, &tx, &shutdown, &busy),
+                        WireMode::Binary => binary_reader_loop(stream, &tx, &shutdown, &busy),
+                    };
                 });
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
@@ -197,10 +244,13 @@ fn reader_loop(
         let trimmed = line.trim_end_matches(['\r', '\n']).to_string();
         line.clear();
         if shutdown.load(Ordering::Acquire) {
+            // Answer the late line, then close: staying in the loop would
+            // let a chatty client stall the shutdown drain (which waits
+            // for reader threads) indefinitely.
             let resp: Response = ProtocolError::shutting_down().into();
             writeln!(writer, "{resp}")?;
             writer.flush()?;
-            continue;
+            return Ok(());
         }
         let cmd = Command {
             line: trimmed,
@@ -235,6 +285,127 @@ fn reader_loop(
     }
 }
 
+/// Serves one drained batch of commands through the engine's batch entry
+/// point (runs of consecutive `ESTABLISH`es share one planning pass),
+/// sending every reply back to its reader. `SHUTDOWN` replies are
+/// deferred into `shutdown_replies`.
+fn serve_batch(
+    engine: &mut Engine,
+    batch: &mut Vec<Command>,
+    shutdown_replies: &mut Vec<mpsc::Sender<String>>,
+) {
+    let mut lines = Vec::with_capacity(batch.len());
+    let mut replies = Vec::with_capacity(batch.len());
+    for cmd in batch.drain(..) {
+        lines.push(cmd.line);
+        replies.push(cmd.reply);
+    }
+    for (handled, reply) in engine.handle_server_batch(&lines).into_iter().zip(replies) {
+        match handled {
+            Handled::Reply(resp) => {
+                // A send error means the reader died; the state change
+                // already happened, so just move on.
+                let _ = reply.send(resp.to_string());
+            }
+            Handled::ShutdownRequested => shutdown_replies.push(reply),
+        }
+    }
+}
+
+/// Frames binary requests from one client (`DRQOS_WIRE=binary`) and
+/// shuttles them through the same queue as text lines: each decoded frame
+/// is re-rendered as its canonical text command, so the event loop and
+/// engine are wire-agnostic. Replies come back as rendered text and are
+/// re-encoded as response frames. Frame-level decode errors are answered
+/// directly with their text-protocol code (1–4) without occupying a
+/// queue slot; an oversized frame is unrecoverable and closes the
+/// connection after an error frame.
+fn binary_reader_loop(
+    stream: TcpStream,
+    tx: &SyncSender<Command>,
+    shutdown: &AtomicBool,
+    busy: &AtomicU64,
+) -> io::Result<()> {
+    stream.set_read_timeout(Some(POLL_INTERVAL))?;
+    stream.set_nodelay(true)?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = stream;
+    let (reply_tx, reply_rx) = mpsc::channel::<String>();
+    let mut framer = FrameReader::new();
+    let send_resp = |writer: &mut TcpStream, resp: &Response| -> io::Result<()> {
+        writer.write_all(&frame::encode_response(resp))?;
+        writer.flush()
+    };
+    loop {
+        let body = match framer.next_frame() {
+            Ok(Some(body)) => body,
+            Ok(None) => {
+                match framer.fill(&mut reader)? {
+                    Fill::Data => {}
+                    Fill::Eof => return Ok(()), // client hung up
+                    Fill::Idle => {
+                        if shutdown.load(Ordering::Acquire) && !framer_has_partial(&framer) {
+                            return Ok(());
+                        }
+                    }
+                }
+                continue;
+            }
+            Err(e) => {
+                // Oversized announcement: the stream cannot be resynced.
+                let resp: Response = ProtocolError::bad_int(&e.to_string()).into();
+                let _ = send_resp(&mut writer, &resp);
+                return Err(e);
+            }
+        };
+        if shutdown.load(Ordering::Acquire) {
+            // Answer the late frame, then close (same rationale as the
+            // text reader: a chatty client must not stall the drain).
+            let resp: Response = ProtocolError::shutting_down().into();
+            send_resp(&mut writer, &resp)?;
+            return Ok(());
+        }
+        let req = match frame::decode_request(&body) {
+            Ok(req) => req,
+            Err(pe) => {
+                send_resp(&mut writer, &pe.into())?;
+                continue;
+            }
+        };
+        let cmd = Command {
+            line: req.render(),
+            reply: reply_tx.clone(),
+        };
+        match tx.try_send(cmd) {
+            Ok(()) => match reply_rx.recv() {
+                Ok(resp) => send_resp(&mut writer, &protocol::parse_response(&resp))?,
+                Err(_) => {
+                    // Event loop gone mid-request (hard stop).
+                    let resp: Response = ProtocolError::shutting_down().into();
+                    send_resp(&mut writer, &resp)?;
+                    return Ok(());
+                }
+            },
+            Err(TrySendError::Full(_)) => {
+                busy.fetch_add(1, Ordering::Relaxed);
+                send_resp(&mut writer, &Response::Busy)?;
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                let resp: Response = ProtocolError::shutting_down().into();
+                send_resp(&mut writer, &resp)?;
+                return Ok(());
+            }
+        }
+    }
+}
+
+/// Whether the accumulator holds a partial frame (keep polling for its
+/// remainder even across the shutdown flag, mirroring the text reader's
+/// mid-line tolerance).
+fn framer_has_partial(framer: &FrameReader) -> bool {
+    !framer.is_empty()
+}
+
 /// The single-writer event loop: drains the queue in batches and applies
 /// every command to the engine.
 fn event_loop(
@@ -242,6 +413,7 @@ fn event_loop(
     rx: Receiver<Command>,
     batch_size: usize,
     shutdown: &AtomicBool,
+    readers: &AtomicUsize,
 ) -> ServiceReport {
     let mut batch: Vec<Command> = Vec::with_capacity(batch_size);
     let mut shutdown_replies: Vec<mpsc::Sender<String>> = Vec::new();
@@ -256,28 +428,36 @@ fn event_loop(
                 Err(_) => break,
             }
         }
-        for cmd in batch.drain(..) {
-            match engine.handle_server_line(&cmd.line) {
-                Handled::Reply(resp) => {
-                    // A send error means the reader died; the state change
-                    // already happened, so just move on.
-                    let _ = cmd.reply.send(resp.to_string());
-                }
-                Handled::ShutdownRequested => shutdown_replies.push(cmd.reply),
-            }
-        }
+        serve_batch(engine, &mut batch, &mut shutdown_replies);
         if !shutdown_replies.is_empty() {
-            // Graceful drain: stop accepting, then serve everything that
-            // made it into the queue before the flag rose.
+            // Graceful drain: stop accepting, then keep serving until
+            // every reader thread has exited. A reader that passed its
+            // shutdown-flag check may still be about to `send`, so a
+            // single try_recv sweep here would race it and strand the
+            // command (and the client waiting on its reply). Readers
+            // blocked on the final SHUTDOWN reply are expected survivors;
+            // everyone else exits within one poll interval of the flag.
             shutdown.store(true, Ordering::Release);
-            while let Ok(cmd) = rx.try_recv() {
-                match engine.handle_server_line(&cmd.line) {
-                    Handled::Reply(resp) => {
-                        let _ = cmd.reply.send(resp.to_string());
+            let mut idle_polls = 0usize;
+            while readers.load(Ordering::Acquire) > shutdown_replies.len()
+                && idle_polls < SHUTDOWN_DRAIN_POLLS
+            {
+                match rx.recv_timeout(POLL_INTERVAL) {
+                    Ok(cmd) => {
+                        idle_polls = 0;
+                        batch.push(cmd);
+                        serve_batch(engine, &mut batch, &mut shutdown_replies);
                     }
-                    Handled::ShutdownRequested => shutdown_replies.push(cmd.reply),
+                    Err(RecvTimeoutError::Timeout) => idle_polls += 1,
+                    Err(RecvTimeoutError::Disconnected) => break,
                 }
             }
+            // With all racing readers gone, one last sweep empties
+            // anything that landed between the count check and now.
+            while let Ok(cmd) = rx.try_recv() {
+                batch.push(cmd);
+            }
+            serve_batch(engine, &mut batch, &mut shutdown_replies);
             break 'serve;
         }
     }
@@ -348,6 +528,160 @@ mod tests {
         assert_eq!(report.violations, 0);
         assert_eq!(report.ops, 5);
         assert!(report.metrics_json.contains("\"admitted\":1"));
+    }
+
+    /// The drain-race regression, white-box: a "reader" that passed the
+    /// shutdown-flag check gets preempted while the event loop processes
+    /// `SHUTDOWN`, then sends. Before the in-flight-reader count the loop
+    /// swept the queue exactly once after raising the flag, so this send
+    /// landed in a channel nobody would ever read — the command was lost
+    /// and the client's reply channel just died. Now the drain waits for
+    /// racing readers, so the command must receive a real engine reply.
+    #[test]
+    fn shutdown_drain_serves_a_command_sent_after_the_flag_check() {
+        let net = Network::new(regular::ring(6).unwrap(), NetworkConfig::default());
+        let mut engine = Engine::new(net);
+        let (tx, rx) = mpsc::sync_channel::<Command>(16);
+        let shutdown = AtomicBool::new(false);
+        let readers = AtomicUsize::new(0);
+        let report = thread::scope(|scope| {
+            // The raced reader: flag demonstrably clear at its "check",
+            // send issued long after the event loop has begun shutdown.
+            readers.fetch_add(1, Ordering::AcqRel);
+            let late_tx = tx.clone();
+            let shutdown_ref = &shutdown;
+            let readers_ref = &readers;
+            let late = scope.spawn(move || {
+                assert!(!shutdown_ref.load(Ordering::Acquire), "race precondition");
+                thread::sleep(Duration::from_millis(200));
+                let (reply_tx, reply_rx) = mpsc::channel();
+                late_tx
+                    .send(Command {
+                        line: "ESTABLISH 0 3 100 500 100".into(),
+                        reply: reply_tx,
+                    })
+                    .expect("drain must still be receiving");
+                let resp = reply_rx
+                    .recv()
+                    .expect("raced command must get an engine reply, not a dead channel");
+                readers_ref.fetch_sub(1, Ordering::AcqRel);
+                resp
+            });
+            // The shutdown reader, awaiting the final reply.
+            readers.fetch_add(1, Ordering::AcqRel);
+            let (shut_tx, shut_rx) = mpsc::channel();
+            tx.send(Command {
+                line: "SHUTDOWN".into(),
+                reply: shut_tx,
+            })
+            .unwrap();
+            drop(tx);
+            let report = event_loop(&mut engine, rx, 8, &shutdown, &readers);
+            assert_eq!(shut_rx.recv().unwrap(), "OK violations=0");
+            readers.fetch_sub(1, Ordering::AcqRel);
+            let resp = late.join().unwrap();
+            assert!(resp.starts_with("OK id="), "raced ESTABLISH served: {resp}");
+            report
+        });
+        assert_eq!(report.ops, 2, "engine must have seen both commands");
+        assert_eq!(report.violations, 0);
+    }
+
+    /// The drain-race regression, end to end: four clients hammer
+    /// `ESTABLISH` while a fifth fires `SHUTDOWN` mid-burst. Every client
+    /// must see a well-formed reply for each command until the server
+    /// closes on it — never a hang, never a torn line — and the daemon
+    /// must still exit invariant-clean.
+    #[test]
+    fn shutdown_concurrent_with_establish_bursts_never_strands_a_client() {
+        let net = Network::new(regular::ring(6).unwrap(), NetworkConfig::default());
+        let server = Server::bind("127.0.0.1:0", net).unwrap().with_batch(4);
+        let addr = server.local_addr().unwrap();
+        let handle = thread::spawn(move || server.run());
+        thread::scope(|scope| {
+            for c in 0..4usize {
+                scope.spawn(move || {
+                    let stream = TcpStream::connect(addr).expect("connect");
+                    stream.set_nodelay(true).unwrap();
+                    let mut writer = stream.try_clone().unwrap();
+                    let mut reader = BufReader::new(stream);
+                    for _ in 0..100 {
+                        if writeln!(writer, "ESTABLISH {} {} 100 500 100", c, (c + 3) % 6).is_err()
+                        {
+                            break; // server closed mid-burst: allowed
+                        }
+                        let mut resp = String::new();
+                        match reader.read_line(&mut resp) {
+                            Ok(0) | Err(_) => break,
+                            Ok(_) => {
+                                let r = resp.trim_end();
+                                assert!(
+                                    r.starts_with("OK ") || r.starts_with("ERR ") || r == "BUSY",
+                                    "malformed reply mid-shutdown: {r:?}"
+                                );
+                                if r.starts_with("ERR 11 ") {
+                                    break; // shutting down; reader closes next
+                                }
+                            }
+                        }
+                    }
+                });
+            }
+            scope.spawn(move || {
+                thread::sleep(Duration::from_millis(5));
+                let stream = TcpStream::connect(addr).expect("connect");
+                let mut writer = stream.try_clone().unwrap();
+                let mut reader = BufReader::new(stream);
+                writeln!(writer, "SHUTDOWN").unwrap();
+                let mut resp = String::new();
+                reader.read_line(&mut resp).unwrap();
+                assert_eq!(resp.trim_end(), "OK violations=0");
+            });
+        });
+        let report = handle.join().unwrap().unwrap();
+        assert_eq!(report.violations, 0);
+    }
+
+    /// One closed-loop binary session: encode requests, decode response
+    /// frames, and confirm the replies equal the text protocol's — plus a
+    /// malformed frame answered with a text-protocol code and a clean
+    /// binary shutdown.
+    #[test]
+    fn binary_wire_serves_a_session_and_shuts_down_clean() {
+        let net = Network::new(regular::ring(6).unwrap(), NetworkConfig::default());
+        let server = Server::bind("127.0.0.1:0", net)
+            .unwrap()
+            .with_wire(WireMode::Binary);
+        let addr = server.local_addr().unwrap();
+        let handle = thread::spawn(move || server.run());
+        fn roundtrip(stream: &mut TcpStream, cmd: &str) -> String {
+            let req = protocol::parse(cmd).unwrap();
+            stream.write_all(&frame::encode_request(&req)).unwrap();
+            stream.flush().unwrap();
+            let body = frame::read_frame(stream).unwrap();
+            frame::decode_response(&body).unwrap().to_string()
+        }
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.set_nodelay(true).unwrap();
+        assert!(roundtrip(&mut stream, "ESTABLISH 0 3 100 500 100").starts_with("OK id=0"));
+        assert!(roundtrip(&mut stream, "SNAPSHOT").starts_with("OK conns=1"));
+        assert_eq!(roundtrip(&mut stream, "RELEASE 0"), "OK freed=500");
+        // A malformed frame (unknown opcode) answers with the text
+        // protocol's code 2 and does not desynchronize the stream.
+        stream
+            .write_all(&[1u8, 0, 0, 0, 99]) // len=1, opcode 99
+            .unwrap();
+        stream.flush().unwrap();
+        let body = frame::read_frame(&mut stream).unwrap();
+        let resp = frame::decode_response(&body).unwrap();
+        assert!(
+            matches!(resp, Response::Err { code: 2, .. }),
+            "unknown opcode: {resp}"
+        );
+        assert_eq!(roundtrip(&mut stream, "SHUTDOWN"), "OK violations=0");
+        let report = handle.join().unwrap().unwrap();
+        assert_eq!(report.violations, 0);
+        assert_eq!(report.ops, 4, "decode errors never reach the engine");
     }
 
     #[test]

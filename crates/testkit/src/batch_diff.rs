@@ -1,0 +1,592 @@
+//! Differential fuzzing of batched admission.
+//!
+//! [`Network::establish_batch`] claims *exact* equivalence to sequential
+//! establishment: same admission outcomes, same connection ids, same
+//! final network state, for any request group in any order. This module
+//! is the enforcement arm of that claim — the fuzzer's operation
+//! sequences are replayed against a batched network and a sequential
+//! oracle in lockstep. Maximal runs of consecutive `Establish` ops
+//! (capped at [`BATCH_CAP`]) go through `establish_batch` on one side
+//! and one-at-a-time `establish` on the other; every other operation is
+//! applied to both sides identically. After each batch flush and each
+//! singleton operation the two networks are compared on:
+//!
+//! * every request's own result (admission `Ok`/`Err`, ids included),
+//! * a full [`NetworkSnapshot`] (per-link accounting, per-connection QoS
+//!   state),
+//! * the cumulative drop counter and the topology epoch.
+//!
+//! Any divergence is shrunk with the fuzzer's delta-debugging engine
+//! ([`crate::fuzz::shrink_by`]) to a minimal operation sequence and
+//! printed as a copy-pasteable reproducer.
+//!
+//! [`BatchFault::ReverseBatch`] is the detector's own mutation check: it
+//! feeds each batch to `establish_batch` in reversed order without
+//! un-permuting the results — the batch-ordering bug a caller would
+//! write by sorting requests and forgetting to map replies back. The
+//! harness must catch it and shrink the witness to two operations.
+//!
+//! [`Network::establish_batch`]: drqos_core::network::Network::establish_batch
+
+use crate::fuzz::{case_seed, generate_ops, shrink_by, Op, Scenario};
+use drqos_core::channel::ConnectionId;
+use drqos_core::error::AdmissionError;
+use drqos_core::network::{EstablishRequest, Network};
+use drqos_core::qos::ElasticQos;
+use drqos_core::snapshot::NetworkSnapshot;
+use drqos_sim::rng::Rng;
+use drqos_topology::{LinkId, NodeId};
+
+/// Largest establish run handed to `establish_batch` in one call (the
+/// daemon's own grouping is bounded by `DRQOS_BATCH` the same way).
+pub const BATCH_CAP: usize = 16;
+
+/// Deliberate faults injected into the batched side, for testing the
+/// detector itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BatchFault {
+    /// Faithful batching: maximal establish runs, order preserved.
+    #[default]
+    None,
+    /// The batch-ordering bug: requests reach `establish_batch` reversed
+    /// and the results are *not* mapped back to request order.
+    ReverseBatch,
+}
+
+/// How the batched network first disagreed with its sequential oracle.
+#[derive(Debug, Clone)]
+pub struct BatchDiffDivergence {
+    /// Index of the diverging operation.
+    pub step: usize,
+    /// The diverging operation.
+    pub op: Op,
+    /// Human-readable description of the first mismatch.
+    pub detail: String,
+}
+
+impl std::fmt::Display for BatchDiffDivergence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "step {} ({:?}): {}", self.step, self.op, self.detail)
+    }
+}
+
+/// One pending establish run: requests plus the fuzz-stream steps they
+/// came from (for divergence attribution).
+struct PendingBatch {
+    reqs: Vec<EstablishRequest>,
+    steps: Vec<(usize, Op)>,
+}
+
+impl PendingBatch {
+    fn new() -> Self {
+        PendingBatch {
+            reqs: Vec::new(),
+            steps: Vec::new(),
+        }
+    }
+}
+
+/// Flushes a pending establish run: the whole group through
+/// `establish_batch` on the batched side, one `establish` per request on
+/// the oracle, then a full state comparison.
+fn flush_batch(
+    batched: &mut Network,
+    oracle: &mut Network,
+    pending: &mut PendingBatch,
+    fault: BatchFault,
+) -> Option<BatchDiffDivergence> {
+    if pending.reqs.is_empty() {
+        return None;
+    }
+    let reqs = std::mem::take(&mut pending.reqs);
+    let steps = std::mem::take(&mut pending.steps);
+    let batch_results: Vec<Result<ConnectionId, AdmissionError>> = match fault {
+        BatchFault::None => batched.establish_batch(&reqs),
+        BatchFault::ReverseBatch => {
+            let reversed: Vec<EstablishRequest> = reqs.iter().rev().copied().collect();
+            // The injected bug: results come back in batch order, not
+            // request order.
+            batched.establish_batch(&reversed)
+        }
+    };
+    for (i, req) in reqs.iter().enumerate() {
+        let got_oracle = oracle.establish(req.src, req.dst, req.qos);
+        if batch_results[i] != got_oracle {
+            let (step, op) = steps[i];
+            return Some(BatchDiffDivergence {
+                step,
+                op,
+                detail: format!(
+                    "establish({},{}) diverged: batched {:?}, sequential {got_oracle:?}",
+                    req.src.index(),
+                    req.dst.index(),
+                    batch_results[i]
+                ),
+            });
+        }
+    }
+    let &(last_step, last_op) = steps.last().expect("non-empty batch has steps");
+    compare_state(batched, oracle).map(|detail| BatchDiffDivergence {
+        step: last_step,
+        op: last_op,
+        detail,
+    })
+}
+
+/// Compares drop counter, topology epoch, and full snapshots.
+fn compare_state(batched: &Network, oracle: &Network) -> Option<String> {
+    if batched.dropped_total() != oracle.dropped_total() {
+        return Some(format!(
+            "drop counter diverged: batched {}, sequential {}",
+            batched.dropped_total(),
+            oracle.dropped_total()
+        ));
+    }
+    if batched.topology_epoch() != oracle.topology_epoch() {
+        return Some(format!(
+            "topology epoch diverged: batched {}, sequential {}",
+            batched.topology_epoch(),
+            oracle.topology_epoch()
+        ));
+    }
+    let snap_batched = NetworkSnapshot::capture(batched);
+    let snap_oracle = NetworkSnapshot::capture(oracle);
+    if snap_batched != snap_oracle {
+        return Some(first_snapshot_mismatch(&snap_batched, &snap_oracle));
+    }
+    None
+}
+
+/// Pinpoints the first differing row of two snapshots.
+fn first_snapshot_mismatch(batched: &NetworkSnapshot, oracle: &NetworkSnapshot) -> String {
+    for (a, b) in batched.links.iter().zip(&oracle.links) {
+        if a != b {
+            return format!("link row diverged: batched {a:?}, sequential {b:?}");
+        }
+    }
+    for (a, b) in batched.connections.iter().zip(&oracle.connections) {
+        if a != b {
+            return format!("connection row diverged: batched {a:?}, sequential {b:?}");
+        }
+    }
+    format!(
+        "snapshot shape diverged: batched {} links / {} connections, sequential {} / {}",
+        batched.links.len(),
+        batched.connections.len(),
+        oracle.links.len(),
+        oracle.connections.len()
+    )
+}
+
+/// Applies one non-establish operation to both networks and reports the
+/// first mismatch, if any. Operand resolution mirrors `Harness::apply`,
+/// using the oracle as the candidate-list side (identical on both until
+/// the first divergence, so the choice cannot mask a bug).
+fn apply_singleton(batched: &mut Network, oracle: &mut Network, op: Op) -> Option<String> {
+    match op {
+        Op::Establish { .. } => unreachable!("establishes are batched, not singletons"),
+        Op::Release { pick } => {
+            let live: Vec<ConnectionId> = oracle.connections().map(|c| c.id()).collect();
+            if let Some(&id) = resolve(&live, pick) {
+                let got_batched = batched.release(id);
+                let got_oracle = oracle.release(id);
+                if got_batched != got_oracle {
+                    return Some(format!(
+                        "release({id}) diverged: batched {got_batched:?}, sequential {got_oracle:?}"
+                    ));
+                }
+            }
+        }
+        Op::FailLink { pick } => {
+            let up: Vec<LinkId> = oracle.up_links().collect();
+            if let Some(&link) = resolve(&up, pick) {
+                let got_batched = batched.fail_link(link);
+                let got_oracle = oracle.fail_link(link);
+                if got_batched != got_oracle {
+                    return Some(format!(
+                        "fail_link({link:?}) diverged: batched {got_batched:?}, sequential {got_oracle:?}"
+                    ));
+                }
+            }
+        }
+        Op::FailNode { pick } => {
+            let candidates: Vec<NodeId> = oracle
+                .graph()
+                .nodes()
+                .filter(|&n| {
+                    oracle
+                        .graph()
+                        .neighbors(n)
+                        .iter()
+                        .any(|&(_, l)| oracle.link_usage(l).is_up())
+                })
+                .collect();
+            if let Some(&node) = resolve(&candidates, pick) {
+                let got_batched = batched.fail_node(node);
+                let got_oracle = oracle.fail_node(node);
+                if got_batched != got_oracle {
+                    return Some(format!(
+                        "fail_node({node:?}) diverged: batched {got_batched:?}, sequential {got_oracle:?}"
+                    ));
+                }
+            }
+        }
+        Op::RepairLink { pick } => {
+            let down: Vec<LinkId> = oracle
+                .graph()
+                .links()
+                .map(|l| l.id())
+                .filter(|&l| !oracle.link_usage(l).is_up())
+                .collect();
+            if let Some(&link) = resolve(&down, pick) {
+                let got_batched = batched.repair_link(link);
+                let got_oracle = oracle.repair_link(link);
+                if got_batched != got_oracle {
+                    return Some(format!(
+                        "repair_link({link:?}) diverged: batched {got_batched:?}, sequential {got_oracle:?}"
+                    ));
+                }
+            }
+        }
+    }
+    compare_state(batched, oracle)
+}
+
+/// Replays `ops` against two freshly built identical networks — one
+/// establishing in batches, one sequentially — and returns the first
+/// divergence, or `None` when the sequence is byte-identical throughout.
+pub fn run_batch_diff_sequence(scenario: &Scenario, ops: &[Op]) -> Option<BatchDiffDivergence> {
+    let mut batched = scenario.network();
+    let mut oracle = scenario.network();
+    diff_batch_networks(
+        &mut batched,
+        &mut oracle,
+        scenario.qos(),
+        ops,
+        BatchFault::None,
+    )
+}
+
+/// The inner lockstep loop of [`run_batch_diff_sequence`], exposed with
+/// the fault injector so tests can prove the detector detects.
+pub fn diff_batch_networks(
+    batched: &mut Network,
+    oracle: &mut Network,
+    qos: ElasticQos,
+    ops: &[Op],
+    fault: BatchFault,
+) -> Option<BatchDiffDivergence> {
+    let n = oracle.graph().node_count() as u64;
+    let mut pending = PendingBatch::new();
+    for (step, &op) in ops.iter().enumerate() {
+        if let Op::Establish { src, dst } = op {
+            // Same operand resolution as `Harness::apply` (the node count
+            // never changes, so resolving at collection time is exact).
+            let s = (src % n) as usize;
+            let mut d = (dst % (n - 1)) as usize;
+            if d >= s {
+                d += 1;
+            }
+            pending.reqs.push(EstablishRequest {
+                src: NodeId(s),
+                dst: NodeId(d),
+                qos,
+            });
+            pending.steps.push((step, op));
+            if pending.reqs.len() >= BATCH_CAP {
+                if let Some(d) = flush_batch(batched, oracle, &mut pending, fault) {
+                    return Some(d);
+                }
+            }
+            continue;
+        }
+        if let Some(d) = flush_batch(batched, oracle, &mut pending, fault) {
+            return Some(d);
+        }
+        if let Some(detail) = apply_singleton(batched, oracle, op) {
+            return Some(BatchDiffDivergence { step, op, detail });
+        }
+    }
+    flush_batch(batched, oracle, &mut pending, fault)
+}
+
+/// Resolves a raw operand against a candidate list (None when empty).
+fn resolve<T>(candidates: &[T], pick: u64) -> Option<&T> {
+    if candidates.is_empty() {
+        None
+    } else {
+        Some(&candidates[(pick % candidates.len() as u64) as usize])
+    }
+}
+
+/// Budget and seed of a differential run (mirrors
+/// [`crate::fuzz::FuzzConfig`]; the same case seeds generate the same
+/// scenarios and operation streams as the invariant fuzzer).
+#[derive(Debug, Clone)]
+pub struct BatchDiffConfig {
+    /// Number of independent operation sequences.
+    pub sequences: usize,
+    /// Operations per sequence.
+    pub ops_per_sequence: usize,
+    /// Base seed.
+    pub seed: u64,
+}
+
+impl Default for BatchDiffConfig {
+    fn default() -> Self {
+        BatchDiffConfig {
+            sequences: 100,
+            ops_per_sequence: 60,
+            seed: 2001,
+        }
+    }
+}
+
+/// A diverging case, shrunk and ready to report.
+#[derive(Debug, Clone)]
+pub struct BatchDiffFailure {
+    /// The derived case seed.
+    pub case_seed: u64,
+    /// The scenario the case ran under.
+    pub scenario: Scenario,
+    /// The original diverging sequence.
+    pub ops: Vec<Op>,
+    /// The shrunk reproducer.
+    pub shrunk: Vec<Op>,
+    /// The divergence at the shrunk sequence's failing step.
+    pub divergence: BatchDiffDivergence,
+}
+
+impl BatchDiffFailure {
+    /// Renders the shrunk case as a copy-pasteable Rust snippet.
+    pub fn reproducer(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "// drqos-testkit batch-diff reproducer (case seed {:#x}, {} op(s) after shrinking)\n",
+            self.case_seed,
+            self.shrunk.len()
+        ));
+        out.push_str(&format!(
+            "let scenario = Scenario {{ nodes: {}, capacity_kbps: {}, backup_count: {}, \
+             increment_kbps: {}, graph_seed: {:#x} }};\n",
+            self.scenario.nodes,
+            self.scenario.capacity_kbps,
+            self.scenario.backup_count,
+            self.scenario.increment_kbps,
+            self.scenario.graph_seed
+        ));
+        out.push_str("let ops = vec![\n");
+        for op in &self.shrunk {
+            out.push_str(&format!("    Op::{op:?},\n"));
+        }
+        out.push_str("];\n");
+        out.push_str(
+            "let divergence = run_batch_diff_sequence(&scenario, &ops)\n    \
+             .expect(\"reproduces the divergence\");\n",
+        );
+        out.push_str(&format!("// {}\n", self.divergence));
+        out
+    }
+}
+
+/// Outcome of a differential run.
+#[derive(Debug, Clone)]
+pub struct BatchDiffOutcome {
+    /// Sequences that replayed byte-identically.
+    pub sequences_run: usize,
+    /// The first diverging case, if any, already shrunk.
+    pub failure: Option<BatchDiffFailure>,
+}
+
+/// Runs the differential fuzzer: independent seeded sequences, stopping
+/// at (and shrinking) the first divergence.
+pub fn run_batch_diff(config: &BatchDiffConfig) -> BatchDiffOutcome {
+    for case in 0..config.sequences {
+        let seed = case_seed(config.seed, case as u64);
+        let scenario = Scenario::from_seed(seed);
+        let mut rng = Rng::seed_from_u64(seed ^ 0x4655_5A5A); // same stream as run_fuzz
+        let ops = generate_ops(&mut rng, config.ops_per_sequence);
+        if run_batch_diff_sequence(&scenario, &ops).is_some() {
+            let shrunk = shrink_by(&ops, |candidate| {
+                run_batch_diff_sequence(&scenario, candidate).map(|d| d.step)
+            });
+            let divergence = run_batch_diff_sequence(&scenario, &shrunk)
+                .expect("shrink preserves the divergence");
+            return BatchDiffOutcome {
+                sequences_run: case,
+                failure: Some(BatchDiffFailure {
+                    case_seed: seed,
+                    scenario,
+                    ops,
+                    shrunk,
+                    divergence,
+                }),
+            };
+        }
+    }
+    BatchDiffOutcome {
+        sequences_run: config.sequences,
+        failure: None,
+    }
+}
+
+/// The batch-diff mutation check: injects the [`BatchFault::ReverseBatch`]
+/// ordering bug and returns the first caught-and-shrunk witness, or
+/// `None` if the detector failed to catch it — in which case the
+/// detector itself has regressed. Used by `fuzz --self-test`.
+pub fn batch_mutation_witness(seed: u64, sequences: usize) -> Option<Vec<Op>> {
+    for case in 0..sequences {
+        let case_seed = case_seed(seed, case as u64);
+        let scenario = Scenario::from_seed(case_seed);
+        let mut rng = Rng::seed_from_u64(case_seed ^ 0x4655_5A5A);
+        let ops = generate_ops(&mut rng, 30);
+        let fails_at = |candidate: &[Op]| {
+            let mut batched = scenario.network();
+            let mut oracle = scenario.network();
+            diff_batch_networks(
+                &mut batched,
+                &mut oracle,
+                scenario.qos(),
+                candidate,
+                BatchFault::ReverseBatch,
+            )
+            .map(|d| d.step)
+        };
+        if fails_at(&ops).is_some() {
+            return Some(shrink_by(&ops, fails_at));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fuzz::InjectedFault;
+
+    #[test]
+    fn fuzzed_sequences_replay_identically() {
+        let outcome = run_batch_diff(&BatchDiffConfig {
+            sequences: 25,
+            ops_per_sequence: 50,
+            seed: 17,
+        });
+        assert!(
+            outcome.failure.is_none(),
+            "batched admission diverged:\n{}",
+            outcome.failure.unwrap().reproducer()
+        );
+        assert_eq!(outcome.sequences_run, 25);
+    }
+
+    #[test]
+    fn deep_contended_batches_replay_identically() {
+        // All-establish streams force full BATCH_CAP groups on a starved
+        // network — the worst case for the deferred-fill bookkeeping.
+        let scenario = Scenario {
+            nodes: 8,
+            capacity_kbps: 800,
+            backup_count: 1,
+            increment_kbps: 100,
+            graph_seed: 11,
+        };
+        let mut rng = Rng::seed_from_u64(23);
+        let ops: Vec<Op> = (0..48)
+            .map(|_| Op::Establish {
+                src: rng.next_u64(),
+                dst: rng.next_u64(),
+            })
+            .collect();
+        assert!(
+            run_batch_diff_sequence(&scenario, &ops).is_none(),
+            "dense batches must match sequential establishment"
+        );
+    }
+
+    #[test]
+    fn mismatched_pair_is_detected() {
+        // Mutation check for the detector itself: pit two *different*
+        // scenarios against each other — the smaller-capacity side must
+        // reject sooner, and the lockstep comparison must say where.
+        let scenario = Scenario {
+            nodes: 10,
+            capacity_kbps: 3_000,
+            backup_count: 1,
+            increment_kbps: 100,
+            graph_seed: 5,
+        };
+        let starved = Scenario {
+            capacity_kbps: 100,
+            ..scenario.clone()
+        };
+        let mut batched = scenario.network();
+        let mut oracle = starved.network();
+        let mut rng = Rng::seed_from_u64(99);
+        let ops = generate_ops(&mut rng, 40);
+        let divergence = diff_batch_networks(
+            &mut batched,
+            &mut oracle,
+            scenario.qos(),
+            &ops,
+            BatchFault::None,
+        )
+        .expect("capacity mismatch must surface as a divergence");
+        assert!(!divergence.detail.is_empty());
+    }
+
+    #[test]
+    fn reversed_batch_fault_is_caught_and_shrinks_small() {
+        // The satellite's mutation self-check: the injected batch-ordering
+        // bug must be caught and shrunk to a handful of operations. The
+        // witness needs at least two consecutive establishes (a batch of
+        // one cannot misorder); sometimes a follow-up op is also required
+        // because swapped admissions can yield numerically equal ids.
+        let shrunk = batch_mutation_witness(2001, 20)
+            .expect("ordering fault must be detected within the budget");
+        assert!(
+            (2..=4).contains(&shrunk.len()),
+            "ordering witness should be tiny: {shrunk:?}"
+        );
+        assert!(
+            shrunk
+                .iter()
+                .filter(|op| matches!(op, Op::Establish { .. }))
+                .count()
+                >= 2,
+            "witness needs a consecutive establish pair: {shrunk:?}"
+        );
+    }
+
+    #[test]
+    fn reproducer_renders_scenario_and_ops() {
+        let scenario = Scenario::from_seed(4);
+        let failure = BatchDiffFailure {
+            case_seed: 4,
+            scenario,
+            ops: vec![Op::Establish { src: 1, dst: 2 }],
+            shrunk: vec![Op::Establish { src: 1, dst: 2 }],
+            divergence: BatchDiffDivergence {
+                step: 0,
+                op: Op::Establish { src: 1, dst: 2 },
+                detail: "example".into(),
+            },
+        };
+        let repro = failure.reproducer();
+        assert!(repro.contains("Scenario {"));
+        assert!(repro.contains("Op::Establish"));
+        assert!(repro.contains("run_batch_diff_sequence"));
+    }
+
+    #[test]
+    fn diff_streams_match_the_invariant_fuzzer() {
+        // The differential runner deliberately replays the exact case
+        // seeds and op streams the invariant fuzzer uses, so a sequence
+        // number from one report addresses the same workload in both.
+        let seed = case_seed(2001, 3);
+        let scenario = Scenario::from_seed(seed);
+        let mut rng = Rng::seed_from_u64(seed ^ 0x4655_5A5A);
+        let ops = generate_ops(&mut rng, 20);
+        assert!(crate::fuzz::run_sequence(&scenario, &ops, InjectedFault::None).is_none());
+        assert!(run_batch_diff_sequence(&scenario, &ops).is_none());
+    }
+}

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! fuzz [--seqs N] [--ops N] [--seed S] [--diff N] [--diff-cache N]
-//!      [--tolerance F] [--self-test]
+//!      [--diff-batch N] [--tolerance F] [--self-test]
 //! ```
 //!
 //! * the main run executes `--seqs` seeded operation sequences and exits
@@ -14,10 +14,16 @@
 //!   and route-cache-off networks in lockstep and fails (with a shrunk
 //!   reproducer) on any divergence in admission decisions, failure
 //!   reports, drop counters, or snapshots;
+//! * `--diff-batch N` replays N fuzzed sequences with consecutive
+//!   establishes grouped through `Network::establish_batch` against a
+//!   sequential oracle, and fails (with a shrunk reproducer) on any
+//!   divergence in admission results, drop counters, or snapshots;
 //! * `--self-test` is the mutation check: it injects the `LoseRelease`
-//!   accounting fault, and *fails* unless the fuzzer catches it and
-//!   shrinks the witness to ≤ 10 operations.
+//!   accounting fault and the `ReverseBatch` batch-ordering fault, and
+//!   *fails* unless the detectors catch both and shrink the witnesses
+//!   (≤ 10 ops for the accounting fault, ≤ 4 for the ordering one).
 
+use drqos_testkit::batch_diff::{batch_mutation_witness, run_batch_diff, BatchDiffConfig};
 use drqos_testkit::cache_diff::{run_cache_diff, CacheDiffConfig};
 use drqos_testkit::diff::check_diff;
 use drqos_testkit::fuzz::{run_fuzz, FuzzConfig, InjectedFault};
@@ -29,6 +35,7 @@ struct Args {
     seed: u64,
     diff: usize,
     diff_cache: usize,
+    diff_batch: usize,
     tolerance: f64,
     self_test: bool,
 }
@@ -40,6 +47,7 @@ fn parse_args() -> Result<Args, String> {
         seed: 2001,
         diff: 0,
         diff_cache: 0,
+        diff_batch: 0,
         tolerance: 0.45,
         self_test: false,
     };
@@ -52,6 +60,7 @@ fn parse_args() -> Result<Args, String> {
             "--seed" => args.seed = parse(&value("--seed")?)?,
             "--diff" => args.diff = parse(&value("--diff")?)?,
             "--diff-cache" => args.diff_cache = parse(&value("--diff-cache")?)?,
+            "--diff-batch" => args.diff_batch = parse(&value("--diff-batch")?)?,
             "--tolerance" => args.tolerance = parse(&value("--tolerance")?)?,
             "--self-test" => args.self_test = true,
             other => return Err(format!("unknown flag {other}")),
@@ -132,6 +141,26 @@ fn main() -> ExitCode {
             args.diff_cache, args.ops, args.seed
         );
     }
+
+    if args.diff_batch > 0 {
+        let outcome = run_batch_diff(&BatchDiffConfig {
+            sequences: args.diff_batch,
+            ops_per_sequence: args.ops,
+            seed: args.seed,
+        });
+        if let Some(failure) = outcome.failure {
+            eprintln!(
+                "FAIL: batched admission diverged from the sequential oracle after {} clean sequence(s)\n",
+                outcome.sequences_run
+            );
+            eprintln!("{}", failure.reproducer());
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "ok: {} batch-differential sequence(s) x {} ops (seed {}) byte-identical throughout",
+            args.diff_batch, args.ops, args.seed
+        );
+    }
     ExitCode::SUCCESS
 }
 
@@ -151,17 +180,37 @@ fn mutation_check(seed: u64) -> ExitCode {
                 failure.shrunk.len()
             );
             println!("{}", failure.reproducer());
-            ExitCode::SUCCESS
         }
         Some(failure) => {
             eprintln!(
                 "FAIL: fault caught but reproducer has {} ops (> 10) — shrinker regressed",
                 failure.shrunk.len()
             );
-            ExitCode::FAILURE
+            return ExitCode::FAILURE;
         }
         None => {
             eprintln!("FAIL: injected accounting fault was NOT detected — oracle regressed");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    match batch_mutation_witness(seed, 20) {
+        Some(shrunk) if shrunk.len() <= 4 => {
+            println!(
+                "ok: injected ReverseBatch ordering fault caught and shrunk to {} op(s)",
+                shrunk.len()
+            );
+            ExitCode::SUCCESS
+        }
+        Some(shrunk) => {
+            eprintln!(
+                "FAIL: ordering fault caught but reproducer has {} ops (> 4) — shrinker regressed",
+                shrunk.len()
+            );
+            ExitCode::FAILURE
+        }
+        None => {
+            eprintln!("FAIL: injected batch-ordering fault was NOT detected — detector regressed");
             ExitCode::FAILURE
         }
     }

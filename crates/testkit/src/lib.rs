@@ -32,6 +32,14 @@
 //! after every operation — with delta-debugging shrinking of any
 //! divergence (`fuzz --diff-cache N` in CI).
 //!
+//! A sixth layer, [`batch_diff`], proves [`drqos_core::network::Network::establish_batch`]
+//! exactly equivalent to sequential establishment: fuzzed sequences are
+//! replayed with consecutive establish runs batched on one side and
+//! applied one at a time on an oracle, compared on results and full
+//! snapshots after every step, shrunk on divergence
+//! (`fuzz --diff-batch N` in CI). An injectable batch-ordering fault
+//! keeps the detector itself honest (`fuzz --self-test`).
+//!
 //! Everything is deterministic given the seeds; there are no external
 //! dependencies and no wall-clock or thread-count influence on any
 //! generated artifact.
@@ -39,6 +47,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch_diff;
 pub mod cache_diff;
 pub mod diff;
 pub mod fuzz;
@@ -47,6 +56,10 @@ pub mod oracle;
 pub mod reference;
 pub mod session;
 
+pub use batch_diff::{
+    batch_mutation_witness, run_batch_diff, run_batch_diff_sequence, BatchDiffConfig,
+    BatchDiffDivergence, BatchDiffFailure, BatchDiffOutcome, BatchFault,
+};
 pub use cache_diff::{
     run_cache_diff, run_cache_diff_sequence, CacheDiffConfig, CacheDiffDivergence,
     CacheDiffFailure, CacheDiffOutcome,
