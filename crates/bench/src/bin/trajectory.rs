@@ -11,7 +11,8 @@
 //! ```
 
 use drqos_bench::trajectory::{
-    self, check_committed, check_fresh, today_utc, TrajectoryConfig, TrajectoryEntry,
+    self, check_committed, check_fresh, check_fresh_wave, today_utc, TrajectoryConfig,
+    TrajectoryEntry,
 };
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -63,11 +64,20 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
 
 fn run_check(args: &Args) -> ExitCode {
     let cfg = TrajectoryConfig::quick();
-    println!("trajectory --check: measuring the quick admission pair ...");
+    println!("trajectory --check: measuring the quick admission pairs ...");
     let single = trajectory::bench_admission_single(&cfg);
     let batch = trajectory::bench_admission_batch(&cfg);
+    let wave_mono = trajectory::bench_admission_wave_mono(&cfg);
+    let wave_shard = trajectory::bench_admission_wave_shard(&cfg);
     let mut failed = false;
     match check_fresh(&single, &batch) {
+        Ok(line) => println!("ok: {line}"),
+        Err(e) => {
+            eprintln!("FAIL: {e}");
+            failed = true;
+        }
+    }
+    match check_fresh_wave(&wave_mono, &wave_shard) {
         Ok(line) => println!("ok: {line}"),
         Err(e) => {
             eprintln!("FAIL: {e}");
@@ -127,6 +137,18 @@ fn main() -> ExitCode {
         benches.iter().find(|b| b.name == "admission_batch"),
     ) {
         match check_fresh(single, batch) {
+            Ok(line) => println!("{line}"),
+            Err(e) => {
+                eprintln!("FAIL: {e}");
+                return ExitCode::from(1);
+            }
+        }
+    }
+    if let (Some(mono), Some(shard)) = (
+        benches.iter().find(|b| b.name == "admission_wave_mono"),
+        benches.iter().find(|b| b.name == "admission_wave_shard4"),
+    ) {
+        match check_fresh_wave(mono, shard) {
             Ok(line) => println!("{line}"),
             Err(e) => {
                 eprintln!("FAIL: {e}");

@@ -37,6 +37,8 @@ pub const WIRE: &str = "DRQOS_WIRE";
 /// `DRQOS_BUSY_RETRIES` — loadgen `BUSY` retry cap (see
 /// [`busy_retries`]).
 pub const BUSY_RETRIES: &str = "DRQOS_BUSY_RETRIES";
+/// `DRQOS_SHARDS` — admission-engine shard count (see [`shards`]).
+pub const SHARDS: &str = "DRQOS_SHARDS";
 
 /// Default for `DRQOS_BATCH`: commands drained per event-loop tick.
 pub const DEFAULT_BATCH: usize = 64;
@@ -44,6 +46,8 @@ pub const DEFAULT_BATCH: usize = 64;
 pub const DEFAULT_QUEUE_DEPTH: usize = 1024;
 /// Default for `DRQOS_BUSY_RETRIES`: bounded `BUSY` retry attempts.
 pub const DEFAULT_BUSY_RETRIES: usize = 64;
+/// Default for `DRQOS_SHARDS`: one shard, i.e. the monolithic engine.
+pub const DEFAULT_SHARDS: usize = 1;
 
 /// Wire framing selected by `DRQOS_WIRE`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -127,6 +131,14 @@ pub fn registry() -> &'static [EnvVar] {
             doc: "bounded `BUSY` retries per command before the load \
                   generator gives up (exponential backoff with seeded \
                   jitter between attempts)",
+        },
+        EnvVar {
+            name: SHARDS,
+            consumed_by: "`drqosd` admission engine",
+            default: "`1` (monolith)",
+            doc: "partitions the topology into N shards; batched \
+                  admissions plan in parallel per shard with a two-phase \
+                  cross-shard commit (results are byte-identical to `1`)",
         },
     ]
 }
@@ -235,6 +247,11 @@ pub fn busy_retries() -> usize {
     read(BUSY_RETRIES).map_or(DEFAULT_BUSY_RETRIES, |v| {
         parse_positive(&v, DEFAULT_BUSY_RETRIES)
     })
+}
+
+/// `DRQOS_SHARDS` (minimum 1; default [`DEFAULT_SHARDS`] = monolith).
+pub fn shards() -> usize {
+    read(SHARDS).map_or(DEFAULT_SHARDS, |v| parse_positive(&v, DEFAULT_SHARDS))
 }
 
 /// The README environment table, rendered from [`registry`]. The README

@@ -50,6 +50,12 @@ pub struct ExperimentConfig {
     pub failure_burst: usize,
     /// Network manager configuration.
     pub network: NetworkConfig,
+    /// Admission shards for the warm-up phase: `1` runs the monolithic
+    /// per-request path; `> 1` batches warm-up arrivals into waves
+    /// through [`crate::ShardedNetwork`]. Results are byte-identical
+    /// either way (the shard-differential fuzzer's guarantee) except for
+    /// the route-cache counters, which waves mostly bypass.
+    pub shards: usize,
     /// RNG seed (experiments are deterministic given the seed).
     pub seed: u64,
 }
@@ -67,6 +73,7 @@ impl ExperimentConfig {
             mean_repair: 1_000.0,
             failure_burst: 1,
             network: NetworkConfig::default(),
+            shards: crate::env::shards(),
             seed: 2001,
         }
     }
@@ -114,6 +121,9 @@ enum Event {
     Repair(LinkId),
 }
 
+/// Warm-up wave width when `shards > 1` — the daemon's batch size.
+const WARMUP_WAVE: usize = 16;
+
 /// Whether churn experiments validate the full invariant set after every
 /// event. The `DRQOS_CHECKED` environment variable overrides (`1`/`true`/
 /// `on`/`yes` to force on, anything else to force off); without it,
@@ -150,12 +160,41 @@ pub fn run_churn(graph: Graph, config: &ExperimentConfig) -> (ExperimentReport, 
     };
 
     // ---- Warm-up: attempt the target number of connections. ----
-    for _ in 0..config.target_connections {
-        let req = workload.request(&mut rng, n_nodes);
-        report.attempted += 1;
-        match net.establish(req.src, req.dst, req.qos) {
-            Ok(_) => report.accepted += 1,
-            Err(e) => classify_rejection(&mut report, &e),
+    // The request stream is drawn identically on both paths (the
+    // workload only consumes the RNG; admission does not), and a wave
+    // replays byte-identically to serial establishes in the same order —
+    // the shard-differential fuzzer's guarantee — so `shards` changes
+    // how the warm-up is computed, never what it computes.
+    if config.shards > 1 {
+        let requests: Vec<crate::network::EstablishRequest> = (0..config.target_connections)
+            .map(|_| {
+                let req = workload.request(&mut rng, n_nodes);
+                crate::network::EstablishRequest {
+                    src: req.src,
+                    dst: req.dst,
+                    qos: req.qos,
+                }
+            })
+            .collect();
+        let mut sharded = crate::ShardedNetwork::new(net, config.shards);
+        for chunk in requests.chunks(WARMUP_WAVE) {
+            for result in sharded.establish_wave(chunk) {
+                report.attempted += 1;
+                match result {
+                    Ok(_) => report.accepted += 1,
+                    Err(e) => classify_rejection(&mut report, &e),
+                }
+            }
+        }
+        net = sharded.into_inner();
+    } else {
+        for _ in 0..config.target_connections {
+            let req = workload.request(&mut rng, n_nodes);
+            report.attempted += 1;
+            match net.establish(req.src, req.dst, req.qos) {
+                Ok(_) => report.accepted += 1,
+                Err(e) => classify_rejection(&mut report, &e),
+            }
         }
     }
 
@@ -482,6 +521,28 @@ mod tests {
         // Every observable except the counters themselves is identical.
         report_on.cache = report_off.cache;
         assert_eq!(report_on, report_off);
+    }
+
+    #[test]
+    fn sharding_does_not_change_results() {
+        // The sharded warm-up must be invisible in every observable —
+        // the same guarantee the route cache makes, proven here the same
+        // way. Only the cache counters may differ (waves plan outside
+        // the cache), and those are deliberately not observables.
+        let mut mono = quick_config(60);
+        mono.network.route_cache = true;
+        mono.shards = 1;
+        let mut sharded = mono.clone();
+        sharded.shards = 4;
+        let (report_mono, net_mono) = run_churn(small_graph(11), &mono);
+        let (mut report_sharded, net_sharded) = run_churn(small_graph(11), &sharded);
+        assert!(report_mono.accepted > 0);
+        assert_eq!(
+            crate::snapshot::NetworkSnapshot::capture(&net_mono),
+            crate::snapshot::NetworkSnapshot::capture(&net_sharded)
+        );
+        report_sharded.cache = report_mono.cache;
+        assert_eq!(report_mono, report_sharded);
     }
 
     #[test]

@@ -71,6 +71,7 @@ pub mod network;
 pub mod qos;
 pub mod route_cache;
 pub mod routing;
+pub mod shard;
 pub mod snapshot;
 pub mod wire;
 pub mod workload;
@@ -87,5 +88,6 @@ pub use network::{
 pub use qos::{AdaptationPolicy, Bandwidth, ElasticQos};
 pub use route_cache::RouteCache;
 pub use routing::{BackupDisjointness, RouterKind};
+pub use shard::{ShardFault, ShardedNetwork};
 pub use snapshot::NetworkSnapshot;
 pub use workload::{PairSampler, Request, Workload};

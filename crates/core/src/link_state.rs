@@ -25,11 +25,11 @@
 use crate::channel::ConnectionId;
 use crate::qos::Bandwidth;
 use drqos_topology::LinkId;
-use std::cell::Cell;
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 /// Bandwidth bookkeeping for one link.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct LinkUsage {
     capacity: Bandwidth,
     up: bool,
@@ -45,8 +45,35 @@ pub struct LinkUsage {
     /// false). The route cache revalidates footprints on every lookup and
     /// hashes them on every insert; without the memo each call walks the
     /// conflict map, which dominated the miss path on loaded networks.
-    digest_memo: Cell<u64>,
-    digest_dirty: Cell<bool>,
+    ///
+    /// Atomics rather than `Cell`s so a frozen `&Network` can be shared
+    /// across the sharded engine's planning threads (`LinkUsage` must be
+    /// `Sync`). The memo is a pure function of the accounting fields, so
+    /// concurrent fills race only on writing the *same* value; the memo
+    /// store is `Release`-ordered before clearing the dirty flag, and
+    /// readers `Acquire` the flag before trusting the memo.
+    digest_memo: AtomicU64,
+    digest_dirty: AtomicBool,
+}
+
+/// Cloning copies the accounting state and the memo. The memo is cloned
+/// as a snapshot (relaxed reads are fine: the source is behind `&self`,
+/// and a torn memo/dirty pair can at worst mark the clone dirty).
+impl Clone for LinkUsage {
+    fn clone(&self) -> Self {
+        Self {
+            capacity: self.capacity,
+            up: self.up,
+            primaries: self.primaries.clone(),
+            primary_min_sum: self.primary_min_sum,
+            extra_sum: self.extra_sum,
+            backups: self.backups.clone(),
+            conflict: self.conflict.clone(),
+            reservation: self.reservation,
+            digest_dirty: AtomicBool::new(self.digest_dirty.load(Ordering::Acquire)),
+            digest_memo: AtomicU64::new(self.digest_memo.load(Ordering::Relaxed)),
+        }
+    }
 }
 
 /// Equality over the *accounting* state only — the digest memo is a
@@ -77,8 +104,8 @@ impl LinkUsage {
             backups: BTreeSet::new(),
             conflict: BTreeMap::new(),
             reservation: Bandwidth::ZERO,
-            digest_memo: Cell::new(0),
-            digest_dirty: Cell::new(true),
+            digest_memo: AtomicU64::new(0),
+            digest_dirty: AtomicBool::new(true),
         }
     }
 
@@ -94,7 +121,7 @@ impl LinkUsage {
 
     pub(crate) fn set_up(&mut self, up: bool) {
         self.up = up;
-        self.digest_dirty.set(true);
+        self.digest_dirty.store(true, Ordering::Relaxed);
     }
 
     /// Primary channels crossing this link.
@@ -184,14 +211,14 @@ impl LinkUsage {
         let inserted = self.primaries.insert(id);
         assert!(inserted, "{id} already a primary on this link");
         self.primary_min_sum += min;
-        self.digest_dirty.set(true);
+        self.digest_dirty.store(true, Ordering::Relaxed);
     }
 
     pub(crate) fn remove_primary(&mut self, id: ConnectionId, min: Bandwidth) {
         let removed = self.primaries.remove(&id);
         assert!(removed, "{id} was not a primary on this link");
         self.primary_min_sum -= min;
-        self.digest_dirty.set(true);
+        self.digest_dirty.store(true, Ordering::Relaxed);
     }
 
     pub(crate) fn add_extra(&mut self, amount: Bandwidth) {
@@ -217,7 +244,7 @@ impl LinkUsage {
                 self.reservation = *entry;
             }
         }
-        self.digest_dirty.set(true);
+        self.digest_dirty.store(true, Ordering::Relaxed);
     }
 
     pub(crate) fn remove_backup(
@@ -244,7 +271,7 @@ impl LinkUsage {
             .copied()
             .max()
             .unwrap_or(Bandwidth::ZERO);
-        self.digest_dirty.set(true);
+        self.digest_dirty.store(true, Ordering::Relaxed);
     }
 
     /// A digest of every field of this link that route *planning* can
@@ -263,17 +290,22 @@ impl LinkUsage {
     /// mutation, so repeated revalidation of untouched links is O(1)
     /// regardless of how many backups conflict on them.
     pub fn plan_digest(&self) -> u64 {
-        if self.digest_dirty.get() {
+        if self.digest_dirty.load(Ordering::Acquire) {
             let mut h: u64 = if self.up { 0x9E37_79B9_7F4A_7C15 } else { 0 };
             h = mix64(h ^ self.primary_min_sum.as_kbps());
             h = mix64(h ^ self.reservation.as_kbps());
             for (&f, &bw) in &self.conflict {
                 h = mix64(h ^ (f.index() as u64).wrapping_mul(0x0100_0000_01B3) ^ bw.as_kbps());
             }
-            self.digest_memo.set(h);
-            self.digest_dirty.set(false);
+            // Concurrent fills (shared frozen network during a planning
+            // wave) compute the same pure function; publish the memo
+            // before clearing the flag so an `Acquire` reader of
+            // `dirty == false` always sees a filled memo.
+            self.digest_memo.store(h, Ordering::Relaxed);
+            self.digest_dirty.store(false, Ordering::Release);
+            return h;
         }
-        self.digest_memo.get()
+        self.digest_memo.load(Ordering::Relaxed)
     }
 
     /// Recomputes the multiplexed reservation from the conflict map,

@@ -34,6 +34,7 @@ use drqos_topology::paths::Path;
 use std::cell::RefCell;
 use std::cmp::Ordering;
 use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
+use std::sync::{Mutex, MutexGuard};
 
 /// Configuration of a [`Network`].
 #[derive(Debug, Clone, PartialEq)]
@@ -161,7 +162,7 @@ fn conflict_set(primary_links: &[LinkId], on_link: LinkId) -> Vec<LinkId> {
 }
 
 /// The DR-connection network manager.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Network {
     graph: Graph,
     config: NetworkConfig,
@@ -177,12 +178,35 @@ pub struct Network {
     /// planning allocates nothing per attempt. Interior mutability because
     /// planning takes `&self`. `scratch_epoch` records which topology
     /// epoch the buffers were last validated against.
-    scratch: RefCell<(u64, RouteScratch)>,
+    scratch: Mutex<(u64, RouteScratch)>,
     /// Memo of successful route plans, consulted by
     /// [`Network::plan_establish`] when [`NetworkConfig::route_cache`] is
     /// set. Interior mutability because planning takes `&self` but a
-    /// lookup updates counters and evicts stale entries.
-    cache: RefCell<RouteCache>,
+    /// lookup updates counters and evicts stale entries. Both fields are
+    /// mutexes (not `RefCell`s) so a frozen `&Network` is `Sync` and can be
+    /// shared across the sharded engine's planning threads; contention is
+    /// nil on the monolith path, which is single-threaded.
+    cache: Mutex<RouteCache>,
+}
+
+/// Cloning copies the full accounting state *and* the route cache (so a
+/// cloned oracle replays with identical cache counters); the route-search
+/// scratch is rebuilt fresh, which is semantics-invariant.
+impl Clone for Network {
+    fn clone(&self) -> Self {
+        Self {
+            graph: self.graph.clone(),
+            config: self.config.clone(),
+            links: self.links.clone(),
+            connections: self.connections.clone(),
+            next_id: self.next_id,
+            total_bandwidth: self.total_bandwidth,
+            dropped_total: self.dropped_total,
+            topology_epoch: self.topology_epoch,
+            scratch: Mutex::new((0, RouteScratch::new())),
+            cache: Mutex::new(self.lock_cache().clone()),
+        }
+    }
 }
 
 impl Network {
@@ -200,20 +224,27 @@ impl Network {
             total_bandwidth: Bandwidth::ZERO,
             dropped_total: 0,
             topology_epoch: 0,
-            scratch: RefCell::new((0, RouteScratch::new())),
-            cache: RefCell::new(RouteCache::new()),
+            scratch: Mutex::new((0, RouteScratch::new())),
+            cache: Mutex::new(RouteCache::new()),
         }
+    }
+
+    /// Locks the route cache. A poisoned lock is impossible in practice
+    /// (cache operations don't panic), but the daemon zone forbids
+    /// `unwrap`, so a poison is shrugged off rather than propagated.
+    fn lock_cache(&self) -> MutexGuard<'_, RouteCache> {
+        self.cache.lock().unwrap_or_else(|e| e.into_inner())
     }
 
     /// Hit/miss/stale-eviction counters of the admission route cache
     /// (all zero when [`NetworkConfig::route_cache`] is off).
     pub fn route_cache_stats(&self) -> RouteCacheStats {
-        self.cache.borrow().stats()
+        self.lock_cache().stats()
     }
 
     /// Number of plans currently memoized by the route cache.
     pub fn route_cache_len(&self) -> usize {
-        self.cache.borrow().len()
+        self.lock_cache().len()
     }
 
     /// The current topology epoch: incremented by every
@@ -227,7 +258,7 @@ impl Network {
     /// Runs `f` with the network's route-search scratch, invalidating it
     /// first if the topology epoch moved since its last use.
     fn with_scratch<T>(&self, f: impl FnOnce(&mut RouteScratch) -> T) -> T {
-        let mut guard = self.scratch.borrow_mut();
+        let mut guard = self.scratch.lock().unwrap_or_else(|e| e.into_inner());
         let (seen_epoch, scratch) = &mut *guard;
         if *seen_epoch != self.topology_epoch {
             scratch.invalidate();
@@ -326,20 +357,12 @@ impl Network {
         dst: NodeId,
         qos: ElasticQos,
     ) -> Result<EstablishPlan, AdmissionError> {
-        if !self.graph.contains_node(src) {
-            return Err(AdmissionError::UnknownNode(src));
-        }
-        if !self.graph.contains_node(dst) {
-            return Err(AdmissionError::UnknownNode(dst));
-        }
-        if src == dst {
-            return Err(AdmissionError::SameEndpoints(src));
-        }
+        self.check_endpoints(src, dst)?;
         let min = qos.min();
         let key = (src, dst, min.as_kbps());
         let mut record = false;
         if self.config.route_cache {
-            let mut cache = self.cache.borrow_mut();
+            let mut cache = self.lock_cache();
             let hit = cache.lookup(key, |l| self.links[l.index()].plan_digest());
             if let Some((primary, backups)) = hit {
                 return Ok(EstablishPlan {
@@ -356,11 +379,103 @@ impl Network {
         // While the real search runs, record every link it probes: a
         // successful plan is memoized together with the probed links'
         // digests, which is exactly the state the search depended on.
-        // A plain Vec with deferred dedup: the search probes links far
-        // more often than there are distinct links, and a push is much
-        // cheaper than an ordered-set insert on this hot path.
         let footprint: RefCell<Vec<LinkId>> = RefCell::new(Vec::new());
         let fp = record.then_some(&footprint);
+        let (primary, backups) =
+            self.with_scratch(|scratch| self.plan_routes(scratch, src, dst, min, fp))?;
+        if record {
+            let digests = self.footprint_digests(footprint.into_inner());
+            self.lock_cache().insert(
+                key,
+                self.topology_epoch,
+                primary.clone(),
+                backups.clone(),
+                digests,
+            );
+        }
+        Ok(EstablishPlan {
+            qos,
+            primary,
+            backups,
+        })
+    }
+
+    /// Routes (but does not commit) a new DR-connection against a frozen
+    /// network, recording the full admission **footprint**: every link the
+    /// search probed, with its [`LinkUsage::plan_digest`] at planning time.
+    ///
+    /// This is the sharded engine's planning entry point. Unlike
+    /// [`Network::plan_establish`] it never consults or fills the route
+    /// cache (so concurrent planners share `&self` without perturbing the
+    /// monolith's cache counters) and it records the footprint even when
+    /// the plan **fails** — a rejection is only as valid as the link state
+    /// it observed, and the committer must revalidate that too (more
+    /// admitted traffic can change *which* error a request gets).
+    ///
+    /// The caller supplies the [`RouteScratch`] (one per planning thread);
+    /// it must be fresh or last used against this same topology epoch.
+    pub fn plan_establish_traced(
+        &self,
+        scratch: &mut RouteScratch,
+        src: NodeId,
+        dst: NodeId,
+        qos: ElasticQos,
+    ) -> (Result<EstablishPlan, AdmissionError>, Vec<(LinkId, u64)>) {
+        if let Err(e) = self.check_endpoints(src, dst) {
+            return (Err(e), Vec::new());
+        }
+        let footprint: RefCell<Vec<LinkId>> = RefCell::new(Vec::new());
+        let result = self.plan_routes(scratch, src, dst, qos.min(), Some(&footprint));
+        let digests = self.footprint_digests(footprint.into_inner());
+        (
+            result.map(|(primary, backups)| EstablishPlan {
+                qos,
+                primary,
+                backups,
+            }),
+            digests,
+        )
+    }
+
+    /// Endpoint validation shared by every planning entry point.
+    fn check_endpoints(&self, src: NodeId, dst: NodeId) -> Result<(), AdmissionError> {
+        if !self.graph.contains_node(src) {
+            return Err(AdmissionError::UnknownNode(src));
+        }
+        if !self.graph.contains_node(dst) {
+            return Err(AdmissionError::UnknownNode(dst));
+        }
+        if src == dst {
+            return Err(AdmissionError::SameEndpoints(src));
+        }
+        Ok(())
+    }
+
+    /// Sorts, dedups, and digests a raw probe log. A plain Vec with
+    /// deferred dedup: the search probes links far more often than there
+    /// are distinct links, and a push is much cheaper than an ordered-set
+    /// insert on this hot path.
+    fn footprint_digests(&self, mut probed: Vec<LinkId>) -> Vec<(LinkId, u64)> {
+        probed.sort_unstable();
+        probed.dedup();
+        probed
+            .into_iter()
+            .map(|l| (l, self.links[l.index()].plan_digest()))
+            .collect()
+    }
+
+    /// The route search shared by [`Network::plan_establish`] and
+    /// [`Network::plan_establish_traced`]: primary (with optional seeded
+    /// disjoint pair) plus backups, probing links through `fp` when the
+    /// caller records a footprint.
+    fn plan_routes(
+        &self,
+        scratch: &mut RouteScratch,
+        src: NodeId,
+        dst: NodeId,
+        min: Bandwidth,
+        fp: Option<&RefCell<Vec<LinkId>>>,
+    ) -> Result<(Path, Vec<Path>), AdmissionError> {
         let touch = |l: LinkId| {
             if let Some(f) = fp {
                 f.borrow_mut().push(l);
@@ -389,30 +504,26 @@ impl Network {
                 } else {
                     // No disjoint pair: fall back to a single shortest path
                     // (the backup search below will fail if one is required).
-                    self.with_scratch(|scratch| {
-                        routing::route_primary_with(
-                            scratch,
-                            self.config.router,
-                            &self.graph,
-                            src,
-                            dst,
-                            &primary_filter,
-                            &primary_allowance,
-                        )
-                    })
+                    routing::route_primary_with(
+                        scratch,
+                        self.config.router,
+                        &self.graph,
+                        src,
+                        dst,
+                        &primary_filter,
+                        &primary_allowance,
+                    )
                 }
             }
-            _ => self.with_scratch(|scratch| {
-                routing::route_primary_with(
-                    scratch,
-                    self.config.router,
-                    &self.graph,
-                    src,
-                    dst,
-                    &primary_filter,
-                    &primary_allowance,
-                )
-            }),
+            _ => routing::route_primary_with(
+                scratch,
+                self.config.router,
+                &self.graph,
+                src,
+                dst,
+                &primary_filter,
+                &primary_allowance,
+            ),
         };
         let Some(primary) = primary else {
             return Err(AdmissionError::NoPrimaryRoute);
@@ -427,7 +538,7 @@ impl Network {
             backups.push(b);
         }
         while backups.len() < want {
-            let Some(b) = self.plan_backup(&primary, min, &backups, fp) else {
+            let Some(b) = self.plan_backup(scratch, &primary, min, &backups, fp) else {
                 break;
             };
             backups.push(b);
@@ -435,27 +546,7 @@ impl Network {
         if backups.is_empty() && self.config.require_backup {
             return Err(AdmissionError::NoBackupRoute);
         }
-        if record {
-            let mut probed = footprint.into_inner();
-            probed.sort_unstable();
-            probed.dedup();
-            let digests: Vec<(LinkId, u64)> = probed
-                .into_iter()
-                .map(|l| (l, self.links[l.index()].plan_digest()))
-                .collect();
-            self.cache.borrow_mut().insert(
-                key,
-                self.topology_epoch,
-                primary.clone(),
-                backups.clone(),
-                digests,
-            );
-        }
-        Ok(EstablishPlan {
-            qos,
-            primary,
-            backups,
-        })
+        Ok((primary, backups))
     }
 
     /// Routes one more backup for the given primary path, link-disjoint
@@ -464,6 +555,7 @@ impl Network {
     /// footprint (`None` on the non-cached maintenance paths).
     fn plan_backup(
         &self,
+        scratch: &mut RouteScratch,
         primary: &Path,
         min: Bandwidth,
         existing: &[Path],
@@ -492,17 +584,15 @@ impl Network {
                     + u.reservation_if_backup_added(min, &conflict_set(&primary_links, l)),
             )
         };
-        self.with_scratch(|scratch| {
-            routing::route_backup_with(
-                scratch,
-                self.config.router,
-                &self.graph,
-                primary,
-                self.config.disjointness,
-                &backup_filter,
-                &backup_allowance,
-            )
-        })
+        routing::route_backup_with(
+            scratch,
+            self.config.router,
+            &self.graph,
+            primary,
+            self.config.disjointness,
+            &backup_filter,
+            &backup_allowance,
+        )
     }
 
     /// Whether `backup` fits (reservation-wise) on every link for a
@@ -628,23 +718,43 @@ impl Network {
                     continue;
                 }
             };
-            let retreated = self.chained_by(&plan);
-            if let Some(fill) = pending.take() {
-                if !fill.iter().all(|c| retreated.contains(c)) {
-                    // Some candidate would keep its granted increments
-                    // past this commit: run the fill at its sequential
-                    // point, before this commit's retreats.
-                    self.redistribute(&fill);
-                }
-            }
-            let (id, candidates) = self.commit_deferring_fill(plan, retreated);
-            results.push(Ok(id));
-            pending = Some(candidates);
+            results.push(Ok(self.batch_commit(plan, &mut pending)));
         }
+        self.batch_flush(pending);
+        results
+    }
+
+    /// One commit step of a batch/wave: flushes the previous commit's
+    /// deferred fill unless this commit's retreats subsume it, then
+    /// commits `plan` deferring its own fill into `pending`.
+    ///
+    /// Shared by [`Network::establish_batch`] and the sharded engine's
+    /// wave committer so both elide identically (the elision is proven
+    /// result-equivalent by `fuzz --diff-batch`).
+    pub(crate) fn batch_commit(
+        &mut self,
+        plan: EstablishPlan,
+        pending: &mut Option<BTreeSet<ConnectionId>>,
+    ) -> ConnectionId {
+        let retreated = self.chained_by(&plan);
+        if let Some(fill) = pending.take() {
+            if !fill.iter().all(|c| retreated.contains(c)) {
+                // Some candidate would keep its granted increments past
+                // this commit: run the fill at its sequential point,
+                // before this commit's retreats.
+                self.redistribute(&fill);
+            }
+        }
+        let (id, candidates) = self.commit_deferring_fill(plan, retreated);
+        *pending = Some(candidates);
+        id
+    }
+
+    /// Flushes the final deferred fill of a batch/wave.
+    pub(crate) fn batch_flush(&mut self, pending: Option<BTreeSet<ConnectionId>>) {
         if let Some(fill) = pending {
             self.redistribute(&fill);
         }
-        results
     }
 
     /// A processing order for a batch, grouping requests whose endpoints
@@ -761,7 +871,7 @@ impl Network {
         }
         self.links[link.index()].set_up(false);
         self.topology_epoch += 1;
-        self.cache.borrow_mut().evict_link(link);
+        self.lock_cache().evict_link(link);
 
         let victims: Vec<ConnectionId> = self.links[link.index()].primaries().collect();
         let backup_losers: Vec<ConnectionId> = self.links[link.index()]
@@ -936,7 +1046,7 @@ impl Network {
         }
         self.links[link.index()].set_up(true);
         self.topology_epoch += 1;
-        self.cache.borrow_mut().evict_link(link);
+        self.lock_cache().evict_link(link);
         let mut regained = Vec::new();
         if self.config.reestablish_backups {
             let target = self.config.backup_count;
@@ -972,7 +1082,9 @@ impl Network {
             if existing.len() >= target {
                 break;
             }
-            let Some(backup) = self.plan_backup(&primary, min, &existing, None) else {
+            let Some(backup) = self
+                .with_scratch(|scratch| self.plan_backup(scratch, &primary, min, &existing, None))
+            else {
                 break;
             };
             for &l in backup.links() {

@@ -57,6 +57,7 @@ pub const NO_PANIC_FILES: &[(&str, bool)] = &[
     ("crates/service/src/frame.rs", true),
     ("crates/service/src/bin/drqosd.rs", true),
     ("crates/core/src/network.rs", false),
+    ("crates/core/src/shard.rs", false),
 ];
 
 /// Files whose output is pinned byte-exact by CI (golden traces, sweep

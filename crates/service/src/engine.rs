@@ -12,6 +12,7 @@ use crate::metrics::{Metrics, OpKind, OpTimer};
 use crate::protocol::{self, Request, Response};
 use drqos_core::network::{EstablishRequest, Network};
 use drqos_core::qos::{Bandwidth, ElasticQos};
+use drqos_core::shard::ShardedNetwork;
 use drqos_topology::{LinkId, NodeId};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -43,7 +44,7 @@ pub enum Handled {
 
 /// The network engine behind the daemon.
 pub struct Engine {
-    net: Network,
+    net: ShardedNetwork,
     metrics: Metrics,
     /// `BUSY` responses sent by reader threads (they never reach the
     /// engine, so the count crosses threads via an atomic).
@@ -51,10 +52,18 @@ pub struct Engine {
 }
 
 impl Engine {
-    /// Wraps a network.
+    /// Wraps a network, sharding it per `DRQOS_SHARDS` (default 1 — the
+    /// monolith; see SERVICE.md).
     pub fn new(net: Network) -> Self {
+        Self::with_shards(net, drqos_core::env::shards())
+    }
+
+    /// Wraps a network with an explicit shard count. In-process tests use
+    /// this instead of mutating `DRQOS_SHARDS` (environment writes race
+    /// parallel tests).
+    pub fn with_shards(net: Network, shards: usize) -> Self {
         Self {
-            net,
+            net: ShardedNetwork::new(net, shards),
             metrics: Metrics::new(),
             busy: Arc::new(AtomicU64::new(0)),
         }
@@ -62,7 +71,12 @@ impl Engine {
 
     /// The network under the engine.
     pub fn network(&self) -> &Network {
-        &self.net
+        self.net.inner()
+    }
+
+    /// Shards the admission engine is running with (1 = monolith).
+    pub fn shards(&self) -> usize {
+        self.net.shards()
     }
 
     /// The request-metrics layer.
@@ -202,10 +216,17 @@ impl Engine {
             return;
         }
         let reqs: Vec<EstablishRequest> = run.iter().map(|p| p.req).collect();
-        let order = self.net.contention_order(&reqs);
+        let order = self.net.inner().contention_order(&reqs);
         let sorted: Vec<EstablishRequest> =
             order.iter().filter_map(|&i| reqs.get(i).copied()).collect();
-        let results = self.net.establish_batch(&sorted);
+        // A run under a sharded engine is a *wave*: per-shard parallel
+        // planning plus the two-phase cross-shard commit. Results are
+        // byte-identical to the monolithic batch (`fuzz --diff-shard`).
+        let results = if self.net.shards() > 1 {
+            self.net.establish_wave(&sorted)
+        } else {
+            self.net.inner_mut().establish_batch(&sorted)
+        };
         // Un-permute: the result at batch position k answers request
         // `order[k]`.
         let mut by_request: Vec<Option<Response>> = reqs.iter().map(|_| None).collect();
@@ -236,7 +257,7 @@ impl Engine {
     /// The caller (event loop or [`Engine::handle_line`]) sends this as
     /// the `SHUTDOWN` response after the queue is drained.
     pub fn finish_shutdown(&mut self) -> Response {
-        let violations = self.net.check_invariants();
+        let violations = self.net.inner_mut().check_invariants();
         match violations.first() {
             None => Response::Ok("violations=0".to_string()),
             // Surface the first violation's stable code and the full count;
@@ -261,8 +282,12 @@ impl Engine {
                 let cid = drqos_core::channel::ConnectionId(id);
                 // `release` retreats the channel to its QoS minimum before
                 // removing it, so read the bandwidth actually held first.
-                let held = self.net.connection(cid).map(|c| c.bandwidth().as_kbps());
-                match (self.net.release(cid), held) {
+                let held = self
+                    .net
+                    .inner()
+                    .connection(cid)
+                    .map(|c| c.bandwidth().as_kbps());
+                match (self.net.inner_mut().release(cid), held) {
                     (Ok(_), Some(kbps)) => Response::Ok(format!("freed={kbps}")),
                     // A successful release of a connection that was not
                     // readable beforehand would mean the engine's view of
@@ -277,7 +302,7 @@ impl Engine {
                     },
                 }
             }
-            Request::FailLink { link } => match self.net.fail_link(LinkId(link)) {
+            Request::FailLink { link } => match self.net.inner_mut().fail_link(LinkId(link)) {
                 Ok(report) => Response::Ok(format!(
                     "activated={} dropped={} lost_backup={} retreated={}",
                     report.activated.len(),
@@ -290,14 +315,14 @@ impl Engine {
                     message: e.to_string(),
                 },
             },
-            Request::RepairLink { link } => match self.net.repair_link(LinkId(link)) {
+            Request::RepairLink { link } => match self.net.inner_mut().repair_link(LinkId(link)) {
                 Ok(regained) => Response::Ok(format!("regained={}", regained.len())),
                 Err(e) => Response::Err {
                     code: e.wire_code(),
                     message: e.to_string(),
                 },
             },
-            Request::FailNode { node } => match self.net.fail_node(NodeId(node)) {
+            Request::FailNode { node } => match self.net.inner_mut().fail_node(NodeId(node)) {
                 Ok(reports) => {
                     let activated: usize = reports.iter().map(|r| r.activated.len()).sum();
                     let dropped: usize = reports.iter().map(|r| r.dropped.len()).sum();
@@ -334,7 +359,7 @@ impl Engine {
 
     /// Admits one request sequentially and renders its reply.
     fn admit(&mut self, req: EstablishRequest) -> Response {
-        match self.net.establish(req.src, req.dst, req.qos) {
+        match self.net.inner_mut().establish(req.src, req.dst, req.qos) {
             Ok(id) => self.render_admitted(id),
             Err(e) => Response::Err {
                 code: e.wire_code(),
@@ -345,7 +370,7 @@ impl Engine {
 
     /// Renders the `OK` reply for an admitted connection id.
     fn render_admitted(&self, id: drqos_core::channel::ConnectionId) -> Response {
-        match self.net.connection(id) {
+        match self.net.inner().connection(id) {
             Some(c) => Response::Ok(format!(
                 "id={} bw={} hops={} backups={}",
                 id.0,
@@ -365,13 +390,13 @@ impl Engine {
     fn snapshot_payload(&self) -> String {
         format!(
             "conns={} bw={} dropped={} epoch={} up={} nodes={} links={}",
-            self.net.len(),
-            self.net.total_primary_bandwidth().as_kbps(),
-            self.net.dropped_total(),
-            self.net.topology_epoch(),
-            self.net.up_links().count(),
-            self.net.graph().node_count(),
-            self.net.graph().link_count()
+            self.net.inner().len(),
+            self.net.inner().total_primary_bandwidth().as_kbps(),
+            self.net.inner().dropped_total(),
+            self.net.inner().topology_epoch(),
+            self.net.inner().up_links().count(),
+            self.net.inner().graph().node_count(),
+            self.net.inner().graph().link_count()
         )
     }
 
@@ -381,7 +406,7 @@ impl Engine {
     /// admission lookups, not time).
     fn stats_payload(&self) -> String {
         let merged = self.metrics.merged_latency();
-        let cache = self.net.route_cache_stats();
+        let cache = self.net.inner().route_cache_stats();
         format!(
             "ops={} errors={} admitted={} rejected={} busy={} \
              p50_us={} p95_us={} p99_us={} ops_per_sec={} \
@@ -616,6 +641,46 @@ mod tests {
         }
         assert_eq!(ids.len(), 2);
         assert_ne!(ids[0], ids[1]);
+    }
+
+    #[test]
+    fn sharded_batches_reply_byte_identically_to_the_monolith() {
+        // The same drained batch through a 4-shard engine and the
+        // monolith: every reply line must match, and the run (length > 1)
+        // must actually exercise the wave path.
+        let lines: Vec<String> = [
+            "ESTABLISH 0 3 100 500 100",
+            "ESTABLISH 1 4 100 500 100",
+            "ESTABLISH 2 5 100 500 100",
+            "ESTABLISH 2 2 100 500 100",
+            "SNAPSHOT",
+            "ESTABLISH 4 1 100 500 100",
+            "ESTABLISH 5 2 100 500 100",
+            "RELEASE 0",
+            "SNAPSHOT",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let net = || Network::new(regular::ring(6).unwrap(), NetworkConfig::default());
+        let mut mono = Engine::with_shards(net(), 1);
+        let mut sharded = Engine::with_shards(net(), 4);
+        assert_eq!(sharded.shards(), 4);
+        let render = |h: Handled| match h {
+            Handled::Reply(r) => r.to_string(),
+            Handled::ShutdownRequested => "SHUTDOWN".to_string(),
+        };
+        let want: Vec<String> = mono
+            .handle_server_batch(&lines)
+            .into_iter()
+            .map(render)
+            .collect();
+        let got: Vec<String> = sharded
+            .handle_server_batch(&lines)
+            .into_iter()
+            .map(render)
+            .collect();
+        assert_eq!(got, want);
     }
 
     #[test]

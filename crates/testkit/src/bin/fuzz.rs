@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! fuzz [--seqs N] [--ops N] [--seed S] [--diff N] [--diff-cache N]
-//!      [--diff-batch N] [--tolerance F] [--self-test]
+//!      [--diff-batch N] [--diff-shard N] [--tolerance F] [--self-test]
 //! ```
 //!
 //! * the main run executes `--seqs` seeded operation sequences and exits
@@ -18,15 +18,24 @@
 //!   establishes grouped through `Network::establish_batch` against a
 //!   sequential oracle, and fails (with a shrunk reproducer) on any
 //!   divergence in admission results, drop counters, or snapshots;
+//! * `--diff-shard N` replays N fuzzed sequences with consecutive
+//!   establishes admitted as `ShardedNetwork::establish_wave` waves —
+//!   parallel per-shard planning plus the two-phase cross-shard commit —
+//!   against a monolithic oracle, **at shard counts 2 and 4 each**, and
+//!   fails (with a shrunk reproducer) on any divergence in admission
+//!   results, drop counters, snapshots, or leaked two-phase reservations;
 //! * `--self-test` is the mutation check: it injects the `LoseRelease`
-//!   accounting fault and the `ReverseBatch` batch-ordering fault, and
-//!   *fails* unless the detectors catch both and shrink the witnesses
-//!   (≤ 10 ops for the accounting fault, ≤ 4 for the ordering one).
+//!   accounting fault, the `ReverseBatch` batch-ordering fault, and the
+//!   sharded engine's `LoseReservationRelease` two-phase leak, and
+//!   *fails* unless the detectors catch all three and shrink the
+//!   witnesses (≤ 10 ops for the accounting fault, ≤ 4 for the ordering
+//!   one, ≤ 3 for the leak).
 
 use drqos_testkit::batch_diff::{batch_mutation_witness, run_batch_diff, BatchDiffConfig};
 use drqos_testkit::cache_diff::{run_cache_diff, CacheDiffConfig};
 use drqos_testkit::diff::check_diff;
 use drqos_testkit::fuzz::{run_fuzz, FuzzConfig, InjectedFault};
+use drqos_testkit::shard_diff::{run_shard_diff, shard_mutation_witness, ShardDiffConfig};
 use std::process::ExitCode;
 
 struct Args {
@@ -36,6 +45,7 @@ struct Args {
     diff: usize,
     diff_cache: usize,
     diff_batch: usize,
+    diff_shard: usize,
     tolerance: f64,
     self_test: bool,
 }
@@ -48,6 +58,7 @@ fn parse_args() -> Result<Args, String> {
         diff: 0,
         diff_cache: 0,
         diff_batch: 0,
+        diff_shard: 0,
         tolerance: 0.45,
         self_test: false,
     };
@@ -61,6 +72,7 @@ fn parse_args() -> Result<Args, String> {
             "--diff" => args.diff = parse(&value("--diff")?)?,
             "--diff-cache" => args.diff_cache = parse(&value("--diff-cache")?)?,
             "--diff-batch" => args.diff_batch = parse(&value("--diff-batch")?)?,
+            "--diff-shard" => args.diff_shard = parse(&value("--diff-shard")?)?,
             "--tolerance" => args.tolerance = parse(&value("--tolerance")?)?,
             "--self-test" => args.self_test = true,
             other => return Err(format!("unknown flag {other}")),
@@ -161,6 +173,33 @@ fn main() -> ExitCode {
             args.diff_batch, args.ops, args.seed
         );
     }
+
+    if args.diff_shard > 0 {
+        for shards in [2usize, 4] {
+            let outcome = run_shard_diff(
+                &ShardDiffConfig {
+                    sequences: args.diff_shard,
+                    ops_per_sequence: args.ops,
+                    seed: args.seed,
+                },
+                shards,
+            );
+            if let Some(failure) = outcome.failure {
+                eprintln!(
+                    "FAIL: sharded admission ({shards} shard(s)) diverged from the monolithic \
+                     oracle after {} clean sequence(s)\n",
+                    outcome.sequences_run
+                );
+                eprintln!("{}", failure.reproducer());
+                return ExitCode::FAILURE;
+            }
+            println!(
+                "ok: {} shard-differential sequence(s) x {} ops (seed {}) at {} shard(s) \
+                 byte-identical throughout",
+                args.diff_shard, args.ops, args.seed, shards
+            );
+        }
+    }
     ExitCode::SUCCESS
 }
 
@@ -200,17 +239,39 @@ fn mutation_check(seed: u64) -> ExitCode {
                 "ok: injected ReverseBatch ordering fault caught and shrunk to {} op(s)",
                 shrunk.len()
             );
-            ExitCode::SUCCESS
         }
         Some(shrunk) => {
             eprintln!(
                 "FAIL: ordering fault caught but reproducer has {} ops (> 4) — shrinker regressed",
                 shrunk.len()
             );
-            ExitCode::FAILURE
+            return ExitCode::FAILURE;
         }
         None => {
             eprintln!("FAIL: injected batch-ordering fault was NOT detected — detector regressed");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    match shard_mutation_witness(seed, 20, 4) {
+        Some(shrunk) if shrunk.len() <= 3 => {
+            println!(
+                "ok: injected LoseReservationRelease shard fault caught and shrunk to {} op(s)",
+                shrunk.len()
+            );
+            ExitCode::SUCCESS
+        }
+        Some(shrunk) => {
+            eprintln!(
+                "FAIL: reservation leak caught but reproducer has {} ops (> 3) — shrinker regressed",
+                shrunk.len()
+            );
+            ExitCode::FAILURE
+        }
+        None => {
+            eprintln!(
+                "FAIL: injected two-phase reservation leak was NOT detected — detector regressed"
+            );
             ExitCode::FAILURE
         }
     }

@@ -55,6 +55,7 @@ pub mod golden;
 pub mod oracle;
 pub mod reference;
 pub mod session;
+pub mod shard_diff;
 
 pub use batch_diff::{
     batch_mutation_witness, run_batch_diff, run_batch_diff_sequence, BatchDiffConfig,
@@ -72,3 +73,7 @@ pub use fuzz::{
 pub use golden::{verify_golden, TraceRecorder};
 pub use oracle::{InvariantCheck, Oracle, Violation};
 pub use reference::ReferenceModel;
+pub use shard_diff::{
+    run_shard_diff, run_shard_diff_sequence, shard_mutation_witness, ShardDiffConfig,
+    ShardDiffOutcome,
+};

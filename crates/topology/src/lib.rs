@@ -40,6 +40,7 @@ pub mod disjoint;
 pub mod error;
 pub mod graph;
 pub mod metrics;
+pub mod partition;
 pub mod paths;
 pub mod regular;
 pub mod transit_stub;
@@ -49,6 +50,7 @@ pub use disjoint::{suurballe, DisjointPair};
 pub use error::TopologyError;
 pub use graph::{Graph, Link, LinkId, NodeId};
 pub use metrics::TopologySummary;
+pub use partition::Partition;
 pub use paths::Path;
 pub use transit_stub::{TransitStub, TransitStubConfig};
 pub use waxman::WaxmanConfig;

@@ -47,6 +47,29 @@ fn full_pipeline_is_deterministic_including_model() {
 }
 
 #[test]
+fn sharded_warmup_is_bit_identical_to_the_monolith() {
+    // `shards` may only change how the warm-up is computed, never what
+    // it computes: churn reports and the analysis pipeline must match
+    // the monolith byte-for-byte (cache counters excluded — waves plan
+    // outside the route cache, and the counters are not observables).
+    let mut mono = quick_experiment(200, 500, 5);
+    mono.shards = 1;
+    let mut sharded = mono.clone();
+    sharded.shards = 4;
+    let r1 = run_churn(small_paper_graph(40, 5), &mono).0;
+    let mut r4 = run_churn(small_paper_graph(40, 5), &sharded).0;
+    r4.cache = r1.cache;
+    assert_eq!(r1, r4);
+    let a1 = analyze(small_paper_graph(40, 6), &mono);
+    let a4 = analyze(small_paper_graph(40, 6), &sharded);
+    assert_eq!(a1.analytic_avg, a4.analytic_avg);
+    assert_eq!(a1.ideal_avg, a4.ideal_avg);
+    let mut report4 = a4.report;
+    report4.cache = a1.report.cache;
+    assert_eq!(a1.report, report4);
+}
+
+#[test]
 fn different_seeds_give_different_runs() {
     let a = run_churn(small_paper_graph(40, 7), &quick_experiment(200, 500, 7)).0;
     let b = run_churn(small_paper_graph(40, 7), &quick_experiment(200, 500, 8)).0;

@@ -69,6 +69,46 @@ fn protocol_session_matches_blessed_transcript() {
     }
 }
 
+/// Replays the golden script as one drained server batch — the path that
+/// engages wave admission for consecutive `ESTABLISH` lines — and
+/// renders the same transcript shape as [`replay_script`].
+fn batch_transcript(name: &str, engine: &mut drqos_service::engine::Engine) -> String {
+    use drqos_service::engine::Handled;
+    use std::fmt::Write as _;
+    let lines: Vec<String> = GOLDEN_SCRIPT.iter().map(|s| s.to_string()).collect();
+    let replies = engine.handle_server_batch(&lines);
+    let mut out = format!("# drqos protocol session: {name}\n");
+    for (line, handled) in lines.iter().zip(replies) {
+        let reply = match handled {
+            Handled::Reply(r) => r,
+            Handled::ShutdownRequested => engine.finish_shutdown(),
+        };
+        writeln!(out, "> {line}").expect("writing to String cannot fail");
+        writeln!(out, "< {reply}").expect("writing to String cannot fail");
+    }
+    out
+}
+
+/// The full golden script through a `DRQOS_SHARDS=4` engine, as the
+/// server's event loop would drain it: the transcript is blessed on its
+/// own golden and must also be byte-identical to the monolith's batch
+/// replay of the same script.
+#[test]
+fn sharded_session_matches_blessed_transcript_and_the_monolith() {
+    let net = || Network::new(regular::ring(6).unwrap(), NetworkConfig::default());
+    let mut sharded = Engine::with_shards(net(), 4);
+    let transcript = batch_transcript("ring6 all verbs, 4 shards", &mut sharded);
+    let mut mono = Engine::with_shards(net(), 1);
+    let mono_transcript = batch_transcript("ring6 all verbs, 4 shards", &mut mono);
+    assert_eq!(
+        transcript, mono_transcript,
+        "sharded batch replay must be byte-identical to the monolith"
+    );
+    if let Err(e) = verify_golden(&golden_dir(), "service_session_sharded", &transcript) {
+        panic!("{e}");
+    }
+}
+
 /// A serial replay of all four clients' streams, used as the reference
 /// for the concurrent run below.
 fn serial_snapshot(streams: &[Vec<String>]) -> String {
