@@ -25,6 +25,7 @@
 //! in-process [`Network`] — the admission work that dominates the
 //! daemon's hot path — rather than driving TCP.
 
+use drqos_cluster::ClusterSim;
 use drqos_core::experiment::{run_churn, ExperimentConfig};
 use drqos_core::network::{EstablishRequest, Network, NetworkConfig};
 use drqos_core::qos::ElasticQos;
@@ -327,6 +328,43 @@ pub fn bench_admission_wave_shard(cfg: &TrajectoryConfig) -> BenchRecord {
     BenchRecord::from_samples("admission_wave_shard4", samples)
 }
 
+/// Member count for the federated wave bench, matching CI's
+/// `cluster-smoke` daemon count.
+pub const CLUSTER_MEMBERS: usize = 3;
+
+/// The contended workload through a 3-member [`ClusterSim`]'s
+/// `establish_wave` — replica planning, the coordinator's two-phase
+/// reserve/validate/commit ledger, oplog append, and full replica sync
+/// per wave. The contrast with `admission_wave_shard4` prices the
+/// federation layer itself: same deferred-fill commit rule, plus the
+/// footprint ledger and N-replica replay the daemons pay for crash
+/// survival. On this all-colliding workload nearly every footprint goes
+/// stale, so this is the federation's worst case, like the shard bench
+/// above it.
+pub fn bench_cluster_establish(cfg: &TrajectoryConfig) -> BenchRecord {
+    let mut samples = Vec::with_capacity(cfg.rounds * cfg.requests);
+    for _ in 0..cfg.rounds {
+        let mut sim = ClusterSim::new(
+            fresh_ring(),
+            CLUSTER_MEMBERS,
+            drqos_cluster::DEFAULT_CLUSTER_SEED,
+        );
+        let requests = contended_requests(cfg.requests);
+        for chunk in requests.chunks(cfg.batch.max(1)) {
+            let order = sim.authoritative().contention_order(chunk);
+            let sorted: Vec<EstablishRequest> = order
+                .iter()
+                .filter_map(|&i| chunk.get(i).copied())
+                .collect();
+            let t0 = Instant::now();
+            let _ = sim.establish_wave(&sorted);
+            let per_op = t0.elapsed().as_nanos() as u64 / sorted.len().max(1) as u64;
+            samples.extend(std::iter::repeat_n(per_op, sorted.len()));
+        }
+    }
+    BenchRecord::from_samples("cluster_establish_3", samples)
+}
+
 /// The churn experiment harness (warm-up + arrival/termination events).
 /// Per-op latency here is each round's mean event time — the harness has
 /// no per-event clock — so the quantiles spread across rounds.
@@ -397,6 +435,7 @@ pub fn run_benches(cfg: &TrajectoryConfig) -> Vec<BenchRecord> {
         bench_admission_batch(cfg),
         bench_admission_wave_mono(cfg),
         bench_admission_wave_shard(cfg),
+        bench_cluster_establish(cfg),
         bench_churn(cfg),
         bench_loadgen_loop(cfg),
     ]
@@ -470,11 +509,12 @@ pub const WAVE_SPEEDUP_FLOOR: f64 = 1.05;
 
 /// Benches whose committed ops/sec are guarded against regression
 /// between consecutive entries.
-const GUARDED_BENCHES: [&str; 4] = [
+const GUARDED_BENCHES: [&str; 5] = [
     "admission_single",
     "admission_batch",
     "admission_wave_mono",
     "admission_wave_shard4",
+    "cluster_establish_3",
 ];
 
 /// The `"entry"` label of one committed line, for error messages.

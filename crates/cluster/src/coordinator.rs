@@ -1,0 +1,721 @@
+//! The cluster coordinator: commit authority and oplog sequencer.
+//!
+//! A federation keeps exactly one authoritative [`Network`]; the
+//! coordinator owns it. Members hold full replicas, plan admissions
+//! locally against their replica (that is what "intra-partition ESTABLISH
+//! runs locally" means — the planning work happens on the member owning
+//! the source node), and send the coordinator a **PREPARE** carrying the
+//! admission footprint: every link the member's planner probed, with its
+//! plan digest at planning time. The coordinator then runs the same
+//! two-phase reserve/commit as [`drqos_core::shard::ShardedNetwork`]:
+//!
+//! 1. **Reserve** — insert a pending reservation into the ledger of every
+//!    partition the footprint touches, in ascending compact-shard order
+//!    (the canonical total order; see [`Partition::touched_shards`]).
+//! 2. **Validate** — recheck every footprint digest against the
+//!    authoritative network. All unchanged ⇒ the member's plan is exactly
+//!    what serial planning would produce now, and **COMMIT** applies it.
+//!    Any digest moved ⇒ the reservation aborts into a serial replan at
+//!    the request's sequential point — the monolith's own path (counted
+//!    in [`Coordinator::stale_replans`]).
+//!
+//! Every committed operation — admissions, releases, failures, repairs,
+//! and membership rebalances — is appended to an **oplog**. Replicas pull
+//! records they have not yet applied ([`Coordinator::records_since`]) and
+//! replay them serially; because replay order equals commit order and
+//! every operation is deterministic, each replica is byte-identical to
+//! the authoritative network at the same sequence number (proven by
+//! `fuzz --diff-cluster`).
+//!
+//! Membership churn (JOIN/LEAVE/CRASH) is ownership-only: the topology
+//! partition is recomputed over the survivors
+//! ([`crate::rebalance::Assignment`]) while the replicated network state
+//! is untouched, the same way the paper's connections survive link
+//! failures without re-admission. A CRASH additionally aborts the
+//! member's in-flight prepares, releasing their reservations.
+//!
+//! [`Partition::touched_shards`]: drqos_topology::Partition::touched_shards
+
+use crate::rebalance::Assignment;
+use drqos_core::channel::ConnectionId;
+use drqos_core::env::RebalancePolicy;
+use drqos_core::error::{AdmissionError, ClusterError, NetworkError};
+use drqos_core::invariant::InvariantViolation;
+use drqos_core::network::{EstablishPlan, EstablishRequest, FailureReport, Network};
+use drqos_core::qos::ElasticQos;
+use drqos_topology::{LinkId, NodeId};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One committed operation in the coordinator's oplog. Replaying the log
+/// serially from the genesis network reconstructs the authoritative
+/// state exactly; [`Rebalance`](CommittedOp::Rebalance) records carry
+/// membership epochs and leave the network untouched.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CommittedOp {
+    /// An admission (committed result may still be a rejection — replay
+    /// reproduces it deterministically).
+    Establish {
+        /// Source endpoint.
+        src: NodeId,
+        /// Destination endpoint.
+        dst: NodeId,
+        /// Requested elastic QoS.
+        qos: ElasticQos,
+    },
+    /// A connection release.
+    Release {
+        /// The connection id.
+        id: ConnectionId,
+    },
+    /// A link failure injection.
+    FailLink {
+        /// The failed link.
+        link: LinkId,
+    },
+    /// A link repair.
+    RepairLink {
+        /// The repaired link.
+        link: LinkId,
+    },
+    /// A node failure (all adjacent up links fail).
+    FailNode {
+        /// The failed node.
+        node: NodeId,
+    },
+    /// A membership change; `alive` is the post-change roster.
+    Rebalance {
+        /// Liveness by member id after the change.
+        alive: Vec<bool>,
+    },
+}
+
+/// A non-establish operation forwarded by a member (establishes go
+/// through the two-phase [`Coordinator::prepare`] /
+/// [`Coordinator::commit_prepared`] path instead).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemberOp {
+    /// Release a connection.
+    Release {
+        /// The connection id.
+        id: ConnectionId,
+    },
+    /// Fail a link.
+    FailLink {
+        /// The link.
+        link: LinkId,
+    },
+    /// Repair a link.
+    RepairLink {
+        /// The link.
+        link: LinkId,
+    },
+    /// Fail a node.
+    FailNode {
+        /// The node.
+        node: NodeId,
+    },
+}
+
+impl MemberOp {
+    /// The oplog record this operation commits as.
+    pub fn to_committed(self) -> CommittedOp {
+        match self {
+            MemberOp::Release { id } => CommittedOp::Release { id },
+            MemberOp::FailLink { link } => CommittedOp::FailLink { link },
+            MemberOp::RepairLink { link } => CommittedOp::RepairLink { link },
+            MemberOp::FailNode { node } => CommittedOp::FailNode { node },
+        }
+    }
+}
+
+/// The outcome of applying one committed operation to a network. Both the
+/// coordinator (at commit time) and every replica (at replay time)
+/// produce one of these; on a correct cluster they are equal at equal
+/// sequence numbers, which is how member daemons answer their clients
+/// from their own replica.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ApplyOutcome {
+    /// Establish result.
+    Establish(Result<ConnectionId, AdmissionError>),
+    /// Release result; `Ok` carries the bandwidth (Kbps) the connection
+    /// held before the release (`None` would mean inconsistent state).
+    Release(Result<Option<u64>, NetworkError>),
+    /// Link-failure report.
+    FailLink(Result<FailureReport, NetworkError>),
+    /// Repair result: the connections that regained a backup.
+    RepairLink(Result<Vec<ConnectionId>, NetworkError>),
+    /// Node-failure reports, one per adjacent link failed.
+    FailNode(Result<Vec<FailureReport>, NetworkError>),
+    /// A membership epoch; carries the post-change roster.
+    Rebalance(Vec<bool>),
+}
+
+/// Applies one committed operation to a network, exactly as the
+/// monolithic manager would. This is the single replay function shared by
+/// the coordinator's serial path and every replica, so the two cannot
+/// drift.
+pub fn apply_committed(net: &mut Network, op: &CommittedOp) -> ApplyOutcome {
+    match *op {
+        CommittedOp::Establish { src, dst, qos } => {
+            ApplyOutcome::Establish(net.establish(src, dst, qos))
+        }
+        CommittedOp::Release { id } => {
+            // `release` retreats the channel to its minimum before removing
+            // it, so read the bandwidth actually held first (the service
+            // engine renders this as `freed=`).
+            let held = net.connection(id).map(|c| c.bandwidth().as_kbps());
+            ApplyOutcome::Release(net.release(id).map(|_| held))
+        }
+        CommittedOp::FailLink { link } => ApplyOutcome::FailLink(net.fail_link(link)),
+        CommittedOp::RepairLink { link } => ApplyOutcome::RepairLink(net.repair_link(link)),
+        CommittedOp::FailNode { node } => ApplyOutcome::FailNode(net.fail_node(node)),
+        CommittedOp::Rebalance { ref alive } => ApplyOutcome::Rebalance(alive.clone()),
+    }
+}
+
+/// A successful reservation: the ticket to commit or abort, and whether
+/// every footprint digest was still current at reserve time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Prepared {
+    /// The two-phase ticket.
+    pub ticket: u64,
+    /// `true` when the member's plan is provably identical to a serial
+    /// plan at this point (all probed digests unchanged).
+    pub fresh: bool,
+}
+
+/// An in-flight prepare, between reserve and commit/abort.
+#[derive(Debug)]
+struct PendingPrepare {
+    member: u64,
+    fresh: bool,
+}
+
+/// The commit authority of a federation (see the module docs).
+#[derive(Debug)]
+pub struct Coordinator {
+    net: Network,
+    assignment: Assignment,
+    alive: Vec<bool>,
+    /// Per-compact-shard reservation ledgers (ticket → owned links).
+    ledgers: Vec<BTreeMap<u64, Vec<LinkId>>>,
+    pending: BTreeMap<u64, PendingPrepare>,
+    next_ticket: u64,
+    oplog: Vec<CommittedOp>,
+    stale_replans: u64,
+    aborted_prepares: u64,
+    seed: u64,
+    policy: RebalancePolicy,
+    lose_prepare: bool,
+    fault_fired: bool,
+}
+
+impl Coordinator {
+    /// Creates a coordinator over `net` with `members` live members
+    /// (ids `0..members`), partitioned deterministically from `seed`.
+    pub fn new(net: Network, members: usize, seed: u64, policy: RebalancePolicy) -> Self {
+        let alive = vec![true; members.max(1)];
+        let assignment = Assignment::compute(net.graph(), &alive, seed, policy)
+            .expect("at least one member is alive by construction");
+        let ledgers = (0..assignment.partition().shards())
+            .map(|_| BTreeMap::new())
+            .collect();
+        Self {
+            net,
+            assignment,
+            alive,
+            ledgers,
+            pending: BTreeMap::new(),
+            next_ticket: 0,
+            oplog: Vec::new(),
+            stale_replans: 0,
+            aborted_prepares: 0,
+            seed,
+            policy,
+            lose_prepare: false,
+            fault_fired: false,
+        }
+    }
+
+    /// The authoritative network, read-only.
+    pub fn net(&self) -> &Network {
+        &self.net
+    }
+
+    /// The current oplog sequence number (= committed operation count).
+    pub fn seq(&self) -> u64 {
+        self.oplog.len() as u64
+    }
+
+    /// Liveness by member id.
+    pub fn alive(&self) -> &[bool] {
+        &self.alive
+    }
+
+    /// Whether `member` is a live roster entry.
+    pub fn is_alive(&self, member: u64) -> bool {
+        usize::try_from(member)
+            .ok()
+            .and_then(|m| self.alive.get(m).copied())
+            .unwrap_or(false)
+    }
+
+    /// Count of live members.
+    pub fn alive_count(&self) -> usize {
+        self.alive.iter().filter(|&&a| a).count()
+    }
+
+    /// The current survivor assignment.
+    pub fn assignment(&self) -> &Assignment {
+        &self.assignment
+    }
+
+    /// The live member owning `node`.
+    pub fn member_of_node(&self, node: NodeId) -> u64 {
+        self.assignment.member_of_node(node)
+    }
+
+    /// Commits that found a stale footprint and re-planned serially.
+    pub fn stale_replans(&self) -> u64 {
+        self.stale_replans
+    }
+
+    /// Prepares aborted without committing (timeouts and member crashes).
+    pub fn aborted_prepares(&self) -> u64 {
+        self.aborted_prepares
+    }
+
+    /// Reservations currently pending across all partition ledgers. Zero
+    /// between waves on a correct cluster; a leak here is how the
+    /// differential harness catches
+    /// [`ClusterFault::LosePrepare`](crate::sim::ClusterFault).
+    pub fn pending_prepares(&self) -> usize {
+        self.ledgers.iter().map(|l| l.len()).sum()
+    }
+
+    /// Arms (or clears) the lost-prepare fault for the mutation
+    /// self-test: the next commit "forgets" to release one reservation.
+    pub fn set_lose_prepare(&mut self, lose: bool) {
+        self.lose_prepare = lose;
+        self.fault_fired = false;
+    }
+
+    /// Phase 1 of the two-phase commit: reserve the touched partition
+    /// ledgers (ascending) and validate the footprint digests.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::UnknownMember`] when `member` is not alive.
+    pub fn prepare(
+        &mut self,
+        member: u64,
+        footprint: &[(LinkId, u64)],
+    ) -> Result<Prepared, ClusterError> {
+        if !self.is_alive(member) {
+            return Err(ClusterError::UnknownMember(member));
+        }
+        let ticket = self.next_ticket;
+        self.next_ticket += 1;
+        let partition = self.assignment.partition();
+        let touched = partition.touched_shards(footprint.iter().map(|&(l, _)| l));
+        for &s in &touched {
+            let owned: Vec<LinkId> = footprint
+                .iter()
+                .map(|&(l, _)| l)
+                .filter(|&l| partition.shard_of_link(l) == s)
+                .collect();
+            if let Some(ledger) = self.ledgers.get_mut(s) {
+                ledger.insert(ticket, owned);
+            }
+        }
+        let fresh = footprint
+            .iter()
+            .all(|&(l, d)| self.net.link_usage(l).plan_digest() == d);
+        self.pending
+            .insert(ticket, PendingPrepare { member, fresh });
+        Ok(Prepared { ticket, fresh })
+    }
+
+    /// Releases a ticket's reservations from every ledger. The injected
+    /// lost-prepare fault skips the first owned ledger entry once.
+    fn release_reservations(&mut self, ticket: u64) {
+        let lose = self.lose_prepare && !self.fault_fired;
+        let mut skipped = false;
+        for ledger in &mut self.ledgers {
+            if lose && !skipped && ledger.contains_key(&ticket) {
+                skipped = true;
+                continue;
+            }
+            ledger.remove(&ticket);
+        }
+        if skipped {
+            self.fault_fired = true;
+        }
+    }
+
+    /// Phase 2: commit a prepared establish. With a fresh footprint the
+    /// member's `planned` result is committed as-is (it is provably the
+    /// serial plan); a stale footprint — or a commit without a shipped
+    /// plan, the TCP daemons' mode — re-plans serially at this sequential
+    /// point. Either way the operation is appended to the oplog.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::StalePrepare`] when the ticket is not pending
+    /// (already committed, or aborted by a crash).
+    pub fn commit_prepared(
+        &mut self,
+        ticket: u64,
+        planned: Option<Result<EstablishPlan, AdmissionError>>,
+        req: &EstablishRequest,
+        pending_fill: &mut Option<BTreeSet<ConnectionId>>,
+    ) -> Result<Result<ConnectionId, AdmissionError>, ClusterError> {
+        let pending = self
+            .pending
+            .remove(&ticket)
+            .ok_or(ClusterError::StalePrepare(ticket))?;
+        self.release_reservations(ticket);
+        let result = if pending.fresh {
+            match planned {
+                Some(Ok(plan)) => Ok(self.net.batch_commit(plan, pending_fill)),
+                Some(Err(e)) => Err(e),
+                None => self.replan(req, pending_fill),
+            }
+        } else {
+            self.stale_replans += 1;
+            self.replan(req, pending_fill)
+        };
+        self.oplog.push(CommittedOp::Establish {
+            src: req.src,
+            dst: req.dst,
+            qos: req.qos,
+        });
+        Ok(result)
+    }
+
+    /// Aborts a pending prepare (member-side timeout), releasing its
+    /// reservations without committing anything.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::StalePrepare`] when the ticket is not pending.
+    pub fn abort_prepare(&mut self, ticket: u64) -> Result<(), ClusterError> {
+        self.pending
+            .remove(&ticket)
+            .ok_or(ClusterError::StalePrepare(ticket))?;
+        self.release_reservations(ticket);
+        self.aborted_prepares += 1;
+        Ok(())
+    }
+
+    /// Admits a request without a member prepare: the coordinator's own
+    /// serial path, used to re-establish requests orphaned by a member
+    /// crash mid-wave. Appends the oplog record like any commit.
+    pub fn establish_unprepared(
+        &mut self,
+        req: &EstablishRequest,
+        pending_fill: &mut Option<BTreeSet<ConnectionId>>,
+    ) -> Result<ConnectionId, AdmissionError> {
+        let result = self.replan(req, pending_fill);
+        self.oplog.push(CommittedOp::Establish {
+            src: req.src,
+            dst: req.dst,
+            qos: req.qos,
+        });
+        result
+    }
+
+    fn replan(
+        &mut self,
+        req: &EstablishRequest,
+        pending_fill: &mut Option<BTreeSet<ConnectionId>>,
+    ) -> Result<ConnectionId, AdmissionError> {
+        let plan = self.net.plan_establish(req.src, req.dst, req.qos)?;
+        Ok(self.net.batch_commit(plan, pending_fill))
+    }
+
+    /// Flushes the deferred elastic fill at the end of a wave (the same
+    /// protocol as [`Network::batch_flush`]).
+    pub fn flush(&mut self, pending_fill: Option<BTreeSet<ConnectionId>>) {
+        self.net.batch_flush(pending_fill);
+    }
+
+    /// Applies a forwarded non-establish operation serially and appends
+    /// it to the oplog.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::UnknownMember`] when `member` is not alive.
+    pub fn forward(&mut self, member: u64, op: MemberOp) -> Result<ApplyOutcome, ClusterError> {
+        if !self.is_alive(member) {
+            return Err(ClusterError::UnknownMember(member));
+        }
+        let committed = op.to_committed();
+        let outcome = apply_committed(&mut self.net, &committed);
+        self.oplog.push(committed);
+        Ok(outcome)
+    }
+
+    /// Oplog records from sequence `from` (exclusive of nothing — `from`
+    /// is the count of records the replica has already applied).
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::SequenceGap`] when `from` is past the current
+    /// sequence number.
+    pub fn records_since(&self, from: u64) -> Result<&[CommittedOp], ClusterError> {
+        let at = usize::try_from(from).map_err(|_| ClusterError::SequenceGap(from))?;
+        self.oplog.get(at..).ok_or(ClusterError::SequenceGap(from))
+    }
+
+    /// Adds (or revives) member id `member` and rebalances.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::DuplicateMember`] when the id is already alive.
+    pub fn join(&mut self, member: u64) -> Result<(), ClusterError> {
+        let idx = usize::try_from(member).map_err(|_| ClusterError::DuplicateMember(member))?;
+        if self.alive.get(idx).copied().unwrap_or(false) {
+            return Err(ClusterError::DuplicateMember(member));
+        }
+        if idx >= self.alive.len() {
+            self.alive.resize(idx + 1, false);
+        }
+        self.alive[idx] = true;
+        self.rebalance();
+        Ok(())
+    }
+
+    /// The lowest unused member id, for coordinator-assigned joins.
+    pub fn next_member_id(&self) -> u64 {
+        self.alive
+            .iter()
+            .position(|&a| !a)
+            .unwrap_or(self.alive.len()) as u64
+    }
+
+    /// Graceful departure: the member's partition links rebalance to the
+    /// survivors.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::UnknownMember`] for a dead/unknown id,
+    /// [`ClusterError::LastMember`] when it is the only live member.
+    pub fn leave(&mut self, member: u64) -> Result<(), ClusterError> {
+        self.depart(member)
+    }
+
+    /// Abrupt departure: like [`Coordinator::leave`], but first aborts
+    /// every prepare the member had in flight (their reservations are
+    /// released; the requests are the member's to retry — or its
+    /// clients').
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Coordinator::leave`].
+    pub fn crash(&mut self, member: u64) -> Result<(), ClusterError> {
+        if !self.is_alive(member) {
+            return Err(ClusterError::UnknownMember(member));
+        }
+        let orphaned: Vec<u64> = self
+            .pending
+            .iter()
+            .filter(|(_, p)| p.member == member)
+            .map(|(&t, _)| t)
+            .collect();
+        for ticket in orphaned {
+            let _ = self.abort_prepare(ticket);
+        }
+        self.depart(member)
+    }
+
+    fn depart(&mut self, member: u64) -> Result<(), ClusterError> {
+        if !self.is_alive(member) {
+            return Err(ClusterError::UnknownMember(member));
+        }
+        if self.alive_count() == 1 {
+            return Err(ClusterError::LastMember(member));
+        }
+        // A graceful leave must not strand reservations; treat any still
+        // pending as crashed (abort them) so the ledgers stay consistent.
+        let strays: Vec<u64> = self
+            .pending
+            .iter()
+            .filter(|(_, p)| p.member == member)
+            .map(|(&t, _)| t)
+            .collect();
+        for ticket in strays {
+            let _ = self.abort_prepare(ticket);
+        }
+        if let Some(slot) = self.alive.get_mut(member as usize) {
+            *slot = false;
+        }
+        self.rebalance();
+        Ok(())
+    }
+
+    /// Recomputes the survivor assignment and re-buckets the ledgers into
+    /// the new compact shard space (preserving any pending — or leaked —
+    /// reservations). Appends the membership epoch to the oplog.
+    fn rebalance(&mut self) {
+        self.assignment =
+            Assignment::compute(self.net.graph(), &self.alive, self.seed, self.policy)
+                .expect("membership guards keep at least one member alive");
+        let mut all: BTreeMap<u64, Vec<LinkId>> = BTreeMap::new();
+        for ledger in &mut self.ledgers {
+            for (ticket, mut links) in std::mem::take(ledger) {
+                all.entry(ticket).or_default().append(&mut links);
+            }
+        }
+        let partition = self.assignment.partition();
+        let mut ledgers: Vec<BTreeMap<u64, Vec<LinkId>>> =
+            (0..partition.shards()).map(|_| BTreeMap::new()).collect();
+        for (ticket, links) in all {
+            for &s in &partition.touched_shards(links.iter().copied()) {
+                let owned: Vec<LinkId> = links
+                    .iter()
+                    .copied()
+                    .filter(|&l| partition.shard_of_link(l) == s)
+                    .collect();
+                if let Some(ledger) = ledgers.get_mut(s) {
+                    ledger.insert(ticket, owned);
+                }
+            }
+        }
+        self.ledgers = ledgers;
+        self.oplog.push(CommittedOp::Rebalance {
+            alive: self.alive.clone(),
+        });
+    }
+
+    /// Runs the full invariant oracle over the authoritative network.
+    pub fn check_invariants(&self) -> Vec<InvariantViolation> {
+        self.net.check_invariants()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drqos_core::network::NetworkConfig;
+    use drqos_core::qos::ElasticQos;
+    use drqos_topology::regular::ring;
+
+    fn coordinator(members: usize) -> Coordinator {
+        let net = Network::new(ring(6).unwrap(), NetworkConfig::default());
+        Coordinator::new(net, members, 2001, RebalancePolicy::Bfs)
+    }
+
+    fn request(src: usize, dst: usize) -> EstablishRequest {
+        EstablishRequest {
+            src: NodeId(src),
+            dst: NodeId(dst),
+            qos: ElasticQos::paper_video(100),
+        }
+    }
+
+    #[test]
+    fn membership_guards_reject_bad_transitions() {
+        let mut c = coordinator(3);
+        assert_eq!(c.alive_count(), 3);
+        assert_eq!(c.join(1), Err(ClusterError::DuplicateMember(1)));
+        assert_eq!(c.leave(7), Err(ClusterError::UnknownMember(7)));
+        c.leave(1).unwrap();
+        assert_eq!(c.leave(1), Err(ClusterError::UnknownMember(1)));
+        c.crash(2).unwrap();
+        assert_eq!(c.crash(0), Err(ClusterError::LastMember(0)));
+        c.join(1).unwrap();
+        assert_eq!(c.alive_count(), 2);
+        // Every membership change appended an epoch record.
+        let epochs = c
+            .records_since(0)
+            .unwrap()
+            .iter()
+            .filter(|r| matches!(r, CommittedOp::Rebalance { .. }))
+            .count();
+        assert_eq!(epochs, 3);
+    }
+
+    #[test]
+    fn two_phase_commit_appends_to_the_oplog_and_clears_ledgers() {
+        let mut c = coordinator(2);
+        let req = request(0, 3);
+        let footprint: Vec<(LinkId, u64)> = c
+            .net()
+            .up_links()
+            .map(|l| (l, c.net().link_usage(l).plan_digest()))
+            .collect();
+        let p = c.prepare(0, &footprint).unwrap();
+        assert!(p.fresh, "untouched digests must validate");
+        assert!(c.pending_prepares() > 0, "reservation must be held");
+        let mut fill = None;
+        let got = c.commit_prepared(p.ticket, None, &req, &mut fill).unwrap();
+        c.flush(fill);
+        assert!(got.is_ok());
+        assert_eq!(c.pending_prepares(), 0);
+        assert_eq!(c.seq(), 1);
+        assert_eq!(
+            c.commit_prepared(p.ticket, None, &req, &mut None),
+            Err(ClusterError::StalePrepare(p.ticket)),
+            "double commit must be rejected"
+        );
+    }
+
+    #[test]
+    fn a_crash_aborts_the_members_prepares() {
+        let mut c = coordinator(3);
+        let footprint = vec![(LinkId(0), c.net().link_usage(LinkId(0)).plan_digest())];
+        let p = c.prepare(1, &footprint).unwrap();
+        assert_eq!(c.pending_prepares(), 1);
+        c.crash(1).unwrap();
+        assert_eq!(c.pending_prepares(), 0, "crash must release reservations");
+        assert_eq!(c.aborted_prepares(), 1);
+        assert_eq!(
+            c.commit_prepared(p.ticket, None, &request(0, 3), &mut None),
+            Err(ClusterError::StalePrepare(p.ticket)),
+            "a commit after the crash is stale"
+        );
+    }
+
+    #[test]
+    fn prepares_from_dead_members_are_rejected() {
+        let mut c = coordinator(2);
+        c.leave(0).unwrap();
+        assert_eq!(
+            c.prepare(0, &[]).unwrap_err(),
+            ClusterError::UnknownMember(0)
+        );
+        assert_eq!(
+            c.forward(0, MemberOp::FailLink { link: LinkId(0) })
+                .unwrap_err(),
+            ClusterError::UnknownMember(0)
+        );
+    }
+
+    #[test]
+    fn records_since_guards_the_sequence_space() {
+        let mut c = coordinator(2);
+        c.forward(0, MemberOp::FailLink { link: LinkId(0) })
+            .unwrap();
+        assert_eq!(c.records_since(0).unwrap().len(), 1);
+        assert_eq!(c.records_since(1).unwrap().len(), 0);
+        assert_eq!(c.records_since(2), Err(ClusterError::SequenceGap(2)));
+    }
+
+    #[test]
+    fn the_lost_prepare_fault_leaks_a_reservation() {
+        let mut c = coordinator(2);
+        c.set_lose_prepare(true);
+        let footprint = vec![(LinkId(0), c.net().link_usage(LinkId(0)).plan_digest())];
+        let p = c.prepare(0, &footprint).unwrap();
+        let mut fill = None;
+        c.commit_prepared(p.ticket, None, &request(0, 2), &mut fill)
+            .unwrap()
+            .unwrap();
+        c.flush(fill);
+        assert!(
+            c.pending_prepares() > 0,
+            "LosePrepare must leak a ledger entry"
+        );
+    }
+}

@@ -1,0 +1,739 @@
+//! The inter-daemon cluster protocol: frame bodies exchanged between a
+//! member daemon and the coordinator.
+//!
+//! Transport framing is shared byte-for-byte with the service's binary
+//! wire mode ([`drqos_core::framing`]): `[u32 LE len][body]`. The body
+//! starts with a one-byte opcode from a family disjoint from the client
+//! protocol's (`0x10..` member→coordinator, `0x20..` coordinator→member)
+//! so a frame accidentally crossing protocols fails loudly. All integers
+//! are little-endian `u64`; QoS travels as raw `(bmin, bmax, delta)`
+//! Kbps and is revalidated on decode, exactly like the client protocol.
+//!
+//! The conversation (documented in SERVICE.md):
+//!
+//! ```text
+//! member                         coordinator
+//!   JOIN                      →
+//!                             ←  WELCOME {member, seq}
+//!   PREPARE {footprint}       →                         (phase 1)
+//!                             ←  VERDICT {ticket, fresh}
+//!   COMMIT {ticket, request}  →                         (phase 2)
+//!                             ←  DONE {op_seq, seq}
+//!   SYNC {applied}            →
+//!                             ←  RECORDS {seq, records…}
+//! ```
+//!
+//! A member renders its client's response by replaying the record at
+//! `op_seq` on its own replica — no result travels on the wire, which is
+//! only sound because replay is deterministic (`fuzz --diff-cluster`).
+//! A member that stops waiting for a verdict sends `ABORT {ticket}`
+//! (timeout, wire error code 504); the coordinator releases the
+//! reservation. Crashes need no message: the coordinator treats a
+//! member's EOF as CRASH, aborts its in-flight prepares and rebalances.
+
+use crate::coordinator::{CommittedOp, MemberOp};
+use drqos_core::channel::ConnectionId;
+use drqos_core::framing::{get_u64, put_u64};
+use drqos_core::network::EstablishRequest;
+use drqos_core::qos::{Bandwidth, ElasticQos};
+use drqos_topology::{LinkId, NodeId};
+use std::fmt;
+
+/// Member → coordinator opcodes (`0x10` family).
+pub const C_JOIN: u8 = 0x10;
+/// See [`C_JOIN`].
+pub const C_PREPARE: u8 = 0x11;
+/// See [`C_JOIN`].
+pub const C_COMMIT: u8 = 0x12;
+/// See [`C_JOIN`].
+pub const C_ABORT: u8 = 0x13;
+/// See [`C_JOIN`].
+pub const C_OP: u8 = 0x14;
+/// See [`C_JOIN`].
+pub const C_SYNC: u8 = 0x15;
+/// See [`C_JOIN`].
+pub const C_LEAVE: u8 = 0x16;
+/// See [`C_JOIN`].
+pub const C_STATUS: u8 = 0x17;
+/// See [`C_JOIN`].
+pub const C_STOP: u8 = 0x18;
+
+/// Coordinator → member opcodes (`0x20` family).
+pub const C_WELCOME: u8 = 0x20;
+/// See [`C_WELCOME`].
+pub const C_VERDICT: u8 = 0x21;
+/// See [`C_WELCOME`].
+pub const C_DONE: u8 = 0x22;
+/// See [`C_WELCOME`].
+pub const C_RECORDS: u8 = 0x23;
+/// See [`C_WELCOME`].
+pub const C_STATE: u8 = 0x24;
+/// See [`C_WELCOME`].
+pub const C_ERR: u8 = 0x25;
+/// See [`C_WELCOME`].
+pub const C_OK: u8 = 0x26;
+
+/// Most records a single `RECORDS` reply carries; a member behind by
+/// more keeps `SYNC`ing until `applied == seq`. Keeps every frame well
+/// under [`drqos_core::framing::MAX_FRAME_BYTES`].
+pub const RECORDS_PER_SYNC: usize = 512;
+
+/// A decode failure. The body is untrusted input; every error closes the
+/// offending connection (there is no way to resynchronize mid-protocol).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtoError {
+    /// The body ended before the message did.
+    Truncated,
+    /// The leading opcode byte is not in the expected family.
+    UnknownOpcode(u8),
+    /// A record or operation tag is unknown.
+    UnknownTag(u8),
+    /// Bytes remained after a complete message.
+    Trailing,
+    /// A field failed validation (bad QoS, bad UTF-8, bad bool).
+    BadPayload,
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtoError::Truncated => write!(f, "truncated cluster frame"),
+            ProtoError::UnknownOpcode(op) => write!(f, "unknown cluster opcode 0x{op:02x}"),
+            ProtoError::UnknownTag(t) => write!(f, "unknown cluster record tag {t}"),
+            ProtoError::Trailing => write!(f, "trailing bytes after cluster frame"),
+            ProtoError::BadPayload => write!(f, "malformed cluster frame payload"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+/// An admission request in wire form: endpoints and raw QoS Kbps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireRequest {
+    /// Source node index.
+    pub src: u64,
+    /// Destination node index.
+    pub dst: u64,
+    /// Minimum bandwidth (Kbps).
+    pub bmin: u64,
+    /// Maximum bandwidth (Kbps).
+    pub bmax: u64,
+    /// Elastic increment (Kbps).
+    pub delta: u64,
+}
+
+impl WireRequest {
+    /// Captures an in-memory request for the wire.
+    pub fn from_request(req: &EstablishRequest) -> Self {
+        Self {
+            src: req.src.index() as u64,
+            dst: req.dst.index() as u64,
+            bmin: req.qos.min().as_kbps(),
+            bmax: req.qos.max().as_kbps(),
+            delta: req.qos.increment().as_kbps(),
+        }
+    }
+
+    /// Revalidates into an in-memory request (unit utility, like the
+    /// client protocol).
+    ///
+    /// # Errors
+    ///
+    /// [`ProtoError::BadPayload`] when the QoS triple is invalid.
+    pub fn to_request(self) -> Result<EstablishRequest, ProtoError> {
+        let qos = ElasticQos::new(
+            Bandwidth::kbps(self.bmin),
+            Bandwidth::kbps(self.bmax),
+            Bandwidth::kbps(self.delta),
+            1.0,
+        )
+        .map_err(|_| ProtoError::BadPayload)?;
+        let src = usize::try_from(self.src).map_err(|_| ProtoError::BadPayload)?;
+        let dst = usize::try_from(self.dst).map_err(|_| ProtoError::BadPayload)?;
+        Ok(EstablishRequest {
+            src: NodeId(src),
+            dst: NodeId(dst),
+            qos,
+        })
+    }
+}
+
+/// A member → coordinator message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClusterMsg {
+    /// Join (or rejoin) the federation; the reply assigns a member id.
+    Join,
+    /// Phase 1: reserve the footprint `(link, plan digest)` pairs.
+    Prepare {
+        /// The admission footprint traced by local planning.
+        footprint: Vec<(u64, u64)>,
+    },
+    /// Phase 2: commit a prepared ticket. The request rides along so the
+    /// coordinator can replan serially (stale footprint) and append the
+    /// oplog record.
+    Commit {
+        /// The ticket from the verdict.
+        ticket: u64,
+        /// The admission request.
+        req: WireRequest,
+    },
+    /// Abandon a prepared ticket (member-side timeout).
+    Abort {
+        /// The ticket to release.
+        ticket: u64,
+    },
+    /// Forward a non-establish operation.
+    Op {
+        /// The operation.
+        op: MemberOp,
+    },
+    /// Pull oplog records past `applied`.
+    Sync {
+        /// Records already applied by this member.
+        applied: u64,
+    },
+    /// Graceful departure.
+    Leave,
+    /// Human/CI-readable coordinator status (also served to non-members).
+    Status,
+    /// Stop the coordinator (invariant-gated shutdown).
+    Stop,
+}
+
+/// A coordinator → member message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoordMsg {
+    /// Reply to [`ClusterMsg::Join`].
+    Welcome {
+        /// The assigned member id.
+        member: u64,
+        /// The coordinator's current oplog sequence.
+        seq: u64,
+    },
+    /// Reply to [`ClusterMsg::Prepare`].
+    Verdict {
+        /// The two-phase ticket.
+        ticket: u64,
+        /// Whether every footprint digest was still current.
+        fresh: bool,
+    },
+    /// Reply to [`ClusterMsg::Commit`] / [`ClusterMsg::Op`]: the
+    /// operation committed at `op_seq`; replay it to learn the outcome.
+    Done {
+        /// The committed operation's sequence number.
+        op_seq: u64,
+        /// The coordinator's current oplog sequence.
+        seq: u64,
+    },
+    /// Reply to [`ClusterMsg::Sync`]: at most [`RECORDS_PER_SYNC`]
+    /// records starting at the member's `applied`.
+    Records {
+        /// The coordinator's current oplog sequence.
+        seq: u64,
+        /// The records to replay, in sequence order.
+        records: Vec<CommittedOp>,
+    },
+    /// Reply to [`ClusterMsg::Status`].
+    State {
+        /// One status line (stable format, grepped by CI).
+        text: String,
+    },
+    /// A [`drqos_core::error::ClusterError`] wire code (500–599).
+    Err {
+        /// The wire code.
+        code: u16,
+    },
+    /// Bare acknowledgement (LEAVE, ABORT, STOP).
+    Ok,
+}
+
+// ------------------------------------------------------------ encoding --
+
+fn put_record(body: &mut Vec<u8>, record: &CommittedOp) {
+    match *record {
+        CommittedOp::Establish { src, dst, qos } => {
+            body.push(1);
+            put_u64(body, src.index() as u64);
+            put_u64(body, dst.index() as u64);
+            put_u64(body, qos.min().as_kbps());
+            put_u64(body, qos.max().as_kbps());
+            put_u64(body, qos.increment().as_kbps());
+        }
+        CommittedOp::Release { id } => {
+            body.push(2);
+            put_u64(body, id.0);
+        }
+        CommittedOp::FailLink { link } => {
+            body.push(3);
+            put_u64(body, link.index() as u64);
+        }
+        CommittedOp::RepairLink { link } => {
+            body.push(4);
+            put_u64(body, link.index() as u64);
+        }
+        CommittedOp::FailNode { node } => {
+            body.push(5);
+            put_u64(body, node.index() as u64);
+        }
+        CommittedOp::Rebalance { ref alive } => {
+            body.push(6);
+            put_u64(body, alive.len() as u64);
+            body.extend(alive.iter().map(|&a| u8::from(a)));
+        }
+    }
+}
+
+struct Cursor<'a> {
+    body: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(body: &'a [u8]) -> Self {
+        Self { body, at: 0 }
+    }
+
+    fn u64(&mut self) -> Result<u64, ProtoError> {
+        let v = get_u64(self.body, self.at).ok_or(ProtoError::Truncated)?;
+        self.at += 8;
+        Ok(v)
+    }
+
+    fn byte(&mut self) -> Result<u8, ProtoError> {
+        let v = *self.body.get(self.at).ok_or(ProtoError::Truncated)?;
+        self.at += 1;
+        Ok(v)
+    }
+
+    fn len(&mut self) -> Result<usize, ProtoError> {
+        usize::try_from(self.u64()?).map_err(|_| ProtoError::BadPayload)
+    }
+
+    fn bytes(&mut self, n: usize) -> Result<&'a [u8], ProtoError> {
+        let end = self.at.checked_add(n).ok_or(ProtoError::Truncated)?;
+        let v = self.body.get(self.at..end).ok_or(ProtoError::Truncated)?;
+        self.at = end;
+        Ok(v)
+    }
+
+    fn finish(self) -> Result<(), ProtoError> {
+        if self.at == self.body.len() {
+            Ok(())
+        } else {
+            Err(ProtoError::Trailing)
+        }
+    }
+
+    fn record(&mut self) -> Result<CommittedOp, ProtoError> {
+        match self.byte()? {
+            1 => {
+                let src = self.len()?;
+                let dst = self.len()?;
+                let (bmin, bmax, delta) = (self.u64()?, self.u64()?, self.u64()?);
+                let qos = ElasticQos::new(
+                    Bandwidth::kbps(bmin),
+                    Bandwidth::kbps(bmax),
+                    Bandwidth::kbps(delta),
+                    1.0,
+                )
+                .map_err(|_| ProtoError::BadPayload)?;
+                Ok(CommittedOp::Establish {
+                    src: NodeId(src),
+                    dst: NodeId(dst),
+                    qos,
+                })
+            }
+            2 => Ok(CommittedOp::Release {
+                id: ConnectionId(self.u64()?),
+            }),
+            3 => Ok(CommittedOp::FailLink {
+                link: LinkId(self.len()?),
+            }),
+            4 => Ok(CommittedOp::RepairLink {
+                link: LinkId(self.len()?),
+            }),
+            5 => Ok(CommittedOp::FailNode {
+                node: NodeId(self.len()?),
+            }),
+            6 => {
+                let n = self.len()?;
+                if n > MAX_ROSTER {
+                    return Err(ProtoError::BadPayload);
+                }
+                let alive = self
+                    .bytes(n)?
+                    .iter()
+                    .map(|&b| match b {
+                        0 => Ok(false),
+                        1 => Ok(true),
+                        _ => Err(ProtoError::BadPayload),
+                    })
+                    .collect::<Result<Vec<bool>, ProtoError>>()?;
+                Ok(CommittedOp::Rebalance { alive })
+            }
+            t => Err(ProtoError::UnknownTag(t)),
+        }
+    }
+}
+
+/// Sanity cap on a wire roster (untrusted length field).
+const MAX_ROSTER: usize = 4096;
+
+/// Encodes a member → coordinator message into a frame body.
+pub fn encode_cluster_msg(msg: &ClusterMsg) -> Vec<u8> {
+    let mut body = Vec::new();
+    match msg {
+        ClusterMsg::Join => body.push(C_JOIN),
+        ClusterMsg::Prepare { footprint } => {
+            body.push(C_PREPARE);
+            put_u64(&mut body, footprint.len() as u64);
+            for &(link, digest) in footprint {
+                put_u64(&mut body, link);
+                put_u64(&mut body, digest);
+            }
+        }
+        ClusterMsg::Commit { ticket, req } => {
+            body.push(C_COMMIT);
+            put_u64(&mut body, *ticket);
+            for v in [req.src, req.dst, req.bmin, req.bmax, req.delta] {
+                put_u64(&mut body, v);
+            }
+        }
+        ClusterMsg::Abort { ticket } => {
+            body.push(C_ABORT);
+            put_u64(&mut body, *ticket);
+        }
+        ClusterMsg::Op { op } => {
+            body.push(C_OP);
+            match *op {
+                MemberOp::Release { id } => {
+                    body.push(1);
+                    put_u64(&mut body, id.0);
+                }
+                MemberOp::FailLink { link } => {
+                    body.push(2);
+                    put_u64(&mut body, link.index() as u64);
+                }
+                MemberOp::RepairLink { link } => {
+                    body.push(3);
+                    put_u64(&mut body, link.index() as u64);
+                }
+                MemberOp::FailNode { node } => {
+                    body.push(4);
+                    put_u64(&mut body, node.index() as u64);
+                }
+            }
+        }
+        ClusterMsg::Sync { applied } => {
+            body.push(C_SYNC);
+            put_u64(&mut body, *applied);
+        }
+        ClusterMsg::Leave => body.push(C_LEAVE),
+        ClusterMsg::Status => body.push(C_STATUS),
+        ClusterMsg::Stop => body.push(C_STOP),
+    }
+    body
+}
+
+/// Decodes a member → coordinator frame body.
+///
+/// # Errors
+///
+/// Any [`ProtoError`]; the connection should be closed.
+pub fn decode_cluster_msg(body: &[u8]) -> Result<ClusterMsg, ProtoError> {
+    let mut c = Cursor::new(body);
+    let msg = match c.byte()? {
+        C_JOIN => ClusterMsg::Join,
+        C_PREPARE => {
+            let n = c.len()?;
+            if n > MAX_ROSTER {
+                return Err(ProtoError::BadPayload);
+            }
+            let mut footprint = Vec::with_capacity(n);
+            for _ in 0..n {
+                footprint.push((c.u64()?, c.u64()?));
+            }
+            ClusterMsg::Prepare { footprint }
+        }
+        C_COMMIT => ClusterMsg::Commit {
+            ticket: c.u64()?,
+            req: WireRequest {
+                src: c.u64()?,
+                dst: c.u64()?,
+                bmin: c.u64()?,
+                bmax: c.u64()?,
+                delta: c.u64()?,
+            },
+        },
+        C_ABORT => ClusterMsg::Abort { ticket: c.u64()? },
+        C_OP => {
+            let op = match c.byte()? {
+                1 => MemberOp::Release {
+                    id: ConnectionId(c.u64()?),
+                },
+                2 => MemberOp::FailLink {
+                    link: LinkId(c.len()?),
+                },
+                3 => MemberOp::RepairLink {
+                    link: LinkId(c.len()?),
+                },
+                4 => MemberOp::FailNode {
+                    node: NodeId(c.len()?),
+                },
+                t => return Err(ProtoError::UnknownTag(t)),
+            };
+            ClusterMsg::Op { op }
+        }
+        C_SYNC => ClusterMsg::Sync { applied: c.u64()? },
+        C_LEAVE => ClusterMsg::Leave,
+        C_STATUS => ClusterMsg::Status,
+        C_STOP => ClusterMsg::Stop,
+        op => return Err(ProtoError::UnknownOpcode(op)),
+    };
+    c.finish()?;
+    Ok(msg)
+}
+
+/// Encodes a coordinator → member message into a frame body.
+pub fn encode_coord_msg(msg: &CoordMsg) -> Vec<u8> {
+    let mut body = Vec::new();
+    match msg {
+        CoordMsg::Welcome { member, seq } => {
+            body.push(C_WELCOME);
+            put_u64(&mut body, *member);
+            put_u64(&mut body, *seq);
+        }
+        CoordMsg::Verdict { ticket, fresh } => {
+            body.push(C_VERDICT);
+            put_u64(&mut body, *ticket);
+            body.push(u8::from(*fresh));
+        }
+        CoordMsg::Done { op_seq, seq } => {
+            body.push(C_DONE);
+            put_u64(&mut body, *op_seq);
+            put_u64(&mut body, *seq);
+        }
+        CoordMsg::Records { seq, records } => {
+            body.push(C_RECORDS);
+            put_u64(&mut body, *seq);
+            put_u64(&mut body, records.len() as u64);
+            for r in records {
+                put_record(&mut body, r);
+            }
+        }
+        CoordMsg::State { text } => {
+            body.push(C_STATE);
+            put_u64(&mut body, text.len() as u64);
+            body.extend_from_slice(text.as_bytes());
+        }
+        CoordMsg::Err { code } => {
+            body.push(C_ERR);
+            put_u64(&mut body, u64::from(*code));
+        }
+        CoordMsg::Ok => body.push(C_OK),
+    }
+    body
+}
+
+/// Decodes a coordinator → member frame body.
+///
+/// # Errors
+///
+/// Any [`ProtoError`]; the connection should be closed.
+pub fn decode_coord_msg(body: &[u8]) -> Result<CoordMsg, ProtoError> {
+    let mut c = Cursor::new(body);
+    let msg = match c.byte()? {
+        C_WELCOME => CoordMsg::Welcome {
+            member: c.u64()?,
+            seq: c.u64()?,
+        },
+        C_VERDICT => CoordMsg::Verdict {
+            ticket: c.u64()?,
+            fresh: match c.byte()? {
+                0 => false,
+                1 => true,
+                _ => return Err(ProtoError::BadPayload),
+            },
+        },
+        C_DONE => CoordMsg::Done {
+            op_seq: c.u64()?,
+            seq: c.u64()?,
+        },
+        C_RECORDS => {
+            let seq = c.u64()?;
+            let n = c.len()?;
+            if n > RECORDS_PER_SYNC {
+                return Err(ProtoError::BadPayload);
+            }
+            let mut records = Vec::with_capacity(n);
+            for _ in 0..n {
+                records.push(c.record()?);
+            }
+            CoordMsg::Records { seq, records }
+        }
+        C_STATE => {
+            let n = c.len()?;
+            let text =
+                String::from_utf8(c.bytes(n)?.to_vec()).map_err(|_| ProtoError::BadPayload)?;
+            CoordMsg::State { text }
+        }
+        C_ERR => {
+            let code = u16::try_from(c.u64()?).map_err(|_| ProtoError::BadPayload)?;
+            CoordMsg::Err { code }
+        }
+        C_OK => CoordMsg::Ok,
+        op => return Err(ProtoError::UnknownOpcode(op)),
+    };
+    c.finish()?;
+    Ok(msg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_records() -> Vec<CommittedOp> {
+        vec![
+            CommittedOp::Establish {
+                src: NodeId(0),
+                dst: NodeId(5),
+                qos: ElasticQos::paper_video(100),
+            },
+            CommittedOp::Release {
+                id: ConnectionId(3),
+            },
+            CommittedOp::FailLink { link: LinkId(7) },
+            CommittedOp::RepairLink { link: LinkId(7) },
+            CommittedOp::FailNode { node: NodeId(2) },
+            CommittedOp::Rebalance {
+                alive: vec![true, false, true],
+            },
+        ]
+    }
+
+    #[test]
+    fn every_member_message_round_trips() {
+        let msgs = vec![
+            ClusterMsg::Join,
+            ClusterMsg::Prepare {
+                footprint: vec![(0, 42), (9, u64::MAX)],
+            },
+            ClusterMsg::Commit {
+                ticket: 17,
+                req: WireRequest {
+                    src: 1,
+                    dst: 4,
+                    bmin: 100,
+                    bmax: 500,
+                    delta: 100,
+                },
+            },
+            ClusterMsg::Abort { ticket: 17 },
+            ClusterMsg::Op {
+                op: MemberOp::FailLink { link: LinkId(3) },
+            },
+            ClusterMsg::Op {
+                op: MemberOp::Release {
+                    id: ConnectionId(12),
+                },
+            },
+            ClusterMsg::Sync { applied: 99 },
+            ClusterMsg::Leave,
+            ClusterMsg::Status,
+            ClusterMsg::Stop,
+        ];
+        for msg in msgs {
+            let body = encode_cluster_msg(&msg);
+            assert_eq!(decode_cluster_msg(&body), Ok(msg.clone()), "{msg:?}");
+        }
+    }
+
+    #[test]
+    fn every_coordinator_message_round_trips() {
+        let msgs = vec![
+            CoordMsg::Welcome { member: 2, seq: 10 },
+            CoordMsg::Verdict {
+                ticket: 5,
+                fresh: true,
+            },
+            CoordMsg::Done { op_seq: 7, seq: 9 },
+            CoordMsg::Records {
+                seq: 6,
+                records: sample_records(),
+            },
+            CoordMsg::State {
+                text: "members=3 seq=42".to_string(),
+            },
+            CoordMsg::Err { code: 503 },
+            CoordMsg::Ok,
+        ];
+        for msg in msgs {
+            let body = encode_coord_msg(&msg);
+            assert_eq!(decode_coord_msg(&body), Ok(msg.clone()), "{msg:?}");
+        }
+    }
+
+    #[test]
+    fn malformed_bodies_are_rejected_not_panicked() {
+        assert_eq!(decode_cluster_msg(&[]), Err(ProtoError::Truncated));
+        assert_eq!(
+            decode_coord_msg(&[0x42]),
+            Err(ProtoError::UnknownOpcode(0x42))
+        );
+        // Truncated prepare: announces 2 footprint pairs, carries none.
+        let mut body = vec![C_PREPARE];
+        put_u64(&mut body, 2);
+        assert_eq!(decode_cluster_msg(&body), Err(ProtoError::Truncated));
+        // Trailing garbage after a complete message.
+        let mut body = encode_cluster_msg(&ClusterMsg::Join);
+        body.push(0);
+        assert_eq!(decode_cluster_msg(&body), Err(ProtoError::Trailing));
+        // A bad bool in a verdict.
+        let mut body = vec![C_VERDICT];
+        put_u64(&mut body, 1);
+        body.push(7);
+        assert_eq!(decode_coord_msg(&body), Err(ProtoError::BadPayload));
+        // A rejected QoS triple (bmin 0) in a commit.
+        let commit = ClusterMsg::Commit {
+            ticket: 0,
+            req: WireRequest {
+                src: 0,
+                dst: 1,
+                bmin: 0,
+                bmax: 0,
+                delta: 0,
+            },
+        };
+        let body = encode_cluster_msg(&commit);
+        match decode_cluster_msg(&body) {
+            Ok(ClusterMsg::Commit { req, .. }) => {
+                assert_eq!(req.to_request(), Err(ProtoError::BadPayload));
+            }
+            other => panic!("unexpected decode: {other:?}"),
+        }
+        // An oversized roster length is rejected before allocation.
+        let mut body = vec![C_RECORDS];
+        put_u64(&mut body, 0);
+        put_u64(&mut body, (RECORDS_PER_SYNC as u64) + 1);
+        assert_eq!(decode_coord_msg(&body), Err(ProtoError::BadPayload));
+    }
+
+    #[test]
+    fn wire_requests_rebuild_the_qos() {
+        let req = WireRequest {
+            src: 2,
+            dst: 6,
+            bmin: 100,
+            bmax: 500,
+            delta: 100,
+        }
+        .to_request()
+        .unwrap();
+        assert_eq!(req.src, NodeId(2));
+        assert_eq!(req.qos.min().as_kbps(), 100);
+        assert_eq!(req.qos.max().as_kbps(), 500);
+        assert_eq!(req.qos.increment().as_kbps(), 100);
+        assert_eq!(WireRequest::from_request(&req).bmin, 100);
+    }
+}

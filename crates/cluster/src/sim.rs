@@ -1,0 +1,441 @@
+//! An in-process N-member cluster: the federation's semantics without
+//! sockets.
+//!
+//! [`ClusterSim`] wires a [`Coordinator`] to a roster of [`Member`]
+//! replicas through direct calls instead of the TCP protocol, which makes
+//! it the deterministic test double for the daemons: the differential
+//! harness (`fuzz --diff-cluster`) replays fuzzed operation sequences
+//! against it and a monolithic oracle, and the `cluster_establish_3`
+//! trajectory bench measures its admission throughput. Fault injection
+//! ([`ClusterFault`]) covers the two cluster-specific failure modes the
+//! mutation self-tests must catch: a lost prepare (a reservation never
+//! released) and a member crash in the middle of a wave (its planned
+//! requests are orphaned and must be re-established serially by the
+//! coordinator).
+//!
+//! The wave pipeline mirrors [`drqos_core::shard::ShardedNetwork::establish_wave`]
+//! exactly — plan on frozen replicas, commit in request order through the
+//! two-phase ledger, flush the deferred elastic fill once at wave end —
+//! so a cluster wave is byte-identical to a monolithic serial run, churn
+//! or no churn.
+
+use crate::coordinator::{ApplyOutcome, Coordinator, MemberOp};
+use crate::member::Member;
+use drqos_core::channel::ConnectionId;
+use drqos_core::env::RebalancePolicy;
+use drqos_core::error::{AdmissionError, ClusterError};
+use drqos_core::network::{EstablishPlan, EstablishRequest, Network};
+use drqos_topology::{LinkId, NodeId};
+use std::collections::BTreeSet;
+
+/// Injected cluster faults for the mutation self-tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ClusterFault {
+    /// Correct behaviour.
+    #[default]
+    None,
+    /// The coordinator forgets to release one ledger reservation at the
+    /// first commit (caught as a pending-prepare leak between waves).
+    LosePrepare,
+    /// The given member crashes in the middle of the first wave, after
+    /// planning but before any commit: its planned requests are orphaned
+    /// and the coordinator re-establishes them serially.
+    CrashDuringWave(u64),
+}
+
+/// An in-process federation: one coordinator plus N member replicas
+/// (dead members are `None`).
+#[derive(Debug)]
+pub struct ClusterSim {
+    coord: Coordinator,
+    members: Vec<Option<Member>>,
+    genesis: Network,
+    fault: ClusterFault,
+    crash_fired: bool,
+}
+
+impl ClusterSim {
+    /// Builds a cluster of `members` live members over `net`, partitioned
+    /// with the default BFS policy from `seed`.
+    pub fn new(net: Network, members: usize, seed: u64) -> Self {
+        Self::with_policy(net, members, seed, RebalancePolicy::Bfs)
+    }
+
+    /// Like [`ClusterSim::new`] with an explicit rebalance policy.
+    pub fn with_policy(net: Network, members: usize, seed: u64, policy: RebalancePolicy) -> Self {
+        let members = members.max(1);
+        let genesis = net.clone();
+        let coord = Coordinator::new(net, members, seed, policy);
+        let roster = (0..members)
+            .map(|m| Some(Member::new(m as u64, genesis.clone())))
+            .collect();
+        Self {
+            coord,
+            members: roster,
+            genesis,
+            fault: ClusterFault::None,
+            crash_fired: false,
+        }
+    }
+
+    /// Arms a fault for the next wave(s).
+    pub fn set_fault(&mut self, fault: ClusterFault) {
+        self.fault = fault;
+        self.crash_fired = false;
+        self.coord
+            .set_lose_prepare(matches!(fault, ClusterFault::LosePrepare));
+    }
+
+    /// The authoritative network.
+    pub fn authoritative(&self) -> &Network {
+        self.coord.net()
+    }
+
+    /// The coordinator (counters, assignment, invariants).
+    pub fn coordinator(&self) -> &Coordinator {
+        &self.coord
+    }
+
+    /// Live member replicas, in id order.
+    pub fn replicas(&self) -> impl Iterator<Item = &Member> {
+        self.members.iter().flatten()
+    }
+
+    /// Live member ids.
+    pub fn alive_members(&self) -> Vec<u64> {
+        self.members.iter().flatten().map(Member::id).collect()
+    }
+
+    /// Reservations still pending after the last wave (must be zero on a
+    /// correct cluster).
+    pub fn pending_prepares(&self) -> usize {
+        self.coord.pending_prepares()
+    }
+
+    /// The live member owning `node` under the current assignment.
+    pub fn member_of_node(&self, node: NodeId) -> u64 {
+        self.coord.member_of_node(node)
+    }
+
+    /// Admits a wave of requests: each is planned on its home member's
+    /// replica (local, cross-partition footprints included), then
+    /// committed through the coordinator's two-phase ledger in request
+    /// order with one deferred elastic fill flushed at wave end. Replicas
+    /// sync before the wave returns.
+    pub fn establish_wave(
+        &mut self,
+        requests: &[EstablishRequest],
+    ) -> Vec<Result<ConnectionId, AdmissionError>> {
+        type PlannedLocal = (Result<EstablishPlan, AdmissionError>, Vec<(LinkId, u64)>);
+        let homes: Vec<u64> = requests
+            .iter()
+            .map(|r| self.coord.member_of_node(r.src))
+            .collect();
+        // Phase 0: plan on the (frozen, synced) home replicas.
+        let mut planned: Vec<Option<PlannedLocal>> = Vec::with_capacity(requests.len());
+        for (req, &home) in requests.iter().zip(&homes) {
+            let slot = self
+                .members
+                .get_mut(home as usize)
+                .and_then(Option::as_mut)
+                .map(|m| m.plan(req));
+            planned.push(slot);
+        }
+        // Fault: a member dies after planning, before any commit. Its
+        // plans are orphaned; the coordinator re-establishes the requests
+        // serially on the survivors' behalf.
+        if let ClusterFault::CrashDuringWave(victim) = self.fault {
+            if !self.crash_fired && self.coord.is_alive(victim) && self.coord.alive_count() > 1 {
+                self.crash_fired = true;
+                let _ = self.coord.crash(victim);
+                if let Some(slot) = self.members.get_mut(victim as usize) {
+                    *slot = None;
+                }
+                for (slot, &home) in planned.iter_mut().zip(&homes) {
+                    if home == victim {
+                        *slot = None;
+                    }
+                }
+            }
+        }
+        // Phase 1+2: reserve, validate, commit — in request order.
+        let mut fill: Option<BTreeSet<ConnectionId>> = None;
+        let mut results = Vec::with_capacity(requests.len());
+        for (i, req) in requests.iter().enumerate() {
+            let (plan_opt, footprint) = match planned.get_mut(i).and_then(Option::take) {
+                Some((plan_res, fp)) => (Some(plan_res), fp),
+                None => (None, Vec::new()),
+            };
+            // Rebalance may have moved the home; any live member may
+            // carry an unplanned request to the coordinator.
+            let home = homes
+                .get(i)
+                .copied()
+                .filter(|&h| self.coord.is_alive(h))
+                .unwrap_or_else(|| self.coord.member_of_node(req.src));
+            let committed = self.coord.prepare(home, &footprint).and_then(|p| {
+                self.coord
+                    .commit_prepared(p.ticket, plan_opt, req, &mut fill)
+            });
+            match committed {
+                Ok(result) => results.push(result),
+                // Unreachable on live members; keep the wave total anyway.
+                Err(_) => results.push(self.coord.establish_unprepared(req, &mut fill)),
+            }
+        }
+        self.coord.flush(fill);
+        self.sync();
+        results
+    }
+
+    /// Forwards a non-establish operation through the lowest-id live
+    /// member (results are member-independent) and syncs replicas.
+    ///
+    /// # Errors
+    ///
+    /// Propagates coordinator errors (none on a live cluster).
+    pub fn apply(&mut self, op: MemberOp) -> Result<ApplyOutcome, ClusterError> {
+        let carrier = match op {
+            MemberOp::FailLink { link } | MemberOp::RepairLink { link } => {
+                self.coord.assignment().member_of_link(link)
+            }
+            MemberOp::FailNode { node } => self.coord.member_of_node(node),
+            MemberOp::Release { .. } => self.alive_members().first().copied().unwrap_or(0),
+        };
+        let outcome = self.coord.forward(carrier, op)?;
+        self.sync();
+        Ok(outcome)
+    }
+
+    /// JOIN: member `member` (re)joins with a genesis replica and catches
+    /// up by replaying the full oplog.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::DuplicateMember`] when already alive.
+    pub fn join(&mut self, member: u64) -> Result<(), ClusterError> {
+        self.coord.join(member)?;
+        let idx = member as usize;
+        if idx >= self.members.len() {
+            self.members.resize_with(idx + 1, || None);
+        }
+        if let Some(slot) = self.members.get_mut(idx) {
+            *slot = Some(Member::new(member, self.genesis.clone()));
+        }
+        self.sync();
+        Ok(())
+    }
+
+    /// LEAVE: graceful departure; the member's partition rebalances to
+    /// the survivors.
+    ///
+    /// # Errors
+    ///
+    /// See [`Coordinator::leave`].
+    pub fn leave(&mut self, member: u64) -> Result<(), ClusterError> {
+        self.coord.leave(member)?;
+        if let Some(slot) = self.members.get_mut(member as usize) {
+            *slot = None;
+        }
+        self.sync();
+        Ok(())
+    }
+
+    /// CRASH: abrupt departure; in-flight prepares abort, then the
+    /// partition rebalances.
+    ///
+    /// # Errors
+    ///
+    /// See [`Coordinator::crash`].
+    pub fn crash(&mut self, member: u64) -> Result<(), ClusterError> {
+        self.coord.crash(member)?;
+        if let Some(slot) = self.members.get_mut(member as usize) {
+            *slot = None;
+        }
+        self.sync();
+        Ok(())
+    }
+
+    /// Replays new oplog records onto every live replica.
+    fn sync(&mut self) {
+        let coord = &self.coord;
+        for m in self.members.iter_mut().flatten() {
+            if let Ok(records) = coord.records_since(m.applied()) {
+                m.apply(records);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drqos_core::network::NetworkConfig;
+    use drqos_core::qos::ElasticQos;
+    use drqos_core::snapshot::NetworkSnapshot;
+    use drqos_sim::rng::Rng;
+    use drqos_topology::regular::ring;
+
+    fn fresh_net() -> Network {
+        Network::new(ring(8).unwrap(), NetworkConfig::default())
+    }
+
+    fn request(src: usize, dst: usize) -> EstablishRequest {
+        EstablishRequest {
+            src: NodeId(src),
+            dst: NodeId(dst),
+            qos: ElasticQos::paper_video(100),
+        }
+    }
+
+    fn wave(n: usize, rng: &mut Rng) -> Vec<EstablishRequest> {
+        (0..n)
+            .map(|_| {
+                let s = rng.range_usize(8);
+                let mut d = rng.range_usize(7);
+                if d >= s {
+                    d += 1;
+                }
+                request(s, d)
+            })
+            .collect()
+    }
+
+    /// A cluster wave must be byte-identical to the monolithic serial
+    /// oracle — the core federation claim.
+    #[test]
+    fn cluster_waves_match_the_serial_oracle() {
+        for members in [1usize, 2, 3, 5] {
+            let mut oracle = fresh_net();
+            let mut cluster = ClusterSim::new(fresh_net(), members, 2001);
+            let mut rng = Rng::seed_from_u64(42 + members as u64);
+            for _ in 0..4 {
+                let reqs = wave(12, &mut rng);
+                let got = cluster.establish_wave(&reqs);
+                let want = oracle.establish_batch(&reqs);
+                assert_eq!(got, want, "{members}-member wave results diverged");
+                assert_eq!(
+                    NetworkSnapshot::capture(cluster.authoritative()),
+                    NetworkSnapshot::capture(&oracle),
+                    "{members}-member authoritative state diverged"
+                );
+            }
+            assert_eq!(cluster.pending_prepares(), 0);
+            for m in cluster.replicas() {
+                assert_eq!(
+                    NetworkSnapshot::capture(m.net()),
+                    NetworkSnapshot::capture(&oracle),
+                    "replica m{} diverged from the oracle",
+                    m.id()
+                );
+            }
+        }
+    }
+
+    /// Churn between waves must not disturb the replicated state: after
+    /// LEAVE/CRASH/JOIN the survivors still match the oracle exactly.
+    #[test]
+    fn churn_preserves_oracle_equivalence() {
+        let mut oracle = fresh_net();
+        let mut cluster = ClusterSim::new(fresh_net(), 3, 2001);
+        let mut rng = Rng::seed_from_u64(7);
+        let reqs = wave(10, &mut rng);
+        assert_eq!(cluster.establish_wave(&reqs), oracle.establish_batch(&reqs));
+        cluster.crash(1).unwrap();
+        let reqs = wave(10, &mut rng);
+        assert_eq!(cluster.establish_wave(&reqs), oracle.establish_batch(&reqs));
+        cluster.join(1).unwrap();
+        cluster.leave(0).unwrap();
+        let reqs = wave(10, &mut rng);
+        assert_eq!(cluster.establish_wave(&reqs), oracle.establish_batch(&reqs));
+        assert_eq!(
+            NetworkSnapshot::capture(cluster.authoritative()),
+            NetworkSnapshot::capture(&oracle)
+        );
+        // The rejoined member replayed the whole history from genesis and
+        // must equal the oracle too.
+        for m in cluster.replicas() {
+            assert_eq!(
+                NetworkSnapshot::capture(m.net()),
+                NetworkSnapshot::capture(&oracle),
+                "replica m{} diverged after churn",
+                m.id()
+            );
+        }
+    }
+
+    /// Satellite property: a wave interrupted by a member crash commits
+    /// every request exactly once (no double-commit across the handoff)
+    /// and still matches the serial oracle.
+    #[test]
+    fn no_double_commit_across_a_mid_wave_crash() {
+        let mut oracle = fresh_net();
+        let mut cluster = ClusterSim::new(fresh_net(), 3, 2001);
+        cluster.set_fault(ClusterFault::CrashDuringWave(2));
+        let mut rng = Rng::seed_from_u64(99);
+        let reqs = wave(16, &mut rng);
+        let got = cluster.establish_wave(&reqs);
+        let want = oracle.establish_batch(&reqs);
+        assert_eq!(
+            got.len(),
+            reqs.len(),
+            "every request gets exactly one result"
+        );
+        assert_eq!(got, want, "orphaned requests must re-establish serially");
+        assert_eq!(
+            NetworkSnapshot::capture(cluster.authoritative()),
+            NetworkSnapshot::capture(&oracle)
+        );
+        // Exactly one establish record per request — committed once each.
+        let establishes = cluster
+            .coordinator()
+            .records_since(0)
+            .unwrap()
+            .iter()
+            .filter(|r| matches!(r, crate::coordinator::CommittedOp::Establish { .. }))
+            .count();
+        assert_eq!(establishes, reqs.len());
+        assert_eq!(cluster.alive_members(), vec![0, 1]);
+        assert_eq!(cluster.pending_prepares(), 0);
+    }
+
+    /// The lost-prepare fault must be observable as a reservation leak —
+    /// the signal the mutation self-test relies on.
+    #[test]
+    fn a_lost_prepare_leaks_a_pending_reservation() {
+        let mut cluster = ClusterSim::new(fresh_net(), 2, 2001);
+        cluster.set_fault(ClusterFault::LosePrepare);
+        let mut rng = Rng::seed_from_u64(5);
+        let reqs = wave(6, &mut rng);
+        cluster.establish_wave(&reqs);
+        assert!(
+            cluster.pending_prepares() > 0,
+            "LosePrepare must leak a reservation"
+        );
+    }
+
+    /// Forwarded failure/repair/release ops flow through the oplog and
+    /// keep replicas synced.
+    #[test]
+    fn forwarded_ops_replicate() {
+        let mut oracle = fresh_net();
+        let mut cluster = ClusterSim::new(fresh_net(), 3, 2001);
+        let mut rng = Rng::seed_from_u64(11);
+        let reqs = wave(8, &mut rng);
+        cluster.establish_wave(&reqs);
+        oracle.establish_batch(&reqs);
+        let link = oracle.graph().links().next().unwrap().id();
+        let got = cluster.apply(MemberOp::FailLink { link }).unwrap();
+        let want = oracle.fail_link(link);
+        assert_eq!(got, ApplyOutcome::FailLink(want));
+        let got = cluster.apply(MemberOp::RepairLink { link }).unwrap();
+        let want = oracle.repair_link(link);
+        assert_eq!(got, ApplyOutcome::RepairLink(want));
+        for m in cluster.replicas() {
+            assert_eq!(
+                NetworkSnapshot::capture(m.net()),
+                NetworkSnapshot::capture(&oracle)
+            );
+        }
+    }
+}

@@ -113,6 +113,57 @@ impl fmt::Display for NetworkError {
 
 impl std::error::Error for NetworkError {}
 
+/// Errors from the multi-daemon cluster layer (membership and the
+/// two-phase inter-daemon commit protocol). Defined here so the wire
+/// code table in [`crate::wire`] covers them exhaustively; the cluster
+/// engine itself lives in the `drqos-cluster` crate.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ClusterError {
+    /// The member id is not part of the cluster roster.
+    UnknownMember(u64),
+    /// A `JOIN` named a member id that is already alive.
+    DuplicateMember(u64),
+    /// A `LEAVE`/`CRASH` would remove the last live member; a cluster
+    /// always keeps at least one admission authority.
+    LastMember(u64),
+    /// A `COMMIT` named a prepare ticket that is no longer pending (it
+    /// was aborted, typically because its member crashed mid-two-phase).
+    StalePrepare(u64),
+    /// The coordinator's verdict did not arrive within the prepare
+    /// timeout (`DRQOS_CLUSTER_PREPARE_TIMEOUT_MS`); the member aborts
+    /// the request.
+    PrepareTimeout(u64),
+    /// A replica asked for oplog records past the coordinator's current
+    /// sequence number.
+    SequenceGap(u64),
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::UnknownMember(m) => write!(f, "unknown cluster member m{m}"),
+            ClusterError::DuplicateMember(m) => {
+                write!(f, "cluster member m{m} is already alive")
+            }
+            ClusterError::LastMember(m) => {
+                write!(f, "member m{m} is the last live member and cannot leave")
+            }
+            ClusterError::StalePrepare(t) => {
+                write!(f, "prepare ticket {t} is no longer pending")
+            }
+            ClusterError::PrepareTimeout(t) => {
+                write!(f, "prepare ticket {t} timed out awaiting the coordinator")
+            }
+            ClusterError::SequenceGap(s) => {
+                write!(f, "requested oplog records past sequence {s}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -161,5 +212,21 @@ mod tests {
         assert!(NetworkError::NodeAlreadyDown(NodeId(5))
             .to_string()
             .contains("n5"));
+    }
+
+    #[test]
+    fn cluster_error_display() {
+        assert!(ClusterError::UnknownMember(3).to_string().contains("m3"));
+        assert!(ClusterError::DuplicateMember(1)
+            .to_string()
+            .contains("already alive"));
+        assert!(ClusterError::LastMember(0).to_string().contains("last"));
+        assert!(ClusterError::StalePrepare(9)
+            .to_string()
+            .contains("no longer pending"));
+        assert!(ClusterError::PrepareTimeout(4)
+            .to_string()
+            .contains("timed out"));
+        assert!(ClusterError::SequenceGap(7).to_string().contains("oplog"));
     }
 }

@@ -37,6 +37,8 @@
 //!   (`P_f`, `P_s`, `A`, `B`, `T`).
 //! * [`experiment`] — the churn harness reproducing the paper's
 //!   "detailed simulations".
+//! * [`framing`] — length-prefixed binary framing primitives shared by
+//!   the service wire mode and the inter-daemon cluster protocol.
 //!
 //! ## Quickstart
 //!
@@ -63,6 +65,7 @@ pub mod channel;
 pub mod env;
 pub mod error;
 pub mod experiment;
+pub mod framing;
 pub mod interval;
 pub mod invariant;
 pub mod link_state;
@@ -77,7 +80,7 @@ pub mod wire;
 pub mod workload;
 
 pub use channel::{ConnectionId, DrConnection};
-pub use error::{AdmissionError, NetworkError, QosError};
+pub use error::{AdmissionError, ClusterError, NetworkError, QosError};
 pub use experiment::{checked_mode, run_churn, ExperimentConfig, ExperimentReport};
 pub use interval::{DropController, IntervalQos};
 pub use invariant::InvariantViolation;

@@ -728,10 +728,11 @@ impl Network {
     /// deferred fill unless this commit's retreats subsume it, then
     /// commits `plan` deferring its own fill into `pending`.
     ///
-    /// Shared by [`Network::establish_batch`] and the sharded engine's
-    /// wave committer so both elide identically (the elision is proven
-    /// result-equivalent by `fuzz --diff-batch`).
-    pub(crate) fn batch_commit(
+    /// Shared by [`Network::establish_batch`], the sharded engine's wave
+    /// committer, and the cluster coordinator's two-phase commit so all
+    /// three elide identically (the elision is proven result-equivalent
+    /// by `fuzz --diff-batch`).
+    pub fn batch_commit(
         &mut self,
         plan: EstablishPlan,
         pending: &mut Option<BTreeSet<ConnectionId>>,
@@ -751,7 +752,7 @@ impl Network {
     }
 
     /// Flushes the final deferred fill of a batch/wave.
-    pub(crate) fn batch_flush(&mut self, pending: Option<BTreeSet<ConnectionId>>) {
+    pub fn batch_flush(&mut self, pending: Option<BTreeSet<ConnectionId>>) {
         if let Some(fill) = pending {
             self.redistribute(&fill);
         }

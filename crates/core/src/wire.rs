@@ -15,11 +15,12 @@
 //! | 200–299 | [`AdmissionError`]                       |
 //! | 300–399 | [`NetworkError`]                         |
 //! | 400–499 | [`InvariantViolation`]                   |
+//! | 500–599 | [`ClusterError`]                         |
 //!
 //! Codes are append-only: a published code never changes meaning, and
 //! retired variants leave a hole rather than renumbering their successors.
 
-use crate::error::{AdmissionError, NetworkError, QosError};
+use crate::error::{AdmissionError, ClusterError, NetworkError, QosError};
 use crate::invariant::InvariantViolation;
 
 impl QosError {
@@ -79,6 +80,20 @@ impl InvariantViolation {
     }
 }
 
+impl ClusterError {
+    /// The stable wire code of this error (500–599).
+    pub fn wire_code(&self) -> u16 {
+        match self {
+            ClusterError::UnknownMember(_) => 500,
+            ClusterError::DuplicateMember(_) => 501,
+            ClusterError::LastMember(_) => 502,
+            ClusterError::StalePrepare(_) => 503,
+            ClusterError::PrepareTimeout(_) => 504,
+            ClusterError::SequenceGap(_) => 505,
+        }
+    }
+}
+
 /// Every assigned wire code with a short stable description, in code
 /// order. Protocol-level codes (1–99) belong to the service crate and are
 /// not listed here.
@@ -108,6 +123,12 @@ pub const WIRE_CODES: &[(u16, &str)] = &[
     (408, "invariant: backup set mismatch"),
     (409, "invariant: capacity exceeded"),
     (410, "invariant: reservation out of sync"),
+    (500, "cluster: unknown member"),
+    (501, "cluster: duplicate member"),
+    (502, "cluster: last member cannot leave"),
+    (503, "cluster: stale prepare"),
+    (504, "cluster: prepare timeout"),
+    (505, "cluster: sequence gap"),
 ];
 
 /// The stable description of a wire code, or `None` for an unassigned
@@ -131,7 +152,7 @@ mod tests {
     /// this module until the sample list and [`WIRE_CODES`] follow.
     mod samples {
         use crate::channel::ConnectionId;
-        use crate::error::{AdmissionError, NetworkError, QosError};
+        use crate::error::{AdmissionError, ClusterError, NetworkError, QosError};
         use crate::invariant::InvariantViolation;
         use crate::qos::Bandwidth;
         use drqos_topology::{LinkId, NodeId};
@@ -206,6 +227,17 @@ mod tests {
                 },
             ]
         }
+
+        pub fn cluster_samples() -> Vec<ClusterError> {
+            vec![
+                ClusterError::UnknownMember(0),
+                ClusterError::DuplicateMember(0),
+                ClusterError::LastMember(0),
+                ClusterError::StalePrepare(0),
+                ClusterError::PrepareTimeout(0),
+                ClusterError::SequenceGap(0),
+            ]
+        }
     }
 
     fn all_sample_codes() -> Vec<u16> {
@@ -218,6 +250,7 @@ mod tests {
                 .iter()
                 .map(InvariantViolation::wire_code),
         );
+        codes.extend(cluster_samples().iter().map(ClusterError::wire_code));
         codes
     }
 
@@ -258,6 +291,9 @@ mod tests {
         }
         for v in invariant_samples() {
             assert!((400..500).contains(&v.wire_code()));
+        }
+        for c in cluster_samples() {
+            assert!((500..600).contains(&c.wire_code()));
         }
     }
 

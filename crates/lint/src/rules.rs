@@ -56,6 +56,8 @@ pub const NO_PANIC_FILES: &[(&str, bool)] = &[
     ("crates/service/src/protocol.rs", true),
     ("crates/service/src/frame.rs", true),
     ("crates/service/src/bin/drqosd.rs", true),
+    ("crates/service/src/clusterd.rs", true),
+    ("crates/service/src/bin/drqos-clusterd.rs", true),
     ("crates/core/src/network.rs", false),
     ("crates/core/src/shard.rs", false),
 ];
@@ -96,6 +98,7 @@ pub const CLOCK_DENY_PREFIXES: &[&str] = &[
     "crates/analysis/src",
     "crates/testkit/src",
     "crates/service/src",
+    "crates/cluster/src",
 ];
 
 /// Measurement-edge modules exempt from `raw-clock`: parameter estimation

@@ -7,18 +7,26 @@
 //! `--shutdown`, the server exited invariant-clean).
 //!
 //! ```text
-//! drqos-loadgen [--addr HOST:PORT] [--clients N] [--requests N]
-//!               [--seed S] [--release-prob PCT] [--shutdown]
+//! drqos-loadgen [--addr HOST:PORT] [--endpoints A,B,...] [--clients N]
+//!               [--requests N] [--seed S] [--release-prob PCT]
+//!               [--min-availability F] [--shutdown]
 //! ```
+//!
+//! With `--endpoints`, workers are spread round-robin across several
+//! daemons (a `drqos-clusterd` federation) and the report carries
+//! per-endpoint counters plus an availability ratio; `--min-availability`
+//! turns that ratio into an exit-code gate for CI churn runs.
 
 use drqos_service::loadgen::{self, LoadgenConfig};
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: drqos-loadgen [--addr HOST:PORT] [--clients N] \
-                     [--requests N] [--seed S] [--release-prob PCT] [--shutdown]";
+const USAGE: &str = "usage: drqos-loadgen [--addr HOST:PORT] [--endpoints A,B,...] \
+                     [--clients N] [--requests N] [--seed S] [--release-prob PCT] \
+                     [--min-availability F] [--shutdown]";
 
-fn parse_args(argv: &[String]) -> Result<LoadgenConfig, String> {
+fn parse_args(argv: &[String]) -> Result<(LoadgenConfig, Option<f64>), String> {
     let mut config = LoadgenConfig::default();
+    let mut min_availability = None;
     let mut it = argv.iter();
     while let Some(flag) = it.next() {
         let mut value = |flag: &str| {
@@ -28,6 +36,25 @@ fn parse_args(argv: &[String]) -> Result<LoadgenConfig, String> {
         };
         match flag.as_str() {
             "--addr" => config.addr = value(flag)?,
+            "--endpoints" => {
+                config.endpoints = value(flag)?
+                    .split(',')
+                    .map(|s| s.trim().to_string())
+                    .filter(|s| !s.is_empty())
+                    .collect();
+                if config.endpoints.is_empty() {
+                    return Err(format!("--endpoints needs at least one address\n{USAGE}"));
+                }
+            }
+            "--min-availability" => {
+                let f: f64 = value(flag)?
+                    .parse()
+                    .map_err(|_| format!("bad --min-availability\n{USAGE}"))?;
+                if !(0.0..=1.0).contains(&f) {
+                    return Err(format!("--min-availability must be 0..=1\n{USAGE}"));
+                }
+                min_availability = Some(f);
+            }
             "--clients" => {
                 config.clients = value(flag)?
                     .parse()
@@ -57,21 +84,30 @@ fn parse_args(argv: &[String]) -> Result<LoadgenConfig, String> {
             other => return Err(format!("unknown flag {other}\n{USAGE}")),
         }
     }
-    Ok(config)
+    Ok((config, min_availability))
 }
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
-    let config = match parse_args(&argv) {
+    let (config, min_availability) = match parse_args(&argv) {
         Ok(c) => c,
         Err(msg) => {
             eprintln!("{msg}");
             return ExitCode::from(2);
         }
     };
+    let target = if config.endpoints.is_empty() {
+        config.addr.clone()
+    } else {
+        format!(
+            "{} endpoints [{}]",
+            config.endpoints.len(),
+            config.endpoints.join(", ")
+        )
+    };
     eprintln!(
         "drqos-loadgen: {} clients x {} requests against {} (seed {})",
-        config.clients, config.requests_per_client, config.addr, config.seed
+        config.clients, config.requests_per_client, target, config.seed
     );
     let report = match loadgen::run(&config) {
         Ok(r) => r,
@@ -95,6 +131,15 @@ fn main() -> ExitCode {
             if clean { "clean" } else { "UNCLEAN" }
         );
         if !clean {
+            return ExitCode::from(1);
+        }
+    }
+    if let Some(floor) = min_availability {
+        if report.availability < floor {
+            eprintln!(
+                "drqos-loadgen: availability {:.4} below floor {:.4}",
+                report.availability, floor
+            );
             return ExitCode::from(1);
         }
     }

@@ -1,0 +1,1157 @@
+//! TCP daemons for the cluster federation: the coordinator process that
+//! owns the authoritative [`Network`] and two-phase ledger, and member
+//! processes that serve the ordinary client text protocol backed by a
+//! full replica plus the inter-daemon protocol of [`drqos_cluster::proto`].
+//!
+//! The split mirrors [`crate::server`] exactly one layer up: where the
+//! monolithic daemon wraps one [`crate::engine::Engine`] in sockets and
+//! timeouts, `drqos-clusterd` wraps one [`Coordinator`] plus N
+//! [`Member`] replicas. All admission logic stays in the clock-free
+//! `drqos-cluster` crate; this module adds only framing, polling
+//! accept loops, and per-connection threads.
+//!
+//! ## Commit protocol (member side)
+//!
+//! A client `ESTABLISH` on a member daemon becomes:
+//!
+//! 1. catch up the replica (`SYNC` until level with the coordinator),
+//! 2. plan locally to trace the admission **footprint** digests,
+//! 3. `PREPARE` the footprint → `VERDICT {ticket, fresh}`,
+//! 4. `COMMIT {ticket, req}` → `DONE {op_seq}` — the TCP mode ships no
+//!    plan, so the coordinator re-plans serially under the reservation
+//!    (`fresh` short-circuits nothing here; it is the ledger that makes
+//!    the revalidation sound),
+//! 5. `SYNC` past `op_seq` and render the reply from the replica's *own*
+//!    replay outcome at `op_seq`.
+//!
+//! Step 5 is why no result ever rides the wire: replay is deterministic
+//! ([`drqos_cluster::coordinator::apply_committed`] is the single shared
+//! transition function), so the outcome the member replays is the
+//! outcome the coordinator committed. `fuzz --diff-cluster` proves the
+//! equivalence against the monolithic engine.
+//!
+//! ## Churn
+//!
+//! A member daemon that loses its coordinator link answers every
+//! forwarding command with wire code 504 (prepare timeout) but keeps
+//! serving `SNAPSHOT`-free local commands and its own `SHUTDOWN`. A
+//! member *connection* that reaches EOF at the coordinator without a
+//! graceful `LEAVE` is a **crash**: the coordinator aborts its pending
+//! prepares and rebalances the partition onto the survivors.
+
+use crate::error::ProtocolError;
+use crate::protocol::{self, Request, Response};
+use drqos_cluster::coordinator::{ApplyOutcome, Coordinator, MemberOp};
+use drqos_cluster::member::Member;
+use drqos_cluster::proto::{
+    decode_cluster_msg, decode_coord_msg, encode_cluster_msg, encode_coord_msg, ClusterMsg,
+    CoordMsg, WireRequest, RECORDS_PER_SYNC,
+};
+use drqos_core::channel::ConnectionId;
+use drqos_core::env::RebalancePolicy;
+use drqos_core::error::ClusterError;
+use drqos_core::framing::{self, Fill, FrameReader};
+use drqos_core::network::{EstablishRequest, Network};
+use drqos_core::qos::{Bandwidth, ElasticQos};
+use drqos_topology::{LinkId, NodeId};
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::thread;
+use std::time::Duration;
+
+/// How often blocked reads and accept loops recheck their stop flags —
+/// the same cadence as the monolithic server.
+const POLL_INTERVAL: Duration = Duration::from_millis(20);
+
+/// Poison-shrugging lock: a panicked handler thread must not wedge the
+/// daemon, and the guarded state is always left consistent between
+/// operations (every mutation happens under one lock acquisition).
+fn lock_shrug<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn link_down() -> io::Error {
+    io::Error::new(io::ErrorKind::NotConnected, "coordinator link is down")
+}
+
+fn bad_reply(msg: &CoordMsg) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("unexpected coordinator reply {msg:?}"),
+    )
+}
+
+/// Renders a coordinator-refused operation as a wire-coded `ERR` using
+/// the stable [`drqos_core::wire`] description for the message.
+fn cluster_err(code: u16) -> Response {
+    let message = drqos_core::wire::describe(code)
+        .unwrap_or("cluster error")
+        .to_string();
+    Response::Err { code, message }
+}
+
+fn err_of(e: ClusterError) -> CoordMsg {
+    CoordMsg::Err {
+        code: e.wire_code(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Coordinator daemon
+// ---------------------------------------------------------------------------
+
+/// Shared coordinator state: the authority plus which roster ids are
+/// currently claimed by a *connected* daemon (alive-but-unclaimed ids are
+/// genesis or vacated slots a joiner can take without a rebalance).
+struct CoordShared {
+    coord: Coordinator,
+    claimed: Vec<bool>,
+}
+
+/// End-of-run summary returned by [`ClusterCoordinator::run`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoordinatorReport {
+    /// Invariant violations on the authoritative network at stop.
+    pub violations: usize,
+    /// Final oplog sequence number.
+    pub seq: u64,
+    /// Commits that were re-planned because their footprint went stale.
+    pub stale_replans: u64,
+    /// Prepares aborted by member crashes or explicit `ABORT`.
+    pub aborted_prepares: u64,
+}
+
+/// The coordinator daemon: accepts inter-daemon connections and serves
+/// the [`ClusterMsg`] protocol over length-prefixed binary frames.
+pub struct ClusterCoordinator {
+    listener: TcpListener,
+    shared: Arc<Mutex<CoordShared>>,
+    stop: Arc<AtomicBool>,
+}
+
+impl ClusterCoordinator {
+    /// Binds the coordinator on `addr` with a genesis roster of
+    /// `members` ids (none yet claimed by a connection).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn bind(
+        addr: &str,
+        net: Network,
+        members: usize,
+        seed: u64,
+        policy: RebalancePolicy,
+    ) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let roster = members.max(1);
+        Ok(Self {
+            listener,
+            shared: Arc::new(Mutex::new(CoordShared {
+                coord: Coordinator::new(net, roster, seed, policy),
+                claimed: vec![false; roster],
+            })),
+            stop: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address (useful with port 0 in tests).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Serves inter-daemon connections until a `STOP` arrives, then
+    /// checks the authority's invariants and reports.
+    ///
+    /// # Errors
+    ///
+    /// Propagates listener errors.
+    pub fn run(self) -> io::Result<CoordinatorReport> {
+        self.listener.set_nonblocking(true)?;
+        while !self.stop.load(Ordering::Acquire) {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    let shared = Arc::clone(&self.shared);
+                    let stop = Arc::clone(&self.stop);
+                    thread::spawn(move || {
+                        let _ = serve_cluster_peer(stream, &shared, &stop);
+                    });
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => thread::sleep(POLL_INTERVAL),
+                Err(_) => thread::sleep(POLL_INTERVAL),
+            }
+        }
+        // One poll interval for in-flight handlers to finish their reply.
+        thread::sleep(POLL_INTERVAL);
+        let shared = lock_shrug(&self.shared);
+        Ok(CoordinatorReport {
+            violations: shared.coord.check_invariants().len(),
+            seq: shared.coord.seq(),
+            stale_replans: shared.coord.stale_replans(),
+            aborted_prepares: shared.coord.aborted_prepares(),
+        })
+    }
+}
+
+/// Claims a member id for a joining connection: an alive-but-unclaimed
+/// roster slot if one exists (genesis boot, or a vacated slot — costs no
+/// rebalance), otherwise a fresh `JOIN` that repartitions.
+fn claim_member(s: &mut CoordShared) -> Result<u64, ClusterError> {
+    let unclaimed = s
+        .coord
+        .alive()
+        .iter()
+        .enumerate()
+        .find(|&(i, &alive)| alive && !s.claimed.get(i).copied().unwrap_or(false))
+        .map(|(i, _)| i as u64);
+    let id = match unclaimed {
+        Some(id) => id,
+        None => {
+            let id = s.coord.next_member_id();
+            s.coord.join(id)?;
+            id
+        }
+    };
+    let idx = usize::try_from(id).unwrap_or(usize::MAX);
+    if s.claimed.len() <= idx {
+        s.claimed.resize(idx.saturating_add(1), false);
+    }
+    if let Some(slot) = s.claimed.get_mut(idx) {
+        *slot = true;
+    }
+    Ok(id)
+}
+
+/// The greppable one-line coordinator status served to `STATUS` clients
+/// (`drqos-clusterd status` and the CI smoke job parse it).
+fn status_line(s: &CoordShared) -> String {
+    let roster: String = s
+        .coord
+        .alive()
+        .iter()
+        .map(|&a| if a { '1' } else { '0' })
+        .collect();
+    format!(
+        "members={} alive={} seq={} pending={} stale_replans={} aborted_prepares={} roster={}",
+        s.coord.alive().len(),
+        s.coord.alive_count(),
+        s.coord.seq(),
+        s.coord.pending_prepares(),
+        s.coord.stale_replans(),
+        s.coord.aborted_prepares(),
+        roster
+    )
+}
+
+fn handle_cluster_msg(s: &mut CoordShared, member: &mut Option<u64>, msg: ClusterMsg) -> CoordMsg {
+    match msg {
+        ClusterMsg::Join => {
+            if let Some(m) = *member {
+                // One daemon, one id: a second JOIN on the same link is a
+                // duplicate of whatever this link already holds.
+                return err_of(ClusterError::DuplicateMember(m));
+            }
+            match claim_member(s) {
+                Ok(id) => {
+                    *member = Some(id);
+                    CoordMsg::Welcome {
+                        member: id,
+                        seq: s.coord.seq(),
+                    }
+                }
+                Err(e) => err_of(e),
+            }
+        }
+        ClusterMsg::Prepare { footprint } => {
+            let Some(m) = *member else {
+                return err_of(ClusterError::UnknownMember(u64::MAX));
+            };
+            let fp: Vec<(LinkId, u64)> = footprint
+                .iter()
+                .filter_map(|&(l, d)| usize::try_from(l).ok().map(|l| (LinkId(l), d)))
+                .collect();
+            match s.coord.prepare(m, &fp) {
+                Ok(p) => CoordMsg::Verdict {
+                    ticket: p.ticket,
+                    fresh: p.fresh,
+                },
+                Err(e) => err_of(e),
+            }
+        }
+        ClusterMsg::Commit { ticket, req } => {
+            if member.is_none() {
+                return err_of(ClusterError::UnknownMember(u64::MAX));
+            }
+            let Ok(req) = req.to_request() else {
+                // An unbuildable QoS can only reach COMMIT through a peer
+                // that skipped its local validation; treat as stale.
+                return err_of(ClusterError::StalePrepare(ticket));
+            };
+            // The TCP daemons ship no plan: a commit without one re-plans
+            // serially under the footprint reservation.
+            let mut fill = None;
+            match s.coord.commit_prepared(ticket, None, &req, &mut fill) {
+                Ok(_result) => {
+                    s.coord.flush(fill);
+                    let seq = s.coord.seq();
+                    CoordMsg::Done {
+                        op_seq: seq.saturating_sub(1),
+                        seq,
+                    }
+                }
+                Err(e) => err_of(e),
+            }
+        }
+        ClusterMsg::Abort { ticket } => match s.coord.abort_prepare(ticket) {
+            Ok(()) => CoordMsg::Ok,
+            Err(e) => err_of(e),
+        },
+        ClusterMsg::Op { op } => {
+            let Some(m) = *member else {
+                return err_of(ClusterError::UnknownMember(u64::MAX));
+            };
+            match s.coord.forward(m, op) {
+                Ok(_outcome) => {
+                    let seq = s.coord.seq();
+                    CoordMsg::Done {
+                        op_seq: seq.saturating_sub(1),
+                        seq,
+                    }
+                }
+                Err(e) => err_of(e),
+            }
+        }
+        ClusterMsg::Sync { applied } => match s.coord.records_since(applied) {
+            Ok(records) => {
+                let take = records.len().min(RECORDS_PER_SYNC);
+                CoordMsg::Records {
+                    seq: s.coord.seq(),
+                    records: records.get(..take).unwrap_or_default().to_vec(),
+                }
+            }
+            Err(e) => err_of(e),
+        },
+        ClusterMsg::Leave => {
+            let Some(m) = *member else {
+                return err_of(ClusterError::UnknownMember(u64::MAX));
+            };
+            match s.coord.leave(m) {
+                Ok(()) => {
+                    if let Some(slot) = s.claimed.get_mut(usize::try_from(m).unwrap_or(usize::MAX))
+                    {
+                        *slot = false;
+                    }
+                    CoordMsg::Ok
+                }
+                Err(e) => err_of(e),
+            }
+        }
+        ClusterMsg::Status => CoordMsg::State {
+            text: status_line(s),
+        },
+        ClusterMsg::Stop => CoordMsg::Ok,
+    }
+}
+
+/// Serves one inter-daemon connection. EOF (or any framing/protocol
+/// error) from a connection that joined and did not `LEAVE` is a member
+/// **crash**: pending prepares abort and the partition rebalances.
+fn serve_cluster_peer(
+    stream: TcpStream,
+    shared: &Mutex<CoordShared>,
+    stop: &AtomicBool,
+) -> io::Result<()> {
+    stream.set_read_timeout(Some(POLL_INTERVAL))?;
+    stream.set_nodelay(true)?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = stream;
+    let mut framer = FrameReader::new();
+    let mut member: Option<u64> = None;
+    loop {
+        let body = match framer.next_frame() {
+            Ok(Some(body)) => body,
+            Ok(None) => match framer.fill(&mut reader) {
+                Ok(Fill::Data) => continue,
+                Ok(Fill::Eof) => break,
+                Ok(Fill::Idle) => {
+                    if stop.load(Ordering::Acquire) {
+                        // Coordinator is going away; the peer's EOF is not
+                        // a crash any more.
+                        member = None;
+                        break;
+                    }
+                    continue;
+                }
+                Err(_) => break,
+            },
+            Err(_) => break,
+        };
+        let Ok(msg) = decode_cluster_msg(&body) else {
+            break;
+        };
+        let leaving = matches!(msg, ClusterMsg::Leave);
+        let stopping = matches!(msg, ClusterMsg::Stop);
+        let reply = {
+            let mut s = lock_shrug(shared);
+            handle_cluster_msg(&mut s, &mut member, msg)
+        };
+        let clean = !matches!(reply, CoordMsg::Err { .. });
+        writer.write_all(&framing::finish(encode_coord_msg(&reply)))?;
+        writer.flush()?;
+        if leaving && clean {
+            member = None;
+            break;
+        }
+        if stopping {
+            member = None;
+            stop.store(true, Ordering::Release);
+            break;
+        }
+    }
+    if let Some(m) = member {
+        let mut s = lock_shrug(shared);
+        // LastMember: the roster cannot empty — the id stays alive on the
+        // books but its slot is free for the next joiner.
+        let _ = s.coord.crash(m);
+        if let Some(slot) = s.claimed.get_mut(usize::try_from(m).unwrap_or(usize::MAX)) {
+            *slot = false;
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Member daemon
+// ---------------------------------------------------------------------------
+
+/// One framed request/reply stream to the coordinator, with the prepare
+/// timeout applied to both directions.
+struct CoordLink {
+    stream: TcpStream,
+}
+
+impl CoordLink {
+    fn connect(addr: &str, timeout: Duration) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        Ok(Self { stream })
+    }
+
+    /// One framed request/reply exchange. Any error — including a read
+    /// timeout — means the stream can no longer be resynchronized.
+    fn roundtrip(&mut self, msg: &ClusterMsg) -> io::Result<CoordMsg> {
+        self.stream
+            .write_all(&framing::finish(encode_cluster_msg(msg)))?;
+        self.stream.flush()?;
+        let body = framing::read_frame(&mut self.stream)?;
+        decode_coord_msg(&body)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+    }
+}
+
+fn prepare_timeout() -> Duration {
+    Duration::from_millis(drqos_core::env::cluster_prepare_timeout_ms().max(1))
+}
+
+/// Member daemon state behind one lock: the coordinator link (None once
+/// it has failed), the full replica, and the client-visible counters.
+struct MemberState {
+    link: Option<CoordLink>,
+    replica: Member,
+    ops: u64,
+    errors: u64,
+}
+
+impl MemberState {
+    /// Pulls records until the replica has applied `target`, capturing
+    /// the replayed outcome at sequence `target - 1` (this member's own
+    /// operation, whose rendering answers the waiting client).
+    fn sync_to(&mut self, target: u64) -> io::Result<Option<ApplyOutcome>> {
+        let mut wanted = None;
+        while self.replica.applied() < target {
+            let applied = self.replica.applied();
+            let link = self.link.as_mut().ok_or_else(link_down)?;
+            let reply = link.roundtrip(&ClusterMsg::Sync { applied })?;
+            let CoordMsg::Records { records, .. } = reply else {
+                return Err(bad_reply(&reply));
+            };
+            if records.is_empty() {
+                break;
+            }
+            let outcomes = self.replica.apply(&records);
+            let offset = usize::try_from(target.saturating_sub(1).saturating_sub(applied))
+                .unwrap_or(usize::MAX);
+            if let Some(o) = outcomes.get(offset) {
+                wanted = Some(o.clone());
+            }
+        }
+        Ok(wanted)
+    }
+
+    /// Replays until the replica is level with the coordinator.
+    fn catch_up(&mut self) -> io::Result<()> {
+        loop {
+            let applied = self.replica.applied();
+            let link = self.link.as_mut().ok_or_else(link_down)?;
+            let reply = link.roundtrip(&ClusterMsg::Sync { applied })?;
+            let CoordMsg::Records { seq, records } = reply else {
+                return Err(bad_reply(&reply));
+            };
+            self.replica.apply(&records);
+            if self.replica.applied() >= seq {
+                return Ok(());
+            }
+        }
+    }
+
+    /// A failed coordinator exchange poisons the link: the framed stream
+    /// cannot be resynchronized, so every later forwarding command
+    /// answers 504 until the daemon is restarted.
+    fn settle(&mut self, attempt: io::Result<Response>) -> Response {
+        match attempt {
+            Ok(resp) => resp,
+            Err(_) => {
+                self.link = None;
+                Response::Err {
+                    code: 504,
+                    message: ClusterError::PrepareTimeout(0).to_string(),
+                }
+            }
+        }
+    }
+
+    fn establish(&mut self, src: usize, dst: usize, bmin: u64, bmax: u64, delta: u64) -> Response {
+        // QoS validation is local, exactly like the engine: a malformed
+        // range never reaches the coordinator.
+        let qos = match ElasticQos::new(
+            Bandwidth::kbps(bmin),
+            Bandwidth::kbps(bmax),
+            Bandwidth::kbps(delta),
+            1.0,
+        ) {
+            Ok(qos) => qos,
+            Err(e) => {
+                return Response::Err {
+                    code: e.wire_code(),
+                    message: e.to_string(),
+                }
+            }
+        };
+        let req = EstablishRequest {
+            src: NodeId(src),
+            dst: NodeId(dst),
+            qos,
+        };
+        let attempt = self.two_phase_establish(&req);
+        self.settle(attempt)
+    }
+
+    fn two_phase_establish(&mut self, req: &EstablishRequest) -> io::Result<Response> {
+        self.catch_up()?;
+        // Plan locally for the footprint. The plan itself is *not*
+        // shipped (the TCP mode re-plans serially under the reservation),
+        // and even a local rejection goes through prepare/commit so the
+        // oplog records every attempt exactly like the monolithic engine.
+        let (_planned, footprint) = self.replica.plan(req);
+        let wire_fp: Vec<(u64, u64)> = footprint
+            .iter()
+            .map(|&(l, d)| (l.index() as u64, d))
+            .collect();
+        let link = self.link.as_mut().ok_or_else(link_down)?;
+        let ticket = match link.roundtrip(&ClusterMsg::Prepare { footprint: wire_fp })? {
+            CoordMsg::Verdict { ticket, .. } => ticket,
+            CoordMsg::Err { code } => return Ok(cluster_err(code)),
+            other => return Err(bad_reply(&other)),
+        };
+        let done = link.roundtrip(&ClusterMsg::Commit {
+            ticket,
+            req: WireRequest::from_request(req),
+        })?;
+        let op_seq = match done {
+            CoordMsg::Done { op_seq, .. } => op_seq,
+            CoordMsg::Err { code } => return Ok(cluster_err(code)),
+            other => return Err(bad_reply(&other)),
+        };
+        match self.sync_to(op_seq.saturating_add(1))? {
+            Some(ApplyOutcome::Establish(Ok(id))) => Ok(self.render_admitted(id)),
+            Some(ApplyOutcome::Establish(Err(e))) => Ok(Response::Err {
+                code: e.wire_code(),
+                message: e.to_string(),
+            }),
+            _ => Ok(
+                ProtocolError::internal("replayed outcome does not match the committed op").into(),
+            ),
+        }
+    }
+
+    /// Renders the `OK` reply for an admitted connection id, byte-equal
+    /// to the monolithic engine's rendering.
+    fn render_admitted(&self, id: ConnectionId) -> Response {
+        match self.replica.net().connection(id) {
+            Some(c) => Response::Ok(format!(
+                "id={} bw={} hops={} backups={}",
+                id.0,
+                c.bandwidth().as_kbps(),
+                c.primary().hop_count(),
+                c.backup_count()
+            )),
+            None => ProtocolError::internal("established connection not readable back").into(),
+        }
+    }
+
+    fn forward(&mut self, op: MemberOp) -> Response {
+        let attempt = (|| -> io::Result<Response> {
+            let link = self.link.as_mut().ok_or_else(link_down)?;
+            let op_seq = match link.roundtrip(&ClusterMsg::Op { op })? {
+                CoordMsg::Done { op_seq, .. } => op_seq,
+                CoordMsg::Err { code } => return Ok(cluster_err(code)),
+                other => return Err(bad_reply(&other)),
+            };
+            let outcome = self.sync_to(op_seq.saturating_add(1))?;
+            Ok(render_outcome(outcome))
+        })();
+        self.settle(attempt)
+    }
+
+    fn snapshot(&mut self) -> Response {
+        let attempt = (|| -> io::Result<Response> {
+            self.catch_up()?;
+            Ok(Response::Ok(snapshot_payload(self.replica.net())))
+        })();
+        self.settle(attempt)
+    }
+
+    /// Member-local counters; deliberately simpler than the engine's
+    /// `STATS` (no latency percentiles — the replica does no admission
+    /// work of its own to time).
+    fn stats(&self) -> Response {
+        Response::Ok(format!(
+            "ops={} errors={} member={} applied={} linked={}",
+            self.ops,
+            self.errors,
+            self.replica.id(),
+            self.replica.applied(),
+            u8::from(self.link.is_some())
+        ))
+    }
+
+    /// Graceful departure: `LEAVE` (tolerating a dead coordinator or a
+    /// last-member refusal — the roster cannot empty), then a *local*
+    /// invariant check over the replica, mirroring the engine's
+    /// `SHUTDOWN` contract.
+    fn shutdown(&mut self) -> Response {
+        if let Some(link) = self.link.as_mut() {
+            let _ = link.roundtrip(&ClusterMsg::Leave);
+        }
+        self.link = None;
+        let violations = self.replica.net().check_invariants();
+        match violations.first() {
+            None => Response::Ok("violations=0".to_string()),
+            Some(first) => Response::Err {
+                code: first.wire_code(),
+                message: format!("shutdown with {} invariant violations", violations.len()),
+            },
+        }
+    }
+
+    fn dispatch(&mut self, req: &Request) -> Response {
+        match *req {
+            Request::Establish {
+                src,
+                dst,
+                bmin,
+                bmax,
+                delta,
+            } => self.establish(src, dst, bmin, bmax, delta),
+            Request::Release { id } => self.forward(MemberOp::Release {
+                id: ConnectionId(id),
+            }),
+            Request::FailLink { link } => self.forward(MemberOp::FailLink { link: LinkId(link) }),
+            Request::RepairLink { link } => {
+                self.forward(MemberOp::RepairLink { link: LinkId(link) })
+            }
+            Request::FailNode { node } => self.forward(MemberOp::FailNode { node: NodeId(node) }),
+            Request::Snapshot => self.snapshot(),
+            Request::Stats => self.stats(),
+            Request::Shutdown => self.shutdown(),
+        }
+    }
+
+    /// Parses and serves one client line; the flag is true when the line
+    /// was a `SHUTDOWN` and the daemon should stop accepting.
+    fn handle_line(&mut self, line: &str) -> (Response, bool) {
+        self.ops = self.ops.saturating_add(1);
+        let (resp, stop) = match protocol::parse(line) {
+            Ok(Request::Shutdown) => (self.shutdown(), true),
+            Ok(req) => (self.dispatch(&req), false),
+            Err(e) => (e.into(), false),
+        };
+        if resp.is_err() {
+            self.errors = self.errors.saturating_add(1);
+        }
+        (resp, stop)
+    }
+}
+
+/// Renders a replayed non-establish outcome byte-equal to the engine.
+fn render_outcome(outcome: Option<ApplyOutcome>) -> Response {
+    match outcome {
+        Some(ApplyOutcome::Release(Ok(Some(kbps)))) => Response::Ok(format!("freed={kbps}")),
+        Some(ApplyOutcome::Release(Ok(None))) => {
+            ProtocolError::internal("released connection had no readable bandwidth").into()
+        }
+        Some(ApplyOutcome::Release(Err(e))) => Response::Err {
+            code: e.wire_code(),
+            message: e.to_string(),
+        },
+        Some(ApplyOutcome::FailLink(Ok(report))) => Response::Ok(format!(
+            "activated={} dropped={} lost_backup={} retreated={}",
+            report.activated.len(),
+            report.dropped.len(),
+            report.lost_backup.len(),
+            report.retreated.len()
+        )),
+        Some(ApplyOutcome::FailLink(Err(e))) => Response::Err {
+            code: e.wire_code(),
+            message: e.to_string(),
+        },
+        Some(ApplyOutcome::RepairLink(Ok(regained))) => {
+            Response::Ok(format!("regained={}", regained.len()))
+        }
+        Some(ApplyOutcome::RepairLink(Err(e))) => Response::Err {
+            code: e.wire_code(),
+            message: e.to_string(),
+        },
+        Some(ApplyOutcome::FailNode(Ok(reports))) => {
+            let activated: usize = reports.iter().map(|r| r.activated.len()).sum();
+            let dropped: usize = reports.iter().map(|r| r.dropped.len()).sum();
+            Response::Ok(format!(
+                "links={} activated={} dropped={}",
+                reports.len(),
+                activated,
+                dropped
+            ))
+        }
+        Some(ApplyOutcome::FailNode(Err(e))) => Response::Err {
+            code: e.wire_code(),
+            message: e.to_string(),
+        },
+        _ => ProtocolError::internal("replayed outcome does not match the committed op").into(),
+    }
+}
+
+/// The deterministic `SNAPSHOT` payload over a replica network,
+/// byte-equal to [`crate::engine::Engine`]'s.
+fn snapshot_payload(net: &Network) -> String {
+    format!(
+        "conns={} bw={} dropped={} epoch={} up={} nodes={} links={}",
+        net.len(),
+        net.total_primary_bandwidth().as_kbps(),
+        net.dropped_total(),
+        net.topology_epoch(),
+        net.up_links().count(),
+        net.graph().node_count(),
+        net.graph().link_count()
+    )
+}
+
+/// End-of-run summary returned by [`ClusterMember::run`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemberReport {
+    /// The id the coordinator assigned at join.
+    pub member: u64,
+    /// Client lines served.
+    pub ops: u64,
+    /// Invariant violations on the replica at shutdown.
+    pub violations: usize,
+}
+
+/// A member daemon: joins the federation, replicates the oplog, and
+/// serves the ordinary client text protocol on its own port.
+pub struct ClusterMember {
+    listener: TcpListener,
+    state: Arc<Mutex<MemberState>>,
+    member_id: u64,
+}
+
+impl ClusterMember {
+    /// Connects to the coordinator, joins, catches the replica up to the
+    /// coordinator's sequence, and binds the client listener.
+    ///
+    /// `genesis` must be the same network the coordinator was booted
+    /// with (same topology flags): replicas replay the oplog from the
+    /// shared genesis, they never transfer state.
+    ///
+    /// # Errors
+    ///
+    /// Socket errors, a refused join, or a protocol violation.
+    pub fn bind(addr: &str, genesis: Network, coordinator: &str) -> io::Result<Self> {
+        let mut link = CoordLink::connect(coordinator, prepare_timeout())?;
+        let (member_id, _seq) = match link.roundtrip(&ClusterMsg::Join)? {
+            CoordMsg::Welcome { member, seq } => (member, seq),
+            CoordMsg::Err { code } => {
+                return Err(io::Error::new(
+                    io::ErrorKind::ConnectionRefused,
+                    format!("coordinator refused join (wire code {code})"),
+                ))
+            }
+            other => return Err(bad_reply(&other)),
+        };
+        let mut state = MemberState {
+            link: Some(link),
+            replica: Member::new(member_id, genesis),
+            ops: 0,
+            errors: 0,
+        };
+        state.catch_up()?;
+        Ok(Self {
+            listener: TcpListener::bind(addr)?,
+            state: Arc::new(Mutex::new(state)),
+            member_id,
+        })
+    }
+
+    /// The assigned member id.
+    pub fn member_id(&self) -> u64 {
+        self.member_id
+    }
+
+    /// The bound client address (useful with port 0 in tests).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Serves client connections until a `SHUTDOWN` line arrives.
+    ///
+    /// # Errors
+    ///
+    /// Propagates listener errors.
+    pub fn run(self) -> io::Result<MemberReport> {
+        self.listener.set_nonblocking(true)?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        while !shutdown.load(Ordering::Acquire) {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    let state = Arc::clone(&self.state);
+                    let flag = Arc::clone(&shutdown);
+                    thread::spawn(move || {
+                        let _ = serve_member_client(stream, &state, &flag);
+                    });
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => thread::sleep(POLL_INTERVAL),
+                Err(_) => thread::sleep(POLL_INTERVAL),
+            }
+        }
+        thread::sleep(POLL_INTERVAL);
+        let state = lock_shrug(&self.state);
+        Ok(MemberReport {
+            member: self.member_id,
+            ops: state.ops,
+            violations: state.replica.net().check_invariants().len(),
+        })
+    }
+}
+
+/// Serves one client connection with the text line protocol, polling the
+/// shutdown flag between reads exactly like [`crate::server`].
+fn serve_member_client(
+    stream: TcpStream,
+    state: &Mutex<MemberState>,
+    shutdown: &AtomicBool,
+) -> io::Result<()> {
+    stream.set_read_timeout(Some(POLL_INTERVAL))?;
+    stream.set_nodelay(true)?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        match reader.read_line(&mut line) {
+            Ok(0) => return Ok(()),
+            Ok(_) => {}
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                if shutdown.load(Ordering::Acquire) && line.is_empty() {
+                    return Ok(());
+                }
+                continue;
+            }
+            Err(e) => return Err(e),
+        }
+        let trimmed = line.trim_end_matches(['\r', '\n']).to_string();
+        line.clear();
+        if shutdown.load(Ordering::Acquire) {
+            let resp: Response = ProtocolError::shutting_down().into();
+            writeln!(writer, "{resp}")?;
+            writer.flush()?;
+            return Ok(());
+        }
+        let (resp, stop) = {
+            let mut s = lock_shrug(state);
+            s.handle_line(&trimmed)
+        };
+        writeln!(writer, "{resp}")?;
+        writer.flush()?;
+        if stop {
+            shutdown.store(true, Ordering::Release);
+            return Ok(());
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Control clients (status / stop)
+// ---------------------------------------------------------------------------
+
+/// Fetches the coordinator's one-line status.
+///
+/// # Errors
+///
+/// Socket errors or a protocol violation.
+pub fn fetch_status(coordinator: &str) -> io::Result<String> {
+    let mut link = CoordLink::connect(coordinator, prepare_timeout())?;
+    match link.roundtrip(&ClusterMsg::Status)? {
+        CoordMsg::State { text } => Ok(text),
+        other => Err(bad_reply(&other)),
+    }
+}
+
+/// Asks the coordinator to stop serving and report.
+///
+/// # Errors
+///
+/// Socket errors or a protocol violation.
+pub fn request_stop(coordinator: &str) -> io::Result<()> {
+    let mut link = CoordLink::connect(coordinator, prepare_timeout())?;
+    match link.roundtrip(&ClusterMsg::Stop)? {
+        CoordMsg::Ok => Ok(()),
+        other => Err(bad_reply(&other)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Engine;
+    use drqos_core::network::NetworkConfig;
+    use drqos_topology::regular::ring;
+    use std::io::BufRead;
+    use std::thread::JoinHandle;
+
+    fn genesis() -> Network {
+        Network::new(ring(6).unwrap(), NetworkConfig::default())
+    }
+
+    /// Drives one text session against `addr`, one reply per line.
+    fn session(addr: SocketAddr, lines: &[&str]) -> Vec<String> {
+        let stream = TcpStream::connect(addr).unwrap();
+        stream.set_nodelay(true).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+        let mut replies = Vec::new();
+        for l in lines {
+            writeln!(writer, "{l}").unwrap();
+            writer.flush().unwrap();
+            let mut reply = String::new();
+            reader.read_line(&mut reply).unwrap();
+            replies.push(reply.trim_end().to_string());
+        }
+        replies
+    }
+
+    struct Booted {
+        coordinator: SocketAddr,
+        members: Vec<SocketAddr>,
+        coord_handle: JoinHandle<io::Result<CoordinatorReport>>,
+        member_handles: Vec<JoinHandle<io::Result<MemberReport>>>,
+    }
+
+    fn boot(members: usize) -> Booted {
+        let coord =
+            ClusterCoordinator::bind("127.0.0.1:0", genesis(), members, 7, RebalancePolicy::Bfs)
+                .unwrap();
+        let coordinator = coord.local_addr().unwrap();
+        let coord_handle = thread::spawn(move || coord.run());
+        let mut addrs = Vec::new();
+        let mut member_handles = Vec::new();
+        for _ in 0..members {
+            let m =
+                ClusterMember::bind("127.0.0.1:0", genesis(), &coordinator.to_string()).unwrap();
+            addrs.push(m.local_addr().unwrap());
+            member_handles.push(thread::spawn(move || m.run()));
+        }
+        Booted {
+            coordinator,
+            members: addrs,
+            coord_handle,
+            member_handles,
+        }
+    }
+
+    #[test]
+    fn a_federated_session_matches_the_monolithic_engine() {
+        let booted = boot(2);
+        let &[a, b] = &booted.members[..] else {
+            panic!("expected two members");
+        };
+        // Alternate commands across both member daemons; mirror every one
+        // on a monolithic engine and demand byte-equal replies.
+        let script: &[(SocketAddr, &str)] = &[
+            (a, "ESTABLISH 0 3 64 256 64"),
+            (b, "ESTABLISH 1 4 64 256 64"),
+            (b, "SNAPSHOT"),
+            (a, "FAIL-LINK 0"),
+            (b, "SNAPSHOT"),
+            (a, "REPAIR-LINK 0"),
+            (b, "RELEASE 0"),
+            (a, "RELEASE 99"),
+            (b, "FAIL-NODE 2"),
+            (a, "SNAPSHOT"),
+            (a, "ESTABLISH 0 0 64 256 64"),
+            (b, "ESTABLISH 0 3 0 0 0"),
+        ];
+        let mut oracle = Engine::with_shards(genesis(), 1);
+        for &(addr, line) in script {
+            let got = session(addr, &[line]).remove(0);
+            let want = oracle.handle_line(line).to_string();
+            assert_eq!(got, want, "divergence on {line:?}");
+        }
+        // Both members shut down cleanly; the second is the last live
+        // member (LEAVE refused) but its local invariants still hold.
+        for &addr in &[a, b] {
+            let replies = session(addr, &["SHUTDOWN"]);
+            assert_eq!(replies, vec!["OK violations=0".to_string()]);
+        }
+        request_stop(&booted.coordinator.to_string()).unwrap();
+        let report = booted.coord_handle.join().unwrap().unwrap();
+        assert_eq!(report.violations, 0);
+        // Every scripted op except SNAPSHOT lands in the oplog (establishes
+        // including rejections, releases including the unknown id, fails,
+        // repairs).
+        assert_eq!(report.seq, 9);
+        for h in booted.member_handles {
+            let r = h.join().unwrap().unwrap();
+            assert_eq!(r.violations, 0);
+        }
+    }
+
+    #[test]
+    fn a_dropped_peer_is_a_crash_and_its_slot_is_reclaimable() {
+        let coord =
+            ClusterCoordinator::bind("127.0.0.1:0", genesis(), 2, 7, RebalancePolicy::Bfs).unwrap();
+        let coordinator = coord.local_addr().unwrap().to_string();
+        let coord_handle = thread::spawn(move || coord.run());
+
+        let timeout = Duration::from_millis(2000);
+        let mut link0 = CoordLink::connect(&coordinator, timeout).unwrap();
+        let CoordMsg::Welcome { member: 0, .. } = link0.roundtrip(&ClusterMsg::Join).unwrap()
+        else {
+            panic!("first joiner should claim id 0");
+        };
+        let link1 = {
+            let mut l = CoordLink::connect(&coordinator, timeout).unwrap();
+            let CoordMsg::Welcome { member: 1, .. } = l.roundtrip(&ClusterMsg::Join).unwrap()
+            else {
+                panic!("second joiner should claim id 1");
+            };
+            l
+        };
+
+        // EOF without LEAVE = crash: the coordinator rebalances onto the
+        // survivor and frees the slot.
+        drop(link1);
+        let mut status = String::new();
+        for _ in 0..100 {
+            status = fetch_status(&coordinator).unwrap();
+            if status.contains("alive=1") {
+                break;
+            }
+            thread::sleep(Duration::from_millis(20));
+        }
+        assert!(status.contains("alive=1"), "status was {status}");
+        assert!(status.contains("roster=10"), "status was {status}");
+
+        // The survivor still commits two-phase establishes.
+        let CoordMsg::Verdict {
+            ticket,
+            fresh: true,
+        } = link0
+            .roundtrip(&ClusterMsg::Prepare { footprint: vec![] })
+            .unwrap()
+        else {
+            panic!("prepare should be fresh on an untouched network");
+        };
+        // op_seq 1, not 0: the crash already committed a Rebalance record.
+        let CoordMsg::Done { op_seq: 1, .. } = link0
+            .roundtrip(&ClusterMsg::Commit {
+                ticket,
+                req: WireRequest {
+                    src: 0,
+                    dst: 3,
+                    bmin: 64,
+                    bmax: 256,
+                    delta: 64,
+                },
+            })
+            .unwrap()
+        else {
+            panic!("commit should land at sequence 1");
+        };
+
+        // A new joiner reclaims the crashed id without growing the roster.
+        let mut link2 = CoordLink::connect(&coordinator, timeout).unwrap();
+        let CoordMsg::Welcome { member: 1, .. } = link2.roundtrip(&ClusterMsg::Join).unwrap()
+        else {
+            panic!("rejoiner should reclaim id 1");
+        };
+        let status = fetch_status(&coordinator).unwrap();
+        assert!(status.contains("alive=2"), "status was {status}");
+
+        request_stop(&coordinator).unwrap();
+        let report = coord_handle.join().unwrap().unwrap();
+        assert_eq!(report.violations, 0);
+        // Crash rebalance + establish + rejoin rebalance.
+        assert_eq!(report.seq, 3);
+        assert_eq!(report.aborted_prepares, 0);
+    }
+
+    #[test]
+    fn a_member_with_a_dead_coordinator_answers_504_but_shuts_down() {
+        let booted = boot(1);
+        let Some(&addr) = booted.members.first() else {
+            panic!("expected one member");
+        };
+        // Stop the coordinator out from under the member.
+        request_stop(&booted.coordinator.to_string()).unwrap();
+        booted.coord_handle.join().unwrap().unwrap();
+
+        let replies = session(addr, &["ESTABLISH 0 3 64 256 64", "STATS", "SHUTDOWN"]);
+        let [est, stats, bye] = &replies[..] else {
+            panic!("expected three replies, got {replies:?}");
+        };
+        assert!(
+            est.starts_with("ERR 504 "),
+            "expected a prepare-timeout error, got {est:?}"
+        );
+        assert!(stats.contains("linked=0"), "stats was {stats:?}");
+        assert_eq!(bye, "OK violations=0");
+        for h in booted.member_handles {
+            assert_eq!(h.join().unwrap().unwrap().violations, 0);
+        }
+    }
+}

@@ -41,14 +41,18 @@
 //! The daemon decodes request frames to [`Request`] and re-renders them
 //! as canonical text lines, so both wire modes share one event-loop and
 //! engine path; only the per-connection reader differs.
+//!
+//! The transport primitives (length prefix, [`FrameReader`], the byte
+//! cap) live in [`drqos_core::framing`] and are re-exported here; the
+//! inter-daemon cluster protocol (`drqos_cluster::proto`) shares them,
+//! so both wire formats frame identically.
 
 use crate::error::ProtocolError;
 use crate::protocol::{Request, Response};
-use std::io::{self, Read};
+use drqos_core::framing::{finish, get_index, get_u64, put_u64};
+use std::io;
 
-/// Hard cap on a frame body; a larger announced length is unrecoverable
-/// (the stream cannot be resynchronized) and closes the connection.
-pub const MAX_FRAME_BYTES: usize = 64 * 1024;
+pub use drqos_core::framing::{read_frame, Fill, FrameReader, MAX_FRAME_BYTES};
 
 /// `ESTABLISH` opcode.
 pub const OP_ESTABLISH: u8 = 1;
@@ -87,27 +91,6 @@ fn opcode_info(op: u8) -> Option<(&'static str, usize)> {
         OP_SHUTDOWN => Some(("SHUTDOWN", 0)),
         _ => None,
     }
-}
-
-/// Prepends the little-endian length field to a frame body.
-fn finish(body: Vec<u8>) -> Vec<u8> {
-    let mut frame = Vec::with_capacity(4 + body.len());
-    frame.extend_from_slice(&(body.len() as u32).to_le_bytes());
-    frame.extend(body);
-    frame
-}
-
-fn put_u64(body: &mut Vec<u8>, v: u64) {
-    body.extend_from_slice(&v.to_le_bytes());
-}
-
-fn get_u64(body: &[u8], at: usize) -> Option<u64> {
-    let bytes: [u8; 8] = body.get(at..at + 8)?.try_into().ok()?;
-    Some(u64::from_le_bytes(bytes))
-}
-
-fn get_index(body: &[u8], at: usize) -> Option<usize> {
-    usize::try_from(get_u64(body, at)?).ok()
 }
 
 /// Encodes a request as a complete frame (length field included).
@@ -248,114 +231,6 @@ pub fn decode_response(body: &[u8]) -> io::Result<Response> {
         STATUS_BUSY => Ok(Response::Busy),
         other => Err(bad(format!("unknown response status {other}"))),
     }
-}
-
-/// What one [`FrameReader::fill`] call observed on the stream.
-#[derive(Debug, PartialEq, Eq)]
-pub enum Fill {
-    /// Bytes arrived (there may now be a complete frame).
-    Data,
-    /// Clean end of stream.
-    Eof,
-    /// The read timed out or would block; poll again.
-    Idle,
-}
-
-/// Incremental frame accumulator for a non-blocking (timeout-polled)
-/// stream: bytes are buffered across short reads, and complete frames
-/// pop out as they close — a frame split across any number of packets
-/// reassembles exactly.
-#[derive(Debug, Default)]
-pub struct FrameReader {
-    buf: Vec<u8>,
-}
-
-impl FrameReader {
-    /// An empty accumulator.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Whether the accumulator is holding any buffered bytes (a partial
-    /// frame awaiting its remainder).
-    pub fn is_empty(&self) -> bool {
-        self.buf.is_empty()
-    }
-
-    /// Pops the next complete frame body, if one is fully buffered.
-    ///
-    /// # Errors
-    ///
-    /// `InvalidData` when the announced length exceeds
-    /// [`MAX_FRAME_BYTES`] — the connection cannot be resynchronized.
-    pub fn next_frame(&mut self) -> io::Result<Option<Vec<u8>>> {
-        let Some(len_bytes) = self.buf.get(..4).and_then(|b| <[u8; 4]>::try_from(b).ok()) else {
-            return Ok(None);
-        };
-        let len = u32::from_le_bytes(len_bytes) as usize;
-        if len > MAX_FRAME_BYTES {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("frame length {len} exceeds the {MAX_FRAME_BYTES}-byte cap"),
-            ));
-        }
-        if self.buf.len() < 4 + len {
-            return Ok(None);
-        }
-        let mut frame: Vec<u8> = self.buf.drain(..4 + len).collect();
-        frame.drain(..4);
-        Ok(Some(frame))
-    }
-
-    /// Reads once from `r` into the buffer.
-    ///
-    /// # Errors
-    ///
-    /// Hard I/O errors; timeouts and `WouldBlock` surface as
-    /// [`Fill::Idle`].
-    pub fn fill(&mut self, r: &mut impl Read) -> io::Result<Fill> {
-        let mut chunk = [0u8; 4096];
-        match r.read(&mut chunk) {
-            Ok(0) => Ok(Fill::Eof),
-            Ok(n) => {
-                self.buf
-                    .extend_from_slice(chunk.get(..n).unwrap_or_default());
-                Ok(Fill::Data)
-            }
-            Err(e)
-                if matches!(
-                    e.kind(),
-                    io::ErrorKind::WouldBlock
-                        | io::ErrorKind::TimedOut
-                        | io::ErrorKind::Interrupted
-                ) =>
-            {
-                Ok(Fill::Idle)
-            }
-            Err(e) => Err(e),
-        }
-    }
-}
-
-/// Reads one complete frame body from a blocking stream (client side).
-///
-/// # Errors
-///
-/// `UnexpectedEof` on a torn frame, `InvalidData` past the length cap,
-/// plus any underlying I/O error.
-pub fn read_frame(r: &mut impl Read) -> io::Result<Vec<u8>> {
-    let mut len_bytes = [0u8; 4];
-    r.read_exact(&mut len_bytes)?;
-    let len = u32::from_le_bytes(len_bytes) as usize;
-    if len > MAX_FRAME_BYTES {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!("frame length {len} exceeds the {MAX_FRAME_BYTES}-byte cap"),
-        ));
-    }
-    let mut body = vec![0u8; len];
-    r.read_exact(&mut body)?;
-    Ok(body)
 }
 
 #[cfg(test)]

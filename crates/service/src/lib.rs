@@ -23,10 +23,15 @@
 //!   invariant-checked shutdown.
 //! * [`loadgen`] — the closed-loop multi-client load generator used by
 //!   `drqos-loadgen` and the smoke tests.
+//! * [`clusterd`] — the federation daemons (`drqos-clusterd`): a
+//!   coordinator owning the authoritative network and two-phase ledger,
+//!   and members serving the client protocol from full replicas synced
+//!   over the inter-daemon wire of `drqos-cluster`.
 //!
 //! See `SERVICE.md` at the repo root for the wire grammar and an example
 //! session.
 
+pub mod clusterd;
 pub mod engine;
 pub mod error;
 pub mod frame;

@@ -12,6 +12,15 @@
 //! Streams are disjoint by construction: a worker only ever releases ids
 //! it established itself, so any `ERR` outside admission rejections
 //! (codes 200–299) indicates a server bug and fails the run.
+//!
+//! **Multi-endpoint mode** (`endpoints` non-empty / `--endpoints`)
+//! spreads the workers round-robin over several daemons — the cluster's
+//! member endpoints — with split-mix seeding per endpoint *then* per
+//! worker, so adding an endpoint reshuffles no other endpoint's streams.
+//! Per-endpoint tallies land in the runtime JSON, a worker whose daemon
+//! dies mid-run records a disconnect (plus its partial stats) instead of
+//! failing the run, and **availability** — completed establish attempts
+//! over planned — becomes the headline churn metric.
 
 use crate::frame;
 use crate::metrics::Histogram;
@@ -29,8 +38,13 @@ use std::time::{Duration, Instant};
 /// Load-generator configuration.
 #[derive(Debug, Clone)]
 pub struct LoadgenConfig {
-    /// Server address, e.g. `127.0.0.1:7841`.
+    /// Server address, e.g. `127.0.0.1:7841` (single-endpoint mode).
     pub addr: String,
+    /// Cluster member endpoints; when non-empty, workers are assigned
+    /// round-robin over these and `addr` is ignored. A single daemon
+    /// dying mid-run is tolerated (counted as disconnects), the rest of
+    /// the fleet keeps serving.
+    pub endpoints: Vec<String>,
     /// Worker threads (= concurrent client connections).
     pub clients: usize,
     /// `ESTABLISH` attempts per worker.
@@ -55,6 +69,7 @@ impl Default for LoadgenConfig {
     fn default() -> Self {
         Self {
             addr: "127.0.0.1:7841".to_string(),
+            endpoints: Vec::new(),
             clients: 4,
             requests_per_client: 250,
             seed: 2001,
@@ -65,6 +80,55 @@ impl Default for LoadgenConfig {
             shutdown: false,
             wire: drqos_core::env::wire(),
         }
+    }
+}
+
+/// Per-endpoint tallies of a multi-endpoint run (one row per daemon).
+#[derive(Debug, Clone)]
+pub struct EndpointStats {
+    /// The endpoint address.
+    pub addr: String,
+    /// Requests answered by this endpoint.
+    pub ops: u64,
+    /// Connections admitted here.
+    pub admitted: u64,
+    /// Admission rejections here.
+    pub rejected: u64,
+    /// `BUSY` replies here.
+    pub busy_retries: u64,
+    /// Protocol errors here.
+    pub protocol_errors: u64,
+    /// Workers that lost this endpoint mid-run (daemon crash/EOF).
+    pub disconnects: u64,
+}
+
+impl EndpointStats {
+    fn new(addr: String) -> Self {
+        Self {
+            addr,
+            ops: 0,
+            admitted: 0,
+            rejected: 0,
+            busy_retries: 0,
+            protocol_errors: 0,
+            disconnects: 0,
+        }
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"addr\":\"{}\",\"ops\":{},\"admitted\":{},\"rejected\":{},",
+                "\"busy_retries\":{},\"protocol_errors\":{},\"disconnects\":{}}}"
+            ),
+            self.addr,
+            self.ops,
+            self.admitted,
+            self.rejected,
+            self.busy_retries,
+            self.protocol_errors,
+            self.disconnects,
+        )
     }
 }
 
@@ -89,8 +153,18 @@ pub struct LoadgenReport {
     /// Wall time of the whole run.
     pub wall: Duration,
     /// Whether the final `SHUTDOWN` (if requested) reported a clean,
-    /// invariant-checked exit.
+    /// invariant-checked exit — on *every* reachable endpoint in
+    /// multi-endpoint mode.
     pub clean_shutdown: Option<bool>,
+    /// Completed establish attempts over planned (`clients` ×
+    /// `requests_per_client`). 1.0 when every worker finished its script;
+    /// lower when daemons died under churn.
+    pub availability: f64,
+    /// Workers that lost their endpoint mid-run (multi-endpoint mode).
+    pub disconnects: u64,
+    /// Per-endpoint tallies, in `endpoints` order (one row — `addr` — in
+    /// single-endpoint mode).
+    pub endpoints: Vec<EndpointStats>,
 }
 
 impl LoadgenReport {
@@ -108,12 +182,14 @@ impl LoadgenReport {
     pub fn summary(&self) -> String {
         format!(
             "ops={} admitted={} rejected={} busy_retries={} protocol_errors={} \
-             ops_per_sec={:.0} p50_us={} p99_us={}",
+             disconnects={} availability={:.3} ops_per_sec={:.0} p50_us={} p99_us={}",
             self.ops,
             self.admitted,
             self.rejected,
             self.busy_retries,
             self.protocol_errors,
+            self.disconnects,
+            self.availability,
             self.ops_per_sec(),
             self.latency.quantile_us(0.50),
             self.latency.quantile_us(0.99),
@@ -127,8 +203,10 @@ impl LoadgenReport {
                 "{{\"name\":\"loadgen\",\"clients\":{},\"seed\":{},",
                 "\"ops\":{},\"admitted\":{},\"rejected\":{},",
                 "\"busy_retries\":{},\"protocol_errors\":{},",
+                "\"disconnects\":{},\"availability\":{:.4},",
                 "\"wall_s\":{:.6},\"ops_per_sec\":{:.1},",
-                "\"p50_us\":{},\"p95_us\":{},\"p99_us\":{}}}"
+                "\"p50_us\":{},\"p95_us\":{},\"p99_us\":{},",
+                "\"endpoints\":[{}]}}"
             ),
             clients,
             seed,
@@ -137,11 +215,18 @@ impl LoadgenReport {
             self.rejected,
             self.busy_retries,
             self.protocol_errors,
+            self.disconnects,
+            self.availability,
             self.wall.as_secs_f64(),
             self.ops_per_sec(),
             self.latency.quantile_us(0.50),
             self.latency.quantile_us(0.95),
             self.latency.quantile_us(0.99),
+            self.endpoints
+                .iter()
+                .map(EndpointStats::to_json)
+                .collect::<Vec<_>>()
+                .join(","),
         )
     }
 }
@@ -150,6 +235,7 @@ impl LoadgenReport {
 #[derive(Debug, Default)]
 struct WorkerStats {
     ops: u64,
+    establishes: u64,
     admitted: u64,
     rejected: u64,
     busy_retries: u64,
@@ -292,10 +378,28 @@ fn tally(resp: &str, establishing: bool, stats: &mut WorkerStats) -> Option<u64>
     None
 }
 
-fn worker(config: &LoadgenConfig, worker_idx: usize, nodes: usize) -> io::Result<WorkerStats> {
+/// Runs one worker's scripted workload against `endpoint`. Returns the
+/// stats gathered so far even on I/O failure, so a daemon dying mid-run
+/// costs the run a disconnect, not the worker's whole tally.
+fn worker(
+    config: &LoadgenConfig,
+    endpoint: &str,
+    worker_seed: u64,
+    nodes: usize,
+) -> (WorkerStats, Option<io::Error>) {
     let mut stats = WorkerStats::default();
-    let worker_seed = derive_seed(config.seed, worker_idx as u64);
-    let mut client = Client::connect(&config.addr, worker_seed, config.wire)?;
+    let err = worker_script(config, endpoint, worker_seed, nodes, &mut stats).err();
+    (stats, err)
+}
+
+fn worker_script(
+    config: &LoadgenConfig,
+    endpoint: &str,
+    worker_seed: u64,
+    nodes: usize,
+    stats: &mut WorkerStats,
+) -> io::Result<()> {
+    let mut client = Client::connect(endpoint, worker_seed, config.wire)?;
     let mut rng = Rng::seed_from_u64(worker_seed);
     let qos = ElasticQos::new(
         Bandwidth::kbps(config.bmin),
@@ -315,6 +419,9 @@ fn worker(config: &LoadgenConfig, worker_idx: usize, nodes: usize) -> io::Result
         let resp = client.roundtrip_retrying(command, stats)?;
         stats.latency.record(t0.elapsed());
         stats.ops += 1;
+        if establishing {
+            stats.establishes += 1;
+        }
         Ok(tally(&resp, establishing, stats))
     };
     for _ in 0..config.requests_per_client {
@@ -327,20 +434,20 @@ fn worker(config: &LoadgenConfig, worker_idx: usize, nodes: usize) -> io::Result
             config.bmax,
             config.delta
         );
-        if let Some(id) = send_timed(&mut client, &command, true, &mut stats)? {
+        if let Some(id) = send_timed(&mut client, &command, true, stats)? {
             held.push(id);
         }
         if !held.is_empty() && rng.chance(config.release_prob) {
             let idx = rng.range_usize(held.len());
             let id = held.swap_remove(idx);
-            send_timed(&mut client, &format!("RELEASE {id}"), false, &mut stats)?;
+            send_timed(&mut client, &format!("RELEASE {id}"), false, stats)?;
         }
     }
     // Drain: release everything this worker still owns.
     for id in held.drain(..) {
-        send_timed(&mut client, &format!("RELEASE {id}"), false, &mut stats)?;
+        send_timed(&mut client, &format!("RELEASE {id}"), false, stats)?;
     }
-    Ok(stats)
+    Ok(())
 }
 
 /// Runs the load generator.
@@ -351,8 +458,15 @@ fn worker(config: &LoadgenConfig, worker_idx: usize, nodes: usize) -> io::Result
 /// *completes* always returns a report; protocol errors are counted, not
 /// fatal.
 pub fn run(config: &LoadgenConfig) -> io::Result<LoadgenReport> {
-    // Discover the topology size from the server itself.
-    let mut probe = Client::connect(&config.addr, config.seed, config.wire)?;
+    let endpoints: Vec<String> = if config.endpoints.is_empty() {
+        vec![config.addr.clone()]
+    } else {
+        config.endpoints.clone()
+    };
+    let multi = endpoints.len() > 1;
+    // Discover the topology size from the first endpoint (every cluster
+    // member serves the same replicated topology).
+    let mut probe = Client::connect(&endpoints[0], config.seed, config.wire)?;
     let snapshot = probe.roundtrip("SNAPSHOT")?;
     let nodes = snapshot
         .strip_prefix("OK ")
@@ -371,25 +485,59 @@ pub fn run(config: &LoadgenConfig) -> io::Result<LoadgenReport> {
     }
     let t0 = Instant::now();
     let merged = Mutex::new(WorkerStats::default());
+    let per_endpoint = Mutex::new(
+        endpoints
+            .iter()
+            .map(|a| EndpointStats::new(a.clone()))
+            .collect::<Vec<_>>(),
+    );
     let errors = Mutex::new(Vec::<io::Error>::new());
     std::thread::scope(|scope| {
         for i in 0..config.clients.max(1) {
             let merged = &merged;
+            let per_endpoint = &per_endpoint;
             let errors = &errors;
-            scope.spawn(move || match worker(config, i, nodes) {
-                Ok(stats) => {
+            let eidx = i % endpoints.len();
+            let endpoint = &endpoints[eidx];
+            // Split-mix chain: per-endpoint stream, then per-worker slice
+            // of it — adding an endpoint reshuffles no other endpoint.
+            let worker_seed = derive_seed(derive_seed(config.seed, eidx as u64), i as u64);
+            scope.spawn(move || {
+                let (stats, err) = worker(config, endpoint, worker_seed, nodes);
+                {
                     let mut m = merged.lock().expect("no worker panics holding the lock");
                     m.ops += stats.ops;
+                    m.establishes += stats.establishes;
                     m.admitted += stats.admitted;
                     m.rejected += stats.rejected;
                     m.busy_retries += stats.busy_retries;
                     m.protocol_errors += stats.protocol_errors;
                     m.latency.merge(&stats.latency);
                 }
-                Err(e) => errors
-                    .lock()
-                    .expect("no worker panics holding the lock")
-                    .push(e),
+                {
+                    let mut rows = per_endpoint
+                        .lock()
+                        .expect("no worker panics holding the lock");
+                    let row = &mut rows[eidx];
+                    row.ops += stats.ops;
+                    row.admitted += stats.admitted;
+                    row.rejected += stats.rejected;
+                    row.busy_retries += stats.busy_retries;
+                    row.protocol_errors += stats.protocol_errors;
+                    if err.is_some() {
+                        row.disconnects += 1;
+                    }
+                }
+                if let Some(e) = err {
+                    if !multi {
+                        // Single-endpoint mode keeps the strict contract:
+                        // any worker I/O failure fails the run.
+                        errors
+                            .lock()
+                            .expect("no worker panics holding the lock")
+                            .push(e);
+                    }
+                }
             });
         }
     });
@@ -403,9 +551,38 @@ pub fn run(config: &LoadgenConfig) -> io::Result<LoadgenReport> {
     }
     let wall = t0.elapsed();
     let stats = merged.into_inner().expect("scope joined all workers");
+    let endpoint_rows = per_endpoint.into_inner().expect("scope joined all workers");
+    let disconnects: u64 = endpoint_rows.iter().map(|r| r.disconnects).sum();
+    let planned = (config.clients.max(1) * config.requests_per_client) as f64;
+    let availability = if planned > 0.0 {
+        stats.establishes as f64 / planned
+    } else {
+        1.0
+    };
     let clean_shutdown = if config.shutdown {
-        let resp = probe.roundtrip("SHUTDOWN")?;
-        Some(resp == "OK violations=0")
+        let mut all_clean = true;
+        let mut reachable = 0usize;
+        for (idx, addr) in endpoints.iter().enumerate() {
+            let resp = if idx == 0 {
+                probe.roundtrip("SHUTDOWN")
+            } else {
+                Client::connect(addr, config.seed, config.wire)
+                    .and_then(|mut c| c.roundtrip("SHUTDOWN"))
+            };
+            match resp {
+                Ok(r) => {
+                    reachable += 1;
+                    all_clean &= r == "OK violations=0";
+                }
+                // A crashed member cannot be shut down; in multi-endpoint
+                // mode its absence is the expected churn outcome.
+                Err(e) if multi => {
+                    let _ = e;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Some(all_clean && reachable > 0)
     } else {
         None
     };
@@ -418,6 +595,9 @@ pub fn run(config: &LoadgenConfig) -> io::Result<LoadgenReport> {
         latency: stats.latency,
         wall,
         clean_shutdown,
+        availability,
+        disconnects,
+        endpoints: endpoint_rows,
     })
 }
 
@@ -505,11 +685,37 @@ mod tests {
             latency,
             wall: Duration::from_millis(100),
             clean_shutdown: Some(true),
+            availability: 0.875,
+            disconnects: 1,
+            endpoints: vec![
+                EndpointStats {
+                    addr: "127.0.0.1:7901".into(),
+                    ops: 6,
+                    admitted: 5,
+                    rejected: 1,
+                    busy_retries: 1,
+                    protocol_errors: 0,
+                    disconnects: 0,
+                },
+                EndpointStats {
+                    addr: "127.0.0.1:7902".into(),
+                    ops: 4,
+                    admitted: 3,
+                    rejected: 1,
+                    busy_retries: 0,
+                    protocol_errors: 0,
+                    disconnects: 1,
+                },
+            ],
         };
         let s = report.summary();
         assert!(s.contains("p50_us=") && s.contains("p99_us=") && s.contains("ops_per_sec="));
+        assert!(s.contains("availability=0.875") && s.contains("disconnects=1"));
         let json = report.to_json(4, 2001);
         assert!(json.contains("\"protocol_errors\":0"));
         assert!(json.contains("\"clients\":4"));
+        assert!(json.contains("\"availability\":0.8750"));
+        assert!(json.contains("\"endpoints\":[{\"addr\":\"127.0.0.1:7901\""));
+        assert!(json.contains("\"disconnects\":1"));
     }
 }

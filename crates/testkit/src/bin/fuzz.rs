@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! fuzz [--seqs N] [--ops N] [--seed S] [--diff N] [--diff-cache N]
-//!      [--diff-batch N] [--diff-shard N] [--tolerance F] [--self-test]
+//!      [--diff-batch N] [--diff-shard N] [--diff-cluster N]
+//!      [--tolerance F] [--self-test]
 //! ```
 //!
 //! * the main run executes `--seqs` seeded operation sequences and exits
@@ -24,15 +25,23 @@
 //!   against a monolithic oracle, **at shard counts 2 and 4 each**, and
 //!   fails (with a shrunk reproducer) on any divergence in admission
 //!   results, drop counters, snapshots, or leaked two-phase reservations;
+//! * `--diff-cluster N` replays N fuzzed sequences against an in-process
+//!   multi-daemon cluster (`ClusterSim`) — member-replica planning, the
+//!   coordinator's two-phase ledger, deterministic daemon churn between
+//!   waves — and a monolithic oracle, **at member counts 2 and 3 each**,
+//!   and fails (with a shrunk reproducer) on any divergence in admission
+//!   results, drop counters, snapshots of the authoritative network or
+//!   any live replica, or leaked prepares;
 //! * `--self-test` is the mutation check: it injects the `LoseRelease`
-//!   accounting fault, the `ReverseBatch` batch-ordering fault, and the
-//!   sharded engine's `LoseReservationRelease` two-phase leak, and
-//!   *fails* unless the detectors catch all three and shrink the
-//!   witnesses (≤ 10 ops for the accounting fault, ≤ 4 for the ordering
-//!   one, ≤ 3 for the leak).
+//!   accounting fault, the `ReverseBatch` batch-ordering fault, the
+//!   sharded engine's `LoseReservationRelease` two-phase leak, and the
+//!   cluster coordinator's `LosePrepare` leak, and *fails* unless the
+//!   detectors catch all four and shrink the witnesses (≤ 10 ops for the
+//!   accounting fault, ≤ 4 for the ordering one, ≤ 3 for each leak).
 
 use drqos_testkit::batch_diff::{batch_mutation_witness, run_batch_diff, BatchDiffConfig};
 use drqos_testkit::cache_diff::{run_cache_diff, CacheDiffConfig};
+use drqos_testkit::cluster_diff::{cluster_mutation_witness, run_cluster_diff, ClusterDiffConfig};
 use drqos_testkit::diff::check_diff;
 use drqos_testkit::fuzz::{run_fuzz, FuzzConfig, InjectedFault};
 use drqos_testkit::shard_diff::{run_shard_diff, shard_mutation_witness, ShardDiffConfig};
@@ -46,6 +55,7 @@ struct Args {
     diff_cache: usize,
     diff_batch: usize,
     diff_shard: usize,
+    diff_cluster: usize,
     tolerance: f64,
     self_test: bool,
 }
@@ -59,6 +69,7 @@ fn parse_args() -> Result<Args, String> {
         diff_cache: 0,
         diff_batch: 0,
         diff_shard: 0,
+        diff_cluster: 0,
         tolerance: 0.45,
         self_test: false,
     };
@@ -73,6 +84,7 @@ fn parse_args() -> Result<Args, String> {
             "--diff-cache" => args.diff_cache = parse(&value("--diff-cache")?)?,
             "--diff-batch" => args.diff_batch = parse(&value("--diff-batch")?)?,
             "--diff-shard" => args.diff_shard = parse(&value("--diff-shard")?)?,
+            "--diff-cluster" => args.diff_cluster = parse(&value("--diff-cluster")?)?,
             "--tolerance" => args.tolerance = parse(&value("--tolerance")?)?,
             "--self-test" => args.self_test = true,
             other => return Err(format!("unknown flag {other}")),
@@ -200,6 +212,33 @@ fn main() -> ExitCode {
             );
         }
     }
+
+    if args.diff_cluster > 0 {
+        for members in [2usize, 3] {
+            let outcome = run_cluster_diff(
+                &ClusterDiffConfig {
+                    sequences: args.diff_cluster,
+                    ops_per_sequence: args.ops,
+                    seed: args.seed,
+                },
+                members,
+            );
+            if let Some(failure) = outcome.failure {
+                eprintln!(
+                    "FAIL: clustered admission ({members} member(s)) diverged from the \
+                     monolithic oracle after {} clean sequence(s)\n",
+                    outcome.sequences_run
+                );
+                eprintln!("{}", failure.reproducer());
+                return ExitCode::FAILURE;
+            }
+            println!(
+                "ok: {} cluster-differential sequence(s) x {} ops (seed {}) at {} member(s) \
+                 byte-identical throughout",
+                args.diff_cluster, args.ops, args.seed, members
+            );
+        }
+    }
     ExitCode::SUCCESS
 }
 
@@ -259,19 +298,39 @@ fn mutation_check(seed: u64) -> ExitCode {
                 "ok: injected LoseReservationRelease shard fault caught and shrunk to {} op(s)",
                 shrunk.len()
             );
-            ExitCode::SUCCESS
         }
         Some(shrunk) => {
             eprintln!(
                 "FAIL: reservation leak caught but reproducer has {} ops (> 3) — shrinker regressed",
                 shrunk.len()
             );
-            ExitCode::FAILURE
+            return ExitCode::FAILURE;
         }
         None => {
             eprintln!(
                 "FAIL: injected two-phase reservation leak was NOT detected — detector regressed"
             );
+            return ExitCode::FAILURE;
+        }
+    }
+
+    match cluster_mutation_witness(seed, 20, 3) {
+        Some(shrunk) if shrunk.len() <= 3 => {
+            println!(
+                "ok: injected LosePrepare cluster fault caught and shrunk to {} op(s)",
+                shrunk.len()
+            );
+            ExitCode::SUCCESS
+        }
+        Some(shrunk) => {
+            eprintln!(
+                "FAIL: prepare leak caught but reproducer has {} ops (> 3) — shrinker regressed",
+                shrunk.len()
+            );
+            ExitCode::FAILURE
+        }
+        None => {
+            eprintln!("FAIL: injected cluster prepare leak was NOT detected — detector regressed");
             ExitCode::FAILURE
         }
     }

@@ -1,0 +1,613 @@
+//! Differential fuzzing of the multi-daemon federation — the
+//! `fuzz --diff-cluster` harness.
+//!
+//! [`ClusterSim`] claims *exact* equivalence to the monolith: same
+//! admission outcomes, same connection ids, same final network state —
+//! for any member count, through arbitrary daemon churn. This module
+//! enforces the claim the same way `--diff-shard` polices the sharded
+//! engine: fuzzed operation sequences replay against an in-process
+//! N-member cluster and a sequential monolithic oracle in lockstep.
+//! Maximal runs of consecutive `Establish` ops (capped at [`WAVE_CAP`])
+//! go through [`ClusterSim::establish_wave`] — member-replica planning
+//! plus the coordinator's two-phase ledger commit — while the oracle
+//! establishes one at a time; every other operation is forwarded through
+//! a member ([`ClusterSim::apply`]) and mirrored on the oracle via the
+//! shared replay function. Between waves a **deterministic churn
+//! stream** (seeded separately from the op stream) crashes, retires, and
+//! rejoins members, so rebalancing and genesis-replay catch-up are
+//! exercised on every sequence. After each wave and each singleton the
+//! harness compares:
+//!
+//! * every request's own result (admission `Ok`/`Err`, ids included),
+//! * the cluster-specific invariant that **no two-phase reservation
+//!   leaked** (the coordinator's partition ledgers must be empty),
+//! * the cumulative drop counter and the topology epoch,
+//! * a full [`NetworkSnapshot`] of the authoritative network,
+//! * and a full snapshot of **every live member replica** (the merged
+//!   view each daemon would serve its clients).
+//!
+//! Divergences shrink with the fuzzer's delta-debugging engine
+//! ([`crate::fuzz::shrink_by`]) into a copy-pasteable reproducer.
+//!
+//! [`ClusterFault::LosePrepare`] is the detector's own mutation check: a
+//! coordinator that forgets to release one reservation must be caught
+//! via the ledger-leak comparison — proof the harness has teeth. Used by
+//! `fuzz --self-test`.
+
+use crate::fuzz::{case_seed, generate_ops, shrink_by, Op, Scenario};
+use drqos_cluster::{apply_committed, ApplyOutcome, ClusterFault, ClusterSim, MemberOp};
+use drqos_core::channel::ConnectionId;
+use drqos_core::error::AdmissionError;
+use drqos_core::network::{EstablishRequest, Network};
+use drqos_core::qos::ElasticQos;
+use drqos_core::snapshot::NetworkSnapshot;
+use drqos_sim::rng::Rng;
+use drqos_topology::{LinkId, NodeId};
+
+/// Largest establish run admitted as one wave (same cap as the shard
+/// harness, and the daemon's `DRQOS_BATCH` bound).
+pub const WAVE_CAP: usize = 16;
+
+/// Seed-stream tweak for the churn schedule, so membership churn is
+/// independent of the operation stream (changing one does not reshuffle
+/// the other).
+const CHURN_STREAM: u64 = 0xC1C1_C1C1;
+
+/// Dead member ids a churn stream may resurrect beyond the initial
+/// roster (JOIN of a brand-new daemon).
+const EXTRA_MEMBERS: usize = 2;
+
+/// How the cluster first disagreed with its monolithic oracle.
+#[derive(Debug, Clone)]
+pub struct ClusterDiffDivergence {
+    /// Index of the diverging operation.
+    pub step: usize,
+    /// The diverging operation.
+    pub op: Op,
+    /// Human-readable description of the first mismatch.
+    pub detail: String,
+}
+
+impl std::fmt::Display for ClusterDiffDivergence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "step {} ({:?}): {}", self.step, self.op, self.detail)
+    }
+}
+
+/// One pending wave: requests plus the fuzz-stream steps they came from.
+struct PendingWave {
+    reqs: Vec<EstablishRequest>,
+    steps: Vec<(usize, Op)>,
+}
+
+impl PendingWave {
+    fn new() -> Self {
+        PendingWave {
+            reqs: Vec::new(),
+            steps: Vec::new(),
+        }
+    }
+}
+
+/// Flushes a pending wave through [`ClusterSim::establish_wave`] on one
+/// side and sequential `establish` on the oracle, then compares.
+fn flush_wave(
+    cluster: &mut ClusterSim,
+    oracle: &mut Network,
+    pending: &mut PendingWave,
+) -> Option<ClusterDiffDivergence> {
+    if pending.reqs.is_empty() {
+        return None;
+    }
+    let reqs = std::mem::take(&mut pending.reqs);
+    let steps = std::mem::take(&mut pending.steps);
+    let wave_results: Vec<Result<ConnectionId, AdmissionError>> = cluster.establish_wave(&reqs);
+    for (i, req) in reqs.iter().enumerate() {
+        let got_oracle = oracle.establish(req.src, req.dst, req.qos);
+        if wave_results[i] != got_oracle {
+            let (step, op) = steps[i];
+            return Some(ClusterDiffDivergence {
+                step,
+                op,
+                detail: format!(
+                    "establish({},{}) diverged: cluster {:?}, monolith {got_oracle:?}",
+                    req.src.index(),
+                    req.dst.index(),
+                    wave_results[i]
+                ),
+            });
+        }
+    }
+    let &(last_step, last_op) = steps.last().expect("non-empty wave has steps");
+    compare_state(cluster, oracle).map(|detail| ClusterDiffDivergence {
+        step: last_step,
+        op: last_op,
+        detail,
+    })
+}
+
+/// Compares reservation ledgers, drop counter, topology epoch, the
+/// authoritative snapshot, and every live replica's snapshot.
+fn compare_state(cluster: &ClusterSim, oracle: &Network) -> Option<String> {
+    if cluster.pending_prepares() != 0 {
+        return Some(format!(
+            "reservation leak: {} two-phase prepare(s) still pending between waves",
+            cluster.pending_prepares()
+        ));
+    }
+    let net = cluster.authoritative();
+    if net.dropped_total() != oracle.dropped_total() {
+        return Some(format!(
+            "drop counter diverged: cluster {}, monolith {}",
+            net.dropped_total(),
+            oracle.dropped_total()
+        ));
+    }
+    if net.topology_epoch() != oracle.topology_epoch() {
+        return Some(format!(
+            "topology epoch diverged: cluster {}, monolith {}",
+            net.topology_epoch(),
+            oracle.topology_epoch()
+        ));
+    }
+    let snap_oracle = NetworkSnapshot::capture(oracle);
+    let snap_cluster = NetworkSnapshot::capture(net);
+    if snap_cluster != snap_oracle {
+        return Some(format!(
+            "authoritative {}",
+            first_snapshot_mismatch(&snap_cluster, &snap_oracle)
+        ));
+    }
+    for member in cluster.replicas() {
+        let snap_member = NetworkSnapshot::capture(member.net());
+        if snap_member != snap_oracle {
+            return Some(format!(
+                "replica m{} {}",
+                member.id(),
+                first_snapshot_mismatch(&snap_member, &snap_oracle)
+            ));
+        }
+    }
+    None
+}
+
+/// Pinpoints the first differing row of two snapshots.
+fn first_snapshot_mismatch(cluster: &NetworkSnapshot, oracle: &NetworkSnapshot) -> String {
+    for (a, b) in cluster.links.iter().zip(&oracle.links) {
+        if a != b {
+            return format!("link row diverged: cluster {a:?}, monolith {b:?}");
+        }
+    }
+    for (a, b) in cluster.connections.iter().zip(&oracle.connections) {
+        if a != b {
+            return format!("connection row diverged: cluster {a:?}, monolith {b:?}");
+        }
+    }
+    format!(
+        "snapshot shape diverged: cluster {} links / {} connections, monolith {} / {}",
+        cluster.links.len(),
+        cluster.connections.len(),
+        oracle.links.len(),
+        oracle.connections.len()
+    )
+}
+
+/// Applies one non-establish operation to both sides — forwarded through
+/// a member on the cluster, replayed directly on the oracle via the
+/// shared [`apply_committed`] — and reports the first mismatch. Operand
+/// resolution mirrors `Harness::apply`, using the oracle as the
+/// candidate-list side.
+fn apply_singleton(cluster: &mut ClusterSim, oracle: &mut Network, op: Op) -> Option<String> {
+    let member_op = match op {
+        Op::Establish { .. } => unreachable!("establishes are waved, not singletons"),
+        Op::Release { pick } => {
+            let live: Vec<ConnectionId> = oracle.connections().map(|c| c.id()).collect();
+            resolve(&live, pick).map(|&id| MemberOp::Release { id })
+        }
+        Op::FailLink { pick } => {
+            let up: Vec<LinkId> = oracle.up_links().collect();
+            resolve(&up, pick).map(|&link| MemberOp::FailLink { link })
+        }
+        Op::FailNode { pick } => {
+            let candidates: Vec<NodeId> = oracle
+                .graph()
+                .nodes()
+                .filter(|&n| {
+                    oracle
+                        .graph()
+                        .neighbors(n)
+                        .iter()
+                        .any(|&(_, l)| oracle.link_usage(l).is_up())
+                })
+                .collect();
+            resolve(&candidates, pick).map(|&node| MemberOp::FailNode { node })
+        }
+        Op::RepairLink { pick } => {
+            let down: Vec<LinkId> = oracle
+                .graph()
+                .links()
+                .map(|l| l.id())
+                .filter(|&l| !oracle.link_usage(l).is_up())
+                .collect();
+            resolve(&down, pick).map(|&link| MemberOp::RepairLink { link })
+        }
+    };
+    if let Some(member_op) = member_op {
+        let want: ApplyOutcome = apply_committed(oracle, &member_op.to_committed());
+        match cluster.apply(member_op) {
+            Ok(got) => {
+                if got != want {
+                    return Some(format!(
+                        "{member_op:?} diverged: cluster {got:?}, monolith {want:?}"
+                    ));
+                }
+            }
+            Err(e) => return Some(format!("{member_op:?} failed to forward: {e}")),
+        }
+    }
+    compare_state(cluster, oracle)
+}
+
+/// One deterministic churn step between waves: maybe crash, retire, or
+/// (re)join a member. Ownership-only — the oracle is untouched — so the
+/// state comparison afterwards proves churn never disturbs the network.
+fn maybe_churn(cluster: &mut ClusterSim, roster_cap: usize, rng: &mut Rng) {
+    if !rng.chance(0.3) {
+        return;
+    }
+    let alive = cluster.alive_members();
+    match rng.range_usize(3) {
+        0 | 1 if alive.len() > 1 => {
+            let victim = alive[rng.range_usize(alive.len())];
+            let _ = if rng.chance(0.5) {
+                cluster.crash(victim)
+            } else {
+                cluster.leave(victim)
+            };
+        }
+        _ => {
+            let dead = (0..roster_cap as u64).find(|m| !alive.contains(m));
+            if let Some(m) = dead {
+                let _ = cluster.join(m);
+            }
+        }
+    }
+}
+
+/// Replays `ops` against a fresh N-member cluster and a fresh monolithic
+/// oracle, with deterministic churn between waves, returning the first
+/// divergence (or `None` when the whole sequence is byte-identical).
+pub fn run_cluster_diff_sequence(
+    scenario: &Scenario,
+    ops: &[Op],
+    members: usize,
+    churn_seed: u64,
+) -> Option<ClusterDiffDivergence> {
+    let mut cluster = ClusterSim::new(scenario.network(), members, churn_seed);
+    let mut oracle = scenario.network();
+    let mut churn = Rng::seed_from_u64(churn_seed ^ CHURN_STREAM);
+    diff_cluster_networks(&mut cluster, &mut oracle, scenario.qos(), ops, &mut churn)
+}
+
+/// The inner lockstep loop of [`run_cluster_diff_sequence`], exposed so
+/// tests can arm [`ClusterFault`]s and prove the detector detects.
+pub fn diff_cluster_networks(
+    cluster: &mut ClusterSim,
+    oracle: &mut Network,
+    qos: ElasticQos,
+    ops: &[Op],
+    churn: &mut Rng,
+) -> Option<ClusterDiffDivergence> {
+    let n = oracle.graph().node_count() as u64;
+    let roster_cap = cluster.alive_members().len() + EXTRA_MEMBERS;
+    let mut pending = PendingWave::new();
+    for (step, &op) in ops.iter().enumerate() {
+        if let Op::Establish { src, dst } = op {
+            let s = (src % n) as usize;
+            let mut d = (dst % (n - 1)) as usize;
+            if d >= s {
+                d += 1;
+            }
+            pending.reqs.push(EstablishRequest {
+                src: NodeId(s),
+                dst: NodeId(d),
+                qos,
+            });
+            pending.steps.push((step, op));
+            if pending.reqs.len() >= WAVE_CAP {
+                if let Some(div) = flush_wave(cluster, oracle, &mut pending) {
+                    return Some(div);
+                }
+                maybe_churn(cluster, roster_cap, churn);
+            }
+            continue;
+        }
+        if let Some(div) = flush_wave(cluster, oracle, &mut pending) {
+            return Some(div);
+        }
+        maybe_churn(cluster, roster_cap, churn);
+        if let Some(detail) = apply_singleton(cluster, oracle, op) {
+            return Some(ClusterDiffDivergence { step, op, detail });
+        }
+    }
+    flush_wave(cluster, oracle, &mut pending)
+}
+
+/// Resolves a raw operand against a candidate list (None when empty).
+fn resolve<T>(candidates: &[T], pick: u64) -> Option<&T> {
+    if candidates.is_empty() {
+        None
+    } else {
+        Some(&candidates[(pick % candidates.len() as u64) as usize])
+    }
+}
+
+/// Budget and seed of a cluster differential run (same case seeds and op
+/// streams as the invariant fuzzer and the other diff harnesses).
+#[derive(Debug, Clone)]
+pub struct ClusterDiffConfig {
+    /// Number of independent operation sequences.
+    pub sequences: usize,
+    /// Operations per sequence.
+    pub ops_per_sequence: usize,
+    /// Base seed.
+    pub seed: u64,
+}
+
+impl Default for ClusterDiffConfig {
+    fn default() -> Self {
+        ClusterDiffConfig {
+            sequences: 100,
+            ops_per_sequence: 60,
+            seed: 2001,
+        }
+    }
+}
+
+/// A diverging case, shrunk and ready to report.
+#[derive(Debug, Clone)]
+pub struct ClusterDiffFailure {
+    /// The derived case seed.
+    pub case_seed: u64,
+    /// The member count the case ran at.
+    pub members: usize,
+    /// The scenario the case ran under.
+    pub scenario: Scenario,
+    /// The original diverging sequence.
+    pub ops: Vec<Op>,
+    /// The shrunk reproducer.
+    pub shrunk: Vec<Op>,
+    /// The divergence at the shrunk sequence's failing step.
+    pub divergence: ClusterDiffDivergence,
+}
+
+impl ClusterDiffFailure {
+    /// Renders the shrunk case as a copy-pasteable Rust snippet.
+    pub fn reproducer(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "// drqos-testkit cluster-diff reproducer (case seed {:#x}, {} member(s), {} op(s) after shrinking)\n",
+            self.case_seed,
+            self.members,
+            self.shrunk.len()
+        ));
+        out.push_str(&format!(
+            "let scenario = Scenario {{ nodes: {}, capacity_kbps: {}, backup_count: {}, \
+             increment_kbps: {}, graph_seed: {:#x} }};\n",
+            self.scenario.nodes,
+            self.scenario.capacity_kbps,
+            self.scenario.backup_count,
+            self.scenario.increment_kbps,
+            self.scenario.graph_seed
+        ));
+        out.push_str("let ops = vec![\n");
+        for op in &self.shrunk {
+            out.push_str(&format!("    Op::{op:?},\n"));
+        }
+        out.push_str("];\n");
+        out.push_str(&format!(
+            "let divergence = run_cluster_diff_sequence(&scenario, &ops, {}, {:#x})\n    \
+             .expect(\"reproduces the divergence\");\n",
+            self.members, self.case_seed
+        ));
+        out.push_str(&format!("// {}\n", self.divergence));
+        out
+    }
+}
+
+/// Outcome of a cluster differential run.
+#[derive(Debug, Clone)]
+pub struct ClusterDiffOutcome {
+    /// Sequences that replayed byte-identically.
+    pub sequences_run: usize,
+    /// The first diverging case, if any, already shrunk.
+    pub failure: Option<ClusterDiffFailure>,
+}
+
+/// Runs the differential fuzzer at one member count: independent seeded
+/// sequences (same streams as the invariant fuzzer), stopping at — and
+/// shrinking — the first divergence.
+pub fn run_cluster_diff(config: &ClusterDiffConfig, members: usize) -> ClusterDiffOutcome {
+    for case in 0..config.sequences {
+        let seed = case_seed(config.seed, case as u64);
+        let scenario = Scenario::from_seed(seed);
+        let mut rng = Rng::seed_from_u64(seed ^ 0x4655_5A5A); // same stream as run_fuzz
+        let ops = generate_ops(&mut rng, config.ops_per_sequence);
+        if run_cluster_diff_sequence(&scenario, &ops, members, seed).is_some() {
+            let shrunk = shrink_by(&ops, |candidate| {
+                run_cluster_diff_sequence(&scenario, candidate, members, seed).map(|d| d.step)
+            });
+            let divergence = run_cluster_diff_sequence(&scenario, &shrunk, members, seed)
+                .expect("shrink preserves the divergence");
+            return ClusterDiffOutcome {
+                sequences_run: case,
+                failure: Some(ClusterDiffFailure {
+                    case_seed: seed,
+                    members,
+                    scenario,
+                    ops,
+                    shrunk,
+                    divergence,
+                }),
+            };
+        }
+    }
+    ClusterDiffOutcome {
+        sequences_run: config.sequences,
+        failure: None,
+    }
+}
+
+/// The cluster mutation check: arms [`ClusterFault::LosePrepare`] on the
+/// coordinator and returns the first caught-and-shrunk witness, or
+/// `None` if the detector failed to catch the leak — in which case the
+/// detector itself has regressed. Used by `fuzz --self-test`.
+pub fn cluster_mutation_witness(seed: u64, sequences: usize, members: usize) -> Option<Vec<Op>> {
+    for case in 0..sequences {
+        let case_seed = case_seed(seed, case as u64);
+        let scenario = Scenario::from_seed(case_seed);
+        let mut rng = Rng::seed_from_u64(case_seed ^ 0x4655_5A5A);
+        let ops = generate_ops(&mut rng, 30);
+        let fails_at = |candidate: &[Op]| {
+            let mut cluster = ClusterSim::new(scenario.network(), members, case_seed);
+            cluster.set_fault(ClusterFault::LosePrepare);
+            let mut oracle = scenario.network();
+            let mut churn = Rng::seed_from_u64(case_seed ^ CHURN_STREAM);
+            diff_cluster_networks(
+                &mut cluster,
+                &mut oracle,
+                scenario.qos(),
+                candidate,
+                &mut churn,
+            )
+            .map(|d| d.step)
+        };
+        if fails_at(&ops).is_some() {
+            return Some(shrink_by(&ops, fails_at));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fuzz::InjectedFault;
+
+    #[test]
+    fn fuzzed_sequences_replay_identically_at_2_and_3_members() {
+        for members in [2usize, 3] {
+            let outcome = run_cluster_diff(
+                &ClusterDiffConfig {
+                    sequences: 20,
+                    ops_per_sequence: 50,
+                    seed: 17,
+                },
+                members,
+            );
+            assert!(
+                outcome.failure.is_none(),
+                "cluster diverged at {members} member(s):\n{}",
+                outcome.failure.unwrap().reproducer()
+            );
+            assert_eq!(outcome.sequences_run, 20);
+        }
+    }
+
+    #[test]
+    fn dense_contended_waves_with_churn_replay_identically() {
+        // All-establish streams force full WAVE_CAP waves on a starved
+        // network while churn reassigns ownership between them: maximum
+        // pressure on stale-footprint replans and orphan re-establishes.
+        let scenario = Scenario {
+            nodes: 8,
+            capacity_kbps: 800,
+            backup_count: 1,
+            increment_kbps: 100,
+            graph_seed: 11,
+        };
+        let mut rng = Rng::seed_from_u64(23);
+        let ops: Vec<Op> = (0..48)
+            .map(|_| Op::Establish {
+                src: rng.next_u64(),
+                dst: rng.next_u64(),
+            })
+            .collect();
+        for members in [2usize, 3, 5] {
+            assert!(
+                run_cluster_diff_sequence(&scenario, &ops, members, 7).is_none(),
+                "dense churned waves must match the monolith at {members} member(s)"
+            );
+        }
+    }
+
+    #[test]
+    fn a_mid_wave_crash_still_matches_the_oracle() {
+        // The orphan path: the crashed member's planned requests fall
+        // back to serial re-establishment on the coordinator, which must
+        // be invisible in the results and the final state.
+        let scenario = Scenario::from_seed(3);
+        let mut rng = Rng::seed_from_u64(31);
+        let ops = generate_ops(&mut rng, 40);
+        let mut cluster = ClusterSim::new(scenario.network(), 3, 3);
+        cluster.set_fault(ClusterFault::CrashDuringWave(1));
+        let mut oracle = scenario.network();
+        let mut churn = Rng::seed_from_u64(3 ^ CHURN_STREAM);
+        assert!(
+            diff_cluster_networks(&mut cluster, &mut oracle, scenario.qos(), &ops, &mut churn)
+                .is_none(),
+            "a mid-wave member crash must not change any outcome"
+        );
+    }
+
+    #[test]
+    fn lost_prepare_is_caught_and_shrinks_small() {
+        // The headline mutation self-test: a coordinator that forgets to
+        // release one reservation must be caught via the ledger-leak
+        // check, with a tiny shrunk witness (one wave leaks).
+        let shrunk = cluster_mutation_witness(2001, 20, 3)
+            .expect("lost-prepare fault must be detected within the budget");
+        assert!(
+            (1..=3).contains(&shrunk.len()),
+            "leak witness should be tiny: {shrunk:?}"
+        );
+        assert!(
+            shrunk.iter().any(|op| matches!(op, Op::Establish { .. })),
+            "witness needs an establish to open a reservation: {shrunk:?}"
+        );
+    }
+
+    #[test]
+    fn reproducer_renders_scenario_members_and_ops() {
+        let scenario = Scenario::from_seed(4);
+        let failure = ClusterDiffFailure {
+            case_seed: 4,
+            members: 3,
+            scenario,
+            ops: vec![Op::Establish { src: 1, dst: 2 }],
+            shrunk: vec![Op::Establish { src: 1, dst: 2 }],
+            divergence: ClusterDiffDivergence {
+                step: 0,
+                op: Op::Establish { src: 1, dst: 2 },
+                detail: "example".into(),
+            },
+        };
+        let repro = failure.reproducer();
+        assert!(repro.contains("Scenario {"));
+        assert!(repro.contains("3 member(s)"));
+        assert!(repro.contains("run_cluster_diff_sequence"));
+    }
+
+    #[test]
+    fn diff_streams_match_the_invariant_fuzzer() {
+        // Same case seeds and op streams as the invariant fuzzer and the
+        // other differential harnesses: one sequence number addresses the
+        // same workload everywhere.
+        let seed = case_seed(2001, 3);
+        let scenario = Scenario::from_seed(seed);
+        let mut rng = Rng::seed_from_u64(seed ^ 0x4655_5A5A);
+        let ops = generate_ops(&mut rng, 20);
+        assert!(crate::fuzz::run_sequence(&scenario, &ops, InjectedFault::None).is_none());
+        assert!(run_cluster_diff_sequence(&scenario, &ops, 3, seed).is_none());
+    }
+}

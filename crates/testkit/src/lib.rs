@@ -40,6 +40,15 @@
 //! (`fuzz --diff-batch N` in CI). An injectable batch-ordering fault
 //! keeps the detector itself honest (`fuzz --self-test`).
 //!
+//! A seventh layer, [`cluster_diff`], federates the differential idea
+//! across daemons: fuzzed sequences replay against an in-process
+//! N-member [`drqos_cluster::ClusterSim`] — member-replica planning, the
+//! coordinator's two-phase ledger, deterministic membership churn
+//! between waves — and a monolithic oracle, comparing per-op results,
+//! reservation ledgers, and full snapshots of the authoritative network
+//! *and every live replica* (`fuzz --diff-cluster N` in CI). The
+//! lost-prepare coordinator fault keeps this detector honest too.
+//!
 //! Everything is deterministic given the seeds; there are no external
 //! dependencies and no wall-clock or thread-count influence on any
 //! generated artifact.
@@ -49,6 +58,7 @@
 
 pub mod batch_diff;
 pub mod cache_diff;
+pub mod cluster_diff;
 pub mod diff;
 pub mod fuzz;
 pub mod golden;
@@ -64,6 +74,10 @@ pub use batch_diff::{
 pub use cache_diff::{
     run_cache_diff, run_cache_diff_sequence, CacheDiffConfig, CacheDiffDivergence,
     CacheDiffFailure, CacheDiffOutcome,
+};
+pub use cluster_diff::{
+    cluster_mutation_witness, run_cluster_diff, run_cluster_diff_sequence, ClusterDiffConfig,
+    ClusterDiffDivergence, ClusterDiffFailure, ClusterDiffOutcome,
 };
 pub use diff::{run_diff, DiffCase, DiffResult};
 pub use fuzz::{
