@@ -10,6 +10,7 @@ use crate::ideal;
 use crate::model::{ElasticQosModel, EventRates};
 use drqos_core::experiment::{run_churn, ExperimentConfig, ExperimentReport};
 use drqos_core::network::Network;
+use drqos_core::scenario::{run_scenario_churn, Scenario};
 use drqos_topology::graph::Graph;
 use drqos_topology::metrics;
 
@@ -44,6 +45,33 @@ impl ExperimentAnalysis {
 pub fn analyze(graph: Graph, config: &ExperimentConfig) -> ExperimentAnalysis {
     let edges = graph.link_count();
     let (report, network) = run_churn(graph, config);
+    assemble(report, network, edges, config)
+}
+
+/// Runs one experiment point under an adversarial [`Scenario`]: same
+/// measure → model → compare pipeline as [`analyze`], but the simulation
+/// leg is [`run_scenario_churn`]. The Markov model still assumes the
+/// paper's calibrated regime, so the analytic column quantifies how far
+/// each scenario pushes reality away from the model's world — the
+/// divergence the scenario sweep reports per scenario.
+pub fn analyze_scenario(
+    graph: Graph,
+    config: &ExperimentConfig,
+    scenario: &Scenario,
+) -> ExperimentAnalysis {
+    let edges = graph.link_count();
+    let (report, network) = run_scenario_churn(graph, config, scenario);
+    assemble(report, network, edges, config)
+}
+
+/// The shared measure → model → compare tail of [`analyze`] and
+/// [`analyze_scenario`].
+fn assemble(
+    report: ExperimentReport,
+    network: Network,
+    edges: usize,
+    config: &ExperimentConfig,
+) -> ExperimentAnalysis {
     let rates = EventRates {
         lambda: config.lambda,
         mu: config.lambda,

@@ -16,10 +16,11 @@
 //! seed.
 
 use crate::runner::{derive_seed, sweep, PointObs, Sweep};
-use drqos_analysis::pipeline::{analyze, ExperimentAnalysis};
+use drqos_analysis::pipeline::{analyze, analyze_scenario, ExperimentAnalysis};
 use drqos_core::experiment::ExperimentConfig;
 use drqos_core::network::NetworkConfig;
 use drqos_core::qos::{AdaptationPolicy, Bandwidth, ElasticQos};
+use drqos_core::scenario::{Scenario, ScenarioKind};
 use drqos_sim::rng::Rng;
 use drqos_topology::graph::Graph;
 use drqos_topology::transit_stub::TransitStubConfig;
@@ -352,6 +353,107 @@ pub fn dependability(
     })
 }
 
+// ------------------------------------------------------ scenario sweep --
+
+/// One row of the adversarial scenario sweep: a Figure 2 load point
+/// re-run under one [`ScenarioKind`], with the Markov model's relative
+/// divergence alongside — the number that says how far each adversarial
+/// world pushes reality away from the paper's calibrated regime.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioSweepRow {
+    /// Canonical scenario name (the `DRQOS_SCENARIO` spelling).
+    pub scenario: &'static str,
+    /// Connections attempted during warm-up (the x-axis).
+    pub nchan: usize,
+    /// Connections active at the end of the run.
+    pub active: usize,
+    /// Connections dropped by failures (correlated ones included).
+    pub dropped: u64,
+    /// Simulated average bandwidth (Kbps).
+    pub sim: f64,
+    /// Markov-model average bandwidth (Kbps; `NaN` when degenerate).
+    pub analytic: f64,
+    /// Relative model-vs-sim divergence `|model − sim| / sim`
+    /// (`NaN` when the model degenerated).
+    pub divergence: f64,
+}
+
+/// Relative model-vs-sim divergence; `NaN` when either side degenerated.
+pub fn model_divergence(sim: f64, analytic: f64) -> f64 {
+    if sim > 0.0 && analytic.is_finite() {
+        (analytic - sim).abs() / sim
+    } else {
+        f64::NAN
+    }
+}
+
+/// Re-runs the Figure 2 load sweep under **every** scenario kind (the
+/// cross product `ScenarioKind::ALL × points`, each its own sweep point
+/// with its own derived seed) on the 100-node random network, 9-state
+/// chain. The baseline rows calibrate the divergence column: the model
+/// should track them closely, and lose ground under the adversarial
+/// kinds it was never fitted for.
+pub fn scenario_sweep(points: &[usize], churn_events: usize, seed: u64) -> Sweep<ScenarioSweepRow> {
+    let cross: Vec<(ScenarioKind, usize)> = ScenarioKind::ALL
+        .iter()
+        .flat_map(|&kind| points.iter().map(move |&nchan| (kind, nchan)))
+        .collect();
+    sweep(seed, &cross, |&(kind, nchan), point_seed| {
+        let mut config = ExperimentConfig::paper_default(nchan, 50);
+        config.churn_events = churn_events;
+        config.seed = point_seed;
+        let a = analyze_scenario(paper_graph(100, seed), &config, &Scenario::new(kind));
+        let mut obs = PointObs::default();
+        obs.absorb(&config, &a.report);
+        (scenario_sweep_row(kind, nchan, &a), obs)
+    })
+}
+
+/// Re-runs the Figure 3 network-size sweep under every scenario kind at a
+/// fixed offered load, same divergence column as [`scenario_sweep`].
+pub fn scenario_scaling(
+    node_counts: &[usize],
+    nchan: usize,
+    churn_events: usize,
+    seed: u64,
+) -> Sweep<ScenarioSweepRow> {
+    let cross: Vec<(ScenarioKind, usize)> = ScenarioKind::ALL
+        .iter()
+        .flat_map(|&kind| node_counts.iter().map(move |&nodes| (kind, nodes)))
+        .collect();
+    sweep(seed, &cross, |&(kind, nodes), point_seed| {
+        let mut config = ExperimentConfig::paper_default(nchan, 50);
+        config.churn_events = churn_events;
+        config.seed = point_seed;
+        let a = analyze_scenario(
+            paper_graph_scaled(nodes, seed),
+            &config,
+            &Scenario::new(kind),
+        );
+        let mut obs = PointObs::default();
+        obs.absorb(&config, &a.report);
+        (scenario_sweep_row(kind, nodes, &a), obs)
+    })
+}
+
+fn scenario_sweep_row(
+    kind: ScenarioKind,
+    nchan: usize,
+    a: &ExperimentAnalysis,
+) -> ScenarioSweepRow {
+    let sim = a.report.avg_bandwidth_sim;
+    let analytic = a.analytic_avg.unwrap_or(f64::NAN);
+    ScenarioSweepRow {
+        scenario: kind.name(),
+        nchan,
+        active: a.report.active_end,
+        dropped: a.report.dropped,
+        sim,
+        analytic,
+        divergence: model_divergence(sim, analytic),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -425,6 +527,42 @@ mod tests {
             rows[0].active_end
         );
         assert!(rows[0].dropped > 0);
+    }
+
+    #[test]
+    fn scenario_sweep_covers_every_kind_with_divergence() {
+        let rows = scenario_sweep(&[60], 300, 7).into_rows();
+        assert_eq!(rows.len(), ScenarioKind::ALL.len());
+        let names: Vec<&str> = rows.iter().map(|r| r.scenario).collect();
+        for kind in ScenarioKind::ALL {
+            assert!(names.contains(&kind.name()), "{kind} row missing");
+        }
+        for r in &rows {
+            assert!(r.sim >= 100.0 - 1e-6 && r.sim <= 500.0 + 1e-6, "{r:?}");
+            if r.analytic.is_finite() {
+                assert!(r.divergence.is_finite() && r.divergence >= 0.0, "{r:?}");
+            }
+        }
+        // The baseline row must carry a usable divergence — the sweep's
+        // calibration anchor.
+        let base = rows.iter().find(|r| r.scenario == "baseline").unwrap();
+        assert!(base.divergence.is_finite(), "{base:?}");
+    }
+
+    #[test]
+    fn scenario_scaling_covers_every_kind() {
+        let rows = scenario_scaling(&[40], 50, 200, 7).into_rows();
+        assert_eq!(rows.len(), ScenarioKind::ALL.len());
+        for r in &rows {
+            assert_eq!(r.nchan, 40, "the x column carries the node count");
+        }
+    }
+
+    #[test]
+    fn model_divergence_handles_degenerate_inputs() {
+        assert!((model_divergence(400.0, 440.0) - 0.1).abs() < 1e-12);
+        assert!(model_divergence(0.0, 440.0).is_nan());
+        assert!(model_divergence(400.0, f64::NAN).is_nan());
     }
 
     #[test]

@@ -19,6 +19,6 @@ pub mod runner;
 pub mod trajectory;
 
 pub use experiments::{
-    ablation, dependability, fig2, fig3, fig4, table1, AblationRow, DependabilityRow, Fig2Row,
-    Fig3Row, Fig4Row, Table1Row,
+    ablation, dependability, fig2, fig3, fig4, scenario_scaling, scenario_sweep, table1,
+    AblationRow, DependabilityRow, Fig2Row, Fig3Row, Fig4Row, ScenarioSweepRow, Table1Row,
 };

@@ -29,6 +29,7 @@ use drqos_cluster::ClusterSim;
 use drqos_core::experiment::{run_churn, ExperimentConfig};
 use drqos_core::network::{EstablishRequest, Network, NetworkConfig};
 use drqos_core::qos::ElasticQos;
+use drqos_core::scenario::{run_scenario_churn, Scenario, ScenarioKind};
 use drqos_core::{ConnectionId, ShardedNetwork};
 use drqos_sim::rng::Rng;
 use drqos_topology::graph::NodeId;
@@ -387,6 +388,32 @@ pub fn bench_churn(cfg: &TrajectoryConfig) -> BenchRecord {
     BenchRecord::from_samples("churn", samples)
 }
 
+/// The flash-crowd scenario harness: the churn experiment re-run through
+/// [`run_scenario_churn`]'s thinning arrival loop with burst-epoch rate
+/// modulation. The contrast with `churn` prices the scenario engine's
+/// overhead (thinned candidates, per-event rate evaluation) on the same
+/// topology and budget; the regression gate holds that price steady.
+/// Per-op latency is each round's mean event time, as in `churn`.
+pub fn bench_scenario_flashcrowd(cfg: &TrajectoryConfig) -> BenchRecord {
+    let rounds = cfg.rounds.clamp(1, 8);
+    let scenario = Scenario::new(ScenarioKind::FlashCrowd);
+    let mut samples = Vec::new();
+    for round in 0..rounds {
+        let config = ExperimentConfig {
+            churn_events: cfg.churn_events,
+            seed: crate::runner::derive_seed(cfg.seed ^ 0x5343_4E52, round as u64), // "SCNR"
+            ..ExperimentConfig::paper_default(cfg.churn_connections, 100)
+        };
+        let events = (config.target_connections + config.churn_events) as u64;
+        let graph = regular::torus(4, 4).expect("torus(4,4) is a valid topology");
+        let t0 = Instant::now();
+        let _ = run_scenario_churn(graph, &config, &scenario);
+        let per_op = t0.elapsed().as_nanos() as u64 / events.max(1);
+        samples.extend(std::iter::repeat_n(per_op, events as usize));
+    }
+    BenchRecord::from_samples("scenario_flashcrowd", samples)
+}
+
 /// The load generator's op mix — a closed loop of seeded establishes and
 /// releases against a torus — run in-process against the [`Network`]
 /// (the admission work that dominates `drqosd`'s hot path; the TCP layer
@@ -437,6 +464,7 @@ pub fn run_benches(cfg: &TrajectoryConfig) -> Vec<BenchRecord> {
         bench_admission_wave_shard(cfg),
         bench_cluster_establish(cfg),
         bench_churn(cfg),
+        bench_scenario_flashcrowd(cfg),
         bench_loadgen_loop(cfg),
     ]
 }
@@ -508,13 +536,15 @@ pub const MAX_REGRESSION: f64 = 0.10;
 pub const WAVE_SPEEDUP_FLOOR: f64 = 1.05;
 
 /// Benches whose committed ops/sec are guarded against regression
-/// between consecutive entries.
-const GUARDED_BENCHES: [&str; 5] = [
+/// between consecutive entries. (`scenario_flashcrowd` joins from its
+/// first committed entry on; earlier entries simply predate it.)
+const GUARDED_BENCHES: [&str; 6] = [
     "admission_single",
     "admission_batch",
     "admission_wave_mono",
     "admission_wave_shard4",
     "cluster_establish_3",
+    "scenario_flashcrowd",
 ];
 
 /// The `"entry"` label of one committed line, for error messages.

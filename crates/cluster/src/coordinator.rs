@@ -82,6 +82,16 @@ pub enum CommittedOp {
         /// The failed node.
         node: NodeId,
     },
+    /// A shared-risk group failure (all up member links fail).
+    FailSrlg {
+        /// The shared-risk group index.
+        group: usize,
+    },
+    /// A shared-risk group repair (all down member links heal).
+    RepairSrlg {
+        /// The shared-risk group index.
+        group: usize,
+    },
     /// A membership change; `alive` is the post-change roster.
     Rebalance {
         /// Liveness by member id after the change.
@@ -114,6 +124,16 @@ pub enum MemberOp {
         /// The node.
         node: NodeId,
     },
+    /// Fail a shared-risk group.
+    FailSrlg {
+        /// The group index.
+        group: usize,
+    },
+    /// Repair a shared-risk group.
+    RepairSrlg {
+        /// The group index.
+        group: usize,
+    },
 }
 
 impl MemberOp {
@@ -124,6 +144,8 @@ impl MemberOp {
             MemberOp::FailLink { link } => CommittedOp::FailLink { link },
             MemberOp::RepairLink { link } => CommittedOp::RepairLink { link },
             MemberOp::FailNode { node } => CommittedOp::FailNode { node },
+            MemberOp::FailSrlg { group } => CommittedOp::FailSrlg { group },
+            MemberOp::RepairSrlg { group } => CommittedOp::RepairSrlg { group },
         }
     }
 }
@@ -146,6 +168,10 @@ pub enum ApplyOutcome {
     RepairLink(Result<Vec<ConnectionId>, NetworkError>),
     /// Node-failure reports, one per adjacent link failed.
     FailNode(Result<Vec<FailureReport>, NetworkError>),
+    /// Shared-risk-group failure reports, one per member link failed.
+    FailSrlg(Result<Vec<FailureReport>, NetworkError>),
+    /// Group repair result: the connections that regained a backup.
+    RepairSrlg(Result<Vec<ConnectionId>, NetworkError>),
     /// A membership epoch; carries the post-change roster.
     Rebalance(Vec<bool>),
 }
@@ -169,6 +195,8 @@ pub fn apply_committed(net: &mut Network, op: &CommittedOp) -> ApplyOutcome {
         CommittedOp::FailLink { link } => ApplyOutcome::FailLink(net.fail_link(link)),
         CommittedOp::RepairLink { link } => ApplyOutcome::RepairLink(net.repair_link(link)),
         CommittedOp::FailNode { node } => ApplyOutcome::FailNode(net.fail_node(node)),
+        CommittedOp::FailSrlg { group } => ApplyOutcome::FailSrlg(net.fail_srlg(group)),
+        CommittedOp::RepairSrlg { group } => ApplyOutcome::RepairSrlg(net.repair_srlg(group)),
         CommittedOp::Rebalance { ref alive } => ApplyOutcome::Rebalance(alive.clone()),
     }
 }

@@ -281,6 +281,14 @@ fn put_record(body: &mut Vec<u8>, record: &CommittedOp) {
             put_u64(body, alive.len() as u64);
             body.extend(alive.iter().map(|&a| u8::from(a)));
         }
+        CommittedOp::FailSrlg { group } => {
+            body.push(7);
+            put_u64(body, group as u64);
+        }
+        CommittedOp::RepairSrlg { group } => {
+            body.push(8);
+            put_u64(body, group as u64);
+        }
     }
 }
 
@@ -372,6 +380,8 @@ impl<'a> Cursor<'a> {
                     .collect::<Result<Vec<bool>, ProtoError>>()?;
                 Ok(CommittedOp::Rebalance { alive })
             }
+            7 => Ok(CommittedOp::FailSrlg { group: self.len()? }),
+            8 => Ok(CommittedOp::RepairSrlg { group: self.len()? }),
             t => Err(ProtoError::UnknownTag(t)),
         }
     }
@@ -422,6 +432,14 @@ pub fn encode_cluster_msg(msg: &ClusterMsg) -> Vec<u8> {
                 MemberOp::FailNode { node } => {
                     body.push(4);
                     put_u64(&mut body, node.index() as u64);
+                }
+                MemberOp::FailSrlg { group } => {
+                    body.push(5);
+                    put_u64(&mut body, group as u64);
+                }
+                MemberOp::RepairSrlg { group } => {
+                    body.push(6);
+                    put_u64(&mut body, group as u64);
                 }
             }
         }
@@ -481,6 +499,8 @@ pub fn decode_cluster_msg(body: &[u8]) -> Result<ClusterMsg, ProtoError> {
                 4 => MemberOp::FailNode {
                     node: NodeId(c.len()?),
                 },
+                5 => MemberOp::FailSrlg { group: c.len()? },
+                6 => MemberOp::RepairSrlg { group: c.len()? },
                 t => return Err(ProtoError::UnknownTag(t)),
             };
             ClusterMsg::Op { op }

@@ -200,7 +200,9 @@ impl ClusterSim {
                 self.coord.assignment().member_of_link(link)
             }
             MemberOp::FailNode { node } => self.coord.member_of_node(node),
-            MemberOp::Release { .. } => self.alive_members().first().copied().unwrap_or(0),
+            MemberOp::Release { .. } | MemberOp::FailSrlg { .. } | MemberOp::RepairSrlg { .. } => {
+                self.alive_members().first().copied().unwrap_or(0)
+            }
         };
         let outcome = self.coord.forward(carrier, op)?;
         self.sync();

@@ -20,6 +20,9 @@
 //! * [`cluster_members`] / [`cluster_coord_port`] /
 //!   [`cluster_prepare_timeout_ms`] / [`cluster_rebalance`] — the
 //!   `drqos-clusterd` federation knobs.
+//! * [`scenario`] — `DRQOS_SCENARIO`, adversarial workload selection.
+//! * [`srlg_count`] / [`srlg_size`] — `DRQOS_SRLG_*`, seeded
+//!   shared-risk-group derivation.
 
 /// `DRQOS_THREADS` — sweep worker count (see [`threads`]).
 pub const THREADS: &str = "DRQOS_THREADS";
@@ -54,6 +57,14 @@ pub const CLUSTER_PREPARE_TIMEOUT_MS: &str = "DRQOS_CLUSTER_PREPARE_TIMEOUT_MS";
 /// `DRQOS_CLUSTER_REBALANCE` — churn rebalance policy (see
 /// [`cluster_rebalance`]).
 pub const CLUSTER_REBALANCE: &str = "DRQOS_CLUSTER_REBALANCE";
+/// `DRQOS_SCENARIO` — adversarial workload scenario (see [`scenario`]).
+pub const SCENARIO: &str = "DRQOS_SCENARIO";
+/// `DRQOS_SRLG_COUNT` — seeded shared-risk groups to derive (see
+/// [`srlg_count`]).
+pub const SRLG_COUNT: &str = "DRQOS_SRLG_COUNT";
+/// `DRQOS_SRLG_SIZE` — links per derived shared-risk group (see
+/// [`srlg_size`]).
+pub const SRLG_SIZE: &str = "DRQOS_SRLG_SIZE";
 
 /// Default for `DRQOS_BATCH`: commands drained per event-loop tick.
 pub const DEFAULT_BATCH: usize = 64;
@@ -70,6 +81,10 @@ pub const DEFAULT_CLUSTER_COORD_PORT: u16 = 7900;
 /// Default for `DRQOS_CLUSTER_PREPARE_TIMEOUT_MS`: how long a member
 /// waits for a two-phase verdict before aborting.
 pub const DEFAULT_CLUSTER_PREPARE_TIMEOUT_MS: u64 = 2000;
+/// Default for `DRQOS_SRLG_COUNT`: no shared-risk groups registered.
+pub const DEFAULT_SRLG_COUNT: usize = 0;
+/// Default for `DRQOS_SRLG_SIZE`: three links per derived group.
+pub const DEFAULT_SRLG_SIZE: usize = 3;
 
 /// Partition rebalance policy selected by `DRQOS_CLUSTER_REBALANCE`:
 /// how surviving members divide the topology after membership churn.
@@ -204,6 +219,27 @@ pub fn registry() -> &'static [EnvVar] {
             doc: "partition rebalance policy after membership churn: \
                   `bfs` (seeded BFS over survivors) or `roundrobin` \
                   (node index modulo survivor count)",
+        },
+        EnvVar {
+            name: SCENARIO,
+            consumed_by: "loadgen / `scenario_sweep`",
+            default: "`baseline`",
+            doc: "adversarial workload scenario: `baseline`, \
+                  `flash-crowd`, `diurnal`, `pareto`, or `srlg` \
+                  (unrecognized values fall back to `baseline`)",
+        },
+        EnvVar {
+            name: SRLG_COUNT,
+            consumed_by: "`drqosd` / scenario engine",
+            default: "`0` (none)",
+            doc: "shared-risk link groups to derive from the seed and \
+                  register at startup; `FAIL-SRLG g` fires group g",
+        },
+        EnvVar {
+            name: SRLG_SIZE,
+            consumed_by: "`drqosd` / scenario engine",
+            default: "`3`",
+            doc: "links per derived shared-risk group (minimum 1)",
         },
     ]
 }
@@ -372,6 +408,36 @@ pub fn cluster_rebalance() -> RebalancePolicy {
     read(CLUSTER_REBALANCE).map_or(RebalancePolicy::Bfs, |v| parse_rebalance(&v))
 }
 
+fn parse_scenario(v: &str) -> crate::scenario::ScenarioKind {
+    crate::scenario::ScenarioKind::parse(v).unwrap_or(crate::scenario::ScenarioKind::Baseline)
+}
+
+/// `DRQOS_SCENARIO`: the selected [`crate::scenario::ScenarioKind`]
+/// (case-insensitive name; unknown values and unset both mean
+/// [`crate::scenario::ScenarioKind::Baseline`]).
+pub fn scenario() -> crate::scenario::ScenarioKind {
+    read(SCENARIO).map_or(crate::scenario::ScenarioKind::Baseline, |v| {
+        parse_scenario(&v)
+    })
+}
+
+fn parse_non_negative(v: &str, default: usize) -> usize {
+    v.trim().parse::<usize>().unwrap_or(default)
+}
+
+/// `DRQOS_SRLG_COUNT` (zero allowed = no groups; default
+/// [`DEFAULT_SRLG_COUNT`]).
+pub fn srlg_count() -> usize {
+    read(SRLG_COUNT).map_or(DEFAULT_SRLG_COUNT, |v| {
+        parse_non_negative(&v, DEFAULT_SRLG_COUNT)
+    })
+}
+
+/// `DRQOS_SRLG_SIZE` (minimum 1; default [`DEFAULT_SRLG_SIZE`]).
+pub fn srlg_size() -> usize {
+    read(SRLG_SIZE).map_or(DEFAULT_SRLG_SIZE, |v| parse_positive(&v, DEFAULT_SRLG_SIZE))
+}
+
 /// The README environment table, rendered from [`registry`]. The README
 /// commits this text between `<!-- env-table:begin -->` and
 /// `<!-- env-table:end -->` markers; `drqos-lint` (and the
@@ -467,6 +533,26 @@ mod tests {
         for v in ["bfs", "", "anything"] {
             assert_eq!(parse_rebalance(v), RebalancePolicy::Bfs);
         }
+    }
+
+    #[test]
+    fn scenario_parsing_falls_back_to_baseline() {
+        use crate::scenario::ScenarioKind;
+        assert_eq!(parse_scenario("flash-crowd"), ScenarioKind::FlashCrowd);
+        assert_eq!(parse_scenario(" SRLG "), ScenarioKind::SrlgChurn);
+        assert_eq!(parse_scenario("pareto"), ScenarioKind::ParetoHolding);
+        for v in ["", "garbage", "baseline"] {
+            assert_eq!(parse_scenario(v), ScenarioKind::Baseline);
+        }
+    }
+
+    #[test]
+    fn srlg_parsing_matches_the_other_knobs() {
+        assert_eq!(parse_non_negative("0", 0), 0);
+        assert_eq!(parse_non_negative(" 4 ", 0), 4);
+        assert_eq!(parse_non_negative("x", 0), 0);
+        assert_eq!(parse_positive("2", DEFAULT_SRLG_SIZE), 2);
+        assert_eq!(parse_positive("0", DEFAULT_SRLG_SIZE), DEFAULT_SRLG_SIZE);
     }
 
     #[test]

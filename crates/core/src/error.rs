@@ -93,6 +93,11 @@ pub enum NetworkError {
     /// Every link adjacent to the node is already down, so failing the
     /// node changes nothing.
     NodeAlreadyDown(NodeId),
+    /// No shared-risk link group with this id was registered.
+    UnknownSrlg(usize),
+    /// Every member link of the group is already in the requested up/down
+    /// state, so firing the group event changes nothing.
+    SrlgStateUnchanged(usize),
 }
 
 impl fmt::Display for NetworkError {
@@ -106,6 +111,13 @@ impl fmt::Display for NetworkError {
             NetworkError::UnknownNode(n) => write!(f, "unknown node {n}"),
             NetworkError::NodeAlreadyDown(n) => {
                 write!(f, "node {n} has no up links left to fail")
+            }
+            NetworkError::UnknownSrlg(g) => write!(f, "unknown shared-risk group g{g}"),
+            NetworkError::SrlgStateUnchanged(g) => {
+                write!(
+                    f,
+                    "shared-risk group g{g} is already in the requested state"
+                )
             }
         }
     }
@@ -212,6 +224,10 @@ mod tests {
         assert!(NetworkError::NodeAlreadyDown(NodeId(5))
             .to_string()
             .contains("n5"));
+        assert!(NetworkError::UnknownSrlg(3).to_string().contains("g3"));
+        assert!(NetworkError::SrlgStateUnchanged(2)
+            .to_string()
+            .contains("already"));
     }
 
     #[test]

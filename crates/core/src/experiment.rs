@@ -159,44 +159,7 @@ pub fn run_churn(graph: Graph, config: &ExperimentConfig) -> (ExperimentReport, 
         cache: RouteCacheStats::default(),
     };
 
-    // ---- Warm-up: attempt the target number of connections. ----
-    // The request stream is drawn identically on both paths (the
-    // workload only consumes the RNG; admission does not), and a wave
-    // replays byte-identically to serial establishes in the same order —
-    // the shard-differential fuzzer's guarantee — so `shards` changes
-    // how the warm-up is computed, never what it computes.
-    if config.shards > 1 {
-        let requests: Vec<crate::network::EstablishRequest> = (0..config.target_connections)
-            .map(|_| {
-                let req = workload.request(&mut rng, n_nodes);
-                crate::network::EstablishRequest {
-                    src: req.src,
-                    dst: req.dst,
-                    qos: req.qos,
-                }
-            })
-            .collect();
-        let mut sharded = crate::ShardedNetwork::new(net, config.shards);
-        for chunk in requests.chunks(WARMUP_WAVE) {
-            for result in sharded.establish_wave(chunk) {
-                report.attempted += 1;
-                match result {
-                    Ok(_) => report.accepted += 1,
-                    Err(e) => classify_rejection(&mut report, &e),
-                }
-            }
-        }
-        net = sharded.into_inner();
-    } else {
-        for _ in 0..config.target_connections {
-            let req = workload.request(&mut rng, n_nodes);
-            report.attempted += 1;
-            match net.establish(req.src, req.dst, req.qos) {
-                Ok(_) => report.accepted += 1,
-                Err(e) => classify_rejection(&mut report, &e),
-            }
-        }
-    }
+    net = warm_up(net, config, &workload, &mut rng, &mut report);
 
     // ---- Churn. ----
     let mut estimator = ParameterEstimator::new(config.qos.num_levels());
@@ -330,7 +293,58 @@ pub fn run_churn(graph: Graph, config: &ExperimentConfig) -> (ExperimentReport, 
     (report, net)
 }
 
-fn classify_rejection(report: &mut ExperimentReport, e: &crate::error::AdmissionError) {
+/// Warm-up: attempt the target number of connections.
+///
+/// The request stream is drawn identically on both paths (the workload
+/// only consumes the RNG; admission does not), and a wave replays
+/// byte-identically to serial establishes in the same order — the
+/// shard-differential fuzzer's guarantee — so `shards` changes how the
+/// warm-up is computed, never what it computes. Shared with the scenario
+/// engine (`crate::scenario`), which swaps only the churn processes.
+pub(crate) fn warm_up(
+    mut net: Network,
+    config: &ExperimentConfig,
+    workload: &Workload,
+    rng: &mut Rng,
+    report: &mut ExperimentReport,
+) -> Network {
+    let n_nodes = net.graph().node_count();
+    if config.shards > 1 {
+        let requests: Vec<crate::network::EstablishRequest> = (0..config.target_connections)
+            .map(|_| {
+                let req = workload.request(rng, n_nodes);
+                crate::network::EstablishRequest {
+                    src: req.src,
+                    dst: req.dst,
+                    qos: req.qos,
+                }
+            })
+            .collect();
+        let mut sharded = crate::ShardedNetwork::new(net, config.shards);
+        for chunk in requests.chunks(WARMUP_WAVE) {
+            for result in sharded.establish_wave(chunk) {
+                report.attempted += 1;
+                match result {
+                    Ok(_) => report.accepted += 1,
+                    Err(e) => classify_rejection(report, &e),
+                }
+            }
+        }
+        net = sharded.into_inner();
+    } else {
+        for _ in 0..config.target_connections {
+            let req = workload.request(rng, n_nodes);
+            report.attempted += 1;
+            match net.establish(req.src, req.dst, req.qos) {
+                Ok(_) => report.accepted += 1,
+                Err(e) => classify_rejection(report, &e),
+            }
+        }
+    }
+    net
+}
+
+pub(crate) fn classify_rejection(report: &mut ExperimentReport, e: &crate::error::AdmissionError) {
     match e {
         crate::error::AdmissionError::NoBackupRoute => report.rejected_backup += 1,
         _ => report.rejected_primary += 1,
@@ -338,7 +352,7 @@ fn classify_rejection(report: &mut ExperimentReport, e: &crate::error::Admission
 }
 
 /// Levels of all primaries crossing `links`, as `(id, level)` pairs.
-fn snapshot_levels(
+pub(crate) fn snapshot_levels(
     net: &Network,
     links: impl IntoIterator<Item = LinkId>,
 ) -> Vec<(ConnectionId, usize)> {
@@ -353,7 +367,7 @@ type LevelSnapshot = Vec<(ConnectionId, usize)>;
 
 /// Classifies the network before committing an arrival plan: returns
 /// (existing channel count, direct `(id, level)` set, indirect set).
-fn observe_arrival(
+pub(crate) fn observe_arrival(
     net: &Network,
     plan: &crate::network::EstablishPlan,
 ) -> (usize, LevelSnapshot, LevelSnapshot) {
@@ -390,7 +404,10 @@ fn observe_arrival(
 
 /// Re-reads the levels of previously snapshotted channels, skipping any that
 /// no longer exist (dropped by a failure).
-fn transitions_after(net: &Network, before: &[(ConnectionId, usize)]) -> Vec<LevelTransition> {
+pub(crate) fn transitions_after(
+    net: &Network,
+    before: &[(ConnectionId, usize)],
+) -> Vec<LevelTransition> {
     before
         .iter()
         .filter_map(|&(id, old)| net.connection(id).map(|c| (old, c.level())))

@@ -37,6 +37,8 @@
 //!   (`P_f`, `P_s`, `A`, `B`, `T`).
 //! * [`experiment`] — the churn harness reproducing the paper's
 //!   "detailed simulations".
+//! * [`scenario`] — adversarial workloads (flash crowd, diurnal, Pareto
+//!   holding) and correlated shared-risk-group failures.
 //! * [`framing`] — length-prefixed binary framing primitives shared by
 //!   the service wire mode and the inter-daemon cluster protocol.
 //!
@@ -74,6 +76,7 @@ pub mod network;
 pub mod qos;
 pub mod route_cache;
 pub mod routing;
+pub mod scenario;
 pub mod shard;
 pub mod snapshot;
 pub mod wire;
@@ -91,6 +94,9 @@ pub use network::{
 pub use qos::{AdaptationPolicy, Bandwidth, ElasticQos};
 pub use route_cache::RouteCache;
 pub use routing::{BackupDisjointness, RouterKind};
+pub use scenario::{
+    register_seeded_srlgs, run_scenario_churn, seeded_srlgs, Scenario, ScenarioKind,
+};
 pub use shard::{ShardFault, ShardedNetwork};
 pub use snapshot::NetworkSnapshot;
 pub use workload::{PairSampler, Request, Workload};

@@ -174,6 +174,11 @@ pub struct Network {
     /// Bumped on every link-liveness change (fail/repair); cached route
     /// search state from an older epoch is invalid and must be dropped.
     topology_epoch: u64,
+    /// Registered shared-risk link groups, indexed by group id. A group's
+    /// member links fail and recover *together* (one conduit cut, one
+    /// transit domain outage); registration is static configuration and
+    /// does not appear in snapshots.
+    srlgs: Vec<Vec<LinkId>>,
     /// Reusable route-search buffers (see [`RouteScratch`]): admission
     /// planning allocates nothing per attempt. Interior mutability because
     /// planning takes `&self`. `scratch_epoch` records which topology
@@ -203,6 +208,7 @@ impl Clone for Network {
             total_bandwidth: self.total_bandwidth,
             dropped_total: self.dropped_total,
             topology_epoch: self.topology_epoch,
+            srlgs: self.srlgs.clone(),
             scratch: Mutex::new((0, RouteScratch::new())),
             cache: Mutex::new(self.lock_cache().clone()),
         }
@@ -224,6 +230,7 @@ impl Network {
             total_bandwidth: Bandwidth::ZERO,
             dropped_total: 0,
             topology_epoch: 0,
+            srlgs: Vec::new(),
             scratch: Mutex::new((0, RouteScratch::new())),
             cache: Mutex::new(RouteCache::new()),
         }
@@ -1031,6 +1038,101 @@ impl Network {
         Ok(reports)
     }
 
+    // ------------------------------------------- shared-risk link groups --
+
+    /// Registers a shared-risk link group (links that fail together: fibres
+    /// in one conduit, a transit domain behind one provider) and returns
+    /// its group id. Members are stored sorted and deduplicated, so the
+    /// same link set always registers identically regardless of input
+    /// order.
+    ///
+    /// # Errors
+    ///
+    /// * [`NetworkError::UnknownLink`] if any member is out of range.
+    pub fn register_srlg(&mut self, links: Vec<LinkId>) -> Result<usize, NetworkError> {
+        for &l in &links {
+            if !self.graph.contains_link(l) {
+                return Err(NetworkError::UnknownLink(l));
+            }
+        }
+        let mut members = links;
+        members.sort_unstable();
+        members.dedup();
+        let id = self.srlgs.len();
+        self.srlgs.push(members);
+        Ok(id)
+    }
+
+    /// Number of registered shared-risk groups.
+    pub fn srlg_count(&self) -> usize {
+        self.srlgs.len()
+    }
+
+    /// Member links of a registered group, or `None` for an unknown id.
+    pub fn srlg_links(&self, group: usize) -> Option<&[LinkId]> {
+        self.srlgs.get(group).map(|m| m.as_slice())
+    }
+
+    /// Fails every currently-up member of a shared-risk group atomically
+    /// (one correlated event), in link-id order; returns the per-link
+    /// reports. Members that are already down — e.g. taken out by an
+    /// earlier `fail_node` or an overlapping group — are skipped, so a
+    /// connection can never be double-counted in `dropped_total` by
+    /// overlapping failure sources.
+    ///
+    /// # Errors
+    ///
+    /// * [`NetworkError::UnknownSrlg`] for an unregistered group id.
+    /// * [`NetworkError::SrlgStateUnchanged`] if every member is already
+    ///   down (firing the group again would change nothing).
+    pub fn fail_srlg(&mut self, group: usize) -> Result<Vec<FailureReport>, NetworkError> {
+        let Some(members) = self.srlgs.get(group) else {
+            return Err(NetworkError::UnknownSrlg(group));
+        };
+        let up: Vec<LinkId> = members
+            .iter()
+            .copied()
+            .filter(|&l| self.links[l.index()].is_up())
+            .collect();
+        if up.is_empty() {
+            return Err(NetworkError::SrlgStateUnchanged(group));
+        }
+        let mut reports = Vec::with_capacity(up.len());
+        for l in up {
+            // lint:allow(no-panic-daemon): up was filtered to up links above
+            reports.push(self.fail_link(l).expect("filtered to up links above"));
+        }
+        Ok(reports)
+    }
+
+    /// Repairs every currently-down member of a shared-risk group, in
+    /// link-id order; returns the deduplicated ids that regained a backup.
+    ///
+    /// # Errors
+    ///
+    /// * [`NetworkError::UnknownSrlg`] for an unregistered group id.
+    /// * [`NetworkError::SrlgStateUnchanged`] if every member is already
+    ///   up.
+    pub fn repair_srlg(&mut self, group: usize) -> Result<Vec<ConnectionId>, NetworkError> {
+        let Some(members) = self.srlgs.get(group) else {
+            return Err(NetworkError::UnknownSrlg(group));
+        };
+        let down: Vec<LinkId> = members
+            .iter()
+            .copied()
+            .filter(|&l| !self.links[l.index()].is_up())
+            .collect();
+        if down.is_empty() {
+            return Err(NetworkError::SrlgStateUnchanged(group));
+        }
+        let mut regained: BTreeSet<ConnectionId> = BTreeSet::new();
+        for l in down {
+            // lint:allow(no-panic-daemon): down was filtered to down links above
+            regained.extend(self.repair_link(l).expect("filtered to down links above"));
+        }
+        Ok(regained.into_iter().collect())
+    }
+
     /// Repairs a link and re-attempts backup establishment for connections
     /// missing one. Returns the ids that regained a backup.
     ///
@@ -1471,6 +1573,91 @@ mod tests {
         // fail_node bumps once per adjacent up link (ring: degree 2).
         net.fail_node(NodeId(3)).unwrap();
         assert_eq!(net.topology_epoch(), 4);
+    }
+
+    #[test]
+    fn srlg_registration_validates_sorts_and_dedups() {
+        let mut net = small_net(10_000);
+        assert!(matches!(
+            net.register_srlg(vec![LinkId(99)]),
+            Err(NetworkError::UnknownLink(LinkId(99)))
+        ));
+        let g = net
+            .register_srlg(vec![LinkId(2), LinkId(0), LinkId(2)])
+            .unwrap();
+        assert_eq!(g, 0);
+        assert_eq!(net.srlg_count(), 1);
+        assert_eq!(net.srlg_links(g), Some(&[LinkId(0), LinkId(2)][..]));
+        assert_eq!(net.srlg_links(1), None);
+    }
+
+    #[test]
+    fn srlg_fires_all_members_atomically_and_round_trips() {
+        let mut net = small_net(10_000);
+        let g = net.register_srlg(vec![LinkId(0), LinkId(3)]).unwrap();
+        let reports = net.fail_srlg(g).unwrap();
+        assert_eq!(reports.len(), 2, "both members fail in one event");
+        assert_eq!(net.topology_epoch(), 2);
+        assert!(net.up_links().all(|l| l != LinkId(0) && l != LinkId(3)));
+        // Firing again changes nothing.
+        assert!(matches!(
+            net.fail_srlg(g),
+            Err(NetworkError::SrlgStateUnchanged(0))
+        ));
+        net.repair_srlg(g).unwrap();
+        assert_eq!(net.up_links().count(), 6);
+        assert!(matches!(
+            net.repair_srlg(g),
+            Err(NetworkError::SrlgStateUnchanged(0))
+        ));
+        assert!(matches!(
+            net.fail_srlg(7),
+            Err(NetworkError::UnknownSrlg(7))
+        ));
+        net.validate();
+    }
+
+    #[test]
+    fn srlg_skips_members_already_down() {
+        let mut net = small_net(10_000);
+        let g = net.register_srlg(vec![LinkId(1), LinkId(4)]).unwrap();
+        net.fail_link(LinkId(1)).unwrap();
+        // Only the still-up member fails; no error, no double event.
+        let reports = net.fail_srlg(g).unwrap();
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports.first().unwrap().link, LinkId(4));
+        net.validate();
+    }
+
+    #[test]
+    fn overlapping_node_and_srlg_failures_conserve_drop_count() {
+        // Regression: a fail_node that takes a connection down followed by
+        // an SRLG covering the same links must not count the victim twice.
+        let mut net = small_net(10_000);
+        let a = net.establish(NodeId(0), NodeId(2), qos()).unwrap();
+        let g: usize = {
+            // The SRLG covers every link node 1 touches, overlapping the
+            // primary *and* whatever backups exist.
+            let members: Vec<LinkId> = net
+                .graph()
+                .neighbors(NodeId(1))
+                .iter()
+                .map(|&(_, l)| l)
+                .collect();
+            net.register_srlg(members).unwrap()
+        };
+        net.fail_node(NodeId(1)).unwrap();
+        let dropped_after_node = net.dropped_total();
+        // The SRLG now has nothing left to do: every member is down.
+        assert!(matches!(
+            net.fail_srlg(g),
+            Err(NetworkError::SrlgStateUnchanged(_))
+        ));
+        assert_eq!(net.dropped_total(), dropped_after_node);
+        // Conservation: dropped + live == established.
+        assert_eq!(net.dropped_total() + net.len() as u64, 1);
+        let _ = a;
+        net.validate();
     }
 
     #[test]

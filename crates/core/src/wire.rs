@@ -57,6 +57,8 @@ impl NetworkError {
             NetworkError::LinkStateUnchanged(_) => 302,
             NetworkError::UnknownNode(_) => 303,
             NetworkError::NodeAlreadyDown(_) => 304,
+            NetworkError::UnknownSrlg(_) => 305,
+            NetworkError::SrlgStateUnchanged(_) => 306,
         }
     }
 }
@@ -112,6 +114,8 @@ pub const WIRE_CODES: &[(u16, &str)] = &[
     (302, "network: link state unchanged"),
     (303, "network: unknown node"),
     (304, "network: node already down"),
+    (305, "network: unknown shared-risk group"),
+    (306, "network: shared-risk group state unchanged"),
     (400, "invariant: total bandwidth mismatch"),
     (401, "invariant: level above max"),
     (402, "invariant: backup equals primary"),
@@ -183,6 +187,8 @@ mod tests {
                 NetworkError::LinkStateUnchanged(LinkId(0)),
                 NetworkError::UnknownNode(NodeId(0)),
                 NetworkError::NodeAlreadyDown(NodeId(0)),
+                NetworkError::UnknownSrlg(0),
+                NetworkError::SrlgStateUnchanged(0),
             ]
         }
 

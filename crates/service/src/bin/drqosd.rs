@@ -8,8 +8,13 @@
 //!
 //! ```text
 //! drqosd [--port N] [--topology ring|torus] [--nodes N]
-//!        [--rows R] [--cols C] [--capacity KBPS]
+//!        [--rows R] [--cols C] [--capacity KBPS] [--seed N]
 //! ```
+//!
+//! With `DRQOS_SRLG_COUNT` set, the daemon derives that many shared-risk
+//! link groups from `--seed` at startup (each `DRQOS_SRLG_SIZE` links,
+//! disjoint); `FAIL-SRLG g` / `REPAIR-SRLG g` then fire and heal group
+//! `g` atomically.
 
 use drqos_core::network::{Network, NetworkConfig};
 use drqos_core::qos::Bandwidth;
@@ -26,6 +31,7 @@ struct Args {
     rows: usize,
     cols: usize,
     capacity_kbps: u64,
+    seed: u64,
 }
 
 impl Default for Args {
@@ -37,12 +43,14 @@ impl Default for Args {
             rows: 6,
             cols: 6,
             capacity_kbps: 10_000,
+            seed: 1,
         }
     }
 }
 
 const USAGE: &str = "usage: drqosd [--port N] [--topology ring|torus] \
-                     [--nodes N] [--rows R] [--cols C] [--capacity KBPS]";
+                     [--nodes N] [--rows R] [--cols C] [--capacity KBPS] \
+                     [--seed N]";
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut args = Args::default();
@@ -80,6 +88,11 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                     .parse()
                     .map_err(|_| format!("bad --capacity\n{USAGE}"))?;
             }
+            "--seed" => {
+                args.seed = value(flag)?
+                    .parse()
+                    .map_err(|_| format!("bad --seed\n{USAGE}"))?;
+            }
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown flag {other}\n{USAGE}")),
         }
@@ -97,7 +110,21 @@ fn build_network(args: &Args) -> Result<Network, String> {
         capacity: Bandwidth::kbps(args.capacity_kbps),
         ..NetworkConfig::default()
     };
-    Ok(Network::new(graph, config))
+    let mut net = Network::new(graph, config);
+    let srlg_count = drqos_core::env::srlg_count();
+    if srlg_count > 0 {
+        let registered = drqos_core::register_seeded_srlgs(
+            &mut net,
+            srlg_count,
+            drqos_core::env::srlg_size(),
+            args.seed,
+        );
+        eprintln!(
+            "drqosd: registered {registered} shared-risk groups (seed {})",
+            args.seed
+        );
+    }
+    Ok(net)
 }
 
 fn main() -> ExitCode {

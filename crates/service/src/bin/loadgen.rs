@@ -9,7 +9,7 @@
 //! ```text
 //! drqos-loadgen [--addr HOST:PORT] [--endpoints A,B,...] [--clients N]
 //!               [--requests N] [--seed S] [--release-prob PCT]
-//!               [--min-availability F] [--shutdown]
+//!               [--min-availability F] [--scenario NAME] [--shutdown]
 //! ```
 //!
 //! With `--endpoints`, workers are spread round-robin across several
@@ -22,7 +22,7 @@ use std::process::ExitCode;
 
 const USAGE: &str = "usage: drqos-loadgen [--addr HOST:PORT] [--endpoints A,B,...] \
                      [--clients N] [--requests N] [--seed S] [--release-prob PCT] \
-                     [--min-availability F] [--shutdown]";
+                     [--min-availability F] [--scenario NAME] [--shutdown]";
 
 fn parse_args(argv: &[String]) -> Result<(LoadgenConfig, Option<f64>), String> {
     let mut config = LoadgenConfig::default();
@@ -78,6 +78,11 @@ fn parse_args(argv: &[String]) -> Result<(LoadgenConfig, Option<f64>), String> {
                     return Err(format!("--release-prob must be 0..=100\n{USAGE}"));
                 }
                 config.release_prob = pct as f64 / 100.0;
+            }
+            "--scenario" => {
+                let name = value(flag)?;
+                config.scenario = drqos_core::scenario::ScenarioKind::parse(&name)
+                    .ok_or_else(|| format!("unknown --scenario {name}\n{USAGE}"))?;
             }
             "--shutdown" => config.shutdown = true,
             "--help" | "-h" => return Err(USAGE.to_string()),

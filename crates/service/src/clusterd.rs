@@ -679,6 +679,8 @@ impl MemberState {
                 self.forward(MemberOp::RepairLink { link: LinkId(link) })
             }
             Request::FailNode { node } => self.forward(MemberOp::FailNode { node: NodeId(node) }),
+            Request::FailSrlg { group } => self.forward(MemberOp::FailSrlg { group }),
+            Request::RepairSrlg { group } => self.forward(MemberOp::RepairSrlg { group }),
             Request::Snapshot => self.snapshot(),
             Request::Stats => self.stats(),
             Request::Shutdown => self.shutdown(),
@@ -741,6 +743,27 @@ fn render_outcome(outcome: Option<ApplyOutcome>) -> Response {
             ))
         }
         Some(ApplyOutcome::FailNode(Err(e))) => Response::Err {
+            code: e.wire_code(),
+            message: e.to_string(),
+        },
+        Some(ApplyOutcome::FailSrlg(Ok(reports))) => {
+            let activated: usize = reports.iter().map(|r| r.activated.len()).sum();
+            let dropped: usize = reports.iter().map(|r| r.dropped.len()).sum();
+            Response::Ok(format!(
+                "links={} activated={} dropped={}",
+                reports.len(),
+                activated,
+                dropped
+            ))
+        }
+        Some(ApplyOutcome::FailSrlg(Err(e))) => Response::Err {
+            code: e.wire_code(),
+            message: e.to_string(),
+        },
+        Some(ApplyOutcome::RepairSrlg(Ok(regained))) => {
+            Response::Ok(format!("regained={}", regained.len()))
+        }
+        Some(ApplyOutcome::RepairSrlg(Err(e))) => Response::Err {
             code: e.wire_code(),
             message: e.to_string(),
         },

@@ -338,6 +338,29 @@ impl Engine {
                     message: e.to_string(),
                 },
             },
+            Request::FailSrlg { group } => match self.net.inner_mut().fail_srlg(group) {
+                Ok(reports) => {
+                    let activated: usize = reports.iter().map(|r| r.activated.len()).sum();
+                    let dropped: usize = reports.iter().map(|r| r.dropped.len()).sum();
+                    Response::Ok(format!(
+                        "links={} activated={} dropped={}",
+                        reports.len(),
+                        activated,
+                        dropped
+                    ))
+                }
+                Err(e) => Response::Err {
+                    code: e.wire_code(),
+                    message: e.to_string(),
+                },
+            },
+            Request::RepairSrlg { group } => match self.net.inner_mut().repair_srlg(group) {
+                Ok(regained) => Response::Ok(format!("regained={}", regained.len())),
+                Err(e) => Response::Err {
+                    code: e.wire_code(),
+                    message: e.to_string(),
+                },
+            },
             Request::Snapshot => Response::Ok(self.snapshot_payload()),
             Request::Stats => Response::Ok(self.stats_payload()),
             // handle_server_line routes SHUTDOWN before dispatch; answering
@@ -449,6 +472,8 @@ fn op_kind(req: &Request) -> OpKind {
         Request::FailLink { .. } => OpKind::FailLink,
         Request::RepairLink { .. } => OpKind::RepairLink,
         Request::FailNode { .. } => OpKind::FailNode,
+        Request::FailSrlg { .. } => OpKind::FailSrlg,
+        Request::RepairSrlg { .. } => OpKind::RepairSrlg,
         Request::Snapshot => OpKind::Snapshot,
         Request::Stats => OpKind::Stats,
         Request::Shutdown => OpKind::Shutdown,

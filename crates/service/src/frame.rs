@@ -24,6 +24,8 @@
 //! | 6      | `SNAPSHOT`    | —                             |
 //! | 7      | `STATS`       | —                             |
 //! | 8      | `SHUTDOWN`    | —                             |
+//! | 9      | `FAIL-SRLG`   | group                         |
+//! | 10     | `REPAIR-SRLG` | group                         |
 //!
 //! ## Response frame
 //!
@@ -70,6 +72,10 @@ pub const OP_SNAPSHOT: u8 = 6;
 pub const OP_STATS: u8 = 7;
 /// `SHUTDOWN` opcode.
 pub const OP_SHUTDOWN: u8 = 8;
+/// `FAIL-SRLG` opcode.
+pub const OP_FAIL_SRLG: u8 = 9;
+/// `REPAIR-SRLG` opcode.
+pub const OP_REPAIR_SRLG: u8 = 10;
 
 /// `OK` response status byte.
 pub const STATUS_OK: u8 = 0;
@@ -89,6 +95,8 @@ fn opcode_info(op: u8) -> Option<(&'static str, usize)> {
         OP_SNAPSHOT => Some(("SNAPSHOT", 0)),
         OP_STATS => Some(("STATS", 0)),
         OP_SHUTDOWN => Some(("SHUTDOWN", 0)),
+        OP_FAIL_SRLG => Some(("FAIL-SRLG", 1)),
+        OP_REPAIR_SRLG => Some(("REPAIR-SRLG", 1)),
         _ => None,
     }
 }
@@ -126,6 +134,14 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
         Request::FailNode { node } => {
             body.push(OP_FAIL_NODE);
             put_u64(&mut body, node as u64);
+        }
+        Request::FailSrlg { group } => {
+            body.push(OP_FAIL_SRLG);
+            put_u64(&mut body, group as u64);
+        }
+        Request::RepairSrlg { group } => {
+            body.push(OP_REPAIR_SRLG);
+            put_u64(&mut body, group as u64);
         }
         Request::Snapshot => body.push(OP_SNAPSHOT),
         Request::Stats => body.push(OP_STATS),
@@ -178,6 +194,8 @@ pub fn decode_request(body: &[u8]) -> Result<Request, ProtocolError> {
         OP_FAIL_LINK => Ok(Request::FailLink { link: index(1)? }),
         OP_REPAIR_LINK => Ok(Request::RepairLink { link: index(1)? }),
         OP_FAIL_NODE => Ok(Request::FailNode { node: index(1)? }),
+        OP_FAIL_SRLG => Ok(Request::FailSrlg { group: index(1)? }),
+        OP_REPAIR_SRLG => Ok(Request::RepairSrlg { group: index(1)? }),
         OP_SNAPSHOT => Ok(Request::Snapshot),
         OP_STATS => Ok(Request::Stats),
         // opcode_info returned Some, so only SHUTDOWN remains.
@@ -251,6 +269,8 @@ mod tests {
             Request::FailLink { link: 2 },
             Request::RepairLink { link: 2 },
             Request::FailNode { node: 4 },
+            Request::FailSrlg { group: 1 },
+            Request::RepairSrlg { group: 1 },
             Request::Snapshot,
             Request::Stats,
             Request::Shutdown,

@@ -28,6 +28,7 @@ use crate::protocol::{self, payload_field};
 use drqos_bench::runner::derive_seed;
 use drqos_core::env::WireMode;
 use drqos_core::qos::{Bandwidth, ElasticQos};
+use drqos_core::scenario::{Scenario, ScenarioKind};
 use drqos_core::workload::Workload;
 use drqos_sim::rng::Rng;
 use std::io::{self, BufRead, BufReader, Write};
@@ -63,6 +64,13 @@ pub struct LoadgenConfig {
     pub shutdown: bool,
     /// Wire mode to speak (must match the daemon's `DRQOS_WIRE`).
     pub wire: WireMode,
+    /// Arrival-shaping scenario (`DRQOS_SCENARIO`): each worker thins its
+    /// request slots against the scenario's rate curve, so a flash-crowd
+    /// run concentrates establishes in seeded burst windows while a
+    /// diurnal run modulates them piecewise. `Baseline` (and any scenario
+    /// whose arrival rate is flat) sends every slot, byte-identical to the
+    /// unshaped generator.
+    pub scenario: ScenarioKind,
 }
 
 impl Default for LoadgenConfig {
@@ -79,6 +87,7 @@ impl Default for LoadgenConfig {
             delta: 100,
             shutdown: false,
             wire: drqos_core::env::wire(),
+            scenario: drqos_core::env::scenario(),
         }
     }
 }
@@ -409,6 +418,8 @@ fn worker_script(
     )
     .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
     let workload = Workload::new(qos);
+    let scenario = Scenario::new(config.scenario);
+    let peak = scenario.peak_rate(1.0);
     let mut held: Vec<u64> = Vec::new();
     let send_timed = |client: &mut Client,
                       command: &str,
@@ -424,7 +435,18 @@ fn worker_script(
         }
         Ok(tally(&resp, establishing, stats))
     };
-    for _ in 0..config.requests_per_client {
+    for slot in 0..config.requests_per_client {
+        // Virtual time advances one mean inter-arrival per slot; thinning
+        // against the scenario's rate curve shapes the arrival stream. A
+        // thinned-out slot counts as completed for availability — the
+        // scenario skipped it, the daemon did not fail it. Flat-rate
+        // scenarios never call the RNG here, so the baseline stream is
+        // byte-identical to the unshaped generator.
+        let accept = scenario.rate_at(config.seed, 1.0, slot as f64) / peak;
+        if accept < 1.0 && !rng.chance(accept) {
+            stats.establishes += 1;
+            continue;
+        }
         let req = workload.request(&mut rng, nodes);
         let command = format!(
             "ESTABLISH {} {} {} {} {}",

@@ -124,6 +124,10 @@ pub enum OpKind {
     RepairLink,
     /// `FAIL-NODE`.
     FailNode,
+    /// `FAIL-SRLG`.
+    FailSrlg,
+    /// `REPAIR-SRLG`.
+    RepairSrlg,
     /// `SNAPSHOT`.
     Snapshot,
     /// `STATS`.
@@ -136,12 +140,14 @@ pub enum OpKind {
 
 impl OpKind {
     /// All kinds, in report order.
-    pub const ALL: [OpKind; 9] = [
+    pub const ALL: [OpKind; 11] = [
         OpKind::Establish,
         OpKind::Release,
         OpKind::FailLink,
         OpKind::RepairLink,
         OpKind::FailNode,
+        OpKind::FailSrlg,
+        OpKind::RepairSrlg,
         OpKind::Snapshot,
         OpKind::Stats,
         OpKind::Shutdown,
@@ -156,6 +162,8 @@ impl OpKind {
             OpKind::FailLink => "fail_link",
             OpKind::RepairLink => "repair_link",
             OpKind::FailNode => "fail_node",
+            OpKind::FailSrlg => "fail_srlg",
+            OpKind::RepairSrlg => "repair_srlg",
             OpKind::Snapshot => "snapshot",
             OpKind::Stats => "stats",
             OpKind::Shutdown => "shutdown",
@@ -170,10 +178,12 @@ impl OpKind {
             OpKind::FailLink => 2,
             OpKind::RepairLink => 3,
             OpKind::FailNode => 4,
-            OpKind::Snapshot => 5,
-            OpKind::Stats => 6,
-            OpKind::Shutdown => 7,
-            OpKind::Invalid => 8,
+            OpKind::FailSrlg => 5,
+            OpKind::RepairSrlg => 6,
+            OpKind::Snapshot => 7,
+            OpKind::Stats => 8,
+            OpKind::Shutdown => 9,
+            OpKind::Invalid => 10,
         }
     }
 }
@@ -193,7 +203,7 @@ pub struct OpStats {
 #[derive(Debug, Clone)]
 pub struct Metrics {
     started: Instant,
-    ops: [OpStats; 9],
+    ops: [OpStats; 11],
     /// `ESTABLISH` requests admitted.
     pub admitted: u64,
     /// `ESTABLISH` requests rejected (QoS or admission errors).

@@ -49,6 +49,17 @@ pub enum Request {
         /// Node index.
         node: usize,
     },
+    /// `FAIL-SRLG <group>` — fail every up link in a shared-risk group.
+    FailSrlg {
+        /// Shared-risk group index.
+        group: usize,
+    },
+    /// `REPAIR-SRLG <group>` — repair every down link in a shared-risk
+    /// group.
+    RepairSrlg {
+        /// Shared-risk group index.
+        group: usize,
+    },
     /// `SNAPSHOT` — a one-line deterministic summary of network state.
     Snapshot,
     /// `STATS` — request-metrics counters and latency percentiles.
@@ -74,6 +85,8 @@ impl Request {
             Request::FailLink { link } => format!("FAIL-LINK {link}"),
             Request::RepairLink { link } => format!("REPAIR-LINK {link}"),
             Request::FailNode { node } => format!("FAIL-NODE {node}"),
+            Request::FailSrlg { group } => format!("FAIL-SRLG {group}"),
+            Request::RepairSrlg { group } => format!("REPAIR-SRLG {group}"),
             Request::Snapshot => "SNAPSHOT".to_string(),
             Request::Stats => "STATS".to_string(),
             Request::Shutdown => "SHUTDOWN".to_string(),
@@ -88,6 +101,8 @@ impl Request {
             Request::FailLink { .. } => "FAIL-LINK",
             Request::RepairLink { .. } => "REPAIR-LINK",
             Request::FailNode { .. } => "FAIL-NODE",
+            Request::FailSrlg { .. } => "FAIL-SRLG",
+            Request::RepairSrlg { .. } => "REPAIR-SRLG",
             Request::Snapshot => "SNAPSHOT",
             Request::Stats => "STATS",
             Request::Shutdown => "SHUTDOWN",
@@ -203,6 +218,18 @@ pub fn parse(line: &str) -> Result<Request, ProtocolError> {
             }),
             _ => Err(ProtocolError::arg_count(verb, 1, args.len())),
         },
+        "FAIL-SRLG" => match args.as_slice() {
+            [group] => Ok(Request::FailSrlg {
+                group: parse_usize(group)?,
+            }),
+            _ => Err(ProtocolError::arg_count(verb, 1, args.len())),
+        },
+        "REPAIR-SRLG" => match args.as_slice() {
+            [group] => Ok(Request::RepairSrlg {
+                group: parse_usize(group)?,
+            }),
+            _ => Err(ProtocolError::arg_count(verb, 1, args.len())),
+        },
         "SNAPSHOT" => {
             expect_args(verb, &args, 0)?;
             Ok(Request::Snapshot)
@@ -288,6 +315,14 @@ mod tests {
             Request::RepairLink { link: 2 }
         );
         assert_eq!(parse("FAIL-NODE 4").unwrap(), Request::FailNode { node: 4 });
+        assert_eq!(
+            parse("FAIL-SRLG 1").unwrap(),
+            Request::FailSrlg { group: 1 }
+        );
+        assert_eq!(
+            parse("REPAIR-SRLG 1").unwrap(),
+            Request::RepairSrlg { group: 1 }
+        );
         assert_eq!(parse("SNAPSHOT").unwrap(), Request::Snapshot);
         assert_eq!(parse("STATS").unwrap(), Request::Stats);
         assert_eq!(parse("SHUTDOWN").unwrap(), Request::Shutdown);

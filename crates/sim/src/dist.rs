@@ -236,6 +236,89 @@ impl Distribution<usize> for WeightedIndex {
     }
 }
 
+/// The Pareto (type I) distribution with scale `x_m` and shape `α`.
+///
+/// Heavy-tailed holding times for the adversarial scenarios: the paper's
+/// Markov model assumes exponential holding, so Pareto holding (finite
+/// mean only for `α > 1`, infinite variance for `α ≤ 2`) is exactly the
+/// regime where its predictions should start to break.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pareto {
+    scale: f64,
+    shape: f64,
+}
+
+impl Pareto {
+    /// Creates a Pareto distribution with the given scale and shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidParameter`] unless both parameters are finite and
+    /// positive.
+    pub fn new(scale: f64, shape: f64) -> Result<Self, InvalidParameter> {
+        if !scale.is_finite() || scale <= 0.0 {
+            return Err(InvalidParameter::new(format!(
+                "Pareto scale must be finite and positive, got {scale}"
+            )));
+        }
+        if !shape.is_finite() || shape <= 0.0 {
+            return Err(InvalidParameter::new(format!(
+                "Pareto shape must be finite and positive, got {shape}"
+            )));
+        }
+        Ok(Self { scale, shape })
+    }
+
+    /// Creates a Pareto distribution with the given mean and shape.
+    ///
+    /// Solves `mean = α·x_m / (α - 1)` for the scale, so swapping an
+    /// exponential holding model for a Pareto one preserves offered load.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidParameter`] unless `mean` is finite and positive
+    /// and `shape > 1` (the mean is infinite otherwise).
+    pub fn from_mean(mean: f64, shape: f64) -> Result<Self, InvalidParameter> {
+        if !mean.is_finite() || mean <= 0.0 {
+            return Err(InvalidParameter::new(format!(
+                "Pareto mean must be finite and positive, got {mean}"
+            )));
+        }
+        if !shape.is_finite() || shape <= 1.0 {
+            return Err(InvalidParameter::new(format!(
+                "Pareto shape must exceed 1 for a finite mean, got {shape}"
+            )));
+        }
+        Self::new(mean * (shape - 1.0) / shape, shape)
+    }
+
+    /// Scale parameter `x_m` (the distribution's minimum).
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Shape parameter `α` (tail index).
+    pub fn shape(&self) -> f64 {
+        self.shape
+    }
+
+    /// The analytic mean `α·x_m / (α - 1)`, or `+∞` when `α ≤ 1`.
+    pub fn mean(&self) -> f64 {
+        if self.shape <= 1.0 {
+            f64::INFINITY
+        } else {
+            self.shape * self.scale / (self.shape - 1.0)
+        }
+    }
+}
+
+impl Distribution<f64> for Pareto {
+    fn sample(&self, rng: &mut Rng) -> f64 {
+        // Inverse transform: x_m / U^(1/α) on the open unit interval.
+        self.scale / rng.next_f64_open().powf(1.0 / self.shape)
+    }
+}
+
 /// A degenerate (constant) distribution; useful as a deterministic stand-in
 /// in tests and ablation runs.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -350,5 +433,36 @@ mod tests {
     fn constant_returns_value() {
         let mut r = rng();
         assert_eq!(Constant(3.25).sample(&mut r), 3.25);
+    }
+
+    #[test]
+    fn pareto_rejects_bad_parameters() {
+        assert!(Pareto::new(0.0, 1.5).is_err());
+        assert!(Pareto::new(1.0, 0.0).is_err());
+        assert!(Pareto::new(-1.0, 2.0).is_err());
+        assert!(Pareto::new(f64::NAN, 2.0).is_err());
+        assert!(Pareto::new(1.0, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn pareto_from_mean_requires_shape_above_one() {
+        assert!(Pareto::from_mean(100.0, 1.0).is_err());
+        assert!(Pareto::from_mean(100.0, 0.5).is_err());
+        assert!(Pareto::from_mean(-1.0, 2.5).is_err());
+        let d = Pareto::from_mean(100.0, 2.5).unwrap();
+        assert!((d.mean() - 100.0).abs() < 1e-9, "mean {}", d.mean());
+    }
+
+    #[test]
+    fn pareto_samples_at_least_scale() {
+        let d = Pareto::new(7.0, 1.8).unwrap();
+        let mut r = rng();
+        assert!(d.sample_n(&mut r, 10_000).iter().all(|&x| x >= 7.0));
+    }
+
+    #[test]
+    fn pareto_infinite_mean_below_shape_one() {
+        let d = Pareto::new(1.0, 0.9).unwrap();
+        assert!(d.mean().is_infinite());
     }
 }

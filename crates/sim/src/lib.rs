@@ -9,6 +9,7 @@
 //! * [`dist`] — exponential / uniform / Bernoulli / weighted variates.
 //! * [`time`] — validated virtual time ([`time::SimTime`]).
 //! * [`engine`] — the event queue ([`engine::Simulator`]).
+//! * [`srlg`] — seeded correlated-failure (shared-risk link group) churn.
 //! * [`stats`] — Welford, time-weighted averages, histograms, counters.
 //!
 //! # Example: an M/M/∞ arrival process
@@ -54,6 +55,7 @@
 pub mod dist;
 pub mod engine;
 pub mod rng;
+pub mod srlg;
 pub mod stats;
 pub mod time;
 

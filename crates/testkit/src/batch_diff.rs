@@ -248,6 +248,42 @@ fn apply_singleton(batched: &mut Network, oracle: &mut Network, op: Op) -> Optio
                 }
             }
         }
+        Op::FailSrlg { pick } => {
+            let candidates: Vec<usize> = (0..oracle.srlg_count())
+                .filter(|&g| {
+                    oracle
+                        .srlg_links(g)
+                        .is_some_and(|ls| ls.iter().any(|&l| oracle.link_usage(l).is_up()))
+                })
+                .collect();
+            if let Some(&group) = resolve(&candidates, pick) {
+                let got_batched = batched.fail_srlg(group);
+                let got_oracle = oracle.fail_srlg(group);
+                if got_batched != got_oracle {
+                    return Some(format!(
+                        "fail_srlg({group}) diverged: batched {got_batched:?}, sequential {got_oracle:?}"
+                    ));
+                }
+            }
+        }
+        Op::RepairSrlg { pick } => {
+            let candidates: Vec<usize> = (0..oracle.srlg_count())
+                .filter(|&g| {
+                    oracle
+                        .srlg_links(g)
+                        .is_some_and(|ls| ls.iter().any(|&l| !oracle.link_usage(l).is_up()))
+                })
+                .collect();
+            if let Some(&group) = resolve(&candidates, pick) {
+                let got_batched = batched.repair_srlg(group);
+                let got_oracle = oracle.repair_srlg(group);
+                if got_batched != got_oracle {
+                    return Some(format!(
+                        "repair_srlg({group}) diverged: batched {got_batched:?}, sequential {got_oracle:?}"
+                    ));
+                }
+            }
+        }
     }
     compare_state(batched, oracle)
 }

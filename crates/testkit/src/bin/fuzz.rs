@@ -33,10 +33,11 @@
 //!   results, drop counters, snapshots of the authoritative network or
 //!   any live replica, or leaked prepares;
 //! * `--self-test` is the mutation check: it injects the `LoseRelease`
-//!   accounting fault, the `ReverseBatch` batch-ordering fault, the
-//!   sharded engine's `LoseReservationRelease` two-phase leak, and the
-//!   cluster coordinator's `LosePrepare` leak, and *fails* unless the
-//!   detectors catch all four and shrink the witnesses (≤ 10 ops for the
+//!   accounting fault, the `LoseSrlgRepair` shared-risk-group repair
+//!   fault, the `ReverseBatch` batch-ordering fault, the sharded
+//!   engine's `LoseReservationRelease` two-phase leak, and the cluster
+//!   coordinator's `LosePrepare` leak, and *fails* unless the detectors
+//!   catch all five and shrink the witnesses (≤ 10 ops for each
 //!   accounting fault, ≤ 4 for the ordering one, ≤ 3 for each leak).
 
 use drqos_testkit::batch_diff::{batch_mutation_witness, run_batch_diff, BatchDiffConfig};
@@ -268,6 +269,32 @@ fn mutation_check(seed: u64) -> ExitCode {
         }
         None => {
             eprintln!("FAIL: injected accounting fault was NOT detected — oracle regressed");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let outcome = run_fuzz(&FuzzConfig {
+        sequences: 200,
+        ops_per_sequence: 60,
+        seed,
+        fault: InjectedFault::LoseSrlgRepair,
+    });
+    match outcome.failure {
+        Some(failure) if failure.shrunk.len() <= 10 => {
+            println!(
+                "ok: injected LoseSrlgRepair fault caught and shrunk to {} op(s)",
+                failure.shrunk.len()
+            );
+        }
+        Some(failure) => {
+            eprintln!(
+                "FAIL: SRLG repair fault caught but reproducer has {} ops (> 10) — shrinker regressed",
+                failure.shrunk.len()
+            );
+            return ExitCode::FAILURE;
+        }
+        None => {
+            eprintln!("FAIL: injected SRLG repair fault was NOT detected — oracle regressed");
             return ExitCode::FAILURE;
         }
     }

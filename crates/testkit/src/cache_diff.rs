@@ -132,6 +132,40 @@ fn apply_both(on: &mut Network, off: &mut Network, qos: ElasticQos, op: Op) -> O
                 }
             }
         }
+        Op::FailSrlg { pick } => {
+            let candidates: Vec<usize> = (0..off.srlg_count())
+                .filter(|&g| {
+                    off.srlg_links(g)
+                        .is_some_and(|ls| ls.iter().any(|&l| off.link_usage(l).is_up()))
+                })
+                .collect();
+            if let Some(&group) = resolve(&candidates, pick) {
+                let got_on = on.fail_srlg(group);
+                let got_off = off.fail_srlg(group);
+                if got_on != got_off {
+                    return Some(format!(
+                        "fail_srlg({group}) diverged: cache-on {got_on:?}, cache-off {got_off:?}"
+                    ));
+                }
+            }
+        }
+        Op::RepairSrlg { pick } => {
+            let candidates: Vec<usize> = (0..off.srlg_count())
+                .filter(|&g| {
+                    off.srlg_links(g)
+                        .is_some_and(|ls| ls.iter().any(|&l| !off.link_usage(l).is_up()))
+                })
+                .collect();
+            if let Some(&group) = resolve(&candidates, pick) {
+                let got_on = on.repair_srlg(group);
+                let got_off = off.repair_srlg(group);
+                if got_on != got_off {
+                    return Some(format!(
+                        "repair_srlg({group}) diverged: cache-on {got_on:?}, cache-off {got_off:?}"
+                    ));
+                }
+            }
+        }
     }
     if on.dropped_total() != off.dropped_total() {
         return Some(format!(

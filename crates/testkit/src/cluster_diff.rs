@@ -231,6 +231,26 @@ fn apply_singleton(cluster: &mut ClusterSim, oracle: &mut Network, op: Op) -> Op
                 .collect();
             resolve(&down, pick).map(|&link| MemberOp::RepairLink { link })
         }
+        Op::FailSrlg { pick } => {
+            let candidates: Vec<usize> = (0..oracle.srlg_count())
+                .filter(|&g| {
+                    oracle
+                        .srlg_links(g)
+                        .is_some_and(|ls| ls.iter().any(|&l| oracle.link_usage(l).is_up()))
+                })
+                .collect();
+            resolve(&candidates, pick).map(|&group| MemberOp::FailSrlg { group })
+        }
+        Op::RepairSrlg { pick } => {
+            let candidates: Vec<usize> = (0..oracle.srlg_count())
+                .filter(|&g| {
+                    oracle
+                        .srlg_links(g)
+                        .is_some_and(|ls| ls.iter().any(|&l| !oracle.link_usage(l).is_up()))
+                })
+                .collect();
+            resolve(&candidates, pick).map(|&group| MemberOp::RepairSrlg { group })
+        }
     };
     if let Some(member_op) = member_op {
         let want: ApplyOutcome = apply_committed(oracle, &member_op.to_committed());

@@ -67,6 +67,20 @@ pub enum Op {
         /// Raw selector into the down-link list.
         pick: u64,
     },
+    /// Fire a shared-risk link group: fail every currently-up member
+    /// atomically (resolved mod the groups-with-an-up-member list; no-op
+    /// when every group is fully down).
+    FailSrlg {
+        /// Raw selector into the groups-with-an-up-member list.
+        pick: u64,
+    },
+    /// Repair a shared-risk link group: bring every down member back up
+    /// (resolved mod the groups-with-a-down-member list; no-op when every
+    /// group is fully up).
+    RepairSrlg {
+        /// Raw selector into the groups-with-a-down-member list.
+        pick: u64,
+    },
 }
 
 /// A deliberately injected accounting bug, used as a mutation check: the
@@ -81,6 +95,10 @@ pub enum InjectedFault {
     /// the mirrored books keep charging the freed bandwidth, exactly the
     /// drift a forgotten `remove_primary` would cause.
     LoseRelease,
+    /// Shared-risk group repairs are applied to the network but *not* to
+    /// the reference — its mirrored link states stay down, the drift a
+    /// repair path that forgot to fan out over the group would cause.
+    LoseSrlgRepair,
 }
 
 /// Deterministic parameters of one fuzz case: topology and QoS template.
@@ -129,23 +147,29 @@ impl Scenario {
             .expect("valid config")
     }
 
-    /// Builds the scenario's network.
+    /// Builds the scenario's network. Three seeded shared-risk groups of
+    /// two links each are registered (derived from `graph_seed`, so the
+    /// five scenario fields stay a complete reproducer); registration is
+    /// inert until a [`Op::FailSrlg`] fires.
     pub fn network(&self) -> Network {
-        Network::new(
+        let mut net = Network::new(
             self.graph(),
             NetworkConfig {
                 capacity: Bandwidth::kbps(self.capacity_kbps),
                 backup_count: self.backup_count,
                 ..NetworkConfig::default()
             },
-        )
+        );
+        drqos_core::register_seeded_srlgs(&mut net, SRLG_GROUPS, SRLG_GROUP_SIZE, self.graph_seed);
+        net
     }
 
     /// Builds the scenario's network with the route cache explicitly
     /// forced on or off, ignoring the `DRQOS_ROUTE_CACHE` environment
-    /// (differential runs must control both sides themselves).
+    /// (differential runs must control both sides themselves). Registers
+    /// the same seeded shared-risk groups as [`Scenario::network`].
     pub fn network_with_cache(&self, route_cache: bool) -> Network {
-        Network::new(
+        let mut net = Network::new(
             self.graph(),
             NetworkConfig {
                 capacity: Bandwidth::kbps(self.capacity_kbps),
@@ -153,9 +177,17 @@ impl Scenario {
                 route_cache,
                 ..NetworkConfig::default()
             },
-        )
+        );
+        drqos_core::register_seeded_srlgs(&mut net, SRLG_GROUPS, SRLG_GROUP_SIZE, self.graph_seed);
+        net
     }
 }
+
+/// Shared-risk groups registered on every fuzz network.
+const SRLG_GROUPS: usize = 3;
+/// Links per fuzz shared-risk group (small, so groups overlap node
+/// failures often enough to exercise the skip-already-down path).
+const SRLG_GROUP_SIZE: usize = 2;
 
 /// Network + reference model + oracle, stepped one [`Op`] at a time.
 pub struct Harness {
@@ -254,6 +286,54 @@ impl Harness {
                     self.reference.on_repair_link(link);
                 }
             }
+            Op::FailSrlg { pick } => {
+                let candidates: Vec<usize> = (0..self.net.srlg_count())
+                    .filter(|&g| {
+                        self.net
+                            .srlg_links(g)
+                            .is_some_and(|ls| ls.iter().any(|&l| self.net.link_usage(l).is_up()))
+                    })
+                    .collect();
+                if let Some(&group) = resolve(&candidates, pick) {
+                    let reports = self
+                        .net
+                        .fail_srlg(group)
+                        .expect("candidate group has an up member");
+                    for report in &reports {
+                        self.reference.on_fail_link(&self.net, report);
+                    }
+                }
+            }
+            Op::RepairSrlg { pick } => {
+                let candidates: Vec<usize> = (0..self.net.srlg_count())
+                    .filter(|&g| {
+                        self.net
+                            .srlg_links(g)
+                            .is_some_and(|ls| ls.iter().any(|&l| !self.net.link_usage(l).is_up()))
+                    })
+                    .collect();
+                if let Some(&group) = resolve(&candidates, pick) {
+                    // Capture the members being repaired before the call:
+                    // repair_srlg returns connections, but the reference is
+                    // told per link.
+                    let down: Vec<LinkId> = self
+                        .net
+                        .srlg_links(group)
+                        .expect("candidate group exists")
+                        .iter()
+                        .copied()
+                        .filter(|&l| !self.net.link_usage(l).is_up())
+                        .collect();
+                    self.net
+                        .repair_srlg(group)
+                        .expect("candidate group has a down member");
+                    if self.fault != InjectedFault::LoseSrlgRepair {
+                        for link in down {
+                            self.reference.on_repair_link(link);
+                        }
+                    }
+                }
+            }
         }
         let mut violations: Vec<Violation> = self
             .reference
@@ -279,7 +359,8 @@ fn resolve<T>(candidates: &[T], pick: u64) -> Option<&T> {
 }
 
 /// Generates `len` operations with the standard weights (40% establish,
-/// 25% release, 15% fail-link, 5% fail-node, 15% repair).
+/// 25% release, 13% fail-link, 5% fail-node, 3% fail-srlg, 3%
+/// repair-srlg, 11% repair-link).
 pub fn generate_ops(rng: &mut Rng, len: usize) -> Vec<Op> {
     (0..len)
         .map(|_| {
@@ -293,12 +374,20 @@ pub fn generate_ops(rng: &mut Rng, len: usize) -> Vec<Op> {
                 Op::Release {
                     pick: rng.next_u64(),
                 }
-            } else if roll < 80 {
+            } else if roll < 78 {
                 Op::FailLink {
                     pick: rng.next_u64(),
                 }
-            } else if roll < 85 {
+            } else if roll < 83 {
                 Op::FailNode {
+                    pick: rng.next_u64(),
+                }
+            } else if roll < 86 {
+                Op::FailSrlg {
+                    pick: rng.next_u64(),
+                }
+            } else if roll < 89 {
+                Op::RepairSrlg {
                     pick: rng.next_u64(),
                 }
             } else {
@@ -566,6 +655,41 @@ mod tests {
         let repro = failure.reproducer();
         assert!(repro.contains("Scenario {"));
         assert!(repro.contains("Op::"));
+    }
+
+    #[test]
+    fn srlg_ops_appear_in_generated_streams() {
+        let mut rng = Rng::seed_from_u64(42);
+        let ops = generate_ops(&mut rng, 400);
+        assert!(ops.iter().any(|op| matches!(op, Op::FailSrlg { .. })));
+        assert!(ops.iter().any(|op| matches!(op, Op::RepairSrlg { .. })));
+    }
+
+    #[test]
+    fn lost_srlg_repair_is_caught_and_shrunk_small() {
+        let outcome = run_fuzz(&FuzzConfig {
+            sequences: 200,
+            ops_per_sequence: 60,
+            seed: 7,
+            fault: InjectedFault::LoseSrlgRepair,
+        });
+        let failure = outcome.failure.expect("the fault must be caught");
+        assert!(
+            failure.shrunk.len() <= 10,
+            "reproducer should be tiny, got {} ops",
+            failure.shrunk.len()
+        );
+        assert!(failure
+            .shrunk
+            .iter()
+            .any(|op| matches!(op, Op::RepairSrlg { .. })));
+        let replay = run_sequence(
+            &failure.scenario,
+            &failure.shrunk,
+            InjectedFault::LoseSrlgRepair,
+        )
+        .expect("reproducer replays");
+        assert!(!replay.violations.is_empty());
     }
 
     #[test]

@@ -240,6 +240,42 @@ fn apply_singleton(sharded: &mut ShardedNetwork, oracle: &mut Network, op: Op) -
                 }
             }
         }
+        Op::FailSrlg { pick } => {
+            let candidates: Vec<usize> = (0..oracle.srlg_count())
+                .filter(|&g| {
+                    oracle
+                        .srlg_links(g)
+                        .is_some_and(|ls| ls.iter().any(|&l| oracle.link_usage(l).is_up()))
+                })
+                .collect();
+            if let Some(&group) = resolve(&candidates, pick) {
+                let got_sharded = sharded.inner_mut().fail_srlg(group);
+                let got_oracle = oracle.fail_srlg(group);
+                if got_sharded != got_oracle {
+                    return Some(format!(
+                        "fail_srlg({group}) diverged: sharded {got_sharded:?}, monolith {got_oracle:?}"
+                    ));
+                }
+            }
+        }
+        Op::RepairSrlg { pick } => {
+            let candidates: Vec<usize> = (0..oracle.srlg_count())
+                .filter(|&g| {
+                    oracle
+                        .srlg_links(g)
+                        .is_some_and(|ls| ls.iter().any(|&l| !oracle.link_usage(l).is_up()))
+                })
+                .collect();
+            if let Some(&group) = resolve(&candidates, pick) {
+                let got_sharded = sharded.inner_mut().repair_srlg(group);
+                let got_oracle = oracle.repair_srlg(group);
+                if got_sharded != got_oracle {
+                    return Some(format!(
+                        "repair_srlg({group}) diverged: sharded {got_sharded:?}, monolith {got_oracle:?}"
+                    ));
+                }
+            }
+        }
     }
     compare_state(sharded, oracle)
 }

@@ -5,7 +5,7 @@ use drqos_core::channel::ConnectionId;
 use drqos_core::error::NetworkError;
 use drqos_core::qos::Bandwidth;
 use drqos_tests::loaded_network;
-use drqos_topology::NodeId;
+use drqos_topology::{LinkId, NodeId};
 use std::collections::BTreeSet;
 
 #[test]
@@ -167,6 +167,67 @@ fn fail_node_rejects_unknown_and_fully_downed_nodes() {
         epoch_before_outage + adjacent.len() as u64
     );
     net.validate();
+}
+
+#[test]
+fn overlapping_node_and_srlg_events_never_double_count_drops() {
+    // Regression: a node outage followed by an SRLG firing on a group
+    // that *partially* overlaps the downed links must only fail the
+    // members the outage missed, and every dropped connection must be
+    // counted exactly once — live + dropped stays conserved.
+    for seed in [31u64, 32, 33, 34] {
+        let (mut net, _) = loaded_network(40, 80, seed);
+        let live_before = net.len() as u64;
+        let dropped_before = net.dropped_total();
+
+        let adjacent: BTreeSet<LinkId> = net
+            .graph()
+            .neighbors(NodeId(0))
+            .iter()
+            .map(|&(_, l)| l)
+            .collect();
+        let outside: Vec<LinkId> = net
+            .up_links()
+            .filter(|l| !adjacent.contains(l))
+            .take(2)
+            .collect();
+        assert_eq!(outside.len(), 2, "seed {seed}: graph too small");
+        // Two links the outage will down, two it won't: partial overlap.
+        let mut members: Vec<LinkId> = adjacent.iter().copied().take(2).collect();
+        members.extend(&outside);
+        let g = net.register_srlg(members).expect("valid group");
+
+        let node_reports = net.fail_node(NodeId(0)).expect("node has up links");
+        let node_drops: u64 = node_reports.iter().map(|r| r.dropped.len() as u64).sum();
+
+        let srlg_reports = net.fail_srlg(g).expect("group still has up members");
+        // Only the non-overlapping members fire — the two links the
+        // outage already downed are skipped, not re-failed.
+        assert_eq!(srlg_reports.len(), 2, "seed {seed}");
+        for report in &srlg_reports {
+            assert!(
+                !adjacent.contains(&report.link),
+                "seed {seed}: SRLG re-failed downed link {}",
+                report.link
+            );
+        }
+        let srlg_drops: u64 = srlg_reports.iter().map(|r| r.dropped.len() as u64).sum();
+
+        // The counter moved by exactly the per-report sums (no double
+        // count), and every established connection is still accounted
+        // for: alive or dropped, never both, never twice.
+        assert_eq!(
+            net.dropped_total() - dropped_before,
+            node_drops + srlg_drops,
+            "seed {seed}"
+        );
+        assert_eq!(
+            net.len() as u64 + (net.dropped_total() - dropped_before),
+            live_before,
+            "seed {seed}: drop conservation violated"
+        );
+        net.validate();
+    }
 }
 
 #[test]

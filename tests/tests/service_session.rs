@@ -69,13 +69,17 @@ fn protocol_session_matches_blessed_transcript() {
     }
 }
 
-/// Replays the golden script as one drained server batch — the path that
+/// Replays `script` as one drained server batch — the path that
 /// engages wave admission for consecutive `ESTABLISH` lines — and
 /// renders the same transcript shape as [`replay_script`].
-fn batch_transcript(name: &str, engine: &mut drqos_service::engine::Engine) -> String {
+fn batch_transcript(
+    name: &str,
+    engine: &mut drqos_service::engine::Engine,
+    script: &[&str],
+) -> String {
     use drqos_service::engine::Handled;
     use std::fmt::Write as _;
-    let lines: Vec<String> = GOLDEN_SCRIPT.iter().map(|s| s.to_string()).collect();
+    let lines: Vec<String> = script.iter().map(|s| s.to_string()).collect();
     let replies = engine.handle_server_batch(&lines);
     let mut out = format!("# drqos protocol session: {name}\n");
     for (line, handled) in lines.iter().zip(replies) {
@@ -97,14 +101,70 @@ fn batch_transcript(name: &str, engine: &mut drqos_service::engine::Engine) -> S
 fn sharded_session_matches_blessed_transcript_and_the_monolith() {
     let net = || Network::new(regular::ring(6).unwrap(), NetworkConfig::default());
     let mut sharded = Engine::with_shards(net(), 4);
-    let transcript = batch_transcript("ring6 all verbs, 4 shards", &mut sharded);
+    let transcript = batch_transcript("ring6 all verbs, 4 shards", &mut sharded, GOLDEN_SCRIPT);
     let mut mono = Engine::with_shards(net(), 1);
-    let mono_transcript = batch_transcript("ring6 all verbs, 4 shards", &mut mono);
+    let mono_transcript = batch_transcript("ring6 all verbs, 4 shards", &mut mono, GOLDEN_SCRIPT);
     assert_eq!(
         transcript, mono_transcript,
         "sharded batch replay must be byte-identical to the monolith"
     );
     if let Err(e) = verify_golden(&golden_dir(), "service_session_sharded", &transcript) {
+        panic!("{e}");
+    }
+}
+
+/// The SRLG verbs plus both of their error families: 305 (unknown
+/// group) and 306 (state unchanged — firing an already-down group,
+/// healing an already-up one), interleaved with live connections so the
+/// `FAIL-SRLG` reply carries real activation/drop counts, plus the
+/// text-level parse errors for the new verbs.
+const SRLG_SCRIPT: &[&str] = &[
+    "SNAPSHOT",
+    "ESTABLISH 0 3 100 500 100",
+    "ESTABLISH 1 4 100 500 100",
+    "FAIL-SRLG 0",
+    "SNAPSHOT",
+    "FAIL-SRLG 0",
+    "FAIL-SRLG 99",
+    "REPAIR-SRLG 0",
+    "REPAIR-SRLG 0",
+    "REPAIR-SRLG 99",
+    "FAIL-SRLG",
+    "REPAIR-SRLG x",
+    "SNAPSHOT",
+    "RELEASE 1",
+    "RELEASE 0",
+    "SHUTDOWN",
+];
+
+/// A ring engine with two seeded 2-link shared-risk groups — the same
+/// derivation `drqosd --seed 2001` performs under `DRQOS_SRLG_COUNT=2`
+/// `DRQOS_SRLG_SIZE=2`.
+fn srlg_ring_engine(shards: usize) -> Engine {
+    let mut net = Network::new(regular::ring(6).unwrap(), NetworkConfig::default());
+    let registered = drqos_core::register_seeded_srlgs(&mut net, 2, 2, 2001);
+    assert_eq!(registered, 2, "ring of 6 fits two disjoint 2-link groups");
+    Engine::with_shards(net, shards)
+}
+
+/// Golden transcript for the correlated-failure verbs, pinned through
+/// the sharded batch path: `DRQOS_SHARDS=4` and `=1` engines must replay
+/// byte-identically, and the shared transcript must exercise both SRLG
+/// error families before being compared against the blessed trace.
+#[test]
+fn srlg_session_matches_blessed_transcript_at_any_shard_count() {
+    let mut sharded = srlg_ring_engine(4);
+    let transcript = batch_transcript("ring6 srlg verbs, 4 shards", &mut sharded, SRLG_SCRIPT);
+    let mut mono = srlg_ring_engine(1);
+    let mono_transcript = batch_transcript("ring6 srlg verbs, 4 shards", &mut mono, SRLG_SCRIPT);
+    assert_eq!(
+        transcript, mono_transcript,
+        "SRLG batch replay must be byte-identical across shard counts"
+    );
+    for needle in ["OK links=2", "ERR 305 ", "ERR 306 ", "ERR 3 "] {
+        assert!(transcript.contains(needle), "script must exercise {needle}");
+    }
+    if let Err(e) = verify_golden(&golden_dir(), "service_session_srlg", &transcript) {
         panic!("{e}");
     }
 }

@@ -226,6 +226,73 @@ fn binary_frames_match_blessed_transcript() {
     }
 }
 
+/// Golden transcript of the SRLG opcodes in the binary framing: both
+/// happy paths (9 = `FAIL-SRLG`, 10 = `REPAIR-SRLG`), both domain error
+/// families (305 unknown group, 306 state unchanged), and the
+/// frame-level malformations of the new opcodes (missing argument,
+/// torn `u64`). Same `<label> | <hex>` / `<hex> | <decoded>` shape as
+/// the main binary golden, so the exact bytes stay pinned.
+#[test]
+fn binary_srlg_frames_match_blessed_transcript() {
+    let req = |line: &str| frame::encode_request(&protocol::parse(line).expect("script parses"));
+    let script: Vec<(&str, Vec<u8>)> = vec![
+        (
+            "ESTABLISH 0 3 100 500 100",
+            req("ESTABLISH 0 3 100 500 100"),
+        ),
+        (
+            "ESTABLISH 1 4 100 500 100",
+            req("ESTABLISH 1 4 100 500 100"),
+        ),
+        ("FAIL-SRLG 0", req("FAIL-SRLG 0")),
+        ("FAIL-SRLG 0", req("FAIL-SRLG 0")),
+        ("FAIL-SRLG 99", req("FAIL-SRLG 99")),
+        ("REPAIR-SRLG 0", req("REPAIR-SRLG 0")),
+        ("REPAIR-SRLG 0", req("REPAIR-SRLG 0")),
+        ("REPAIR-SRLG 99", req("REPAIR-SRLG 99")),
+        (
+            "FAIL-SRLG missing its argument",
+            raw_frame(&[frame::OP_FAIL_SRLG]),
+        ),
+        (
+            "REPAIR-SRLG with a torn u64",
+            raw_frame(&[frame::OP_REPAIR_SRLG, 1, 2, 3]),
+        ),
+        ("SNAPSHOT", req("SNAPSHOT")),
+        ("RELEASE 1", req("RELEASE 1")),
+        ("RELEASE 0", req("RELEASE 0")),
+        ("SHUTDOWN", req("SHUTDOWN")),
+    ];
+    let commands: Vec<String> = script
+        .iter()
+        .map(|(label, frame_bytes)| format!("{label} | {}", hex(frame_bytes)))
+        .collect();
+    let command_refs: Vec<&str> = commands.iter().map(String::as_str).collect();
+
+    let mut net = Network::new(regular::ring(6).unwrap(), NetworkConfig::default());
+    let registered = drqos_core::register_seeded_srlgs(&mut net, 2, 2, 2001);
+    assert_eq!(registered, 2, "ring of 6 fits two disjoint 2-link groups");
+    let mut engine = Engine::new(net);
+    let transcript = replay_script("ring6 binary srlg frames", &command_refs, |cmd| {
+        let frame_hex = cmd.rsplit(" | ").next().expect("label | hex shape");
+        let frame_bytes = unhex(frame_hex);
+        let (len_bytes, body) = frame_bytes.split_at(4);
+        let announced = u32::from_le_bytes(len_bytes.try_into().unwrap()) as usize;
+        assert_eq!(announced, body.len(), "length field must match the body");
+        let resp = match frame::decode_request(body) {
+            Ok(req) => engine.handle_line(&req.render()),
+            Err(e) => Response::from(e),
+        };
+        format!("{} | {resp}", hex(&frame::encode_response(&resp)))
+    });
+    for needle in ["OK links=2", "ERR 305 ", "ERR 306 ", "ERR 3 ", "ERR 4 "] {
+        assert!(transcript.contains(needle), "transcript must pin {needle}");
+    }
+    if let Err(e) = verify_golden(&golden_dir(), "service_wire_srlg", &transcript) {
+        panic!("{e}");
+    }
+}
+
 /// The load generator speaks the binary framing end-to-end: a seeded
 /// 4-client run against a binary-wire daemon completes with zero
 /// protocol errors and an invariant-clean shutdown.
