@@ -54,7 +54,7 @@ pub fn derive_seed(base: u64, salt: u64) -> u64 {
 /// the machine's available parallelism.
 pub fn thread_count() -> usize {
     drqos_core::env::threads().unwrap_or_else(|| {
-        std::thread::available_parallelism()
+        std::thread::available_parallelism() // lint:allow(determinism-taint): worker count only shapes scheduling; emitted rows are index-ordered
             .map(std::num::NonZeroUsize::get)
             .unwrap_or(1)
     })
@@ -224,7 +224,7 @@ where
     F: Fn(&P, u64) -> (R, PointObs) + Sync,
 {
     let threads = thread_count().min(points.len()).max(1);
-    let start = Instant::now();
+    let start = Instant::now(); // lint:allow(determinism-taint): wall-clock column is observability-only, excluded from byte diffs
     let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<PointRecord<R>>>> =
         points.iter().map(|_| Mutex::new(None)).collect();
@@ -236,7 +236,7 @@ where
                     break;
                 }
                 let seed = derive_seed(base_seed, i as u64);
-                let t0 = Instant::now();
+                let t0 = Instant::now(); // lint:allow(determinism-taint): wall-clock column is observability-only, excluded from byte diffs
                 let (row, obs) = point_fn(&points[i], seed);
                 let record = PointRecord {
                     row,
@@ -405,7 +405,7 @@ const LOCK_TIMEOUT: Duration = Duration::from_secs(30);
 /// [`LOCK_STALE_AFTER`].
 fn lock_runtime_dir(dir: &std::path::Path) -> io::Result<RuntimeLock> {
     let path = dir.join(".lock");
-    let start = Instant::now();
+    let start = Instant::now(); // lint:allow(determinism-taint): lock staleness timing never reaches emitted bytes
     loop {
         match fs::OpenOptions::new()
             .write(true)

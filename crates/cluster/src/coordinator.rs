@@ -244,7 +244,7 @@ impl Coordinator {
     pub fn new(net: Network, members: usize, seed: u64, policy: RebalancePolicy) -> Self {
         let alive = vec![true; members.max(1)];
         let assignment = Assignment::compute(net.graph(), &alive, seed, policy)
-            .expect("at least one member is alive by construction");
+            .expect("at least one member is alive by construction"); // lint:allow(panic-reachability): members.max(1) guarantees at least one alive member
         let ledgers = (0..assignment.partition().shards())
             .map(|_| BTreeMap::new())
             .collect();

@@ -162,8 +162,16 @@ pub fn run_churn(graph: Graph, config: &ExperimentConfig) -> (ExperimentReport, 
     net = warm_up(net, config, &workload, &mut rng, &mut report);
 
     // ---- Churn. ----
+    // A degenerate configuration (non-positive rates) runs no churn at
+    // all rather than panicking: this path is reachable from the daemon.
     let mut estimator = ParameterEstimator::new(config.qos.num_levels());
-    let arrival_dist = Exponential::new(config.lambda).expect("λ validated by caller");
+    // Estimator updates are contracts ("levels in range by construction");
+    // a violated contract abandons parameter estimation for the run
+    // (`params: None`) instead of panicking the caller.
+    let mut estimation_ok = true;
+    let Ok(arrival_dist) = Exponential::new(config.lambda) else {
+        return (report, net);
+    };
     let termination_dist = arrival_dist; // steady state: λ = μ
     let mut sim: Simulator<Event> = Simulator::new();
     sim.schedule(
@@ -174,13 +182,15 @@ pub fn run_churn(graph: Graph, config: &ExperimentConfig) -> (ExperimentReport, 
         SimTime::ZERO + termination_dist.sample(&mut rng),
         Event::Termination,
     );
-    let failure_dist =
-        (config.gamma > 0.0).then(|| Exponential::new(config.gamma).expect("γ > 0 checked"));
+    let failure_dist = (config.gamma > 0.0)
+        .then(|| Exponential::new(config.gamma))
+        .and_then(Result::ok);
     if let Some(fd) = &failure_dist {
         sim.schedule(SimTime::ZERO + fd.sample(&mut rng), Event::Failure);
     }
-    let repair_dist =
-        Exponential::from_mean(config.mean_repair.max(f64::MIN_POSITIVE)).expect("positive mean");
+    let Ok(repair_dist) = Exponential::from_mean(config.mean_repair.max(f64::MIN_POSITIVE)) else {
+        return (report, net);
+    };
 
     // Average bandwidth per channel over the churn window, weighted by
     // channel-time: ∫ total_bandwidth dt / ∫ channel_count dt. (Weighting
@@ -202,9 +212,9 @@ pub fn run_churn(graph: Graph, config: &ExperimentConfig) -> (ExperimentReport, 
                         net.commit_establish(plan);
                         let direct_t = transitions_after(&net, &direct);
                         let indirect_t = transitions_after(&net, &indirect);
-                        estimator
+                        estimation_ok &= estimator
                             .record_arrival(existing, &direct_t, &indirect_t)
-                            .expect("levels are in range by construction");
+                            .is_ok();
                         report.accepted += 1;
                     }
                     Err(e) => classify_rejection(&mut report, &e),
@@ -215,21 +225,7 @@ pub fn run_churn(graph: Graph, config: &ExperimentConfig) -> (ExperimentReport, 
             Event::Termination => {
                 let ids: Vec<ConnectionId> = net.connections().map(|c| c.id()).collect();
                 if let Some(&victim) = rng.choose(&ids) {
-                    let mut touched: BTreeSet<LinkId> = BTreeSet::new();
-                    {
-                        let conn = net.connection(victim).expect("chosen from live set");
-                        touched.extend(conn.primary().links().iter().copied());
-                        for b in conn.backups() {
-                            touched.extend(b.links().iter().copied());
-                        }
-                    }
-                    let mut direct = snapshot_levels(&net, touched.iter().copied());
-                    direct.retain(|(id, _)| *id != victim);
-                    net.release(victim).expect("victim exists");
-                    let direct_t = transitions_after(&net, &direct);
-                    estimator
-                        .record_termination(&direct_t)
-                        .expect("levels are in range by construction");
+                    estimation_ok &= release_measured(&mut net, &mut estimator, victim);
                 }
                 sim.schedule_in(termination_dist.sample(&mut rng), Event::Termination);
                 churn_done += 1;
@@ -249,11 +245,11 @@ pub fn run_churn(graph: Graph, config: &ExperimentConfig) -> (ExperimentReport, 
                     let all_before: Vec<(ConnectionId, usize)> =
                         net.connections().map(|c| (c.id(), c.level())).collect();
                     let existing = all_before.len();
-                    net.fail_link(link).expect("link verified up");
+                    if net.fail_link(link).is_err() {
+                        break; // raced another failure source; stop the burst
+                    }
                     let affected_t = transitions_after(&net, &all_before);
-                    estimator
-                        .record_failure(existing, &affected_t)
-                        .expect("levels are in range by construction");
+                    estimation_ok &= estimator.record_failure(existing, &affected_t).is_ok();
                     report.failures += 1;
                     sim.schedule_in(repair_dist.sample(&mut rng), Event::Repair(link));
                 }
@@ -272,9 +268,9 @@ pub fn run_churn(graph: Graph, config: &ExperimentConfig) -> (ExperimentReport, 
         }
         total_bw_tracker.update(now, net.total_primary_bandwidth().as_kbps_f64());
         count_tracker.update(now, net.len() as f64);
-        estimator
+        estimation_ok &= estimator
             .record_occupancy(net.connections().map(|c| c.level()))
-            .expect("levels are in range by construction");
+            .is_ok();
     }
 
     let end = sim.now();
@@ -288,9 +284,38 @@ pub fn run_churn(graph: Graph, config: &ExperimentConfig) -> (ExperimentReport, 
     report.avg_path_hops = net.average_path_hops().unwrap_or(0.0);
     report.active_end = net.len();
     report.dropped = net.dropped_total();
-    report.params = estimator.finalize().ok();
+    report.params = estimation_ok.then(|| estimator.finalize().ok()).flatten();
     report.cache = net.route_cache_stats();
     (report, net)
+}
+
+/// Releases `victim` while recording the termination's level transitions.
+/// Tolerant of a stale id (a no-op) and of estimator contract violations:
+/// the returned flag is `false` when an estimator update failed, which
+/// abandons parameter estimation for the run instead of panicking — this
+/// path is reachable from the daemon zone.
+pub(crate) fn release_measured(
+    net: &mut Network,
+    estimator: &mut ParameterEstimator,
+    victim: ConnectionId,
+) -> bool {
+    let mut touched: BTreeSet<LinkId> = BTreeSet::new();
+    {
+        let Some(conn) = net.connection(victim) else {
+            return true;
+        };
+        touched.extend(conn.primary().links().iter().copied());
+        for b in conn.backups() {
+            touched.extend(b.links().iter().copied());
+        }
+    }
+    let mut direct = snapshot_levels(net, touched.iter().copied());
+    direct.retain(|(id, _)| *id != victim);
+    if net.release(victim).is_err() {
+        return true;
+    }
+    let direct_t = transitions_after(net, &direct);
+    estimator.record_termination(&direct_t).is_ok()
 }
 
 /// Warm-up: attempt the target number of connections.
@@ -358,7 +383,7 @@ pub(crate) fn snapshot_levels(
 ) -> Vec<(ConnectionId, usize)> {
     net.primaries_sharing(links)
         .into_iter()
-        .map(|id| (id, net.connection(id).expect("live id").level()))
+        .filter_map(|id| net.connection(id).map(|c| (id, c.level())))
         .collect()
 }
 
@@ -380,14 +405,8 @@ pub(crate) fn observe_arrival(
     // not with the new connection itself.
     let direct_links: BTreeSet<LinkId> = direct_ids
         .iter()
-        .flat_map(|id| {
-            net.connection(*id)
-                .expect("live id")
-                .primary()
-                .links()
-                .iter()
-                .copied()
-        })
+        .filter_map(|id| net.connection(*id))
+        .flat_map(|c| c.primary().links().iter().copied())
         .collect();
     let indirect_ids: BTreeSet<ConnectionId> = net
         .primaries_sharing(direct_links.iter().copied())
@@ -396,7 +415,7 @@ pub(crate) fn observe_arrival(
         .collect();
     let levels = |ids: &BTreeSet<ConnectionId>| {
         ids.iter()
-            .map(|&id| (id, net.connection(id).expect("live id").level()))
+            .filter_map(|&id| net.connection(id).map(|c| (id, c.level())))
             .collect::<Vec<_>>()
     };
     (net.len(), levels(&direct_ids), levels(&indirect_ids))

@@ -36,7 +36,6 @@ use drqos_sim::srlg::{SrlgChurn, SrlgEvent};
 use drqos_sim::stats::TimeWeighted;
 use drqos_sim::time::SimTime;
 use drqos_topology::graph::{Graph, LinkId};
-use std::collections::BTreeSet;
 use std::fmt;
 
 /// RNG stream tag for deriving shared-risk groups from an experiment seed
@@ -310,13 +309,20 @@ pub fn run_scenario_churn(
     };
     net = crate::experiment::warm_up(net, config, &workload, &mut rng, &mut report);
 
+    // A degenerate configuration (non-positive rates or shapes) runs no
+    // churn at all rather than panicking: this path is reachable from the
+    // daemon. Estimator contract violations abandon parameter estimation
+    // for the run (`params: None`) the same way.
     let mut estimator = ParameterEstimator::new(config.qos.num_levels());
+    let mut estimation_ok = true;
     let mut sim: Simulator<Ev> = Simulator::new();
 
     // Non-homogeneous arrivals by thinning: candidates at the peak rate,
     // each accepted with probability rate(t)/peak.
     let peak = scenario.peak_rate(config.lambda);
-    let candidate_dist = Exponential::new(peak).expect("λ validated by caller");
+    let Ok(candidate_dist) = Exponential::new(peak) else {
+        return (report, net);
+    };
     sim.schedule(
         SimTime::ZERO + candidate_dist.sample(&mut rng),
         Ev::Candidate,
@@ -324,11 +330,18 @@ pub fn run_scenario_churn(
 
     // Departures: heavy-tailed per-connection expiry for the Pareto
     // scenario, the baseline's memoryless process otherwise.
-    let pareto_holding = (scenario.kind == ScenarioKind::ParetoHolding).then(|| {
+    let pareto_holding = if scenario.kind == ScenarioKind::ParetoHolding {
         let mean = config.target_connections.max(1) as f64 / config.lambda;
-        Pareto::from_mean(mean, scenario.pareto_shape).expect("shape > 1 by construction")
-    });
-    let termination_dist = Exponential::new(config.lambda).expect("λ validated by caller");
+        let Ok(holding) = Pareto::from_mean(mean, scenario.pareto_shape) else {
+            return (report, net);
+        };
+        Some(holding)
+    } else {
+        None
+    };
+    let Ok(termination_dist) = Exponential::new(config.lambda) else {
+        return (report, net);
+    };
     if let Some(holding) = &pareto_holding {
         let live: Vec<ConnectionId> = net.connections().map(|c| c.id()).collect();
         for id in live {
@@ -342,30 +355,36 @@ pub fn run_scenario_churn(
     }
 
     // Independent failures (γ), as in the baseline.
-    let failure_dist =
-        (config.gamma > 0.0).then(|| Exponential::new(config.gamma).expect("γ > 0 checked"));
+    let failure_dist = (config.gamma > 0.0)
+        .then(|| Exponential::new(config.gamma))
+        .and_then(Result::ok);
     if let Some(fd) = &failure_dist {
         sim.schedule(SimTime::ZERO + fd.sample(&mut rng), Ev::Failure);
     }
-    let repair_dist =
-        Exponential::from_mean(config.mean_repair.max(f64::MIN_POSITIVE)).expect("positive mean");
+    let Ok(repair_dist) = Exponential::from_mean(config.mean_repair.max(f64::MIN_POSITIVE)) else {
+        return (report, net);
+    };
 
     // Correlated failures: seeded groups + the drqos-sim churn driver.
-    let mut srlg_churn = (scenario.kind == ScenarioKind::SrlgChurn).then(|| {
+    let mut srlg_churn = if scenario.kind == ScenarioKind::SrlgChurn {
         let registered = register_seeded_srlgs(
             &mut net,
             scenario.srlg_count,
             scenario.srlg_size,
             config.seed,
         );
-        SrlgChurn::new(
+        let Ok(churn) = SrlgChurn::new(
             registered.max(1),
             scenario.srlg_mean_up / config.lambda,
             scenario.srlg_mean_down / config.lambda,
             config.seed ^ SRLG_STREAM,
-        )
-        .expect("positive means by construction")
-    });
+        ) else {
+            return (report, net);
+        };
+        Some(churn)
+    } else {
+        None
+    };
     if let Some(churn) = &srlg_churn {
         if let Some(t) = churn.peek_time() {
             sim.schedule(SimTime::ZERO + t, Ev::Srlg);
@@ -392,9 +411,9 @@ pub fn run_scenario_churn(
                             let id = net.commit_establish(plan);
                             let direct_t = crate::experiment::transitions_after(&net, &direct);
                             let indirect_t = crate::experiment::transitions_after(&net, &indirect);
-                            estimator
+                            estimation_ok &= estimator
                                 .record_arrival(existing, &direct_t, &indirect_t)
-                                .expect("levels are in range by construction");
+                                .is_ok();
                             report.accepted += 1;
                             if let Some(holding) = &pareto_holding {
                                 sim.schedule_in(holding.sample(&mut rng), Ev::Expire(id));
@@ -409,7 +428,8 @@ pub fn run_scenario_churn(
             Ev::Termination => {
                 let ids: Vec<ConnectionId> = net.connections().map(|c| c.id()).collect();
                 if let Some(&victim) = rng.choose(&ids) {
-                    release_measured(&mut net, &mut estimator, victim);
+                    estimation_ok &=
+                        crate::experiment::release_measured(&mut net, &mut estimator, victim);
                 }
                 sim.schedule_in(termination_dist.sample(&mut rng), Ev::Termination);
                 churn_done += 1;
@@ -419,7 +439,8 @@ pub fn run_scenario_churn(
                 // its expiry was scheduled; an expired ghost is a no-op
                 // and does not count as a churn event.
                 if net.connection(id).is_some() {
-                    release_measured(&mut net, &mut estimator, id);
+                    estimation_ok &=
+                        crate::experiment::release_measured(&mut net, &mut estimator, id);
                     churn_done += 1;
                 }
             }
@@ -430,11 +451,11 @@ pub fn run_scenario_churn(
                     let all_before: Vec<(ConnectionId, usize)> =
                         net.connections().map(|c| (c.id(), c.level())).collect();
                     let existing = all_before.len();
-                    net.fail_link(link).expect("link verified up");
+                    if net.fail_link(link).is_err() {
+                        break; // raced another failure source; stop the burst
+                    }
                     let affected_t = crate::experiment::transitions_after(&net, &all_before);
-                    estimator
-                        .record_failure(existing, &affected_t)
-                        .expect("levels are in range by construction");
+                    estimation_ok &= estimator.record_failure(existing, &affected_t).is_ok();
                     report.failures += 1;
                     sim.schedule_in(repair_dist.sample(&mut rng), Ev::Repair(link));
                 }
@@ -459,9 +480,8 @@ pub fn run_scenario_churn(
                                 if let Ok(reports) = net.fail_srlg(group) {
                                     let affected_t =
                                         crate::experiment::transitions_after(&net, &all_before);
-                                    estimator
-                                        .record_failure(existing, &affected_t)
-                                        .expect("levels are in range by construction");
+                                    estimation_ok &=
+                                        estimator.record_failure(existing, &affected_t).is_ok();
                                     report.failures += reports.len() as u64;
                                     churn_done += 1;
                                 }
@@ -482,9 +502,9 @@ pub fn run_scenario_churn(
         }
         total_bw_tracker.update(now, net.total_primary_bandwidth().as_kbps_f64());
         count_tracker.update(now, net.len() as f64);
-        estimator
+        estimation_ok &= estimator
             .record_occupancy(net.connections().map(|c| c.level()))
-            .expect("levels are in range by construction");
+            .is_ok();
     }
 
     let end = sim.now();
@@ -498,29 +518,9 @@ pub fn run_scenario_churn(
     report.avg_path_hops = net.average_path_hops().unwrap_or(0.0);
     report.active_end = net.len();
     report.dropped = net.dropped_total();
-    report.params = estimator.finalize().ok();
+    report.params = estimation_ok.then(|| estimator.finalize().ok()).flatten();
     report.cache = net.route_cache_stats();
     (report, net)
-}
-
-/// Releases `victim` while recording the termination's level transitions,
-/// exactly as the baseline termination arm does.
-fn release_measured(net: &mut Network, estimator: &mut ParameterEstimator, victim: ConnectionId) {
-    let mut touched: BTreeSet<LinkId> = BTreeSet::new();
-    {
-        let conn = net.connection(victim).expect("caller verified liveness");
-        touched.extend(conn.primary().links().iter().copied());
-        for b in conn.backups() {
-            touched.extend(b.links().iter().copied());
-        }
-    }
-    let mut direct = crate::experiment::snapshot_levels(net, touched.iter().copied());
-    direct.retain(|(id, _)| *id != victim);
-    net.release(victim).expect("victim exists");
-    let direct_t = crate::experiment::transitions_after(net, &direct);
-    estimator
-        .record_termination(&direct_t)
-        .expect("levels are in range by construction");
 }
 
 #[cfg(test)]
@@ -528,6 +528,7 @@ mod tests {
     use super::*;
     use crate::qos::ElasticQos;
     use drqos_topology::waxman;
+    use std::collections::BTreeSet;
 
     fn small_graph(seed: u64) -> Graph {
         waxman::paper_waxman(30)

@@ -6,9 +6,13 @@
 //! panic-free daemon, and single-source-of-truth registries for env vars
 //! and wire codes.
 //!
-//! The six rules and their zones live in [`rules`]; pragma syntax is
+//! The token-level rules and their zones live in [`rules`]; the
+//! interprocedural rules (`panic-reachability`, `lock-order`,
+//! `determinism-taint`) live in [`interproc`] on top of the item-level
+//! [`parser`] and the workspace [`callgraph`]. Pragma syntax is
 //! `// lint:allow(<rule>)[: justification]` on the offending line or
-//! alone on the line above. TESTING.md documents the full rule table.
+//! alone on the line above; a pragma that suppresses nothing is itself a
+//! `stale-pragma` finding. TESTING.md documents the full rule table.
 //!
 //! Run over the workspace:
 //!
@@ -16,16 +20,22 @@
 //! cargo run -p drqos-lint            # human output, exit 1 on findings
 //! cargo run -p drqos-lint -- --json  # machine output (CI)
 //! cargo run -p drqos-lint -- --fix-allowlist  # ready-to-paste pragmas
+//! cargo run -p drqos-lint -- --call-graph     # resolved-edge dump
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod callgraph;
+pub mod interproc;
 pub mod lexer;
+pub mod parser;
 pub mod rules;
 
 pub use rules::Finding;
 
+use callgraph::CallGraph;
+use interproc::WsFile;
 use rules::FileView;
 use std::path::{Path, PathBuf};
 
@@ -159,11 +169,9 @@ pub fn check_wire_docs(wire_src: &str, service_md: &str) -> Vec<Finding> {
     out
 }
 
-/// Lints the whole workspace rooted at `root`: every `.rs` file through
-/// the token rules, plus the README/SERVICE.md cross-checks. Findings are
-/// sorted by (file, line, rule).
-pub fn run_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
-    let mut findings = Vec::new();
+/// Reads every workspace `.rs` file as `(repo-relative path, source)`.
+fn load_sources(root: &Path) -> std::io::Result<Vec<(String, String)>> {
+    let mut out = Vec::new();
     for path in workspace_files(root)? {
         let rel = path
             .strip_prefix(root)
@@ -171,8 +179,76 @@ pub fn run_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
             .to_string_lossy()
             .replace('\\', "/");
         let source = std::fs::read_to_string(&path)?;
-        findings.extend(lint_file(&rel, &source));
+        out.push((rel, source));
     }
+    Ok(out)
+}
+
+/// Lexes and parses `(path, source)` pairs into the per-file context the
+/// interprocedural pass works on. The token rules run inside, so pragma
+/// usage is already recorded on the returned files.
+fn analyze_sources(sources: &[(String, String)], findings: &mut Vec<Finding>) -> Vec<WsFile> {
+    let mut files = Vec::new();
+    for (rel, source) in sources {
+        let lexed = lexer::lex(source);
+        let parsed = parser::parse_file(&lexed);
+        let view = FileView::new(rel, &lexed);
+        rules::no_panic_daemon(&view, findings);
+        rules::nondeterministic_iteration(&view, findings);
+        rules::env_registry(&view, findings);
+        rules::raw_clock(&view, findings);
+        rules::float_format(&view, findings);
+        let test_lines = view.test_lines();
+        let pragmas = view.into_pragmas();
+        files.push(WsFile {
+            path: rel.clone(),
+            lexed,
+            parsed,
+            pragmas,
+            test_lines,
+        });
+    }
+    files
+}
+
+/// Full pipeline over in-memory sources: token rules, call-graph
+/// construction, the interprocedural rules, and stale-pragma detection.
+/// `edge_floor` is the non-vacuity gate ([`callgraph::MIN_RESOLVED_EDGES`]
+/// for the real workspace, `0` for fixture-sized inputs). Findings come
+/// back sorted by (file, line, rule).
+pub fn lint_sources(sources: &[(String, String)], edge_floor: usize) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let files = analyze_sources(sources, &mut findings);
+    let graph = CallGraph::build(files.iter().map(|f| (f.path.as_str(), &f.parsed)));
+    interproc::panic_reachability(&graph, &files, &mut findings);
+    interproc::lock_order(&files, &mut findings);
+    interproc::determinism_taint(&graph, &files, &mut findings);
+    interproc::non_vacuity(&graph, edge_floor, &mut findings);
+    interproc::stale_pragmas(&files, &mut findings);
+    findings.sort();
+    findings.dedup();
+    findings
+}
+
+/// Builds the workspace call graph (the `--call-graph` dump and the
+/// tier-1 edge-floor assertion consume this).
+pub fn build_workspace_graph(root: &Path) -> std::io::Result<CallGraph> {
+    let sources = load_sources(root)?;
+    let parsed: Vec<(String, parser::ParsedFile)> = sources
+        .iter()
+        .map(|(rel, src)| (rel.clone(), parser::parse_file(&lexer::lex(src))))
+        .collect();
+    Ok(CallGraph::build(
+        parsed.iter().map(|(p, f)| (p.as_str(), f)),
+    ))
+}
+
+/// Lints the whole workspace rooted at `root`: every `.rs` file through
+/// the token and interprocedural rules, plus the README/SERVICE.md
+/// cross-checks. Findings are sorted by (file, line, rule).
+pub fn run_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
+    let sources = load_sources(root)?;
+    let mut findings = lint_sources(&sources, callgraph::MIN_RESOLVED_EDGES);
     match std::fs::read_to_string(root.join("README.md")) {
         Ok(readme) => findings.extend(check_env_docs(&readme)),
         Err(e) => findings.push(Finding {

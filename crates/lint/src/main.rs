@@ -2,10 +2,13 @@
 //! TESTING.md for the rule table and pragma syntax.
 //!
 //! ```text
-//! drqos-lint [--root PATH] [--json | --fix-allowlist]
+//! drqos-lint [--root PATH] [--json | --fix-allowlist | --call-graph]
 //! ```
 //!
 //! Exits 0 with no findings, 1 with findings, 2 on usage/I-O errors.
+//! `--call-graph` dumps the resolved workspace call graph (sorted edges
+//! plus function/edge counts) and exits 0 unless the resolved-edge count
+//! is below the non-vacuity floor.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -14,11 +17,13 @@ fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut json = false;
     let mut fix_allowlist = false;
+    let mut call_graph = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--json" => json = true,
             "--fix-allowlist" => fix_allowlist = true,
+            "--call-graph" => call_graph = true,
             "--root" => match args.next() {
                 Some(p) => root = Some(PathBuf::from(p)),
                 None => {
@@ -27,7 +32,9 @@ fn main() -> ExitCode {
                 }
             },
             "--help" | "-h" => {
-                println!("usage: drqos-lint [--root PATH] [--json | --fix-allowlist]");
+                println!(
+                    "usage: drqos-lint [--root PATH] [--json | --fix-allowlist | --call-graph]"
+                );
                 return ExitCode::SUCCESS;
             }
             other => {
@@ -46,6 +53,26 @@ fn main() -> ExitCode {
             .map(PathBuf::from)
             .unwrap_or_else(|| PathBuf::from("."))
     });
+
+    if call_graph {
+        return match drqos_lint::build_workspace_graph(&root) {
+            Ok(g) => {
+                print!("{}", g.render_dump());
+                if g.resolved_edges() >= drqos_lint::callgraph::MIN_RESOLVED_EDGES {
+                    ExitCode::SUCCESS
+                } else {
+                    ExitCode::FAILURE
+                }
+            }
+            Err(e) => {
+                eprintln!(
+                    "drqos-lint: cannot build call graph for {}: {e}",
+                    root.display()
+                );
+                ExitCode::from(2)
+            }
+        };
+    }
 
     let findings = match drqos_lint::run_workspace(&root) {
         Ok(f) => f,

@@ -19,7 +19,7 @@
 //!   ([`CLOCK_DENY_PREFIXES`]): no wall-clock reads outside the
 //!   explicitly-exempt measurement modules ([`CLOCK_EXEMPT_FILES`]).
 
-use crate::lexer::{Comment, Lexed, Token, TokenKind};
+use crate::lexer::{Lexed, Token, TokenKind};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// One lint finding.
@@ -43,6 +43,11 @@ pub const RULES: &[&str] = &[
     "raw-clock",
     "float-format",
     "wire-doc-sync",
+    "panic-reachability",
+    "lock-order",
+    "determinism-taint",
+    "stale-pragma",
+    "call-graph",
 ];
 
 /// Files where panics are forbidden (the daemon zone). The `bool` is
@@ -60,6 +65,8 @@ pub const NO_PANIC_FILES: &[(&str, bool)] = &[
     ("crates/service/src/bin/drqos-clusterd.rs", true),
     ("crates/core/src/network.rs", false),
     ("crates/core/src/shard.rs", false),
+    ("crates/core/src/scenario.rs", false),
+    ("crates/core/src/srlg.rs", false),
 ];
 
 /// Files whose output is pinned byte-exact by CI (golden traces, sweep
@@ -115,6 +122,97 @@ pub const CLOCK_EXEMPT_FILES: &[&str] = &[
 /// the prefix it scans for plus fixture strings in its tests.
 pub const ENV_EXEMPT_PREFIXES: &[&str] = &["crates/core/src/env.rs", "crates/lint"];
 
+/// The `lint:allow` pragmas of one file, with usage tracking.
+///
+/// Suppression coverage is permissive (any line comment *containing*
+/// `lint:allow(...)` suppresses, as it always has), but only comments
+/// that *begin* with the pragma are treated as declarations for the
+/// `stale-pragma` rule — prose that merely mentions the syntax (e.g.
+/// rule documentation) is neither a declaration nor expected to be used.
+///
+/// Usage is recorded behind a `RefCell` so the intra-file rules and the
+/// interprocedural pass can share one immutable view per file and still
+/// account for which declarations earned their keep.
+pub struct FilePragmas {
+    /// (code line, rule) → pragma comment line that covers it.
+    cover: BTreeMap<(u32, String), u32>,
+    /// Strict declarations: (pragma comment line, rule).
+    decls: Vec<(u32, String)>,
+    /// Declarations that suppressed at least one would-be finding.
+    used: std::cell::RefCell<BTreeSet<(u32, String)>>,
+}
+
+impl FilePragmas {
+    /// Collects `// lint:allow(rule[, rule...])[: justification]`
+    /// pragmas. A pragma suppresses matching findings on its own line;
+    /// when the comment sits alone on its line, it also covers the
+    /// following line.
+    pub fn collect(lexed: &Lexed) -> Self {
+        let code_lines: BTreeSet<u32> = lexed.tokens.iter().map(|t| t.line).collect();
+        let mut cover: BTreeMap<(u32, String), u32> = BTreeMap::new();
+        let mut decls: Vec<(u32, String)> = Vec::new();
+        for c in &lexed.comments {
+            if !c.is_line {
+                continue;
+            }
+            let Some(start) = c.text.find("lint:allow(") else {
+                continue;
+            };
+            let strict = c.text.trim_start().starts_with("lint:allow(");
+            let rest = &c.text[start + "lint:allow(".len()..];
+            let Some(end) = rest.find(')') else { continue };
+            for rule in rest[..end].split(',') {
+                let rule = rule.trim().to_string();
+                if rule.is_empty() {
+                    continue;
+                }
+                if strict {
+                    decls.push((c.line, rule.clone()));
+                }
+                cover.insert((c.line, rule.clone()), c.line);
+                if !code_lines.contains(&c.line) {
+                    cover.insert((c.line + 1, rule), c.line);
+                }
+            }
+        }
+        Self {
+            cover,
+            decls,
+            used: std::cell::RefCell::new(BTreeSet::new()),
+        }
+    }
+
+    /// Is `rule` suppressed on `line`? Marks the covering declaration
+    /// used when it is.
+    pub fn allowed(&self, rule: &str, line: u32) -> bool {
+        match self.cover.get(&(line, rule.to_string())) {
+            Some(&pragma_line) => {
+                self.used
+                    .borrow_mut()
+                    .insert((pragma_line, rule.to_string()));
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Declarations that suppressed nothing this run, excluding any on
+    /// lines covered by `#[cfg(test)]` items (tests may carry pragmas
+    /// for fixture strings without them being live suppressions).
+    pub fn stale(&self, test_lines: &BTreeSet<u32>) -> Vec<(u32, String)> {
+        let used = self.used.borrow();
+        self.decls
+            .iter()
+            .filter(|(line, rule)| {
+                !used.contains(&(*line, rule.clone()))
+                    && !test_lines.contains(line)
+                    && !test_lines.contains(&(line + 1))
+            })
+            .cloned()
+            .collect()
+    }
+}
+
 /// A lexed file plus the derived context rules need: which tokens are
 /// inside `#[cfg(test)]` items, and which lines carry `lint:allow`
 /// pragmas for which rules.
@@ -124,19 +222,19 @@ pub struct FileView<'a> {
     /// Code tokens.
     pub tokens: &'a [Token],
     in_test: Vec<bool>,
-    allows: BTreeMap<u32, BTreeSet<String>>,
+    pragmas: FilePragmas,
 }
 
 impl<'a> FileView<'a> {
     /// Builds the view: marks test ranges and collects pragmas.
     pub fn new(path: &'a str, lexed: &'a Lexed) -> Self {
         let in_test = mark_test_tokens(&lexed.tokens);
-        let allows = collect_allows(&lexed.comments, &lexed.tokens);
+        let pragmas = FilePragmas::collect(lexed);
         Self {
             path,
             tokens: &lexed.tokens,
             in_test,
-            allows,
+            pragmas,
         }
     }
 
@@ -145,11 +243,25 @@ impl<'a> FileView<'a> {
         self.in_test.get(i).copied().unwrap_or(false)
     }
 
+    /// Lines carrying tokens inside `#[cfg(test)]` items.
+    pub fn test_lines(&self) -> BTreeSet<u32> {
+        self.tokens
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| self.is_test(*i))
+            .map(|(_, t)| t.line)
+            .collect()
+    }
+
     /// Is `rule` suppressed on `line` by a `lint:allow` pragma?
     pub fn allowed(&self, rule: &str, line: u32) -> bool {
-        self.allows
-            .get(&line)
-            .is_some_and(|rules| rules.contains(rule))
+        self.pragmas.allowed(rule, line)
+    }
+
+    /// Surrenders the pragma table (with its usage state) so the
+    /// workspace pass can keep consulting it after the view is gone.
+    pub fn into_pragmas(self) -> FilePragmas {
+        self.pragmas
     }
 
     fn finding(&self, rule: &'static str, line: u32, message: String) -> Option<Finding> {
@@ -167,7 +279,7 @@ impl<'a> FileView<'a> {
 
 /// Marks every token belonging to a `#[cfg(test)]`-gated item (attribute
 /// through closing brace, or through `;` for braceless items like `use`).
-fn mark_test_tokens(tokens: &[Token]) -> Vec<bool> {
+pub fn mark_test_tokens(tokens: &[Token]) -> Vec<bool> {
     let mut in_test = vec![false; tokens.len()];
     let mut i = 0usize;
     while i < tokens.len() {
@@ -241,39 +353,10 @@ fn mark_test_tokens(tokens: &[Token]) -> Vec<bool> {
     in_test
 }
 
-/// Collects `// lint:allow(rule[, rule...])[: justification]` pragmas.
-/// A pragma suppresses matching findings on its own line; when the
-/// comment sits alone on its line, it also covers the following line.
-fn collect_allows(comments: &[Comment], tokens: &[Token]) -> BTreeMap<u32, BTreeSet<String>> {
-    let code_lines: BTreeSet<u32> = tokens.iter().map(|t| t.line).collect();
-    let mut allows: BTreeMap<u32, BTreeSet<String>> = BTreeMap::new();
-    for c in comments {
-        if !c.is_line {
-            continue;
-        }
-        let Some(start) = c.text.find("lint:allow(") else {
-            continue;
-        };
-        let rest = &c.text[start + "lint:allow(".len()..];
-        let Some(end) = rest.find(')') else { continue };
-        for rule in rest[..end].split(',') {
-            let rule = rule.trim().to_string();
-            if rule.is_empty() {
-                continue;
-            }
-            allows.entry(c.line).or_default().insert(rule.clone());
-            if !code_lines.contains(&c.line) {
-                allows.entry(c.line + 1).or_default().insert(rule);
-            }
-        }
-    }
-    allows
-}
-
 /// Idents that legitimately precede `[` without it being an index
 /// expression (`impl [T]`, `dyn [..]` are contrived, but `mut`, `in`,
 /// `return`, `else`, `match` arms binding arrays are real).
-const NON_INDEX_KEYWORDS: &[&str] = &[
+pub const NON_INDEX_KEYWORDS: &[&str] = &[
     "as", "box", "break", "const", "continue", "crate", "dyn", "else", "enum", "extern", "fn",
     "for", "if", "impl", "in", "let", "loop", "match", "mod", "move", "mut", "pub", "ref",
     "return", "static", "struct", "trait", "type", "unsafe", "use", "where", "while", "async",

@@ -302,6 +302,11 @@ fn every_shipped_rule_has_a_stable_id() {
             "raw-clock",
             "float-format",
             "wire-doc-sync",
+            "panic-reachability",
+            "lock-order",
+            "determinism-taint",
+            "stale-pragma",
+            "call-graph",
         ]
     );
 }
@@ -326,4 +331,247 @@ fn file_view_exposes_test_exclusion() {
     assert!(view.is_test(unwrap_idx));
     let live_idx = lexed.tokens.iter().position(|t| t.text == "live").unwrap();
     assert!(!view.is_test(live_idx));
+}
+
+// ------------------------------------------- interprocedural (workspace) --
+
+/// Lints a synthetic multi-file workspace through the same entry point
+/// `run_workspace` uses, with the non-vacuity floor disabled (these
+/// fixtures are tiny by construction).
+fn lint_ws(files: &[(&str, &str)]) -> Vec<Finding> {
+    let sources: Vec<(String, String)> = files
+        .iter()
+        .map(|(p, s)| (p.to_string(), s.to_string()))
+        .collect();
+    drqos_lint::lint_sources(&sources, 0)
+}
+
+// -------------------------------------------------- panic-reachability --
+
+#[test]
+fn panic_reachability_fires_with_the_full_call_chain() {
+    // Planted violation: a daemon entry point reaches an unwrap two
+    // crates away. The finding must name every hop.
+    let f = lint_ws(&[
+        (
+            "crates/service/src/engine.rs",
+            "fn handle() { drqos_topology::paths::k_shortest(); }",
+        ),
+        (
+            "crates/topology/src/paths.rs",
+            "pub fn k_shortest() { helper(); }\nfn helper() { x.unwrap(); }",
+        ),
+    ]);
+    assert_eq!(rules_fired(&f), vec!["panic-reachability"], "{f:?}");
+    assert_eq!(f[0].file, "crates/topology/src/paths.rs");
+    assert_eq!(f[0].line, 2);
+    for hop in ["handle", "k_shortest", "helper"] {
+        assert!(
+            f[0].message.contains(hop),
+            "chain misses {hop}: {}",
+            f[0].message
+        );
+    }
+    assert!(f[0].message.contains("call chain"), "{}", f[0].message);
+}
+
+#[test]
+fn panic_reachability_suppressed_at_the_site() {
+    let f = lint_ws(&[
+        (
+            "crates/service/src/engine.rs",
+            "fn handle() { drqos_topology::paths::k_shortest(); }",
+        ),
+        (
+            "crates/topology/src/paths.rs",
+            "pub fn k_shortest() { x.unwrap(); // lint:allow(panic-reachability): bounded by caller\n}",
+        ),
+    ]);
+    assert!(f.is_empty(), "{f:?}");
+}
+
+#[test]
+fn panic_reachability_clean_when_unreachable() {
+    // The panic exists but no daemon entry point can reach it.
+    let f = lint_ws(&[
+        (
+            "crates/service/src/engine.rs",
+            "fn handle() { ok(); }\nfn ok() {}",
+        ),
+        (
+            "crates/topology/src/paths.rs",
+            "pub fn island() { x.unwrap(); }",
+        ),
+    ]);
+    assert!(f.is_empty(), "{f:?}");
+}
+
+// --------------------------------------------------- determinism-taint --
+
+#[test]
+fn determinism_taint_fires_with_the_flow_chain() {
+    let f = lint_ws(&[
+        (
+            "crates/core/src/snapshot.rs",
+            "pub fn render() { stamp(); }",
+        ),
+        (
+            "crates/core/src/measure.rs",
+            "pub fn stamp() -> u64 { let t = Instant::now(); 0 }",
+        ),
+    ]);
+    assert_eq!(rules_fired(&f), vec!["determinism-taint"], "{f:?}");
+    assert_eq!(f[0].file, "crates/core/src/measure.rs");
+    assert!(
+        f[0].message.contains("render") && f[0].message.contains("Instant::now"),
+        "{}",
+        f[0].message
+    );
+}
+
+#[test]
+fn determinism_taint_suppressed_at_the_source() {
+    let f = lint_ws(&[
+        ("crates/core/src/snapshot.rs", "pub fn render() { stamp(); }"),
+        (
+            "crates/core/src/measure.rs",
+            "pub fn stamp() -> u64 { let t = Instant::now(); 0 } // lint:allow(determinism-taint): wall column masked",
+        ),
+    ]);
+    assert!(f.is_empty(), "{f:?}");
+}
+
+#[test]
+fn determinism_taint_clean_when_no_emitter_reaches_the_clock() {
+    // Same clock read, but only a non-emitter caller.
+    let f = lint_ws(&[
+        ("crates/core/src/routing.rs", "pub fn route() { stamp(); }"),
+        (
+            "crates/core/src/measure.rs",
+            "pub fn stamp() -> u64 { let t = Instant::now(); 0 }",
+        ),
+    ]);
+    assert!(f.is_empty(), "{f:?}");
+}
+
+// ----------------------------------------------------------- lock-order --
+
+#[test]
+fn lock_order_fires_on_descending_literal_acquisitions() {
+    let f = lint_ws(&[(
+        "crates/core/src/shard.rs",
+        "struct S { ledgers: Vec<Mutex<L>> }\n\
+         impl S {\n\
+         fn bad(&self) {\n\
+         let a = self.ledgers[2].lock();\n\
+         let b = self.ledgers[1].lock();\n\
+         }\n\
+         }",
+    )]);
+    assert_eq!(rules_fired(&f), vec!["lock-order"], "{f:?}");
+    assert!(
+        f[0].message.contains("not provably ascending"),
+        "{}",
+        f[0].message
+    );
+}
+
+#[test]
+fn lock_order_suppressed_at_the_acquisition() {
+    let f = lint_ws(&[(
+        "crates/core/src/shard.rs",
+        "struct S { ledgers: Vec<Mutex<L>> }\n\
+         impl S {\n\
+         fn odd(&self) {\n\
+         let a = self.ledgers[2].lock();\n\
+         // lint:allow(lock-order): second lock is a disjoint singleton shard\n\
+         let b = self.ledgers[1].lock();\n\
+         }\n\
+         }",
+    )]);
+    assert!(f.is_empty(), "{f:?}");
+}
+
+#[test]
+fn lock_order_clean_on_range_loops() {
+    let f = lint_ws(&[(
+        "crates/core/src/shard.rs",
+        "struct S { ledgers: Vec<Mutex<L>> }\n\
+         impl S {\n\
+         fn wave(&self) {\n\
+         for s in 0..self.ledgers.len() {\n\
+         let g = self.ledgers[s].lock();\n\
+         }\n\
+         }\n\
+         }",
+    )]);
+    assert!(f.is_empty(), "{f:?}");
+}
+
+// --------------------------------------------------------- stale-pragma --
+
+#[test]
+fn stale_pragma_fires_on_a_dead_allow_and_spares_a_live_one() {
+    let f = lint_ws(&[(
+        "crates/core/src/routing.rs",
+        "// lint:allow(raw-clock): nothing here reads a clock\n\
+         fn quiet() {}\n",
+    )]);
+    assert_eq!(rules_fired(&f), vec!["stale-pragma"], "{f:?}");
+    assert!(f[0].message.contains("raw-clock"), "{}", f[0].message);
+
+    // A pragma that actually suppresses something is not stale.
+    let live = lint_ws(&[(
+        "crates/core/src/routing.rs",
+        "fn t() { let t0 = Instant::now(); // lint:allow(raw-clock): startup banner\n}",
+    )]);
+    assert!(live.is_empty(), "{live:?}");
+}
+
+#[test]
+fn stale_pragma_fires_on_an_unknown_rule_name() {
+    let f = lint_ws(&[(
+        "crates/core/src/routing.rs",
+        "// lint:allow(no-such-rule): typo\nfn quiet() {}\n",
+    )]);
+    assert_eq!(rules_fired(&f), vec!["stale-pragma"], "{f:?}");
+    assert!(f[0].message.contains("unknown"), "{}", f[0].message);
+}
+
+// ----------------------------------------------------------- call-graph --
+
+#[test]
+fn non_vacuity_floor_fires_when_the_resolver_goes_dark() {
+    let sources = vec![(
+        "crates/core/src/a.rs".to_string(),
+        "fn lonely() {}".to_string(),
+    )];
+    let f = drqos_lint::lint_sources(&sources, 1_000_000);
+    assert_eq!(rules_fired(&f), vec!["call-graph"], "{f:?}");
+}
+
+// ------------------------------------------------- deterministic output --
+
+#[test]
+fn workspace_findings_sort_by_file_then_line_then_rule() {
+    // Two files, multiple rules; order must be (file, line, rule) no
+    // matter which pass produced each finding.
+    let f = lint_ws(&[
+        (
+            "crates/service/src/engine.rs",
+            "fn handle() { x.unwrap(); }\nfn again() { y.unwrap(); }",
+        ),
+        (
+            "crates/core/src/snapshot.rs",
+            "use std::collections::HashMap;\nfn f(m: &HashMap<u32, u32>) {}",
+        ),
+    ]);
+    assert!(f.len() >= 4, "{f:?}");
+    let keys: Vec<(&str, u32, &str)> = f
+        .iter()
+        .map(|x| (x.file.as_str(), x.line, x.rule))
+        .collect();
+    let mut sorted = keys.clone();
+    sorted.sort();
+    assert_eq!(keys, sorted);
 }

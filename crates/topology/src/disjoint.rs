@@ -15,7 +15,7 @@
 use crate::graph::{Graph, LinkId, NodeId};
 use crate::paths::{LinkFilter, Path};
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::collections::{BTreeMap, BinaryHeap, HashSet};
 
 /// A pair of link-disjoint paths between the same endpoints.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -128,7 +128,7 @@ pub fn suurballe(
     {
         let mut cur = dst;
         while cur != src {
-            let arc = parent1[cur.0].expect("reachable nodes have parents");
+            let arc = parent1[cur.0].expect("reachable nodes have parents"); // lint:allow(panic-reachability): dist[dst] != MAX above proves every walked node has a parent
             p1_arcs.push(arc);
             cur = arc.0;
         }
@@ -169,7 +169,7 @@ pub fn suurballe(
     {
         let mut cur = dst;
         while cur != src {
-            let arc = parent2[cur.0].expect("reachable nodes have parents");
+            let arc = parent2[cur.0].expect("reachable nodes have parents"); // lint:allow(panic-reachability): dist[dst] != MAX above proves every walked node has a parent
             p2_arcs.push(arc);
             cur = arc.0;
         }
@@ -193,7 +193,7 @@ pub fn suurballe(
 
     // Decompose the remaining arcs into two link-disjoint s→t walks, then
     // strip any loops to obtain simple paths.
-    let mut adj: HashMap<NodeId, Vec<(NodeId, LinkId)>> = HashMap::new();
+    let mut adj: BTreeMap<NodeId, Vec<(NodeId, LinkId)>> = BTreeMap::new();
     for &(a, b, l) in &arc_multiset {
         adj.entry(a).or_default().push((b, l));
     }

@@ -141,7 +141,7 @@ impl Partition {
             }
         }
         Self::from_node_assignment(graph, shards, node_shard)
-            .expect("constructed assignment is total and in range")
+            .expect("constructed assignment is total and in range") // lint:allow(panic-reachability): node_shard was just filled to be total and in range
     }
 
     /// Number of shards.

@@ -68,7 +68,7 @@ impl Path {
 
     /// The destination node.
     pub fn destination(&self) -> NodeId {
-        *self.nodes.last().expect("path is non-empty")
+        *self.nodes.last().expect("path is non-empty") // lint:allow(panic-reachability): Path construction guarantees a non-empty node list
     }
 
     /// Number of links (hops).
@@ -216,6 +216,7 @@ fn reconstruct(graph: &Graph, prev: &[NodeId], src: NodeId, dst: NodeId) -> Path
         nodes.push(cur);
     }
     nodes.reverse();
+    // lint:allow(panic-reachability): prev chain from a completed BFS forms a valid simple path
     Path::from_nodes(graph, nodes).expect("BFS reconstruction yields a valid simple path")
 }
 

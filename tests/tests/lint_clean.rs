@@ -58,3 +58,18 @@ fn every_documented_rule_id_exists() {
         );
     }
 }
+
+#[test]
+fn call_graph_resolves_enough_edges_to_be_meaningful() {
+    // The interprocedural rules are only as strong as the resolver
+    // feeding them. If a parser or resolver regression drops the edge
+    // count below the committed floor, reachability silently turns
+    // vacuous — so the floor is itself a tier-1 assertion.
+    let graph = drqos_lint::build_workspace_graph(workspace_root()).expect("workspace is readable");
+    assert!(
+        graph.resolved_edges() >= drqos_lint::callgraph::MIN_RESOLVED_EDGES,
+        "call graph resolved only {} edges (floor {}): the resolver regressed",
+        graph.resolved_edges(),
+        drqos_lint::callgraph::MIN_RESOLVED_EDGES
+    );
+}
